@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Predictor-sensitivity study: DCG's gating opportunity is partly
+ * *created* by front-end stalls, so a weaker predictor raises DCG's
+ * percentage savings while costing absolute performance — power
+ * saving percentages must always be read next to IPC. Sweeps the
+ * direction predictor (bimodal / Table-1 two-level / hybrid) on the
+ * branchy integer codes.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Study — DCG savings vs branch predictor quality",
+                "bimodal / 2-level (Table 1) / hybrid front ends");
+
+    const std::uint64_t insts = defaultBenchInstructions();
+    const std::uint64_t warm = defaultBenchWarmup();
+
+    struct Kind { DirectionKind kind; const char *name; };
+    const Kind kinds[] = {
+        {DirectionKind::Bimodal, "bimodal"},
+        {DirectionKind::TwoLevel, "2-level"},
+        {DirectionKind::Hybrid, "hybrid"},
+    };
+
+    TextTable t({"bench", "predictor", "bpred acc (%)", "IPC",
+                 "DCG save (%)"});
+    for (const char *name : {"gcc", "twolf", "parser", "gzip"}) {
+        const Profile p = profileByName(name);
+        for (const Kind &k : kinds) {
+            SimConfig base = table1Config(GatingScheme::None);
+            base.bpred.kind = k.kind;
+            SimConfig dcg = base;
+            dcg.scheme = GatingScheme::Dcg;
+            const RunResult b = runBenchmark(p, base, insts, warm);
+            const RunResult d = runBenchmark(p, dcg, insts, warm);
+            t.addRow({name, k.name, TextTable::pct(b.branchAccuracy),
+                      TextTable::num(b.ipc, 2),
+                      TextTable::pct(powerSaving(b, d))});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nBetter prediction -> higher IPC -> busier blocks -> "
+                 "smaller DCG\npercentages (but more work done per "
+                 "joule). DCG's zero performance\nloss holds under "
+                 "every front end.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation of the sequential-priority FU allocation policy (paper
+ * Sec 3.1). The policy exists to keep gate control from toggling —
+ * toggling burns control power and causes di/dt noise. We compare the
+ * paper's policy against round-robin allocation: total power is nearly
+ * identical (same busy counts), but the gate-control transition count
+ * collapses under sequential priority.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Ablation — sequential priority vs round-robin (Sec 3.1)",
+                "gate-control transitions per kilo-cycle, int ALU pool");
+
+    const std::uint64_t insts = defaultBenchInstructions();
+    const std::uint64_t warm = defaultBenchWarmup();
+
+    TextTable t({"bench", "seq tog/kcyc", "rr tog/kcyc", "ratio",
+                 "seq save%", "rr save%"});
+    for (const Profile &p : allSpecProfiles()) {
+        double toggles[2], saving[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            SimConfig cfg = table1Config(GatingScheme::Dcg);
+            cfg.core.sequentialPriority = mode == 0;
+            Simulator sim(p, cfg);
+            sim.run(insts, warm);
+            const RunResult r = sim.result();
+            const double cycles = static_cast<double>(r.cycles);
+            toggles[mode] =
+                sim.stats().lookup("dcg.toggles.IntAlu") / cycles * 1000;
+
+            SimConfig base_cfg = table1Config(GatingScheme::None);
+            base_cfg.core.sequentialPriority = mode == 0;
+            const RunResult base = runBenchmark(p, base_cfg, insts, warm);
+            saving[mode] = powerSaving(base, r);
+        }
+        t.addRow({p.name, TextTable::num(toggles[0], 1),
+                  TextTable::num(toggles[1], 1),
+                  TextTable::num(toggles[1] / toggles[0], 2),
+                  TextTable::pct(saving[0]), TextTable::pct(saving[1])});
+    }
+    t.print(std::cout);
+    std::cout << "\nSequential priority parks low-priority units in the "
+                 "gated state,\ncutting control toggling (ratio > 1) at "
+                 "unchanged power savings —\nexactly the paper's "
+                 "rationale.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation of the store clock-gate setup (paper Sec 3.3): if no
+ * advance knowledge of a store's cache access exists (case 2), the
+ * store is delayed by one cycle to let the port's clock-gate control
+ * settle. The paper argues this costs "virtually no performance";
+ * this binary quantifies it.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Ablation — store +1 cycle clock-gate setup (Sec 3.3)",
+                "performance cost of delaying store D-cache access");
+
+    const std::uint64_t insts = defaultBenchInstructions();
+    const std::uint64_t warm = defaultBenchWarmup();
+
+    TextTable t({"bench", "IPC case1", "IPC case2", "loss (%)"});
+    double worst = 0.0;
+    for (const Profile &p : allSpecProfiles()) {
+        SimConfig c1 = table1Config(GatingScheme::Dcg);
+        SimConfig c2 = c1;
+        c2.core.delayStoresOneCycle = true;
+        const RunResult a = runBenchmark(p, c1, insts, warm);
+        const RunResult b = runBenchmark(p, c2, insts, warm);
+        const double loss = 1.0 - b.ipc / a.ipc;
+        worst = std::max(worst, loss);
+        t.addRow({p.name, TextTable::num(a.ipc, 3),
+                  TextTable::num(b.ipc, 3), TextTable::pct(loss, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nWorst-case loss " << TextTable::pct(worst, 2)
+              << "% — stores do not produce pipeline values, so the "
+                 "delay is\nabsorbed by the store buffer (paper: "
+                 "\"virtually no performance loss\").\n";
+    return 0;
+}

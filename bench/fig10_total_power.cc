@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10: total power savings of DCG, PLB-orig and PLB-ext as a
+ * percentage of the baseline (no clock gating) processor power.
+ *
+ * Paper: DCG averages 20.9 % (int) / 18.8 % (fp); PLB-orig 6.3 / 4.9;
+ * PLB-ext 11.0 / 8.7. mcf and lucas are DCG's best cases.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Figure 10 — total power savings (%)",
+                "DCG vs PLB-orig vs PLB-ext, % of baseline power");
+
+    GridRequest req;
+    req.wantPlbOrig = true;
+    req.wantPlbExt = true;
+    const auto grid = runGrid(req);
+
+    TextTable t({"bench", "suite", "DCG", "PLB-orig", "PLB-ext"});
+    for (const auto &r : grid) {
+        t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
+                  TextTable::pct(powerSaving(r.base, r.dcg)),
+                  TextTable::pct(powerSaving(r.base, r.plbOrig)),
+                  TextTable::pct(powerSaving(r.base, r.plbExt))});
+    }
+    t.print(std::cout);
+
+    const auto dcg_m = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerSaving(r.base, r.dcg);
+    });
+    const auto orig_m = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerSaving(r.base, r.plbOrig);
+    });
+    const auto ext_m = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerSaving(r.base, r.plbExt);
+    });
+
+    std::cout << "\nAverages (measured vs paper):\n"
+              << "  DCG      int " << TextTable::pct(dcg_m.intMean)
+              << "% (paper 20.9)   fp " << TextTable::pct(dcg_m.fpMean)
+              << "% (paper 18.8)\n"
+              << "  PLB-orig int " << TextTable::pct(orig_m.intMean)
+              << "% (paper 6.3)    fp " << TextTable::pct(orig_m.fpMean)
+              << "% (paper 4.9)\n"
+              << "  PLB-ext  int " << TextTable::pct(ext_m.intMean)
+              << "% (paper 11.0)   fp " << TextTable::pct(ext_m.fpMean)
+              << "% (paper 8.7)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 11: power-delay savings. Because DCG loses no performance its
+ * power-delay saving equals its power saving; PLB's bars shrink by its
+ * slowdown (paper: PLB-orig 3.5/2.0 %, PLB-ext 8.3/5.9 %; PLB loses
+ * ~2.9 % performance).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Figure 11 — power-delay savings (%)",
+                "power x delay per instruction vs baseline");
+
+    GridRequest req;
+    req.wantPlbOrig = true;
+    req.wantPlbExt = true;
+    const auto grid = runGrid(req);
+
+    TextTable t({"bench", "suite", "DCG", "PLB-orig", "PLB-ext",
+                 "PLB-ext dIPC"});
+    for (const auto &r : grid) {
+        t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
+                  TextTable::pct(powerDelaySaving(r.base, r.dcg)),
+                  TextTable::pct(powerDelaySaving(r.base, r.plbOrig)),
+                  TextTable::pct(powerDelaySaving(r.base, r.plbExt)),
+                  TextTable::pct(1.0 - r.plbExt.ipc / r.base.ipc)});
+    }
+    t.print(std::cout);
+
+    const auto dcg_pd = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerDelaySaving(r.base, r.dcg);
+    });
+    const auto dcg_p = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerSaving(r.base, r.dcg);
+    });
+    const auto orig_pd = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerDelaySaving(r.base, r.plbOrig);
+    });
+    const auto ext_pd = meansBySuite(grid, [](const SchemeResults &r) {
+        return powerDelaySaving(r.base, r.plbExt);
+    });
+    const auto loss = meansBySuite(grid, [](const SchemeResults &r) {
+        return 1.0 - r.plbOrig.ipc / r.base.ipc;
+    });
+
+    std::cout << "\nAverages (measured vs paper):\n"
+              << "  DCG      int " << TextTable::pct(dcg_pd.intMean)
+              << "%  fp " << TextTable::pct(dcg_pd.fpMean)
+              << "%  (== its power saving "
+              << TextTable::pct(dcg_p.intMean) << "/"
+              << TextTable::pct(dcg_p.fpMean)
+              << " since DCG loses no performance)\n"
+              << "  PLB-orig int " << TextTable::pct(orig_pd.intMean)
+              << "% (paper 3.5)   fp " << TextTable::pct(orig_pd.fpMean)
+              << "% (paper 2.0)\n"
+              << "  PLB-ext  int " << TextTable::pct(ext_pd.intMean)
+              << "% (paper 8.3)   fp " << TextTable::pct(ext_pd.fpMean)
+              << "% (paper 5.9)\n"
+              << "  PLB-orig perf loss int "
+              << TextTable::pct(loss.intMean) << "%  fp "
+              << TextTable::pct(loss.fpMean) << "% (paper ~2.9%)\n";
+    return 0;
+}

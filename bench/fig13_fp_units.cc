@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 13: power savings in the FP execution units.
+ * Paper: DCG ~77.2 % for fp codes and close to 100 % for most int
+ * codes (their FPUs are simply never used); PLB-ext ~23.0 % for fp
+ * codes because its coarse cluster granularity cannot disable FPUs
+ * while the integer side is busy.
+ */
+
+#include "bench/harness.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    runComponentFigure(
+        "Figure 13 — floating-point unit power savings (%)",
+        "idle FPU clock power recovered; int codes approach 100%",
+        [](const RunResult &r) { return r.fpUnitsPJ; },
+        "(paper: fp avg ~77.2%, int codes ~100%)",
+        "(paper: fp avg ~23.0%)");
+    return 0;
+}

@@ -1,0 +1,132 @@
+#include "bench/harness.hh"
+
+#include <iostream>
+
+#include "common/table.hh"
+
+namespace dcg::bench {
+
+std::vector<SchemeResults>
+runGrid(const GridRequest &req)
+{
+    const std::uint64_t insts = defaultBenchInstructions();
+    const std::uint64_t warm = defaultBenchWarmup();
+
+    auto config = [&](GatingScheme s) {
+        return req.deepPipeline ? deepPipelineConfig(s) : table1Config(s);
+    };
+
+    std::vector<SchemeResults> grid;
+    for (const Profile &p : allSpecProfiles()) {
+        SchemeResults r;
+        r.profile = p;
+        r.base = runBenchmark(p, config(GatingScheme::None), insts, warm);
+        if (req.wantDcg)
+            r.dcg = runBenchmark(p, config(GatingScheme::Dcg), insts,
+                                 warm);
+        if (req.wantPlbOrig)
+            r.plbOrig = runBenchmark(p, config(GatingScheme::PlbOrig),
+                                     insts, warm);
+        if (req.wantPlbExt)
+            r.plbExt = runBenchmark(p, config(GatingScheme::PlbExt),
+                                    insts, warm);
+        grid.push_back(std::move(r));
+    }
+    return grid;
+}
+
+double
+powerSaving(const RunResult &base, const RunResult &gated)
+{
+    return 1.0 - gated.avgPowerW / base.avgPowerW;
+}
+
+double
+powerDelaySaving(const RunResult &base, const RunResult &gated)
+{
+    // Power x delay per instruction: P * (cycles/inst) — both a power
+    // increase and a slowdown reduce the saving (Figure 11).
+    const double base_pd = base.avgPowerW / base.ipc;
+    const double gated_pd = gated.avgPowerW / gated.ipc;
+    return 1.0 - gated_pd / base_pd;
+}
+
+double
+componentSaving(const RunResult &base, const RunResult &gated,
+                const std::function<double(const RunResult &)> &pick)
+{
+    // Component energies are compared per cycle so that PLB's longer
+    // runtime does not masquerade as savings.
+    const double base_rate = pick(base) / static_cast<double>(base.cycles);
+    const double gated_rate =
+        pick(gated) / static_cast<double>(gated.cycles);
+    return 1.0 - gated_rate / base_rate;
+}
+
+IntFpMeans
+meansBySuite(const std::vector<SchemeResults> &grid,
+             const std::function<double(const SchemeResults &)> &value)
+{
+    double int_sum = 0.0, fp_sum = 0.0;
+    unsigned int_n = 0, fp_n = 0;
+    for (const auto &r : grid) {
+        if (r.profile.isFp) {
+            fp_sum += value(r);
+            ++fp_n;
+        } else {
+            int_sum += value(r);
+            ++int_n;
+        }
+    }
+    return {int_n ? int_sum / int_n : 0.0, fp_n ? fp_sum / fp_n : 0.0};
+}
+
+void
+printHeader(const std::string &figure, const std::string &claim)
+{
+    std::cout << "==================================================\n"
+              << figure << "\n" << claim << "\n"
+              << "(runs: " << defaultBenchInstructions()
+              << " instructions after " << defaultBenchWarmup()
+              << " warm-up; override with DCG_BENCH_INSTS /"
+              << " DCG_BENCH_WARMUP)\n"
+              << "==================================================\n";
+}
+
+void
+runComponentFigure(const std::string &figure, const std::string &claim,
+                   const std::function<double(const RunResult &)> &pick,
+                   const std::string &paper_dcg,
+                   const std::string &paper_ext)
+{
+    printHeader(figure, claim);
+
+    GridRequest req;
+    req.wantPlbExt = true;
+    const auto grid = runGrid(req);
+
+    TextTable t({"bench", "suite", "DCG", "PLB-ext"});
+    for (const auto &r : grid) {
+        t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
+                  TextTable::pct(componentSaving(r.base, r.dcg, pick)),
+                  TextTable::pct(componentSaving(r.base, r.plbExt,
+                                                 pick))});
+    }
+    t.print(std::cout);
+
+    const auto dcg_m = meansBySuite(grid, [&](const SchemeResults &r) {
+        return componentSaving(r.base, r.dcg, pick);
+    });
+    const auto ext_m = meansBySuite(grid, [&](const SchemeResults &r) {
+        return componentSaving(r.base, r.plbExt, pick);
+    });
+    std::cout << "\nAverages:\n"
+              << "  DCG     int " << TextTable::pct(dcg_m.intMean)
+              << "%  fp " << TextTable::pct(dcg_m.fpMean) << "%   "
+              << paper_dcg << "\n"
+              << "  PLB-ext int " << TextTable::pct(ext_m.intMean)
+              << "%  fp " << TextTable::pct(ext_m.fpMean) << "%   "
+              << paper_ext << "\n";
+}
+
+} // namespace dcg::bench

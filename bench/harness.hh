@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the per-figure experiment binaries.
+ *
+ * Each binary regenerates one table/figure of the paper's evaluation
+ * section: it runs the relevant (benchmark x scheme) grid and prints
+ * the same rows the paper plots, plus the paper's reported values for
+ * comparison. Run length is controlled by DCG_BENCH_INSTS /
+ * DCG_BENCH_WARMUP.
+ */
+
+#ifndef DCG_BENCH_HARNESS_HH
+#define DCG_BENCH_HARNESS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/simulator.hh"
+
+namespace dcg::bench {
+
+/** One benchmark's runs across the schemes a figure needs. */
+struct SchemeResults
+{
+    Profile profile;
+    RunResult base;
+    RunResult dcg;
+    RunResult plbOrig;  ///< valid only if requested
+    RunResult plbExt;   ///< valid only if requested
+};
+
+/** Which schemes a figure needs beyond the baseline. */
+struct GridRequest
+{
+    bool wantDcg = true;
+    bool wantPlbOrig = false;
+    bool wantPlbExt = false;
+    bool deepPipeline = false;
+};
+
+/** Run the full SPEC grid for a figure. */
+std::vector<SchemeResults> runGrid(const GridRequest &req);
+
+/** Fractional total-power saving of @p gated vs @p base. */
+double powerSaving(const RunResult &base, const RunResult &gated);
+
+/**
+ * Fractional power-delay (energy x time per instruction) saving:
+ * both power loss and slowdown hurt, as in Figure 11.
+ */
+double powerDelaySaving(const RunResult &base, const RunResult &gated);
+
+/** Fractional saving of a component energy selected by @p pick. */
+double componentSaving(const RunResult &base, const RunResult &gated,
+                       const std::function<double(const RunResult &)> &pick);
+
+/** Mean over int / fp subsets of per-benchmark values. */
+struct IntFpMeans
+{
+    double intMean;
+    double fpMean;
+};
+IntFpMeans meansBySuite(const std::vector<SchemeResults> &grid,
+                        const std::function<double(const SchemeResults &)>
+                            &value);
+
+/** Print the standard figure header. */
+void printHeader(const std::string &figure, const std::string &claim);
+
+/**
+ * Shared driver for the per-component figures (12-16): prints DCG and
+ * PLB-ext savings for the component energy selected by @p pick, plus
+ * per-suite means with the paper's reported numbers.
+ */
+void runComponentFigure(
+    const std::string &figure, const std::string &claim,
+    const std::function<double(const RunResult &)> &pick,
+    const std::string &paper_dcg, const std::string &paper_ext);
+
+} // namespace dcg::bench
+
+#endif // DCG_BENCH_HARNESS_HH

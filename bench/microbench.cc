@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: trace
+ * generation, branch prediction, cache access, core ticks and the full
+ * simulation step with DCG accounting. Useful for keeping the
+ * experiment binaries fast as the model grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "gating/dcg.hh"
+#include "pipeline/core.hh"
+#include "power/model.hh"
+#include "sim/presets.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+
+static void
+BM_TraceGenerator(benchmark::State &state)
+{
+    TraceGenerator gen(profileByName("gzip"), 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGenerator);
+
+static void
+BM_BranchPredictor(benchmark::State &state)
+{
+    StatRegistry stats;
+    BranchPredictor bp(BranchPredictorConfig{}, stats);
+    Rng rng(7);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        const auto pred = bp.predict(pc);
+        bp.resolve(pc, pred, rng.bernoulli(0.9), pc + 64);
+        pc = 0x400000 + (rng.next() & 0xffff & ~3ull);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+static void
+BM_CacheHit(benchmark::State &state)
+{
+    StatRegistry stats;
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    mem.dcache().access(0x1000, false, 0);
+    Cycle now = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.dcache().access(0x1000, false,
+                                                     now));
+        now += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_CacheMissStream(benchmark::State &state)
+{
+    StatRegistry stats;
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    Rng rng(3);
+    Cycle now = 100;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.dcache().access(rng.nextBounded(64 * 1024 * 1024) & ~7ull,
+                                false, now));
+        now += 5;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissStream);
+
+static void
+BM_CoreTick(benchmark::State &state)
+{
+    StatRegistry stats;
+    TraceGenerator gen(profileByName("gzip"), 1);
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    BranchPredictor bp(BranchPredictorConfig{}, stats);
+    Core core(CoreConfig{}, gen, mem, bp, stats);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.committedInsts()));
+    state.SetLabel("items = committed instructions");
+}
+BENCHMARK(BM_CoreTick);
+
+static void
+BM_PowerTick(benchmark::State &state)
+{
+    StatRegistry stats;
+    PowerModel pm(CoreConfig{}, Technology{}, stats);
+    CycleActivity act;
+    act.issued = 4;
+    act.fuBusyMask[0] = 0xf;
+    act.dcacheAccesses = 1;
+    act.regReads = 6;
+    for (auto _ : state)
+        pm.tick(act, GateState{});
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PowerTick);
+
+static void
+BM_FullDcgStep(benchmark::State &state)
+{
+    StatRegistry stats;
+    TraceGenerator gen(profileByName("twolf"), 1);
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    BranchPredictor bp(BranchPredictorConfig{}, stats);
+    Core core(CoreConfig{}, gen, mem, bp, stats);
+    DcgController dcg(CoreConfig{}, DcgConfig{}, stats);
+    PowerModel pm(CoreConfig{}, Technology{}, stats);
+    for (auto _ : state) {
+        core.tick();
+        pm.tick(core.activity(), dcg.gates(core.activity()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(core.committedInsts()));
+    state.SetLabel("items = committed instructions");
+}
+BENCHMARK(BM_FullDcgStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 1: the baseline processor configuration, as instantiated by
+ * this reproduction (plus the derived power-model sizing).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "power/model.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Table 1 — baseline processor configuration",
+                "paper Sec 4.1 / Table 1");
+    const SimConfig cfg = table1Config();
+    printConfig(cfg, std::cout);
+
+    StatRegistry stats;
+    PowerModel pm(cfg.core, cfg.tech, stats);
+    std::cout << "Power model sizing:\n"
+              << "  " << pm.bitsPerLatchSlot()
+              << " bits per pipeline-latch slot ("
+              << cfg.core.issueWidth << " slots x "
+              << cfg.core.depth.totalStages() << " latch groups)\n"
+              << "  " << pm.dcgControlBits()
+              << " DCG control bits (extended latches; "
+              << "charged as overhead whenever DCG is active)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sections 5.2-5.5 (prose numbers): component utilisations on the
+ * baseline machine, which determine every gating opportunity.
+ * Paper: int units ~35 % (int codes) / ~25 % (fp codes); FPUs ~23 %
+ * (fp) / ~0 (int); latches ~60 %; D-cache ports ~40 %; result bus
+ * ~40 %.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Sections 5.2-5.5 — baseline component utilisations (%)",
+                "fraction of capacity busy per cycle; 1-util is DCG's "
+                "opportunity");
+
+    GridRequest req;
+    req.wantDcg = false;
+    const auto grid = runGrid(req);
+
+    TextTable t({"bench", "suite", "IPC", "intU", "fpU", "latch",
+                 "d$port", "rbus"});
+    for (const auto &r : grid) {
+        t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
+                  TextTable::num(r.base.ipc, 2),
+                  TextTable::pct(r.base.intUnitUtil),
+                  TextTable::pct(r.base.fpUnitUtil),
+                  TextTable::pct(r.base.latchUtil),
+                  TextTable::pct(r.base.dcachePortUtil),
+                  TextTable::pct(r.base.resultBusUtil)});
+    }
+    t.print(std::cout);
+
+    auto mean = [&](auto pick) {
+        return meansBySuite(grid, [&](const SchemeResults &r) {
+            return pick(r.base);
+        });
+    };
+    const auto iu = mean([](const RunResult &r) { return r.intUnitUtil; });
+    const auto fu = mean([](const RunResult &r) { return r.fpUnitUtil; });
+    const auto lu = mean([](const RunResult &r) { return r.latchUtil; });
+    const auto du = mean([](const RunResult &r) {
+        return r.dcachePortUtil;
+    });
+    const auto bu = mean([](const RunResult &r) {
+        return r.resultBusUtil;
+    });
+
+    std::cout << "\nAverages (measured int/fp vs paper):\n"
+              << "  int units   " << TextTable::pct(iu.intMean) << "/"
+              << TextTable::pct(iu.fpMean) << "  (paper ~35/~25)\n"
+              << "  FP units    " << TextTable::pct(fu.intMean) << "/"
+              << TextTable::pct(fu.fpMean) << "  (paper ~0/~23)\n"
+              << "  latches     " << TextTable::pct(lu.intMean) << "/"
+              << TextTable::pct(lu.fpMean) << "  (paper ~60 overall)\n"
+              << "  D$ ports    " << TextTable::pct(du.intMean) << "/"
+              << TextTable::pct(du.fpMean) << "  (paper ~40)\n"
+              << "  result bus  " << TextTable::pct(bu.intMean) << "/"
+              << TextTable::pct(bu.fpMean) << "  (paper ~40)\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power-model validation: compare the calibrated Technology constants
+ * (used by all experiments; tuned to the published Wattch breakdown)
+ * against the CACTI-lite values derived from the Table-1 geometry.
+ * Agreement within small factors shows the calibrated constants are
+ * physically grounded rather than fitted noise.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.hh"
+#include "common/table.hh"
+#include "power/derived.hh"
+
+using namespace dcg;
+using namespace dcg::bench;
+
+int
+main()
+{
+    printHeader("Validation — calibrated vs geometry-derived C_eff (pF)",
+                "CACTI-lite derivation of the Wattch-style constants");
+
+    const SimConfig cfg = table1Config();
+    const Technology cal;  // calibrated defaults
+    const Technology der = derivedTechnology(cfg.core, cfg.mem);
+
+    struct Row { const char *name; double c, d; };
+    const Row rows[] = {
+        {"dcache decoder/port", cal.dcacheDecoderCap,
+         der.dcacheDecoderCap},
+        {"dcache array/access", cal.dcacheArrayAccessCap,
+         der.dcacheArrayAccessCap},
+        {"icache/access", cal.icacheAccessCap, der.icacheAccessCap},
+        {"L2/access", cal.l2AccessCap, der.l2AccessCap},
+        {"regfile read", cal.regReadCap, der.regReadCap},
+        {"regfile write", cal.regWriteCap, der.regWriteCap},
+        {"IQ precharge/cycle", cal.iqClockCap, der.iqClockCap},
+        {"IQ wakeup/broadcast", cal.iqWakeupCap, der.iqWakeupCap},
+        {"LSQ search/op", cal.lsqOpCap, der.lsqOpCap},
+        {"ROB/op", cal.robOpCap, der.robOpCap},
+        {"rename/op", cal.renameOpCap, der.renameOpCap},
+        {"bpred/access", cal.bpredAccessCap, der.bpredAccessCap},
+    };
+
+    double cal_sum = 0.0, der_sum = 0.0;
+    for (const Row &r : rows) {
+        cal_sum += r.c;
+        der_sum += r.d;
+    }
+
+    TextTable t({"structure", "calibrated", "derived", "ratio",
+                 "cal share", "der share"});
+    for (const Row &r : rows) {
+        t.addRow({r.name, TextTable::num(r.c, 1), TextTable::num(r.d, 1),
+                  TextTable::num(r.d / r.c, 2),
+                  TextTable::pct(r.c / cal_sum) + "%",
+                  TextTable::pct(r.d / der_sum) + "%"});
+    }
+    t.print(std::cout);
+
+    std::cout <<
+        "\nExpected picture: raw SRAM capacitances sit below the\n"
+        "calibrated *effective* values, because the effective set folds\n"
+        "in local clock buffering, drivers and control (Wattch does the\n"
+        "same via its driver/activity factors); scheduler-class CAM\n"
+        "structures show the largest gap since their power is dominated\n"
+        "by that clocked control, not the cells. The 'share' columns\n"
+        "compare the distributions. The calibrated set is the default\n"
+        "for experiments; pass derivedTechnology() via SimConfig::tech\n"
+        "to run with the analytical set instead.\n";
+    return 0;
+}

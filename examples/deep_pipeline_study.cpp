@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pipeline-depth study (the Section 5.6 scenario): sweep the pipeline
+ * from the 8-stage baseline towards the 20-stage machine and watch
+ * DCG's savings grow as more gateable latch groups appear, while the
+ * mispredict penalty erodes IPC.
+ *
+ * Usage:
+ *   deep_pipeline_study [--bench=gcc] [--insts=150000] [--warmup=60000]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/options.hh"
+#include "common/table.hh"
+#include "sim/presets.hh"
+
+using namespace dcg;
+
+namespace {
+
+DepthConfig
+depthForStages(unsigned stages)
+{
+    // Interpolate between the paper's 8-stage and 20-stage machines by
+    // deepening phases in the order real designs did: fetch/decode
+    // first, then mem/wb, then rename/issue/read.
+    DepthConfig d;  // 8 stages
+    struct Step { unsigned DepthConfig::*phase; };
+    const Step steps[] = {
+        {&DepthConfig::fetch}, {&DepthConfig::decode},
+        {&DepthConfig::mem},   {&DepthConfig::wb},
+        {&DepthConfig::fetch}, {&DepthConfig::decode},
+        {&DepthConfig::rename}, {&DepthConfig::issue},
+        {&DepthConfig::read},  {&DepthConfig::mem},
+        {&DepthConfig::wb},    {&DepthConfig::fetch},
+    };
+    unsigned have = d.totalStages();
+    for (const Step &s : steps) {
+        if (have >= stages)
+            break;
+        ++(d.*(s.phase));
+        ++have;
+    }
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv, {"bench", "insts", "warmup"});
+    const std::string bench = opts.getString("bench", "gcc");
+    const auto insts = static_cast<std::uint64_t>(
+        opts.getInt("insts", 150'000));
+    const auto warmup = static_cast<std::uint64_t>(
+        opts.getInt("warmup", 60'000));
+    const Profile profile = profileByName(bench);
+
+    std::cout << "== DCG vs pipeline depth on " << bench << " ==\n\n";
+
+    TextTable t({"stages", "gateable latch groups", "base IPC",
+                 "DCG saving (%)"});
+    for (unsigned stages : {8u, 11u, 14u, 17u, 20u}) {
+        SimConfig base = table1Config(GatingScheme::None);
+        base.core.depth = depthForStages(stages);
+        SimConfig dcg = base;
+        dcg.scheme = GatingScheme::Dcg;
+
+        unsigned gateable = 0;
+        for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+            const auto phase = static_cast<LatchPhase>(p);
+            if (latchPhaseGateable(phase))
+                gateable += base.core.depth.groupsFor(phase);
+        }
+
+        const RunResult b = runBenchmark(profile, base, insts, warmup);
+        const RunResult d = runBenchmark(profile, dcg, insts, warmup);
+        t.addRow({std::to_string(stages), std::to_string(gateable),
+                  TextTable::num(b.ipc, 2),
+                  TextTable::pct(1.0 - d.avgPowerW / b.avgPowerW)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAs Section 5.6 argues: every stage added outside "
+                 "fetch/decode/issue\nadds a gateable latch group, so "
+                 "deeper pipelines save *more* under DCG\n(paper: 19.9% "
+                 "at 8 stages -> 24.5% at 20 stages on average).\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include "branch/bimodal.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : counters(entries, 1),  // weakly not-taken
+      mask(entries - 1)
+{
+    DCG_ASSERT(entries && !(entries & (entries - 1)),
+               "bimodal table must be a power of two");
+}
+
+unsigned
+BimodalPredictor::index(Addr pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & mask;
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return counters[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = counters[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace dcg

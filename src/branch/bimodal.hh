@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Bimodal (per-PC 2-bit counter) direction predictor. Not used by the
+ * Table-1 configuration (which is 2-level), but available as the
+ * simple baseline and as one component of the hybrid predictor for
+ * the predictor-sensitivity study (bench/ablation_bpred).
+ */
+
+#ifndef DCG_BRANCH_BIMODAL_HH
+#define DCG_BRANCH_BIMODAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcg {
+
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 8192);
+
+    bool predict(Addr pc) const;
+    void update(Addr pc, bool taken);
+
+  private:
+    unsigned index(Addr pc) const;
+
+    std::vector<std::uint8_t> counters;
+    unsigned mask;
+};
+
+} // namespace dcg
+
+#endif // DCG_BRANCH_BIMODAL_HH

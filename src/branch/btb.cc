@@ -1,0 +1,61 @@
+#include "branch/btb.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+Btb::Btb(unsigned entries, unsigned assoc)
+    : table(entries), numSets(entries / assoc), ways(assoc)
+{
+    DCG_ASSERT(assoc >= 1 && entries % assoc == 0,
+               "BTB entries must divide evenly into ways");
+    DCG_ASSERT(numSets && !(numSets & (numSets - 1)),
+               "BTB set count must be a power of two");
+}
+
+unsigned
+Btb::setIndex(Addr pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & (numSets - 1);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    const unsigned base = setIndex(pc) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        const Entry &e = table[base + w];
+        if (e.valid && e.tag == pc) {
+            e.lastUse = ++useClock;  // LRU touch (mutable bookkeeping)
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const unsigned base = setIndex(pc) * ways;
+    Entry *victim = &table[base];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = table[base + w];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = ++useClock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock;
+}
+
+} // namespace dcg

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Set-associative branch target buffer (Table 1: 8192-entry, 4-way).
+ */
+
+#ifndef DCG_BRANCH_BTB_HH
+#define DCG_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcg {
+
+class Btb
+{
+  public:
+    Btb(unsigned entries = 8192, unsigned assoc = 4);
+
+    /** Target of the branch at @p pc, if present. */
+    std::optional<Addr> lookup(Addr pc) const;
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        /** mutable: LRU touch happens on const lookup paths. */
+        mutable std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr pc) const;
+
+    std::vector<Entry> table;
+    unsigned numSets;
+    unsigned ways;
+    mutable std::uint64_t useClock = 0;
+};
+
+} // namespace dcg
+
+#endif // DCG_BRANCH_BTB_HH

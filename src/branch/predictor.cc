@@ -1,0 +1,107 @@
+#include "branch/predictor.hh"
+
+namespace dcg {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config,
+                                 StatRegistry &stats)
+    : kind(config.kind),
+      twoLevel(config.l1Entries, config.l2Entries, config.historyBits),
+      bimodal(config.bimodalEntries),
+      chooser(config.chooserEntries, 2),  // weakly prefer two-level
+      chooserMask(config.chooserEntries - 1),
+      btb(config.btbEntries, config.btbAssoc),
+      ras(config.rasEntries),
+      lookups(stats.counter("bpred.lookups", "branch predictions made")),
+      correct(stats.counter("bpred.correct", "fully correct predictions")),
+      dirMispredicts(stats.counter("bpred.dir_mispredicts",
+                                   "direction mispredictions")),
+      btbMisses(stats.counter("bpred.btb_misses",
+                              "taken predictions without a BTB target"))
+{
+}
+
+unsigned
+BranchPredictor::chooserIndex(Addr pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & chooserMask;
+}
+
+bool
+BranchPredictor::directionPredict(Addr pc) const
+{
+    switch (kind) {
+      case DirectionKind::TwoLevel:
+        return twoLevel.predict(pc);
+      case DirectionKind::Bimodal:
+        return bimodal.predict(pc);
+      case DirectionKind::Hybrid:
+        return chooser[chooserIndex(pc)] >= 2 ? twoLevel.predict(pc)
+                                              : bimodal.predict(pc);
+    }
+    return false;
+}
+
+void
+BranchPredictor::directionUpdate(Addr pc, bool taken)
+{
+    if (kind == DirectionKind::Hybrid) {
+        // Train the chooser toward whichever component was right.
+        const bool tl_right = twoLevel.predict(pc) == taken;
+        const bool bi_right = bimodal.predict(pc) == taken;
+        std::uint8_t &sel = chooser[chooserIndex(pc)];
+        if (tl_right && !bi_right && sel < 3)
+            ++sel;
+        else if (bi_right && !tl_right && sel > 0)
+            --sel;
+    }
+    twoLevel.update(pc, taken);
+    bimodal.update(pc, taken);
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc)
+{
+    ++lookups;
+    BranchPrediction pred;
+    pred.taken = directionPredict(pc);
+    if (auto target = btb.lookup(pc)) {
+        pred.btbHit = true;
+        pred.target = *target;
+    }
+    return pred;
+}
+
+bool
+BranchPredictor::resolve(Addr pc, const BranchPrediction &pred, bool taken,
+                         Addr target)
+{
+    directionUpdate(pc, taken);
+    if (taken)
+        btb.update(pc, target);
+
+    bool ok = pred.taken == taken;
+    if (!ok)
+        ++dirMispredicts;
+    if (ok && taken) {
+        // A correct "taken" only redirects fetch correctly if the BTB
+        // supplied the right target.
+        if (!pred.btbHit) {
+            ++btbMisses;
+            ok = false;
+        } else if (pred.target != target) {
+            ok = false;
+        }
+    }
+    if (ok)
+        ++correct;
+    return ok;
+}
+
+double
+BranchPredictor::accuracy() const
+{
+    const double n = static_cast<double>(lookups.value());
+    return n > 0 ? static_cast<double>(correct.value()) / n : 0.0;
+}
+
+} // namespace dcg

@@ -1,0 +1,40 @@
+#include "branch/ras.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+Ras::Ras(unsigned entries)
+    : stack(entries, 0)
+{
+    DCG_ASSERT(entries >= 1, "RAS needs at least one entry");
+}
+
+void
+Ras::push(Addr return_addr)
+{
+    topIdx = (topIdx + 1) % stack.size();
+    stack[topIdx] = return_addr;
+    if (occupancy < stack.size())
+        ++occupancy;
+    // else: circular overwrite of the oldest entry, as in hardware.
+}
+
+Addr
+Ras::pop()
+{
+    if (occupancy == 0)
+        return 0;
+    const Addr value = stack[topIdx];
+    topIdx = (topIdx + stack.size() - 1) % stack.size();
+    --occupancy;
+    return value;
+}
+
+Addr
+Ras::top() const
+{
+    return occupancy ? stack[topIdx] : 0;
+}
+
+} // namespace dcg

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Return-address stack (Table 1: 32 entries). The synthetic workloads
+ * do not distinguish call/return branches, but the structure is part of
+ * the front end (and its power is charged with the predictor arrays),
+ * so it is implemented and tested for completeness.
+ */
+
+#ifndef DCG_BRANCH_RAS_HH
+#define DCG_BRANCH_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcg {
+
+class Ras
+{
+  public:
+    explicit Ras(unsigned entries = 32);
+
+    void push(Addr return_addr);
+
+    /** Pop the predicted return address; 0 when empty. */
+    Addr pop();
+
+    Addr top() const;
+    bool empty() const { return occupancy == 0; }
+    unsigned size() const { return occupancy; }
+    unsigned capacity() const
+    { return static_cast<unsigned>(stack.size()); }
+
+  private:
+    std::vector<Addr> stack;
+    unsigned topIdx = 0;
+    unsigned occupancy = 0;
+};
+
+} // namespace dcg
+
+#endif // DCG_BRANCH_RAS_HH

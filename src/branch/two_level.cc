@@ -1,0 +1,67 @@
+#include "branch/two_level.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+namespace {
+
+bool
+isPow2(unsigned x)
+{
+    return x && !(x & (x - 1));
+}
+
+} // namespace
+
+TwoLevelPredictor::TwoLevelPredictor(unsigned l1_entries,
+                                     unsigned l2_entries,
+                                     unsigned history_bits)
+    : historyTable(l1_entries, 0),
+      patternTable(l2_entries, 1),  // weakly not-taken
+      histBits(history_bits),
+      histMask((1u << history_bits) - 1),
+      l1Mask(l1_entries - 1),
+      l2Mask(l2_entries - 1)
+{
+    DCG_ASSERT(isPow2(l1_entries) && isPow2(l2_entries),
+               "predictor tables must be powers of two");
+    DCG_ASSERT(history_bits >= 1 && history_bits <= 30,
+               "bad history length");
+}
+
+unsigned
+TwoLevelPredictor::l1Index(Addr pc) const
+{
+    return static_cast<unsigned>(pc >> 2) & l1Mask;
+}
+
+unsigned
+TwoLevelPredictor::l2Index(Addr pc) const
+{
+    const std::uint32_t hist = historyTable[l1Index(pc)] & histMask;
+    return (hist ^ static_cast<unsigned>(pc >> 2)) & l2Mask;
+}
+
+bool
+TwoLevelPredictor::predict(Addr pc) const
+{
+    return patternTable[l2Index(pc)] >= 2;
+}
+
+void
+TwoLevelPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = patternTable[l2Index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    std::uint32_t &hist = historyTable[l1Index(pc)];
+    hist = ((hist << 1) | (taken ? 1 : 0)) & histMask;
+}
+
+} // namespace dcg

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Two-level adaptive branch direction predictor (per Table 1 of the
+ * paper: 8192-entry first level, 8192-entry second level).
+ *
+ * First level: per-branch history registers. Second level: 2-bit
+ * saturating counters indexed by history xor PC (gshare-style hashing
+ * keeps the table small without losing the pattern-learning behaviour
+ * the workloads rely on).
+ */
+
+#ifndef DCG_BRANCH_TWO_LEVEL_HH
+#define DCG_BRANCH_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcg {
+
+class TwoLevelPredictor
+{
+  public:
+    /**
+     * @param l1_entries history-register table size (power of two)
+     * @param l2_entries pattern-history table size (power of two)
+     * @param history_bits history length per branch
+     */
+    TwoLevelPredictor(unsigned l1_entries = 8192,
+                      unsigned l2_entries = 8192,
+                      unsigned history_bits = 12);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, bool taken);
+
+    unsigned historyBits() const { return histBits; }
+
+  private:
+    unsigned l1Index(Addr pc) const;
+    unsigned l2Index(Addr pc) const;
+
+    std::vector<std::uint32_t> historyTable;
+    std::vector<std::uint8_t> patternTable;  ///< 2-bit counters
+    unsigned histBits;
+    std::uint32_t histMask;
+    unsigned l1Mask;
+    unsigned l2Mask;
+};
+
+} // namespace dcg
+
+#endif // DCG_BRANCH_TWO_LEVEL_HH

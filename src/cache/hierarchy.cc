@@ -1,0 +1,14 @@
+#include "cache/hierarchy.hh"
+
+namespace dcg {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
+                                 StatRegistry &stats)
+{
+    mem = std::make_unique<MainMemory>(config.memLatency, stats);
+    l2 = std::make_unique<Cache>("l2", config.l2, mem.get(), stats);
+    l1i = std::make_unique<Cache>("icache", config.l1i, l2.get(), stats);
+    l1d = std::make_unique<Cache>("dcache", config.l1d, l2.get(), stats);
+}
+
+} // namespace dcg

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-latency delay line used to model pipeline-stage transport, e.g.
+ * the latched GRANT signals DCG pipes from issue to execute/memory/
+ * writeback.
+ *
+ * push() inserts this cycle's value; tick() shifts the line by one cycle
+ * and returns the value that was pushed `depth` calls ago.
+ */
+
+#ifndef DCG_COMMON_DELAY_QUEUE_HH
+#define DCG_COMMON_DELAY_QUEUE_HH
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+template <typename T>
+class DelayQueue
+{
+  public:
+    /**
+     * @param depth delay in cycles (>= 1)
+     * @param idle  value emitted before the line fills
+     */
+    explicit DelayQueue(unsigned depth, T idle = T{})
+        : line(depth, idle), head(0)
+    {
+        DCG_ASSERT(depth >= 1, "delay queue needs depth >= 1");
+    }
+
+    /**
+     * Advance one cycle: retire the oldest value and store @p in for
+     * delivery @c depth cycles later.
+     */
+    T
+    tick(const T &in)
+    {
+        T out = line[head];
+        line[head] = in;
+        head = (head + 1) % line.size();
+        return out;
+    }
+
+    /** Value that the next tick() will return. */
+    const T &front() const { return line[head]; }
+
+    unsigned depth() const { return static_cast<unsigned>(line.size()); }
+
+    /** Refill the whole line with @p idle. */
+    void
+    flush(const T &idle)
+    {
+        for (auto &v : line)
+            v = idle;
+    }
+
+  private:
+    std::vector<T> line;
+    std::size_t head;
+};
+
+} // namespace dcg
+
+#endif // DCG_COMMON_DELAY_QUEUE_HH

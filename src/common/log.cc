@@ -1,0 +1,48 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace dcg {
+namespace detail {
+
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logPrint(LogLevel level, const std::string &msg)
+{
+    std::cerr << levelTag(level) << ": " << msg << std::endl;
+}
+
+void
+logTerminate(LogLevel level, const std::string &msg, const char *file,
+             int line)
+{
+    if (file) {
+        std::cerr << levelTag(level) << ": " << msg << " (" << file << ":"
+                  << line << ")" << std::endl;
+    } else {
+        logPrint(level, msg);
+    }
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace dcg

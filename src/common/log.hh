@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic(), fatal(), warn(),
+ * inform().
+ *
+ * panic() is for internal simulator bugs (invariant violations) and
+ * aborts; fatal() is for user configuration errors and exits cleanly;
+ * warn()/inform() only print.
+ */
+
+#ifndef DCG_COMMON_LOG_HH
+#define DCG_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace dcg {
+
+/** Severity used by the raw reporting hook. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Print a formatted message; terminates for Fatal/Panic. */
+[[noreturn]] void logTerminate(LogLevel level, const std::string &msg,
+                               const char *file, int line);
+
+void logPrint(LogLevel level, const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logTerminate(LogLevel::Panic,
+                         detail::fold(std::forward<Args>(args)...),
+                         nullptr, 0);
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logTerminate(LogLevel::Fatal,
+                         detail::fold(std::forward<Args>(args)...),
+                         nullptr, 0);
+}
+
+/** Report suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logPrint(LogLevel::Warn,
+                     detail::fold(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logPrint(LogLevel::Inform,
+                     detail::fold(std::forward<Args>(args)...));
+}
+
+/**
+ * Simulator-level assertion that stays active in release builds.
+ * Use for microarchitectural invariants whose violation means the
+ * simulator (not the user) is wrong.
+ */
+#define DCG_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::dcg::panic("assertion '", #cond, "' failed at ",          \
+                         __FILE__, ":", __LINE__, ": ", __VA_ARGS__);   \
+        }                                                               \
+    } while (0)
+
+} // namespace dcg
+
+#endif // DCG_COMMON_LOG_HH

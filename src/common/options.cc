@@ -1,0 +1,77 @@
+#include "common/options.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+Options::Options(int argc, char **argv, const std::set<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument '", arg, "' (expected --key=value)");
+        arg = arg.substr(2);
+        std::string key = arg;
+        std::string value = "1";
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            key = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+        if (known.find(key) == known.end())
+            fatal("unknown option '--", key, "'");
+        values[key] = value;
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values.find(key) != values.end();
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+std::int64_t
+Options::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Options::getDouble(const std::string &key, double def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Options::getBool(const std::string &key, bool def) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return def;
+    return it->second != "0" && it->second != "false";
+}
+
+std::int64_t
+Options::envInt(const char *name, std::int64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::strtoll(v, nullptr, 0);
+}
+
+} // namespace dcg

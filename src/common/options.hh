@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tiny command-line / environment option helper shared by the examples
+ * and the benchmark harness.
+ *
+ * Accepts "--key=value" and bare "--flag" arguments; unknown keys are
+ * fatal so typos don't silently run the wrong experiment.
+ */
+
+#ifndef DCG_COMMON_OPTIONS_HH
+#define DCG_COMMON_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace dcg {
+
+class Options
+{
+  public:
+    /**
+     * @param argc/argv standard main() arguments
+     * @param known the set of accepted keys (without "--")
+     */
+    Options(int argc, char **argv, const std::set<std::string> &known);
+
+    bool has(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Read an integer environment variable with default. */
+    static std::int64_t envInt(const char *name, std::int64_t def);
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace dcg
+
+#endif // DCG_COMMON_OPTIONS_HH

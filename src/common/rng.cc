@@ -1,0 +1,133 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // SplitMix64 expansion guarantees a non-zero state for any seed.
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    DCG_ASSERT(bound > 0, "nextBounded(0)");
+    // Lemire's multiply-shift mapping; the tiny modulo bias is
+    // irrelevant for workload synthesis.
+    const std::uint64_t x = next();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+unsigned
+Rng::geometric(double p, unsigned cap)
+{
+    if (p >= 1.0)
+        return 0;
+    DCG_ASSERT(p > 0.0, "geometric with p <= 0");
+    const double u = nextDouble();
+    const double k = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (k >= static_cast<double>(cap))
+        return cap;
+    return static_cast<unsigned>(k);
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    DCG_ASSERT(lo <= hi, "uniformInt with lo > hi");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+{
+    DCG_ASSERT(!weights.empty(), "empty discrete distribution");
+    cumulative.reserve(weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+        DCG_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+        cumulative.push_back(total);
+    }
+    DCG_ASSERT(total > 0.0, "all-zero weights");
+    for (double &c : cumulative)
+        c /= total;
+    cumulative.back() = 1.0;
+}
+
+unsigned
+DiscreteSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    for (unsigned i = 0; i < cumulative.size(); ++i) {
+        if (u < cumulative[i])
+            return i;
+    }
+    return static_cast<unsigned>(cumulative.size() - 1);
+}
+
+double
+DiscreteSampler::probability(unsigned i) const
+{
+    DCG_ASSERT(i < cumulative.size(), "probability index out of range");
+    return i == 0 ? cumulative[0] : cumulative[i] - cumulative[i - 1];
+}
+
+} // namespace dcg

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We deliberately avoid <random> engines in the hot path: xoshiro256**
+ * is fast, has well-studied statistical quality, and — critically for a
+ * simulator — its output is bit-identical across standard libraries, so
+ * experiments reproduce everywhere.
+ */
+
+#ifndef DCG_COMMON_RNG_HH
+#define DCG_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dcg {
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound) using rejection-free mapping. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric number of failures before first success,
+     * P(k) = (1-p)^k p. Returns values in [0, cap].
+     */
+    unsigned geometric(double p, unsigned cap = 1u << 20);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  private:
+    std::uint64_t s[4];
+};
+
+/**
+ * Sampler for a fixed discrete distribution (e.g. an instruction mix).
+ * Built once from weights; sampling is O(n) over a small table, which
+ * beats alias tables for the ~10-entry mixes used here.
+ */
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+
+    /** @param weights non-negative weights; need not sum to one. */
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw an index in [0, size). */
+    unsigned sample(Rng &rng) const;
+
+    /** Normalised probability of index @p i. */
+    double probability(unsigned i) const;
+
+    unsigned size() const { return cumulative.empty()
+        ? 0 : static_cast<unsigned>(cumulative.size()); }
+
+  private:
+    std::vector<double> cumulative;
+};
+
+} // namespace dcg
+
+#endif // DCG_COMMON_RNG_HH

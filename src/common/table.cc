@@ -1,0 +1,69 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    DCG_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    DCG_ASSERT(cells.size() == header.size(),
+               "row width ", cells.size(), " != header width ",
+               header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    return num(fraction * 100.0, decimals);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace dcg

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit the
+ * paper's figures/tables as aligned rows.
+ */
+
+#ifndef DCG_COMMON_TABLE_HH
+#define DCG_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcg {
+
+class TextTable
+{
+  public:
+    /** @param headers column titles (fixes the column count). */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 1);
+
+    /** Format as a percentage with one decimal, e.g. "19.9". */
+    static std::string pct(double fraction, int decimals = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dcg
+
+#endif // DCG_COMMON_TABLE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-horizon timing wheel for completion events.
+ *
+ * The out-of-order core schedules "result ready" events whose delays are
+ * bounded by execution + memory latencies (a few hundred cycles). A
+ * circular bucket array gives O(1) schedule/pop for those; the rare
+ * longer delays (queued cache misses) spill into an ordered overflow
+ * map.
+ */
+
+#ifndef DCG_COMMON_TIMING_WHEEL_HH
+#define DCG_COMMON_TIMING_WHEEL_HH
+
+#include <map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dcg {
+
+template <typename T>
+class TimingWheel
+{
+  public:
+    /** @param horizon number of slots; must exceed common max delay. */
+    explicit TimingWheel(unsigned horizon = 512)
+        : slots(horizon), now(0)
+    {
+        DCG_ASSERT(horizon >= 2, "timing wheel too small");
+    }
+
+    /** Schedule @p item to pop @p delay cycles from the current cycle. */
+    void
+    schedule(Cycle delay, const T &item)
+    {
+        DCG_ASSERT(delay > 0, "cannot schedule in the current cycle");
+        if (delay < slots.size()) {
+            slots[(now + delay) % slots.size()].push_back(item);
+        } else {
+            overflow.emplace(now + delay, item);
+        }
+        ++pending;
+    }
+
+    /**
+     * Advance to the next cycle and collect everything due. The result
+     * reference is valid until the next advance() call.
+     */
+    const std::vector<T> &
+    advance()
+    {
+        ++now;
+        auto &due = slots[now % slots.size()];
+        scratch.swap(due);
+        due.clear();
+        // Pull overflow events that have come within range.
+        while (!overflow.empty() && overflow.begin()->first == now) {
+            scratch.push_back(overflow.begin()->second);
+            overflow.erase(overflow.begin());
+        }
+        pending -= scratch.size();
+        return scratch;
+    }
+
+    Cycle currentCycle() const { return now; }
+    std::size_t pendingEvents() const { return pending; }
+
+  private:
+    std::vector<std::vector<T>> slots;
+    std::multimap<Cycle, T> overflow;
+    std::vector<T> scratch;
+    Cycle now;
+    std::size_t pending = 0;
+};
+
+} // namespace dcg
+
+#endif // DCG_COMMON_TIMING_WHEEL_HH

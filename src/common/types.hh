@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef DCG_COMMON_TYPES_HH
+#define DCG_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dcg {
+
+/** Simulation time expressed in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated (synthetic) address space. */
+using Addr = std::uint64_t;
+
+/** Monotonically increasing dynamic instruction sequence number. */
+using InstSeq = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled yet". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid indices into pipeline structures. */
+inline constexpr int kInvalidIndex = -1;
+
+} // namespace dcg
+
+#endif // DCG_COMMON_TYPES_HH

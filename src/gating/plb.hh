@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pipeline Balancing (PLB) — the paper's comparison baseline, after
+ * Bahar & Manne [1], re-implemented for the non-clustered 8-wide core
+ * exactly as the paper's Section 4.3 describes:
+ *
+ *  - 256-cycle sampling windows;
+ *  - primary trigger: issue IPC of the previous window; secondary:
+ *    FP issue IPC and mode history (damps spurious transitions);
+ *  - three issue modes: 8-wide (normal), 6-wide and 4-wide (low power);
+ *  - 6-wide disables 1 intALU, 1 fpALU, 1 fpMulDiv;
+ *    4-wide disables 3 intALU, 1 intMulDiv, 2 fpALU, 2 fpMulDiv and
+ *    (PLB-ext only) one D-cache port;
+ *  - PLB-orig clock-gates the disabled execution units and a
+ *    proportional slice of the issue queue; PLB-ext additionally gates
+ *    latch slices, the D-cache decoder port and result buses.
+ *
+ * Exact trigger thresholds are not published; the values below are our
+ * calibration (see DESIGN.md Sec 2) chosen to land PLB in the paper's
+ * reported band (~3 % performance loss, ~6 % / ~10 % power savings).
+ */
+
+#ifndef DCG_GATING_PLB_HH
+#define DCG_GATING_PLB_HH
+
+#include "common/stats.hh"
+#include "gating/policy.hh"
+
+namespace dcg {
+
+struct PlbConfig
+{
+    unsigned windowCycles = 256;
+
+    /** Window issue-IPC below this requests 4-wide mode. */
+    double ipcThresholdLow = 1.5;
+    /** Window issue-IPC below this requests 6-wide mode. */
+    double ipcThresholdMid = 2.8;
+    /** FP issue-IPC above this keeps the machine at >= 6-wide. */
+    double fpIpcGuard = 0.8;
+
+    /**
+     * Mode history: consecutive windows that must agree before
+     * switching *down* (switching up is immediate, as in [1]).
+     */
+    unsigned downConfirmWindows = 2;
+
+    /** PLB-ext gates latches/D-cache/result buses too (Sec 4.3). */
+    bool extended = false;
+};
+
+class PlbController : public GatingPolicy
+{
+  public:
+    PlbController(const CoreConfig &core_cfg, const PlbConfig &cfg,
+                  StatRegistry &stats);
+
+    void beginCycle(Core &core) override;
+    GateState gates(const CycleActivity &act) override;
+
+    const char *name() const override
+    { return cfg.extended ? "plb-ext" : "plb-orig"; }
+
+    /** Current issue mode (8, 6 or 4). */
+    unsigned mode() const { return curMode; }
+
+  private:
+    void applyMode(Core &core, unsigned mode);
+    unsigned desiredMode(double ipc, double fp_ipc) const;
+
+    CoreConfig coreCfg;
+    PlbConfig cfg;
+
+    unsigned curMode = 8;
+    unsigned pendingDownMode = 8;
+    unsigned pendingDownCount = 0;
+
+    /** Current-window accumulators. */
+    std::uint64_t windowIssued = 0;
+    std::uint64_t windowFpIssued = 0;
+    unsigned windowCycles = 0;
+
+    Counter &windows8;
+    Counter &windows6;
+    Counter &windows4;
+    Counter &transitions;
+};
+
+} // namespace dcg
+
+#endif // DCG_GATING_PLB_HH

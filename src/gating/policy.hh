@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Clock-gating policy interface.
+ *
+ * A policy may (a) constrain the core before a cycle executes (PLB's
+ * low-power issue modes) and (b) decide, for the cycle just executed,
+ * which clock loads were gated (consumed by the power model).
+ */
+
+#ifndef DCG_GATING_POLICY_HH
+#define DCG_GATING_POLICY_HH
+
+#include "pipeline/activity.hh"
+#include "pipeline/core.hh"
+#include "power/gate_state.hh"
+
+namespace dcg {
+
+class GatingPolicy
+{
+  public:
+    virtual ~GatingPolicy() = default;
+
+    /** Called before core.tick(); may adjust core constraints. */
+    virtual void beginCycle(Core &core) { (void)core; }
+
+    /**
+     * Gate decisions for the cycle whose activity is @p act (the cycle
+     * the core just simulated).
+     */
+    virtual GateState gates(const CycleActivity &act) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** The baseline machine: nothing is ever clock-gated (paper Sec 5.1). */
+class NoGating : public GatingPolicy
+{
+  public:
+    GateState
+    gates(const CycleActivity &act) override
+    {
+        (void)act;
+        return GateState{};
+    }
+
+    const char *name() const override { return "base"; }
+};
+
+} // namespace dcg
+
+#endif // DCG_GATING_POLICY_HH

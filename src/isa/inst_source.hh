@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Abstract dynamic-instruction source consumed by the core's fetch
+ * stage. TraceGenerator is the production implementation; tests supply
+ * scripted sequences.
+ */
+
+#ifndef DCG_ISA_INST_SOURCE_HH
+#define DCG_ISA_INST_SOURCE_HH
+
+#include "isa/micro_op.hh"
+
+namespace dcg {
+
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Produce the next dynamic instruction (endless stream). */
+    virtual MicroOp next() = 0;
+};
+
+} // namespace dcg
+
+#endif // DCG_ISA_INST_SOURCE_HH

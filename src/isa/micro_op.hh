@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The dynamic micro-operation record produced by the trace generators
+ * and consumed by the out-of-order core.
+ */
+
+#ifndef DCG_ISA_MICRO_OP_HH
+#define DCG_ISA_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace dcg {
+
+/** Maximum register source operands per micro-op. */
+inline constexpr unsigned kMaxSrcs = 2;
+
+/**
+ * One dynamic instruction.
+ *
+ * Register dependences are encoded as *distances*: srcDist[i] == d means
+ * the i-th source is produced by the d-th previous instruction that
+ * writes a result (d >= 1). Distance 0 means the operand is already
+ * architecturally ready (no in-flight producer).
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    std::uint8_t numSrcs = 0;
+    std::uint32_t srcDist[kMaxSrcs] = {0, 0};
+
+    /** Instruction address (synthetic); used by the branch predictor. */
+    Addr pc = 0;
+
+    /** Branch fields (valid when cls == Branch). */
+    bool taken = false;
+    Addr target = 0;
+
+    /** Effective address (valid for Load/Store). */
+    Addr effAddr = 0;
+
+    bool isBranch() const { return cls == OpClass::Branch; }
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isMem() const { return isMemOp(cls); }
+};
+
+} // namespace dcg
+
+#endif // DCG_ISA_MICRO_OP_HH

@@ -1,0 +1,100 @@
+#include "isa/op_class.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+OpTiming
+opTiming(OpClass cls)
+{
+    // SimpleScalar-style default timings (latency, initiation interval).
+    switch (cls) {
+      case OpClass::IntAlu:  return {1, 1};
+      case OpClass::IntMult: return {3, 1};
+      case OpClass::IntDiv:  return {20, 19};   // unpipelined
+      case OpClass::FpAlu:   return {2, 1};
+      case OpClass::FpMult:  return {4, 1};
+      case OpClass::FpDiv:   return {12, 12};   // unpipelined
+      case OpClass::Load:    return {1, 1};     // AGEN; cache adds latency
+      case OpClass::Store:   return {1, 1};     // AGEN only at execute
+      case OpClass::Branch:  return {1, 1};
+      default: break;
+    }
+    panic("opTiming: bad op class");
+}
+
+FuType
+opFuType(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::Branch:
+        // Address generation and branch resolution use the integer ALUs,
+        // as in sim-outorder.
+        return FuType::IntAluUnit;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuType::IntMulDivUnit;
+      case OpClass::FpAlu:
+        return FuType::FpAluUnit;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuType::FpMulDivUnit;
+      default: break;
+    }
+    panic("opFuType: bad op class");
+}
+
+bool
+isMemOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+bool
+writesResult(OpClass cls)
+{
+    return cls != OpClass::Store && cls != OpClass::Branch;
+}
+
+bool
+isFpOp(OpClass cls)
+{
+    return cls == OpClass::FpAlu || cls == OpClass::FpMult ||
+           cls == OpClass::FpDiv;
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:  return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv:  return "IntDiv";
+      case OpClass::FpAlu:   return "FpAlu";
+      case OpClass::FpMult:  return "FpMult";
+      case OpClass::FpDiv:   return "FpDiv";
+      case OpClass::Load:    return "Load";
+      case OpClass::Store:   return "Store";
+      case OpClass::Branch:  return "Branch";
+      default: break;
+    }
+    return "?";
+}
+
+const char *
+fuTypeName(FuType type)
+{
+    switch (type) {
+      case FuType::IntAluUnit:    return "IntAlu";
+      case FuType::IntMulDivUnit: return "IntMulDiv";
+      case FuType::FpAluUnit:     return "FpAlu";
+      case FuType::FpMulDivUnit:  return "FpMulDiv";
+      default: break;
+    }
+    return "?";
+}
+
+} // namespace dcg

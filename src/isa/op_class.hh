@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Micro-operation classes, functional-unit types and the latency model.
+ *
+ * The synthetic workload model does not need architectural semantics —
+ * only the resource class, latency and dependency structure of each
+ * dynamic instruction, which is exactly what drives clock-gating
+ * opportunity in the paper.
+ */
+
+#ifndef DCG_ISA_OP_CLASS_HH
+#define DCG_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dcg {
+
+/** Dynamic instruction class. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< add/sub/logic/shift/compare, also branch condition
+    IntMult,    ///< integer multiply
+    IntDiv,     ///< integer divide (unpipelined)
+    FpAlu,      ///< FP add/sub/convert/compare
+    FpMult,     ///< FP multiply
+    FpDiv,      ///< FP divide/sqrt (unpipelined)
+    Load,       ///< memory read (address generation + cache access)
+    Store,      ///< memory write (address generation; data at commit)
+    Branch,     ///< conditional/unconditional control transfer
+    NumOpClasses
+};
+
+inline constexpr unsigned kNumOpClasses =
+    static_cast<unsigned>(OpClass::NumOpClasses);
+
+/** Execution-unit pool type. Matches the Table-1 configuration. */
+enum class FuType : std::uint8_t
+{
+    IntAluUnit,    ///< integer ALUs (also used by branches and AGEN)
+    IntMulDivUnit, ///< integer multiply/divide units
+    FpAluUnit,     ///< FP adders
+    FpMulDivUnit,  ///< FP multiply/divide units
+    NumFuTypes
+};
+
+inline constexpr unsigned kNumFuTypes =
+    static_cast<unsigned>(FuType::NumFuTypes);
+
+/** Per-op-class execution timing. */
+struct OpTiming
+{
+    unsigned latency;    ///< cycles from start of execute to result
+    unsigned issueRate;  ///< cycles before the same unit can start again
+};
+
+/** Timing (latency, initiation interval) for an op class. */
+OpTiming opTiming(OpClass cls);
+
+/** The functional-unit pool an op class executes on. */
+FuType opFuType(OpClass cls);
+
+/** True for loads and stores. */
+bool isMemOp(OpClass cls);
+
+/** True for classes that write a register result onto the result bus. */
+bool writesResult(OpClass cls);
+
+/** True for FP computation classes. */
+bool isFpOp(OpClass cls);
+
+const char *opClassName(OpClass cls);
+const char *fuTypeName(FuType type);
+
+} // namespace dcg
+
+#endif // DCG_ISA_OP_CLASS_HH

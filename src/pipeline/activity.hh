@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Per-cycle microarchitectural activity record and the future-activity
+ * ledger ("activity wheel").
+ *
+ * The issue stage knows — deterministically — which execution units,
+ * D-cache ports, result buses and latch slots every selected
+ * instruction will use in the cycles ahead (the key observation of the
+ * paper). The core therefore writes each scheduled use into a
+ * cycle-indexed ledger at issue time; the entry for a cycle is consumed
+ * when that cycle arrives. Advance-notice invariants (use must be
+ * scheduled at least N cycles early, N per component per Section 3 of
+ * the paper) are asserted at write time, which is what makes the DCG
+ * controller's gating provably deterministic rather than predictive.
+ */
+
+#ifndef DCG_PIPELINE_ACTIVITY_HH
+#define DCG_PIPELINE_ACTIVITY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "pipeline/config.hh"
+
+namespace dcg {
+
+/** Everything that happened (or is scheduled to happen) in one cycle. */
+struct CycleActivity
+{
+    /** Instructions crossing each latch-phase boundary this cycle. */
+    std::array<std::uint8_t, kNumLatchPhases> latchFlux{};
+
+    /** Busy-instance bitmask per FU type. */
+    std::array<std::uint16_t, kNumFuTypes> fuBusyMask{};
+
+    /** Instances *starting* an operation this cycle, per FU type. */
+    std::array<std::uint8_t, kNumFuTypes> fuStarts{};
+
+    std::uint8_t dcachePortsUsed = 0;
+    std::uint8_t resultBusUsed = 0;
+
+    std::uint8_t fetched = 0;
+    std::uint8_t renamed = 0;
+    std::uint8_t issued = 0;
+    std::uint8_t committed = 0;
+
+    std::uint8_t intIssued = 0;   ///< integer-class ops issued
+    std::uint8_t fpIssued = 0;    ///< FP-class ops issued
+    std::uint8_t memIssued = 0;   ///< loads+stores issued
+
+    std::uint8_t bpredLookups = 0;
+    std::uint8_t wrongPathFetched = 0;
+    std::uint8_t icacheAccesses = 0;
+    std::uint8_t dcacheAccesses = 0;
+    std::uint8_t regReads = 0;
+    std::uint8_t regWrites = 0;
+    std::uint8_t iqWakeups = 0;   ///< results broadcast into the window
+    /** Window entries awaiting issue at the start of the cycle. */
+    std::uint8_t iqOccupied = 0;
+    std::uint8_t lsqOps = 0;
+
+    /**
+     * Count one crossing of a latch-phase boundary, saturating at the
+     * machine width: more crossings than slots (e.g. result-bus
+     * writebacks plus store/branch pass-throughs colliding in MemOut)
+     * simply leave the whole latch clocked, which is the conservative
+     * outcome for clock gating.
+     */
+    void
+    bumpLatchFlux(LatchPhase phase, unsigned width)
+    {
+        auto &f = latchFlux[static_cast<unsigned>(phase)];
+        if (f < width)
+            ++f;
+    }
+
+    unsigned fuBusyCount(FuType type) const
+    {
+        return static_cast<unsigned>(
+            __builtin_popcount(fuBusyMask[static_cast<unsigned>(type)]));
+    }
+
+    void reset() { *this = CycleActivity{}; }
+};
+
+/**
+ * Cycle-indexed ring of CycleActivity with advance-notice checking.
+ *
+ * Writers schedule future activity; advance() hands out the completed
+ * record for the cycle being entered.
+ */
+class ActivityWheel
+{
+  public:
+    explicit ActivityWheel(unsigned horizon = 1024)
+        : ring(horizon), now(0)
+    {
+        DCG_ASSERT(horizon >= 256, "activity wheel too small");
+    }
+
+    /** Current cycle number. */
+    Cycle cycle() const { return now; }
+
+    /** Mutable record for the current cycle (front-end bookkeeping). */
+    CycleActivity &current() { return ring[now % ring.size()]; }
+
+    /**
+     * Record for a future cycle; @p min_notice asserts the component's
+     * advance-knowledge requirement.
+     */
+    CycleActivity &
+    at(Cycle target, unsigned min_notice = 0)
+    {
+        DCG_ASSERT(target >= now + min_notice,
+                   "activity scheduled with insufficient advance notice: ",
+                   "target=", target, " now=", now, " need=", min_notice);
+        DCG_ASSERT(target - now < ring.size(),
+                   "activity scheduled beyond wheel horizon");
+        return ring[target % ring.size()];
+    }
+
+    /** Mark an FU instance busy over [from, until). */
+    void
+    markFuBusy(FuType type, unsigned instance, Cycle from, Cycle until,
+               unsigned min_notice)
+    {
+        const auto t = static_cast<unsigned>(type);
+        for (Cycle c = from; c < until; ++c)
+            at(c, min_notice).fuBusyMask[t] |=
+                static_cast<std::uint16_t>(1u << instance);
+        at(from, min_notice).fuStarts[t] += 1;
+    }
+
+    /**
+     * Advance to the next cycle; returns the record accumulated for it.
+     * The returned reference stays valid until the wheel wraps.
+     */
+    CycleActivity &
+    advance()
+    {
+        // Recycle the slot we are leaving so future writers find it
+        // clean when the wheel wraps around.
+        ring[now % ring.size()].reset();
+        ++now;
+        return ring[now % ring.size()];
+    }
+
+  private:
+    std::vector<CycleActivity> ring;
+    Cycle now;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_ACTIVITY_HH

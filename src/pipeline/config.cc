@@ -1,0 +1,87 @@
+#include "pipeline/config.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+bool
+latchPhaseGateable(LatchPhase phase)
+{
+    switch (phase) {
+      case LatchPhase::FetchOut:
+      case LatchPhase::DecodeOut:
+      case LatchPhase::IssueOut:
+        return false;
+      case LatchPhase::RenameOut:
+      case LatchPhase::ReadOut:
+      case LatchPhase::ExecOut:
+      case LatchPhase::MemOut:
+      case LatchPhase::WbOut:
+        return true;
+      default:
+        break;
+    }
+    panic("latchPhaseGateable: bad phase");
+}
+
+const char *
+latchPhaseName(LatchPhase phase)
+{
+    switch (phase) {
+      case LatchPhase::FetchOut:  return "fetch_out";
+      case LatchPhase::DecodeOut: return "decode_out";
+      case LatchPhase::RenameOut: return "rename_out";
+      case LatchPhase::IssueOut:  return "issue_out";
+      case LatchPhase::ReadOut:   return "read_out";
+      case LatchPhase::ExecOut:   return "exec_out";
+      case LatchPhase::MemOut:    return "mem_out";
+      case LatchPhase::WbOut:     return "wb_out";
+      default: break;
+    }
+    return "?";
+}
+
+unsigned
+DepthConfig::groupsFor(LatchPhase phase) const
+{
+    switch (phase) {
+      case LatchPhase::FetchOut:  return fetch;
+      case LatchPhase::DecodeOut: return decode;
+      case LatchPhase::RenameOut: return rename;
+      case LatchPhase::IssueOut:  return issue;
+      case LatchPhase::ReadOut:   return read;
+      case LatchPhase::ExecOut:   return 1;
+      case LatchPhase::MemOut:    return mem;
+      case LatchPhase::WbOut:     return wb;
+      default: break;
+    }
+    panic("groupsFor: bad phase");
+}
+
+DepthConfig
+deepPipeline()
+{
+    DepthConfig d;
+    d.fetch = 4;
+    d.decode = 3;
+    d.rename = 2;
+    d.issue = 2;
+    d.read = 2;
+    d.mem = 3;
+    d.wb = 3;
+    // 4+3+2+2+2+1+3+3 = 20 stages
+    return d;
+}
+
+PipeTiming::PipeTiming(const CoreConfig &cfg)
+{
+    const DepthConfig &d = cfg.depth;
+    fetchToRename = d.fetch + d.decode;
+    renameToSelect = d.rename + d.issue;
+    selectToExec = d.read + 1;
+    execToWb = d.mem + 1;
+    wbToCommit = d.wb;
+    DCG_ASSERT(d.totalStages() >= 8, "pipeline too shallow");
+}
+
+} // namespace dcg

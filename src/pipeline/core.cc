@@ -1,0 +1,477 @@
+#include "pipeline/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+namespace {
+
+/** Producer scoreboard size; must exceed window + max dep distance. */
+constexpr std::uint64_t kProdRingSize = 8192;
+
+} // namespace
+
+Core::Core(const CoreConfig &config, InstSource &gen_,
+           MemoryHierarchy &mem_, BranchPredictor &bpred_,
+           StatRegistry &stats)
+    : cfg(config),
+      pipeTiming(config),
+      gen(gen_),
+      mem(mem_),
+      bpred(bpred_),
+      wheel(1024),
+      currentAct(&wheel.current()),
+      rob(config.windowSize),
+      lsq(config.lsqSize),
+      storeBuf(config.storeBufferSize),
+      fus(config.fuCount, config.sequentialPriority),
+      prodReady(kProdRingSize, 0),
+      frontQCap(config.fetchWidth * (pipeTiming.fetchToRename + 4)),
+      issueLimit(config.issueWidth),
+      portLimit(config.dcachePorts),
+      busLimit(config.numResultBuses),
+      numCycles(stats.counter("core.cycles", "simulated cycles")),
+      numCommitted(stats.counter("core.committed",
+                                 "committed instructions")),
+      numIssued(stats.counter("core.issued", "issued instructions")),
+      fetchStallCycles(stats.counter("core.fetch_stall_cycles",
+                                     "cycles fetch made no progress")),
+      robFullStalls(stats.counter("core.rob_full_stalls",
+                                  "rename stalls on full window")),
+      lsqFullStalls(stats.counter("core.lsq_full_stalls",
+                                  "rename stalls on full LSQ")),
+      mispredicts(stats.counter("core.mispredicts",
+                                "resolved branch mispredictions")),
+      ipcFormula(stats.formula("core.ipc", "committed IPC")),
+      windowOccupancy(stats.average("core.window_occupancy",
+                                    "average ROB/window occupancy")),
+      issueWait(stats.average("core.issue_wait",
+                              "cycles from select-eligible to issue")),
+      fetchedPerCycle(stats.average("core.fetched_per_cycle",
+                                    "instructions fetched per cycle")),
+      commitLatency(stats.average("core.commit_latency",
+                                  "cycles from rename to commit")),
+      commitWaitIssue(stats.counter("core.commit_wait_issue",
+                                    "commit blocked: head not issued")),
+      commitWaitComplete(stats.counter(
+          "core.commit_wait_complete",
+          "commit blocked: head issued but not complete")),
+      commitWaitStoreBuf(stats.counter(
+          "core.commit_wait_storebuf",
+          "commit blocked: store buffer full"))
+{
+    ipcFormula.define([this]() { return ipc(); });
+}
+
+double
+Core::ipc() const
+{
+    const double c = static_cast<double>(numCycles.value());
+    return c > 0 ? static_cast<double>(numCommitted.value()) / c : 0.0;
+}
+
+Cycle
+Core::producerReadyAt(std::int64_t slot) const
+{
+    if (slot < 0)
+        return 0;
+    return prodReady[static_cast<std::uint64_t>(slot) % kProdRingSize];
+}
+
+bool
+Core::srcsReady(const DynInst &di, Cycle now) const
+{
+    for (unsigned i = 0; i < di.op.numSrcs; ++i) {
+        if (producerReadyAt(di.srcSlot[i]) > now)
+            return false;
+    }
+    return true;
+}
+
+void
+Core::tick()
+{
+    CycleActivity &act = wheel.advance();
+    currentAct = &act;
+    ++numCycles;
+    windowOccupancy.sample(rob.size());
+    act.iqOccupied = static_cast<std::uint8_t>(
+        std::min<unsigned>(iqOccupied, 255));
+    commit(act);
+    drainStores(act);
+    issue(act);
+    rename(act);
+    fetch(act);
+}
+
+void
+Core::commit(CycleActivity &act)
+{
+    const Cycle now = wheel.cycle();
+    unsigned budget = cfg.commitWidth;
+    while (budget > 0 && !rob.empty()) {
+        DynInst &head = rob.head();
+        if (!head.issued) {
+            ++commitWaitIssue;
+            break;
+        }
+        if (head.commitReady > now) {
+            ++commitWaitComplete;
+            break;
+        }
+        if (head.op.isStore()) {
+            if (storeBuf.full()) {
+                ++commitWaitStoreBuf;
+                break;
+            }
+            storeBuf.push(head.op.effAddr);
+        }
+        if (head.inLsq)
+            lsq.release();
+        commitLatency.sample(static_cast<double>(now - head.renameCycle));
+        ++act.committed;
+        ++numCommitted;
+        --budget;
+        rob.pop();
+    }
+}
+
+void
+Core::drainStores(CycleActivity &act)
+{
+    (void)act;
+    const Cycle now = wheel.cycle();
+    // Case (1) of Sec 3.3: an upcoming store access is known one cycle
+    // ahead, so the clock-gate control of the D-cache port decoder can
+    // be set up in time. Case (2) (ablation) delays the store by one
+    // more cycle.
+    const Cycle target = now + 1 + (cfg.delayStoresOneCycle ? 1 : 0);
+    CycleActivity &ta = wheel.at(target, 1);
+    while (!storeBuf.empty() && ta.dcachePortsUsed < portLimit) {
+        const Addr addr = storeBuf.pop();
+        ++ta.dcachePortsUsed;
+        ++ta.dcacheAccesses;
+        ++ta.lsqOps;
+        mem.dcache().access(addr, true, target);
+    }
+}
+
+void
+Core::issue(CycleActivity &act)
+{
+    const Cycle now = wheel.cycle();
+    unsigned budget = std::min(cfg.issueWidth, issueLimit);
+    for (unsigned i = 0; i < rob.size() && budget > 0; ++i) {
+        DynInst &di = rob.at(i);
+        if (di.issued)
+            continue;
+        if (di.eligibleCycle > now)
+            break;  // eligibility is monotonic in window order
+        if (!srcsReady(di, now))
+            continue;
+        const FuType fu = opFuType(di.op.cls);
+        const OpTiming t = opTiming(di.op.cls);
+        const Cycle exec_start = now + pipeTiming.selectToExec;
+        const int unit = fus.allocate(fu, exec_start, t.issueRate);
+        if (unit < 0)
+            continue;  // structural hazard; try younger instructions
+        issueOne(di, act, now);
+        // FU occupancy is deterministic at selection time: the GRANT
+        // signal generated now gates the unit selectToExec cycles ahead
+        // (Figure 5/6 of the paper).
+        wheel.markFuBusy(fu, static_cast<unsigned>(unit), exec_start,
+                         exec_start + t.latency, pipeTiming.selectToExec);
+        --budget;
+    }
+}
+
+void
+Core::issueOne(DynInst &di, CycleActivity &act, Cycle now)
+{
+    const OpClass cls = di.op.cls;
+    const OpTiming t = opTiming(cls);
+    const Cycle exec_start = now + pipeTiming.selectToExec;
+
+    di.issued = true;
+    di.issueCycle = now;
+    DCG_ASSERT(iqOccupied > 0, "issue from empty issue queue");
+    --iqOccupied;
+    issueWait.sample(static_cast<double>(now - di.eligibleCycle));
+    ++act.issued;
+    ++numIssued;
+    act.bumpLatchFlux(LatchPhase::IssueOut, cfg.issueWidth);
+
+    if (isFpOp(cls))
+        ++act.fpIssued;
+    else
+        ++act.intIssued;
+    if (isMemOp(cls))
+        ++act.memIssued;
+
+    // Register-file reads happen in the read stage, next cycle.
+    wheel.at(now + 1, 1).regReads += di.op.numSrcs;
+    // One-hot issue encoding gates the read-out latch slots (Sec 3.2).
+    wheel.at(exec_start, 1).bumpLatchFlux(LatchPhase::ReadOut, cfg.issueWidth);
+
+    Cycle complete;
+    if (cls == OpClass::Load) {
+        // A load selected at X reaches the D-cache at X+3 with the
+        // default depths (Sec 3.3); the port is reserved now, which is
+        // exactly the advance knowledge DCG exploits.
+        Cycle mem_cycle = exec_start + 1;
+        while (wheel.at(mem_cycle).dcachePortsUsed >= portLimit)
+            ++mem_cycle;
+        CycleActivity &ma = wheel.at(mem_cycle,
+                                     pipeTiming.selectToExec + 1);
+        ++ma.dcachePortsUsed;
+        ++ma.dcacheAccesses;
+        ++ma.lsqOps;
+        const Cycle lat = mem.dcache().access(di.op.effAddr, false,
+                                              mem_cycle);
+        complete = mem_cycle + lat;
+        // Address-generation result crosses the exec-out latch.
+        wheel.at(exec_start + 1, 1).bumpLatchFlux(LatchPhase::ExecOut, cfg.issueWidth);
+    } else {
+        complete = exec_start + t.latency;
+        wheel.at(complete, 1).bumpLatchFlux(LatchPhase::ExecOut, cfg.issueWidth);
+    }
+    di.completeCycle = complete;
+
+
+    if (writesResult(cls)) {
+        // Result-bus slot: drive happens after the memory stage
+        // (Sec 3.4: executed in X, writeback in X+2 for unit ops).
+        Cycle wb = complete + (cls == OpClass::Load ? 1 : cfg.depth.mem);
+        while (wheel.at(wb).resultBusUsed >= busLimit)
+            ++wb;
+        CycleActivity &wa = wheel.at(wb, 2);
+        ++wa.resultBusUsed;
+        ++wa.regWrites;
+        wheel.at(wb, 1).bumpLatchFlux(LatchPhase::MemOut, cfg.issueWidth);
+        wheel.at(wb + cfg.depth.wb, 1).bumpLatchFlux(LatchPhase::WbOut, cfg.issueWidth);
+        di.wbCycle = wb;
+        di.commitReady = wb + pipeTiming.wbToCommit;
+
+        // Consumers may issue once their read stage lines up with the
+        // data (full bypass network).
+        DCG_ASSERT(di.destSlot >= 0, "result op without producer slot");
+        const Cycle ready = complete - pipeTiming.selectToExec;
+        prodReady[static_cast<std::uint64_t>(di.destSlot) %
+                  kProdRingSize] = std::max(ready, now + 1);
+        // Wakeup broadcast into the window (tag match in the CAM).
+        wheel.at(std::max(ready, now + 1), 1).iqWakeups++;
+    } else {
+        // Stores and branches pass through mem/wb without a result.
+        wheel.at(complete + cfg.depth.mem, 1).bumpLatchFlux(LatchPhase::MemOut, cfg.issueWidth);
+        wheel.at(complete + cfg.depth.mem + cfg.depth.wb, 1).bumpLatchFlux(LatchPhase::WbOut, cfg.issueWidth);
+        di.commitReady = complete + cfg.depth.mem + pipeTiming.wbToCommit;
+    }
+
+    if (di.mispredicted) {
+        // The front end restarts on the correct path once the branch
+        // resolves at the end of execute.
+        fetchResumeAt = di.completeCycle + 1;
+        waitingForBranch = false;
+        ++mispredicts;
+    }
+}
+
+void
+Core::rename(CycleActivity &act)
+{
+    const Cycle now = wheel.cycle();
+    unsigned budget = cfg.renameWidth;
+    while (budget > 0 && !frontQ.empty()) {
+        DynInst &fi = frontQ.front();
+        if (fi.fetchCycle + pipeTiming.fetchToRename > now)
+            break;
+        if (rob.full()) {
+            ++robFullStalls;
+            break;
+        }
+        if (fi.op.isMem() && lsq.full()) {
+            ++lsqFullStalls;
+            break;
+        }
+
+        DynInst &di = rob.push();
+        di = fi;
+        di.renameCycle = now;
+        di.eligibleCycle = now + pipeTiming.renameToSelect;
+
+        // Resolve dependence distances against the producer scoreboard.
+        for (unsigned s = 0; s < di.op.numSrcs; ++s) {
+            const std::uint32_t dist = di.op.srcDist[s];
+            if (dist == 0 || dist > prodCount) {
+                di.srcSlot[s] = kInvalidIndex;
+            } else {
+                di.srcSlot[s] =
+                    static_cast<std::int64_t>(prodCount - dist);
+            }
+        }
+        if (writesResult(di.op.cls)) {
+            di.destSlot = static_cast<std::int64_t>(prodCount);
+            prodReady[prodCount % kProdRingSize] = kCycleNever;
+            ++prodCount;
+        }
+        if (di.op.isMem()) {
+            lsq.allocate();
+            di.inLsq = true;
+        }
+
+        ++iqOccupied;
+        ++act.renamed;
+        act.bumpLatchFlux(LatchPhase::DecodeOut, cfg.issueWidth);
+        // The rename-out latch is gated with knowledge available one
+        // stage earlier (Sec 2.2.1).
+        wheel.at(now + cfg.depth.rename, 1).bumpLatchFlux(LatchPhase::RenameOut, cfg.issueWidth);
+
+        --budget;
+        frontQ.pop_front();
+    }
+}
+
+void
+Core::fetch(CycleActivity &act)
+{
+    const Cycle now = wheel.cycle();
+    if (waitingForBranch || fetchResumeAt > now) {
+        if (cfg.modelWrongPathFetch && wrongPathActive)
+            fetchWrongPath(act);
+        ++fetchStallCycles;
+        return;
+    }
+    wrongPathActive = false;
+    if (frontQ.size() >= frontQCap) {
+        ++fetchStallCycles;
+        return;
+    }
+
+    const unsigned line_shift = 5;  // 32-byte I-cache lines
+    // The fetch unit has a two-line fetch buffer: a block may span one
+    // line boundary but not two (classic 8-wide front end).
+    Addr cur_line = ~Addr{0};
+    unsigned lines_used = 0;
+    unsigned n = 0;
+    while (n < cfg.fetchWidth) {
+        MicroOp op = pendingOpValid ? pendingOp : gen.next();
+        pendingOpValid = false;
+
+        const Addr line = op.pc >> line_shift;
+        if (line != cur_line) {
+            if (lines_used == 2) {
+                // Third line this cycle: resume next cycle.
+                pendingOp = op;
+                pendingOpValid = true;
+                break;
+            }
+            cur_line = line;
+            ++lines_used;
+            if (line != lastFetchLine) {
+                ++act.icacheAccesses;
+                const Cycle lat = mem.icache().access(op.pc, false, now);
+                lastFetchLine = line;
+                if (lat > mem.icache().geometry().hitLatency) {
+                    // I-cache miss: this block arrives later.
+                    pendingOp = op;
+                    pendingOpValid = true;
+                    fetchResumeAt = now + lat;
+                    break;
+                }
+            }
+        }
+
+        DynInst di;
+        di.op = op;
+        di.seq = nextSeq++;
+        di.fetchCycle = now;
+
+        bool stop_block = false;
+        if (op.isBranch()) {
+            ++act.bpredLookups;
+            di.pred = bpred.predict(op.pc);
+            const bool ok = bpred.resolve(op.pc, di.pred, op.taken,
+                                          op.target);
+            di.mispredicted = !ok;
+            if (!ok) {
+                // Correct-path fetch stalls until the branch resolves;
+                // optionally the machine runs down the wrong path for
+                // power purposes (modelWrongPathFetch).
+                waitingForBranch = true;
+                stop_block = true;
+                wrongPathActive = true;
+                // The path the (wrong) prediction would have taken.
+                wrongPathPc = di.pred.taken && di.pred.btbHit
+                    ? di.pred.target : op.pc + 4;
+            } else if (op.taken) {
+                stop_block = true;  // redirect ends the fetch block
+            }
+        }
+
+        frontQ.push_back(di);
+        ++n;
+        ++act.fetched;
+        act.bumpLatchFlux(LatchPhase::FetchOut, cfg.issueWidth);
+        if (stop_block)
+            break;
+    }
+    fetchedPerCycle.sample(n);
+    if (n == 0)
+        ++fetchStallCycles;
+}
+
+void
+Core::fetchWrongPath(CycleActivity &act)
+{
+    // Fetch speculative junk down the mispredicted path: charges
+    // I-cache and fetch-path energy and pollutes the I-cache; nothing
+    // enters the front queue. A wrong-path I-cache miss does not stall
+    // anything (the data is thrown away anyway), but the pollution can
+    // perturb later correct-path fetches, as in real machines.
+    const Cycle now = wheel.cycle();
+    const unsigned line_shift = 5;
+    Addr last_line = ~Addr{0};
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        const Addr line = wrongPathPc >> line_shift;
+        if (line != last_line) {
+            ++act.icacheAccesses;
+            mem.icache().access(wrongPathPc, false, now);
+            last_line = line;
+        }
+        ++act.wrongPathFetched;
+        act.bumpLatchFlux(LatchPhase::FetchOut, cfg.issueWidth);
+        // The wrong path still runs the same program: keep it inside a
+        // 64KB window so it touches plausible code addresses rather
+        // than marching off into unmapped space.
+        const Addr base = wrongPathPc & ~Addr{0xffff};
+        wrongPathPc = base + ((wrongPathPc + 4) & Addr{0xffff});
+    }
+}
+
+void
+Core::setIssueWidthLimit(unsigned width)
+{
+    issueLimit = std::clamp(width, 1u, cfg.issueWidth);
+}
+
+void
+Core::setFuEnabledCount(FuType type, unsigned count)
+{
+    fus.setEnabledCount(type, count);
+}
+
+void
+Core::setDcachePortLimit(unsigned ports)
+{
+    portLimit = std::clamp(ports, 1u, cfg.dcachePorts);
+}
+
+void
+Core::setResultBusLimit(unsigned buses)
+{
+    busLimit = std::clamp(buses, 1u, cfg.numResultBuses);
+}
+
+} // namespace dcg

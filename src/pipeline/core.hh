@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cycle-accurate 8-wide out-of-order superscalar core (Table 1).
+ *
+ * Trace-driven: architectural semantics come from the synthetic
+ * workload; the core models event *timing* — fetch with branch
+ * prediction and I-cache stalls, rename into a 128-entry window,
+ * oldest-first wakeup/select with sequential-priority FU allocation,
+ * D-cache port arbitration, result-bus arbitration and in-order commit.
+ *
+ * All future resource usage discovered at issue is written into the
+ * ActivityWheel with per-component advance-notice assertions; this is
+ * the machine-checkable form of the paper's determinism claim and the
+ * information source for the DCG controller.
+ */
+
+#ifndef DCG_PIPELINE_CORE_HH
+#define DCG_PIPELINE_CORE_HH
+
+#include <deque>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+#include "pipeline/activity.hh"
+#include "pipeline/config.hh"
+#include "pipeline/fu_pool.hh"
+#include "pipeline/lsq.hh"
+#include "pipeline/rob.hh"
+#include "isa/inst_source.hh"
+
+namespace dcg {
+
+class Core
+{
+  public:
+    Core(const CoreConfig &config, InstSource &gen,
+         MemoryHierarchy &mem, BranchPredictor &bpred,
+         StatRegistry &stats);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Activity of the cycle just simulated. */
+    const CycleActivity &activity() const { return *currentAct; }
+
+    Cycle cycle() const { return wheel.cycle(); }
+    InstSeq committedInsts() const { return numCommitted.value(); }
+    double ipc() const;
+
+    const CoreConfig &config() const { return cfg; }
+    const PipeTiming &timing() const { return pipeTiming; }
+
+    /// @name PLB constraint hooks (Sec 4.3)
+    /// @{
+    void setIssueWidthLimit(unsigned width);
+    void setFuEnabledCount(FuType type, unsigned count);
+    void setDcachePortLimit(unsigned ports);
+    void setResultBusLimit(unsigned buses);
+
+    unsigned issueWidthLimit() const { return issueLimit; }
+    unsigned dcachePortLimit() const { return portLimit; }
+    unsigned resultBusLimit() const { return busLimit; }
+    const FuPool &fuPool() const { return fus; }
+    /// @}
+
+  private:
+    void commit(CycleActivity &act);
+    void drainStores(CycleActivity &act);
+    void issue(CycleActivity &act);
+    void rename(CycleActivity &act);
+    void fetch(CycleActivity &act);
+    void fetchWrongPath(CycleActivity &act);
+
+    bool srcsReady(const DynInst &di, Cycle now) const;
+    Cycle producerReadyAt(std::int64_t slot) const;
+    void issueOne(DynInst &di, CycleActivity &act, Cycle now);
+
+    CoreConfig cfg;
+    PipeTiming pipeTiming;
+
+    InstSource &gen;
+    MemoryHierarchy &mem;
+    BranchPredictor &bpred;
+
+    ActivityWheel wheel;
+    CycleActivity *currentAct;
+
+    Rob rob;
+    Lsq lsq;
+    StoreBuffer storeBuf;
+    FuPool fus;
+
+    /** Producer scoreboard ring: consumer-visible ready cycles. */
+    std::vector<Cycle> prodReady;
+    std::uint64_t prodCount = 0;
+
+    /** Fetched instructions awaiting rename. */
+    std::deque<DynInst> frontQ;
+    std::size_t frontQCap;
+
+    /** Fetch redirect/stall state. */
+    Cycle fetchResumeAt = 0;
+    bool waitingForBranch = false;  ///< stalled on unresolved mispredict
+    /** Wrong-path fetch state (modelWrongPathFetch). */
+    bool wrongPathActive = false;
+    Addr wrongPathPc = 0;
+    bool pendingOpValid = false;
+    MicroOp pendingOp;
+    Addr lastFetchLine = ~Addr{0};
+
+    InstSeq nextSeq = 0;
+
+    /** Window entries renamed but not yet issued. */
+    unsigned iqOccupied = 0;
+
+    /** Dynamic constraints (PLB). */
+    unsigned issueLimit;
+    unsigned portLimit;
+    unsigned busLimit;
+
+    Counter &numCycles;
+    Counter &numCommitted;
+    Counter &numIssued;
+    Counter &fetchStallCycles;
+    Counter &robFullStalls;
+    Counter &lsqFullStalls;
+    Counter &mispredicts;
+    Formula &ipcFormula;
+    Average &windowOccupancy;
+    Average &issueWait;
+    Average &fetchedPerCycle;
+    Average &commitLatency;
+    Counter &commitWaitIssue;
+    Counter &commitWaitComplete;
+    Counter &commitWaitStoreBuf;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_CORE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * In-flight dynamic instruction state (one window/ROB entry).
+ */
+
+#ifndef DCG_PIPELINE_DYN_INST_HH
+#define DCG_PIPELINE_DYN_INST_HH
+
+#include <cstdint>
+
+#include "branch/predictor.hh"
+#include "common/types.hh"
+#include "isa/micro_op.hh"
+
+namespace dcg {
+
+struct DynInst
+{
+    MicroOp op;
+    InstSeq seq = 0;
+
+    Cycle fetchCycle = 0;
+    Cycle renameCycle = 0;
+    /** Earliest cycle the select logic may consider this instruction. */
+    Cycle eligibleCycle = 0;
+    Cycle issueCycle = kCycleNever;
+    /** Cycle the result data exists (end of execute / cache return). */
+    Cycle completeCycle = kCycleNever;
+    /** Cycle the result bus is driven (writeback); kCycleNever if none. */
+    Cycle wbCycle = kCycleNever;
+    /** Cycle the instruction may retire. */
+    Cycle commitReady = kCycleNever;
+
+    /**
+     * Producer-ring slots of the register sources; kInvalidIndex when
+     * the operand is architecturally ready.
+     */
+    std::int64_t srcSlot[kMaxSrcs] = {kInvalidIndex, kInvalidIndex};
+
+    /** This instruction's own producer-ring slot (results only). */
+    std::int64_t destSlot = kInvalidIndex;
+
+    bool issued = false;
+    bool inLsq = false;
+    bool mispredicted = false;
+    BranchPrediction pred;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_DYN_INST_HH

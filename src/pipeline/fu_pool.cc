@@ -1,0 +1,60 @@
+#include "pipeline/fu_pool.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+FuPool::FuPool(const std::array<unsigned, kNumFuTypes> &counts_,
+               bool sequential_priority)
+    : counts(counts_), enabled(counts_), seqPriority(sequential_priority)
+{
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        DCG_ASSERT(counts[t] >= 1 &&
+                   counts[t] <= CoreConfig::kMaxFuPerType,
+                   "bad FU count for type ", t);
+        freeAt[t].assign(counts[t], 0);
+    }
+}
+
+int
+FuPool::allocate(FuType type, Cycle start, unsigned busy_cycles)
+{
+    const auto t = static_cast<unsigned>(type);
+    const unsigned n = enabled[t];
+
+    if (seqPriority) {
+        // Always prefer the lowest-indexed free unit so high-indexed
+        // units stay parked (and clock-gated) as long as possible.
+        for (unsigned i = 0; i < n; ++i) {
+            if (freeAt[t][i] <= start) {
+                freeAt[t][i] = start + busy_cycles;
+                return static_cast<int>(i);
+            }
+        }
+        return kInvalidIndex;
+    }
+
+    // Round-robin: start the search after the last grant.
+    for (unsigned k = 0; k < n; ++k) {
+        const unsigned i = (rrCursor[t] + k) % n;
+        if (freeAt[t][i] <= start) {
+            freeAt[t][i] = start + busy_cycles;
+            rrCursor[t] = (i + 1) % n;
+            return static_cast<int>(i);
+        }
+    }
+    return kInvalidIndex;
+}
+
+void
+FuPool::setEnabledCount(FuType type, unsigned n)
+{
+    const auto t = static_cast<unsigned>(type);
+    if (n < 1)
+        n = 1;
+    if (n > counts[t])
+        n = counts[t];
+    enabled[t] = n;
+}
+
+} // namespace dcg

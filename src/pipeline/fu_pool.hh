@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Execution-unit pool with the paper's sequential-priority allocation.
+ *
+ * Section 3.1: "Among the execution units of the same type, we
+ * statically assign priorities to the units, so that the higher-
+ * priority units are always chosen to be used before the lower priority
+ * units" — this keeps low-priority units parked in the clock-gated
+ * state and minimises gate-control toggling. Round-robin allocation is
+ * provided for the ablation benchmark.
+ */
+
+#ifndef DCG_PIPELINE_FU_POOL_HH
+#define DCG_PIPELINE_FU_POOL_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+#include "pipeline/config.hh"
+
+namespace dcg {
+
+class FuPool
+{
+  public:
+    FuPool(const std::array<unsigned, kNumFuTypes> &counts,
+           bool sequential_priority);
+
+    /**
+     * Try to claim an instance of @p type that is free over
+     * [start, start + busy_cycles).
+     * @return instance index, or kInvalidIndex if none available.
+     */
+    int allocate(FuType type, Cycle start, unsigned busy_cycles);
+
+    /** Instances physically present. */
+    unsigned count(FuType type) const
+    { return counts[static_cast<unsigned>(type)]; }
+
+    /** Instances currently usable (PLB may disable a suffix). */
+    unsigned enabledCount(FuType type) const
+    { return enabled[static_cast<unsigned>(type)]; }
+
+    /**
+     * Enable only the first @p n instances of @p type (PLB low-power
+     * modes); clamped to the physical count.
+     */
+    void setEnabledCount(FuType type, unsigned n);
+
+    bool sequentialPriority() const { return seqPriority; }
+
+  private:
+    std::array<unsigned, kNumFuTypes> counts;
+    std::array<unsigned, kNumFuTypes> enabled;
+    /** Cycle each instance becomes free to start a new op. */
+    std::array<std::vector<Cycle>, kNumFuTypes> freeAt;
+    /** Round-robin cursor per type (ablation policy). */
+    std::array<unsigned, kNumFuTypes> rrCursor{};
+    bool seqPriority;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_FU_POOL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reorder buffer / instruction window (Table 1: 128 entries). The
+ * design follows SimpleScalar's RUU: one unified structure serves as
+ * both ROB and issue window.
+ */
+
+#ifndef DCG_PIPELINE_ROB_HH
+#define DCG_PIPELINE_ROB_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "pipeline/dyn_inst.hh"
+
+namespace dcg {
+
+class Rob
+{
+  public:
+    explicit Rob(unsigned capacity)
+        : entries(capacity), headIdx(0), count(0)
+    {
+        DCG_ASSERT(capacity >= 4, "window too small");
+    }
+
+    bool full() const { return count == entries.size(); }
+    bool empty() const { return count == 0; }
+    unsigned size() const { return count; }
+    unsigned capacity() const
+    { return static_cast<unsigned>(entries.size()); }
+
+    /** Allocate the next entry at the tail (resets it). */
+    DynInst &
+    push()
+    {
+        DCG_ASSERT(!full(), "push into full window");
+        const unsigned idx = (headIdx + count) % entries.size();
+        ++count;
+        entries[idx] = DynInst{};
+        return entries[idx];
+    }
+
+    DynInst &
+    head()
+    {
+        DCG_ASSERT(!empty(), "head of empty window");
+        return entries[headIdx];
+    }
+
+    void
+    pop()
+    {
+        DCG_ASSERT(!empty(), "pop from empty window");
+        headIdx = (headIdx + 1) % entries.size();
+        --count;
+    }
+
+    /** Entry at logical position @p i (0 = oldest). */
+    DynInst &
+    at(unsigned i)
+    {
+        DCG_ASSERT(i < count, "window index out of range");
+        return entries[(headIdx + i) % entries.size()];
+    }
+
+    const DynInst &
+    at(unsigned i) const
+    {
+        DCG_ASSERT(i < count, "window index out of range");
+        return entries[(headIdx + i) % entries.size()];
+    }
+
+  private:
+    std::vector<DynInst> entries;
+    unsigned headIdx;
+    unsigned count;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_ROB_HH

@@ -1,0 +1,97 @@
+#include "power/array_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+ArrayPowerModel::ArrayPowerModel(const ArrayGeometry &geom_,
+                                 const ArrayTechnology &tech_)
+    : geom(geom_), tech(tech_)
+{
+    DCG_ASSERT(geom.rows >= 1 && geom.cols >= 1, "empty array");
+    DCG_ASSERT(geom.readPorts + geom.writePorts >= 1, "array needs ports");
+}
+
+double
+ArrayPowerModel::wireWidthUm() const
+{
+    const unsigned ports = geom.readPorts + geom.writePorts;
+    return geom.cols * (tech.cellWidthUm +
+                        (ports - 1) * tech.portPitchUm);
+}
+
+double
+ArrayPowerModel::wireHeightUm() const
+{
+    const unsigned ports = geom.readPorts + geom.writePorts;
+    return geom.rows * (tech.cellHeightUm +
+                        (ports - 1) * tech.portPitchUm);
+}
+
+double
+ArrayPowerModel::decoderCap() const
+{
+    // Three-stage decoder as in Figure 8 of the paper: 3x8 NAND
+    // pre-decoders, a NOR per row, and the wordline drivers. The NOR
+    // stage dominates: every row's NOR input charges on the predecode
+    // lines each cycle (why it is worth clock-gating).
+    const double predecode_gates = std::ceil(geom.rows / 8.0) * 8.0;
+    const double predecode = predecode_gates * tech.cGateMin *
+                             tech.driverFanout;
+    const double nor_stage = geom.rows * tech.cGateMin * 3.0;
+    const double drivers = tech.driverFanout * tech.cGateMin *
+                           std::log2(std::max(2u, geom.rows));
+    return predecode + nor_stage + drivers;
+}
+
+double
+ArrayPowerModel::wordlineCap() const
+{
+    return geom.cols * tech.cPass +
+           wireWidthUm() * tech.cWirePerUm +
+           tech.driverFanout * tech.cGateMin;
+}
+
+double
+ArrayPowerModel::bitlineCap() const
+{
+    // Precharge + swing on one bitline pair per column.
+    const double per_column = geom.rows * tech.cDrain +
+                              wireHeightUm() * tech.cWirePerUm;
+    return geom.cols * per_column;
+}
+
+double
+ArrayPowerModel::senseCap() const
+{
+    return geom.cols * tech.cSense;
+}
+
+double
+ArrayPowerModel::readAccessCap() const
+{
+    return decoderCap() + wordlineCap() + bitlineCap() + senseCap();
+}
+
+double
+ArrayPowerModel::writeAccessCap() const
+{
+    // Full-swing write drivers, no sense amps.
+    return decoderCap() + wordlineCap() + bitlineCap() * 1.2;
+}
+
+double
+ArrayPowerModel::camSearchCap(unsigned tag_bits) const
+{
+    DCG_ASSERT(tag_bits >= 1, "CAM search needs a tag");
+    // Tag broadcast down the columns + one matchline per row.
+    const double taglines = tag_bits *
+        (geom.rows * tech.cPass + wireHeightUm() * tech.cWirePerUm);
+    const double matchlines = geom.rows *
+        (tag_bits * tech.cDrain + wireWidthUm() * tech.cWirePerUm * 0.5);
+    return taglines + matchlines;
+}
+
+} // namespace dcg

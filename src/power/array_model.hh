@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CACTI-lite: analytical switched-capacitance estimates for SRAM-style
+ * array structures (caches, register files, RAM/CAM queues) at 0.18 µm.
+ *
+ * This follows the Wattch/CACTI decomposition the paper relies on
+ * (Sec 3.3 shows the three-stage decoder it gates): a port access
+ * charges the pre-decoder and row decoder, one wordline, the bitline
+ * columns and the sense amplifiers; a CAM search charges tag lines and
+ * match lines instead.
+ *
+ * The default Technology constants in technology.hh are *calibrated*
+ * so the whole-processor breakdown lands on the published Wattch
+ * distribution; this module provides the *derived* alternative
+ * (Technology::fromGeometry) and the validation path between the two —
+ * the derived values must land within small factors of the calibrated
+ * ones, which the test suite checks.
+ */
+
+#ifndef DCG_POWER_ARRAY_MODEL_HH
+#define DCG_POWER_ARRAY_MODEL_HH
+
+namespace dcg {
+
+/** Shape of one SRAM array bank. */
+struct ArrayGeometry
+{
+    unsigned rows = 128;
+    unsigned cols = 128;      ///< bit columns read/written per access
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+
+    /** Total bits. */
+    unsigned long bits() const
+    { return static_cast<unsigned long>(rows) * cols; }
+};
+
+/** 0.18 µm device/wire parameters used by the analytical model. */
+struct ArrayTechnology
+{
+    /** Gate capacitance of a minimum inverter input (pF). */
+    double cGateMin = 0.0018;
+    /** Drain capacitance on a bitline per cell (pF). */
+    double cDrain = 0.0011;
+    /** Pass-gate capacitance per cell on a wordline (pF). */
+    double cPass = 0.0016;
+    /** Wire capacitance per micron (pF/um). */
+    double cWirePerUm = 0.00028;
+    /** SRAM cell width/height (um) incl. one port. */
+    double cellWidthUm = 1.84;
+    double cellHeightUm = 1.44;
+    /** Extra cell pitch per additional port (um). */
+    double portPitchUm = 0.92;
+    /** Sense-amp effective capacitance per column (pF). */
+    double cSense = 0.0070;
+    /** Driver sizing factor folded into decoder/wordline drivers. */
+    double driverFanout = 4.0;
+};
+
+/**
+ * Per-access and per-cycle effective capacitances of one array.
+ * All values in pF; energy = C * Vdd^2.
+ */
+class ArrayPowerModel
+{
+  public:
+    ArrayPowerModel(const ArrayGeometry &geom,
+                    const ArrayTechnology &tech = ArrayTechnology{});
+
+    /** Row pre-decoder + decoder switched cap per access (one port). */
+    double decoderCap() const;
+
+    /** One wordline swing across the row. */
+    double wordlineCap() const;
+
+    /** Bitline precharge + discharge for the accessed columns. */
+    double bitlineCap() const;
+
+    /** Sense amplifiers for the accessed columns. */
+    double senseCap() const;
+
+    /** Full read access through one port. */
+    double readAccessCap() const;
+
+    /** Full write access through one port (no sense amps). */
+    double writeAccessCap() const;
+
+    /**
+     * CAM search across all rows (tag broadcast + match lines), as in
+     * the issue-queue wakeup or LSQ address check.
+     * @param tag_bits width of the comparison
+     */
+    double camSearchCap(unsigned tag_bits) const;
+
+    const ArrayGeometry &geometry() const { return geom; }
+
+  private:
+    double wireWidthUm() const;
+    double wireHeightUm() const;
+
+    ArrayGeometry geom;
+    ArrayTechnology tech;
+};
+
+} // namespace dcg
+
+#endif // DCG_POWER_ARRAY_MODEL_HH

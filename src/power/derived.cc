@@ -1,0 +1,104 @@
+#include "power/derived.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcg {
+
+ArrayGeometry
+cacheArrayGeometry(const CacheGeometry &geom, unsigned ports)
+{
+    ArrayGeometry a;
+    const auto lines =
+        static_cast<unsigned>(geom.sizeBytes / geom.lineBytes);
+    a.rows = lines / geom.assoc;
+    a.cols = geom.lineBytes * 8;  // one way is read after way select
+    a.readPorts = ports;
+    a.writePorts = 1;
+    return a;
+}
+
+Technology
+derivedTechnology(const CoreConfig &core, const HierarchyConfig &mem,
+                  const ArrayTechnology &at)
+{
+    Technology t;  // start from the calibrated constants
+
+    // --- Caches.
+    const ArrayGeometry dgeom =
+        cacheArrayGeometry(mem.l1d, core.dcachePorts);
+    ArrayPowerModel darr(dgeom, at);
+    t.dcacheArrayAccessCap = darr.bitlineCap() + darr.senseCap();
+    // The gateable "wordline decoder" of Sec 3.3/Figure 8: predecode
+    // NANDs, the per-row NOR stage and the wordline drivers, charged
+    // per port per cycle while enabled.
+    t.dcacheDecoderCap = darr.decoderCap() + darr.wordlineCap() * 8.0;
+
+    const ArrayGeometry igeom = cacheArrayGeometry(mem.l1i, 1);
+    ArrayPowerModel iarr(igeom, at);
+    t.icacheAccessCap = iarr.readAccessCap();
+
+    const ArrayGeometry l2geom = cacheArrayGeometry(mem.l2, 1);
+    ArrayPowerModel l2arr(l2geom, at);
+    t.l2AccessCap = l2arr.readAccessCap();
+
+    // --- Register file: window-sized physical file, 64-bit rows, two
+    // read ports per issue slot and one write port per result bus.
+    ArrayGeometry rf;
+    rf.rows = core.windowSize;
+    rf.cols = core.operandBits;
+    rf.readPorts = 2 * core.issueWidth;
+    rf.writePorts = core.numResultBuses;
+    ArrayPowerModel rfarr(rf, at);
+    t.regReadCap = rfarr.readAccessCap();
+    t.regWriteCap = rfarr.writeAccessCap();
+
+    // --- Issue queue: CAM over the window; tag is a physical-register
+    // id. Precharge happens every cycle (hence "clock" cap), one
+    // search per result broadcast, a RAM read per grant.
+    ArrayGeometry iq;
+    iq.rows = core.windowSize;
+    iq.cols = 8;
+    ArrayPowerModel iqarr(iq, at);
+    const unsigned tag_bits = static_cast<unsigned>(
+        std::ceil(std::log2(std::max(2u, core.windowSize * 2))));
+    t.iqWakeupCap = iqarr.camSearchCap(tag_bits);
+    t.iqClockCap = t.iqWakeupCap * core.numResultBuses;
+    t.iqSelectCap = iqarr.decoderCap() * 2.0;
+
+    // --- LSQ: address CAM.
+    ArrayGeometry lsq;
+    lsq.rows = core.lsqSize;
+    lsq.cols = 8;
+    ArrayPowerModel lsqarr(lsq, at);
+    t.lsqOpCap = lsqarr.camSearchCap(30);
+
+    // --- ROB payload array.
+    ArrayGeometry rob;
+    rob.rows = core.windowSize;
+    rob.cols = 40;
+    rob.readPorts = core.commitWidth;
+    rob.writePorts = core.renameWidth;
+    ArrayPowerModel robarr(rob, at);
+    t.robOpCap = robarr.readAccessCap() / 4.0;
+
+    // --- Rename map: small multiported RAM.
+    ArrayGeometry map;
+    map.rows = 64;
+    map.cols = 8;
+    map.readPorts = 2 * core.renameWidth;
+    map.writePorts = core.renameWidth;
+    ArrayPowerModel maparr(map, at);
+    t.renameOpCap = maparr.readAccessCap();
+
+    // --- Branch predictor arrays: PHT + BTB lookup slice.
+    ArrayGeometry pht;
+    pht.rows = 256;
+    pht.cols = 64;  // 8192 x 2-bit organised as 256x64
+    ArrayPowerModel phtarr(pht, at);
+    t.bpredAccessCap = phtarr.readAccessCap() * 2.0;  // lookup+update
+
+    return t;
+}
+
+} // namespace dcg

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Derivation of Technology array constants from structure geometry via
+ * the CACTI-lite model — the "compute it from first principles"
+ * alternative to the calibrated defaults in technology.hh.
+ *
+ * The shipped experiments use the calibrated constants (they reproduce
+ * the published Wattch breakdown); derivedTechnology() exists to show
+ * the constants are physically plausible, to let users re-derive them
+ * for different geometries, and to drive the validation benchmark
+ * (bench/validation_power_model).
+ */
+
+#ifndef DCG_POWER_DERIVED_HH
+#define DCG_POWER_DERIVED_HH
+
+#include "cache/hierarchy.hh"
+#include "pipeline/config.hh"
+#include "power/array_model.hh"
+#include "power/technology.hh"
+
+namespace dcg {
+
+/**
+ * Build a Technology whose array-access capacitances are derived from
+ * the machine geometry with ArrayPowerModel. Non-array constants
+ * (latch bits, FU clock loads, global wiring) keep their calibrated
+ * values — those model dynamic logic and clock distribution, which the
+ * SRAM model does not cover.
+ */
+Technology derivedTechnology(const CoreConfig &core,
+                             const HierarchyConfig &mem,
+                             const ArrayTechnology &array_tech =
+                                 ArrayTechnology{});
+
+/** Cache data-array geometry (per-port view) for a CacheGeometry. */
+ArrayGeometry cacheArrayGeometry(const CacheGeometry &geom,
+                                 unsigned ports);
+
+} // namespace dcg
+
+#endif // DCG_POWER_DERIVED_HH

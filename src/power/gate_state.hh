@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-cycle clock-gate decisions handed from a gating policy (none /
+ * DCG / PLB) to the power model.
+ */
+
+#ifndef DCG_POWER_GATE_STATE_HH
+#define DCG_POWER_GATE_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/op_class.hh"
+#include "pipeline/config.hh"
+
+namespace dcg {
+
+struct GateState
+{
+    /** Bitmask of gated execution-unit instances per FU type. */
+    std::array<std::uint16_t, kNumFuTypes> fuGateMask{};
+
+    /** Number of latch slots gated in each latch phase (0..width). */
+    std::array<std::uint8_t, kNumLatchPhases> latchSlotsGated{};
+
+    /** D-cache port decoders gated this cycle. */
+    std::uint8_t dcachePortsGated = 0;
+
+    /** Result-bus drivers gated this cycle. */
+    std::uint8_t resultBusesGated = 0;
+
+    /**
+     * Fraction of the issue queue clock-gated (PLB low-power modes;
+     * DCG leaves the issue queue alone, Sec 2.2.2).
+     */
+    double iqGatedFraction = 0.0;
+
+    /**
+     * True when the DCG control circuitry (extended latches carrying
+     * GRANT signals / one-hot encodings) is present and clocked — the
+     * overhead the paper charges against DCG's latch savings.
+     */
+    bool dcgControlActive = false;
+
+    void reset() { *this = GateState{}; }
+};
+
+} // namespace dcg
+
+#endif // DCG_POWER_GATE_STATE_HH

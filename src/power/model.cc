@@ -1,0 +1,245 @@
+#include "power/model.hh"
+
+#include "common/log.hh"
+#include "isa/micro_op.hh"
+
+namespace dcg {
+
+const char *
+powerComponentName(PowerComponent c)
+{
+    switch (c) {
+      case PowerComponent::Latches:       return "latches";
+      case PowerComponent::DcgControl:    return "dcg_control";
+      case PowerComponent::ClockWiring:   return "clock_wiring";
+      case PowerComponent::IntAlu:        return "int_alu";
+      case PowerComponent::IntMulDiv:     return "int_muldiv";
+      case PowerComponent::FpAlu:         return "fp_alu";
+      case PowerComponent::FpMulDiv:      return "fp_muldiv";
+      case PowerComponent::DcacheDecoder: return "dcache_decoder";
+      case PowerComponent::DcacheArray:   return "dcache_array";
+      case PowerComponent::Icache:        return "icache";
+      case PowerComponent::Bpred:         return "bpred";
+      case PowerComponent::Rename:        return "rename";
+      case PowerComponent::IssueQueue:    return "issue_queue";
+      case PowerComponent::Regfile:       return "regfile";
+      case PowerComponent::Lsq:           return "lsq";
+      case PowerComponent::Rob:           return "rob";
+      case PowerComponent::ResultBus:     return "result_bus";
+      case PowerComponent::L2:            return "l2";
+      default: break;
+    }
+    return "?";
+}
+
+PowerModel::PowerModel(const CoreConfig &core_cfg, const Technology &tech_,
+                       StatRegistry &stats, const Cache *l2_)
+    : cfg(core_cfg),
+      tech(tech_),
+      l2(l2_),
+      totalStat(stats.scalar("power.total_energy_pj",
+                             "total dynamic energy (pJ)")),
+      avgPowerStat(stats.formula("power.avg_watts", "average power (W)"))
+{
+    slotBits = kMaxSrcs * cfg.operandBits + cfg.controlBitsPerSlot;
+
+    // DCG control: GRANT bits for every FU instance piped through the
+    // issue/read latches, the one-hot issued-slot encoding piped to the
+    // writeback stage, and D-cache port / result-bus control bits
+    // (Sections 3.1-3.4). These extended latches are never gated.
+    unsigned fu_instances = 0;
+    for (unsigned t = 0; t < kNumFuTypes; ++t)
+        fu_instances += cfg.fuCount[t];
+    const unsigned pipe_len = cfg.depth.read + 1 + cfg.depth.mem +
+                              cfg.depth.wb;
+    controlBits = fu_instances * (cfg.depth.read + 1) +
+                  cfg.issueWidth * pipe_len +
+                  cfg.dcachePorts * (cfg.depth.read + 2) +
+                  cfg.numResultBuses * 2;
+
+    avgPowerStat.define([this]() { return averagePowerW(); });
+}
+
+void
+PowerModel::reset()
+{
+    energy.fill(0.0);
+    numCycles = 0;
+}
+
+void
+PowerModel::addEnergy(PowerComponent c, double pj)
+{
+    energy[static_cast<unsigned>(c)] += pj;
+    totalStat += pj;
+}
+
+void
+PowerModel::tick(const CycleActivity &act, const GateState &g)
+{
+    ++numCycles;
+    const double v2 = tech.vdd * tech.vdd;
+
+    // --- Consistency: deterministic gating never gates a used block.
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        DCG_ASSERT((g.fuGateMask[t] & act.fuBusyMask[t]) == 0,
+                   "gated a busy execution unit (type ", t, ")");
+    }
+    for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+        DCG_ASSERT(g.latchSlotsGated[p] + act.latchFlux[p] <=
+                   cfg.issueWidth,
+                   "gated latch slots overlap used slots (phase ", p, ")");
+    }
+    DCG_ASSERT(g.dcachePortsGated + act.dcachePortsUsed <=
+               cfg.dcachePorts, "gated a busy D-cache port");
+    DCG_ASSERT(g.resultBusesGated + act.resultBusUsed <=
+               cfg.numResultBuses, "gated a busy result bus");
+
+    // --- Pipeline latches: clock power for every un-gated slot, in
+    // every latch group of every phase.
+    double latch_pj = 0.0;
+    for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+        const unsigned groups =
+            cfg.depth.groupsFor(static_cast<LatchPhase>(p));
+        const unsigned clocked = cfg.issueWidth - g.latchSlotsGated[p];
+        latch_pj += static_cast<double>(groups) * clocked * slotBits *
+                    tech.latchBitCap * v2;
+    }
+    addEnergy(PowerComponent::Latches, latch_pj);
+
+    if (g.dcgControlActive) {
+        addEnergy(PowerComponent::DcgControl,
+                  controlBits * tech.latchBitCap * v2);
+    }
+
+    // --- Global clock spine: charged every cycle regardless.
+    addEnergy(PowerComponent::ClockWiring,
+              tech.clockWiringCap * v2);
+
+    // --- Execution units: clock/precharge for un-gated instances plus
+    // switching for started operations.
+    struct FuPower { PowerComponent comp; double clockCap; double opCap; };
+    const FuPower fu_power[kNumFuTypes] = {
+        {PowerComponent::IntAlu, tech.intAluClockCap, tech.intAluOpCap},
+        {PowerComponent::IntMulDiv, tech.intMulDivClockCap,
+         tech.intMulDivOpCap},
+        {PowerComponent::FpAlu, tech.fpAluClockCap, tech.fpAluOpCap},
+        {PowerComponent::FpMulDiv, tech.fpMulDivClockCap,
+         tech.fpMulDivOpCap},
+    };
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        const unsigned total = cfg.fuCount[t];
+        const unsigned gated = static_cast<unsigned>(
+            __builtin_popcount(g.fuGateMask[t]));
+        DCG_ASSERT(gated <= total, "gate mask exceeds FU count");
+        const double clock_pj = (total - gated) * fu_power[t].clockCap
+                                * v2;
+        const double op_pj = act.fuStarts[t] * fu_power[t].opCap * v2;
+        addEnergy(fu_power[t].comp, clock_pj + op_pj);
+    }
+
+    // --- D-cache: per-port dynamic decoders (gateable) + array energy
+    // per access (charged only when accessed).
+    addEnergy(PowerComponent::DcacheDecoder,
+              (cfg.dcachePorts - g.dcachePortsGated) *
+              tech.dcacheDecoderCap * v2);
+    addEnergy(PowerComponent::DcacheArray,
+              act.dcacheAccesses * tech.dcacheArrayAccessCap * v2);
+
+    // --- Front end.
+    addEnergy(PowerComponent::Icache,
+              act.icacheAccesses * tech.icacheAccessCap * v2 +
+              (act.fetched + act.wrongPathFetched) *
+              tech.fetchPerInstCap * v2);
+    addEnergy(PowerComponent::Bpred,
+              act.bpredLookups * tech.bpredAccessCap * v2);
+
+    addEnergy(PowerComponent::Rename,
+              act.renamed * tech.renameOpCap * v2);
+
+    // --- Issue queue: CAM precharge every cycle (PLB may gate slices;
+    // DCG leaves it to the scheme of [6], Sec 2.2.2).
+    DCG_ASSERT(g.iqGatedFraction >= 0.0 && g.iqGatedFraction <= 1.0,
+               "bad IQ gated fraction");
+    addEnergy(PowerComponent::IssueQueue,
+              tech.iqClockCap * v2 * (1.0 - g.iqGatedFraction) +
+              act.iqWakeups * tech.iqWakeupCap * v2 +
+              act.issued * tech.iqSelectCap * v2);
+
+    addEnergy(PowerComponent::Regfile,
+              act.regReads * tech.regReadCap * v2 +
+              act.regWrites * tech.regWriteCap * v2);
+
+    addEnergy(PowerComponent::Lsq, act.lsqOps * tech.lsqOpCap * v2);
+    addEnergy(PowerComponent::Rob,
+              (act.renamed + act.committed) * tech.robOpCap * v2);
+
+    // --- Result bus drivers: precharge for un-gated buses + switching
+    // per drive.
+    addEnergy(PowerComponent::ResultBus,
+              (cfg.numResultBuses - g.resultBusesGated) *
+              tech.resultBusClockCap * v2 +
+              act.resultBusUsed * tech.resultBusDriveCap * v2);
+}
+
+double
+PowerModel::energyPJ(PowerComponent c) const
+{
+    if (c == PowerComponent::L2 && l2) {
+        return static_cast<double>(l2->numAccesses()) *
+               tech.l2AccessCap * tech.vdd * tech.vdd;
+    }
+    return energy[static_cast<unsigned>(c)];
+}
+
+double
+PowerModel::totalEnergyPJ() const
+{
+    double total = 0.0;
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        total += energyPJ(static_cast<PowerComponent>(c));
+    return total;
+}
+
+double
+PowerModel::averagePowerW() const
+{
+    return tech.wattsFromPJ(totalEnergyPJ(),
+                            static_cast<double>(numCycles));
+}
+
+double
+PowerModel::intUnitsEnergyPJ() const
+{
+    return energyPJ(PowerComponent::IntAlu) +
+           energyPJ(PowerComponent::IntMulDiv);
+}
+
+double
+PowerModel::fpUnitsEnergyPJ() const
+{
+    return energyPJ(PowerComponent::FpAlu) +
+           energyPJ(PowerComponent::FpMulDiv);
+}
+
+double
+PowerModel::latchEnergyPJ() const
+{
+    return energyPJ(PowerComponent::Latches) +
+           energyPJ(PowerComponent::DcgControl);
+}
+
+double
+PowerModel::dcacheEnergyPJ() const
+{
+    return energyPJ(PowerComponent::DcacheDecoder) +
+           energyPJ(PowerComponent::DcacheArray);
+}
+
+double
+PowerModel::resultBusEnergyPJ() const
+{
+    return energyPJ(PowerComponent::ResultBus);
+}
+
+} // namespace dcg

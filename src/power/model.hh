@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Wattch-style per-cycle power accounting.
+ *
+ * Accounting rule (paper Sec 4.2): a circuit that is clock-gated in a
+ * cycle contributes zero power for that cycle; an enabled circuit
+ * contributes its full clock/precharge power plus per-event switching
+ * energy; leakage is not modelled. DCG's control overhead (extended
+ * latches) is charged whenever the DCG controller is active.
+ */
+
+#ifndef DCG_POWER_MODEL_HH
+#define DCG_POWER_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "pipeline/activity.hh"
+#include "pipeline/config.hh"
+#include "power/gate_state.hh"
+#include "power/technology.hh"
+
+namespace dcg {
+
+/** Power-accounting component categories. */
+enum class PowerComponent : std::uint8_t
+{
+    Latches,        ///< pipeline latches, all phases
+    DcgControl,     ///< DCG extended latches / AND gates
+    ClockWiring,    ///< global clock spine (ungateable)
+    IntAlu,
+    IntMulDiv,
+    FpAlu,
+    FpMulDiv,
+    DcacheDecoder,
+    DcacheArray,
+    Icache,
+    Bpred,
+    Rename,
+    IssueQueue,
+    Regfile,
+    Lsq,
+    Rob,
+    ResultBus,
+    L2,
+    NumComponents
+};
+
+inline constexpr unsigned kNumPowerComponents =
+    static_cast<unsigned>(PowerComponent::NumComponents);
+
+const char *powerComponentName(PowerComponent c);
+
+class PowerModel
+{
+  public:
+    /**
+     * @param core_cfg structure widths/counts (latch sizing, FU pool)
+     * @param tech technology constants
+     * @param l2 optional L2 cache whose access count is charged at
+     *        report time (identical across gating schemes)
+     */
+    PowerModel(const CoreConfig &core_cfg, const Technology &tech,
+               StatRegistry &stats, const Cache *l2 = nullptr);
+
+    /**
+     * Account one cycle. Asserts that @p gates never gate a resource
+     * that @p act shows in use — the defining property of
+     * *deterministic* gating.
+     */
+    void tick(const CycleActivity &act, const GateState &gates);
+
+    /** Total energy so far in pJ (including L2 at current counts). */
+    double totalEnergyPJ() const;
+
+    /** Energy of one component in pJ. */
+    double energyPJ(PowerComponent c) const;
+
+    /** Average power in watts over the ticked cycles. */
+    double averagePowerW() const;
+
+    std::uint64_t cycles() const { return numCycles; }
+
+    /**
+     * Zero the accumulated energies (measurement-window reset after
+     * warm-up). Registry scalars are reset separately via
+     * StatRegistry::resetAll().
+     */
+    void reset();
+
+    const Technology &technology() const { return tech; }
+
+    /// @name Convenience groupings used by the paper's figures
+    /// @{
+    double intUnitsEnergyPJ() const;
+    double fpUnitsEnergyPJ() const;
+    /** Latches + DCG control overhead (Figure 14 semantics). */
+    double latchEnergyPJ() const;
+    /** Decoder + array (Figure 15 denominators are total D-cache). */
+    double dcacheEnergyPJ() const;
+    double resultBusEnergyPJ() const;
+    /// @}
+
+    /** Latch bits in one slot (operands + control). */
+    unsigned bitsPerLatchSlot() const { return slotBits; }
+    /** DCG control latch bits (always clocked when DCG is active). */
+    unsigned dcgControlBits() const { return controlBits; }
+
+  private:
+    void addEnergy(PowerComponent c, double pj);
+
+    CoreConfig cfg;
+    Technology tech;
+    const Cache *l2;
+
+    unsigned slotBits;
+    unsigned controlBits;
+
+    std::array<double, kNumPowerComponents> energy{};
+    std::uint64_t numCycles = 0;
+
+    Scalar &totalStat;
+    Formula &avgPowerStat;
+};
+
+} // namespace dcg
+
+#endif // DCG_POWER_MODEL_HH

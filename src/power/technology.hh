@@ -1,0 +1,104 @@
+/**
+ * @file
+ * 0.18 µm technology parameters for the Wattch-style power model.
+ *
+ * Methodology follows Wattch: every component is modelled as an
+ * effective switched capacitance; dynamic energy per event is
+ * E = C_eff * Vdd^2. The C_eff values below are *effective* loads that
+ * fold in local clock buffering, wire capacitance and short-circuit
+ * factors — they are calibrated so that the baseline (no clock gating)
+ * component breakdown of the 8-wide Table-1 machine matches the
+ * distribution Wattch reports for comparable processors (clock+latch
+ * power ≈ 30-35 % of the total, per Section 1 of the paper).
+ *
+ * Absolute watts are therefore plausible (tens of watts at 1 GHz /
+ * 1.8 V) but not authoritative; all paper comparisons are expressed as
+ * *percent savings*, which depend on the breakdown, not on the scale.
+ */
+
+#ifndef DCG_POWER_TECHNOLOGY_HH
+#define DCG_POWER_TECHNOLOGY_HH
+
+namespace dcg {
+
+struct Technology
+{
+    double vdd = 1.8;           ///< supply voltage (V)
+    double frequencyGHz = 1.0;  ///< clock frequency
+
+    /// @name Effective capacitances in pF (energy = C * Vdd^2, in pJ)
+    /// @{
+
+    /** Clock + data load of one pipeline-latch bit. */
+    double latchBitCap = 0.100;
+
+    /** Global clock spine + drivers (charged every cycle, ungateable). */
+    double clockWiringCap = 1400.0;
+
+    /** Per-unit dynamic-logic clock/precharge load when not gated. */
+    double intAluClockCap = 75.0;
+    double intMulDivClockCap = 72.0;
+    double fpAluClockCap = 38.0;
+    double fpMulDivClockCap = 38.0;
+
+    /** Additional switching per operation started. */
+    double intAluOpCap = 37.0;
+    double intMulDivOpCap = 62.0;
+    double fpAluOpCap = 46.0;
+    double fpMulDivOpCap = 77.0;
+
+    /** D-cache wordline decoder, per port per cycle (dynamic logic). */
+    double dcacheDecoderCap = 170.0;
+    /** D-cache array (wordline/bitline/senseamp) per access. */
+    double dcacheArrayAccessCap = 858.0;
+
+    /** I-cache access per fetched line. */
+    double icacheAccessCap = 790.0;
+    /** Per-instruction fetch/decode path switching. */
+    double fetchPerInstCap = 59.0;
+
+    /** Branch predictor arrays per lookup+update. */
+    double bpredAccessCap = 216.0;
+
+    /** Rename table per renamed instruction. */
+    double renameOpCap = 103.0;
+
+    /** Issue queue CAM/selection precharge per cycle (ungated by DCG). */
+    double iqClockCap = 1300.0;
+    double iqWakeupCap = 40.0;  ///< per result broadcast
+    double iqSelectCap = 28.0;  ///< per granted instruction
+
+    /** Register file. */
+    double regReadCap = 128.0;
+    double regWriteCap = 146.0;
+
+    /** LSQ CAM per memory operation. */
+    double lsqOpCap = 169.0;
+    /** ROB per dispatch/commit event. */
+    double robOpCap = 61.0;
+
+    /** Result bus driver: per-bus precharge per cycle, and per drive. */
+    double resultBusClockCap = 45.0;
+    double resultBusDriveCap = 49.0;
+
+    /** L2 array per access. */
+    double l2AccessCap = 925.0;
+    /// @}
+
+    /** Energy (pJ) for an effective capacitance (pF). */
+    double energyPJ(double cap_pf) const { return cap_pf * vdd * vdd; }
+
+    /** Convert accumulated pJ over cycles to average watts. */
+    double
+    wattsFromPJ(double total_pj, double cycles) const
+    {
+        if (cycles <= 0.0)
+            return 0.0;
+        // pJ per cycle * GHz = mW * 1e3 ... : E/t = pJ * (cycles/s) / cycles
+        return total_pj * 1e-12 * frequencyGHz * 1e9 / cycles;
+    }
+};
+
+} // namespace dcg
+
+#endif // DCG_POWER_TECHNOLOGY_HH

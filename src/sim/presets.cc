@@ -1,0 +1,64 @@
+#include "sim/presets.hh"
+
+#include <ostream>
+
+namespace dcg {
+
+SimConfig
+table1Config(GatingScheme scheme)
+{
+    SimConfig cfg;  // defaults throughout the tree ARE Table 1
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+SimConfig
+deepPipelineConfig(GatingScheme scheme)
+{
+    SimConfig cfg = table1Config(scheme);
+    cfg.core.depth = deepPipeline();
+    return cfg;
+}
+
+void
+printConfig(const SimConfig &cfg, std::ostream &os)
+{
+    const CoreConfig &c = cfg.core;
+    os << "Processor:\n"
+       << "  " << c.issueWidth << "-way issue, " << c.windowSize
+       << "-entry window, " << c.lsqSize << "-entry load/store queue\n"
+       << "  " << c.fuCount[0] << " integer ALUs, " << c.fuCount[1]
+       << " integer multiply/divide units,\n"
+       << "  " << c.fuCount[2] << " floating point ALUs, "
+       << c.fuCount[3] << " floating point multiply/divide units\n"
+       << "  " << c.dcachePorts << " D-cache ports, "
+       << c.numResultBuses << " result buses, "
+       << c.depth.totalStages() << "-stage pipeline\n";
+
+    const BranchPredictorConfig &b = cfg.bpred;
+    os << "Branch prediction:\n"
+       << "  2-level, " << b.l1Entries << "-entry first level, "
+       << b.l2Entries << "-entry second level, " << b.historyBits
+       << "-bit history;\n"
+       << "  " << b.rasEntries << "-entry RAS, " << b.btbEntries
+       << "-entry " << b.btbAssoc << "-way BTB\n";
+
+    const HierarchyConfig &m = cfg.mem;
+    os << "Caches:\n"
+       << "  " << m.l1d.sizeBytes / 1024 << "KB " << m.l1d.assoc
+       << "-way " << m.l1d.hitLatency << "-cycle D-L1, "
+       << m.l1i.sizeBytes / 1024 << "KB " << m.l1i.assoc << "-way "
+       << m.l1i.hitLatency << "-cycle I-L1,\n"
+       << "  " << m.l2.sizeBytes / (1024 * 1024) << "MB " << m.l2.assoc
+       << "-way " << m.l2.hitLatency << "-cycle L2, both LRU\n";
+
+    os << "Main memory:\n"
+       << "  Infinite capacity, " << m.memLatency << " cycle latency\n";
+
+    const Technology &t = cfg.tech;
+    os << "Technology:\n"
+       << "  " << t.vdd << "V, " << t.frequencyGHz
+       << "GHz, Wattch-style 0.18um capacitance model\n";
+}
+
+} // namespace dcg

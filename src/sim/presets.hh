@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Canonical experiment configurations: the Table-1 baseline machine
+ * and the Figure-17 deep-pipeline variant.
+ */
+
+#ifndef DCG_SIM_PRESETS_HH
+#define DCG_SIM_PRESETS_HH
+
+#include "sim/simulator.hh"
+
+namespace dcg {
+
+/** Table-1 machine with the requested gating scheme. */
+SimConfig table1Config(GatingScheme scheme = GatingScheme::None);
+
+/** The 20-stage machine of Figure 17. */
+SimConfig deepPipelineConfig(GatingScheme scheme = GatingScheme::None);
+
+/** Human-readable dump of a configuration (bench/table1_config). */
+void printConfig(const SimConfig &config, std::ostream &os);
+
+} // namespace dcg
+
+#endif // DCG_SIM_PRESETS_HH

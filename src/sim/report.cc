@@ -1,0 +1,105 @@
+#include "sim/report.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "common/log.hh"
+#include "power/model.hh"
+
+namespace dcg {
+
+namespace {
+
+/** Escape a string for JSON output. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeResultsCsv(const std::vector<RunResult> &results, std::ostream &os)
+{
+    os << "benchmark,scheme,instructions,cycles,ipc,total_energy_pj,"
+          "avg_power_w,energy_per_inst_pj,int_unit_util,fp_unit_util,"
+          "latch_util,dcache_port_util,result_bus_util,branch_accuracy,"
+          "l1d_miss_rate";
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        os << ",pj_" << powerComponentName(static_cast<PowerComponent>(c));
+    os << '\n';
+
+    os << std::setprecision(10);
+    for (const RunResult &r : results) {
+        os << r.benchmark << ',' << r.scheme << ',' << r.instructions
+           << ',' << r.cycles << ',' << r.ipc << ',' << r.totalEnergyPJ
+           << ',' << r.avgPowerW << ',' << r.energyPerInstPJ() << ','
+           << r.intUnitUtil << ',' << r.fpUnitUtil << ',' << r.latchUtil
+           << ',' << r.dcachePortUtil << ',' << r.resultBusUtil << ','
+           << r.branchAccuracy << ',' << r.l1dMissRate;
+        for (unsigned c = 0; c < kNumPowerComponents; ++c)
+            os << ',' << r.componentPJ[c];
+        os << '\n';
+    }
+}
+
+void
+writeResultsJson(const std::vector<RunResult> &results, std::ostream &os)
+{
+    os << std::setprecision(10) << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        os << "  {\"benchmark\": \"" << jsonEscape(r.benchmark)
+           << "\", \"scheme\": \"" << jsonEscape(r.scheme)
+           << "\", \"instructions\": " << r.instructions
+           << ", \"cycles\": " << r.cycles
+           << ", \"ipc\": " << r.ipc
+           << ", \"total_energy_pj\": " << r.totalEnergyPJ
+           << ", \"avg_power_w\": " << r.avgPowerW
+           << ", \"branch_accuracy\": " << r.branchAccuracy
+           << ", \"l1d_miss_rate\": " << r.l1dMissRate
+           << ", \"components_pj\": {";
+        for (unsigned c = 0; c < kNumPowerComponents; ++c) {
+            os << (c ? ", " : "") << '"'
+               << powerComponentName(static_cast<PowerComponent>(c))
+               << "\": " << r.componentPJ[c];
+        }
+        os << "}}" << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+void
+writeResultsCsvFile(const std::vector<RunResult> &results,
+                    const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeResultsCsv(results, os);
+}
+
+void
+writeResultsJsonFile(const std::vector<RunResult> &results,
+                     const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeResultsJson(results, os);
+}
+
+} // namespace dcg

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Machine-readable result export: CSV and JSON writers for RunResult
+ * collections, so experiment output can feed plotting scripts without
+ * scraping the text tables.
+ */
+
+#ifndef DCG_SIM_REPORT_HH
+#define DCG_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dcg {
+
+/** Column-stable CSV with a header row. */
+void writeResultsCsv(const std::vector<RunResult> &results,
+                     std::ostream &os);
+
+/** JSON array of result objects (component energies included). */
+void writeResultsJson(const std::vector<RunResult> &results,
+                      std::ostream &os);
+
+/** Convenience: write to a file path; fatal() on I/O failure. */
+void writeResultsCsvFile(const std::vector<RunResult> &results,
+                         const std::string &path);
+void writeResultsJsonFile(const std::vector<RunResult> &results,
+                          const std::string &path);
+
+} // namespace dcg
+
+#endif // DCG_SIM_REPORT_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Top-level simulator: wires a synthetic workload, the Table-1 core,
+ * the memory hierarchy, a gating policy and the power model; runs
+ * warm-up + measurement and produces a RunResult.
+ */
+
+#ifndef DCG_SIM_SIMULATOR_HH
+#define DCG_SIM_SIMULATOR_HH
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "gating/dcg.hh"
+#include "gating/plb.hh"
+#include "gating/policy.hh"
+#include "pipeline/core.hh"
+#include "power/model.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+namespace dcg {
+
+enum class GatingScheme { None, Dcg, PlbOrig, PlbExt };
+
+const char *gatingSchemeName(GatingScheme scheme);
+
+struct SimConfig
+{
+    CoreConfig core;
+    BranchPredictorConfig bpred;
+    HierarchyConfig mem;
+    Technology tech;
+    GatingScheme scheme = GatingScheme::None;
+    DcgConfig dcg;
+    PlbConfig plb;
+    std::uint64_t seed = 1;
+};
+
+/** Everything the benchmark harness needs from one run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string scheme;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+
+    double totalEnergyPJ = 0.0;
+    double avgPowerW = 0.0;
+
+    /** Per-component energies (pJ), indexed by PowerComponent. */
+    std::array<double, kNumPowerComponents> componentPJ{};
+
+    /// @name Grouped energies used by the paper's figures
+    /// @{
+    double intUnitsPJ = 0.0;
+    double fpUnitsPJ = 0.0;
+    double latchPJ = 0.0;   ///< includes DCG control overhead
+    double dcachePJ = 0.0;
+    double resultBusPJ = 0.0;
+    /// @}
+
+    /// @name Measured utilisations (fraction of capacity per cycle)
+    /// @{
+    double intUnitUtil = 0.0;
+    double fpUnitUtil = 0.0;
+    double latchUtil = 0.0;       ///< gateable phases only
+    double dcachePortUtil = 0.0;
+    double resultBusUtil = 0.0;
+    /// @}
+
+    double branchAccuracy = 0.0;
+    double l1dMissRate = 0.0;
+
+    /** Power x delay, normalised per instruction (pJ/inst). */
+    double energyPerInstPJ() const
+    {
+        return instructions ? totalEnergyPJ /
+               static_cast<double>(instructions) : 0.0;
+    }
+};
+
+class Simulator
+{
+  public:
+    Simulator(const Profile &profile, const SimConfig &config);
+    ~Simulator();
+
+    /**
+     * Simulate @p warmup instructions (stats then reset), then
+     * @p instructions measured instructions.
+     */
+    void run(std::uint64_t instructions, std::uint64_t warmup);
+
+    RunResult result() const;
+
+    Core &core() { return *coreP; }
+    PowerModel &power() { return *powerP; }
+    StatRegistry &stats() { return statsP; }
+    GatingPolicy &policy() { return *policyP; }
+    MemoryHierarchy &memory() { return *memP; }
+
+    /** Dump the full statistics registry. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void step();
+    void resetMeasurement();
+    void prewarmCaches();
+
+    SimConfig cfg;
+    Profile prof;
+
+    StatRegistry statsP;
+    std::unique_ptr<TraceGenerator> genP;
+    std::unique_ptr<MemoryHierarchy> memP;
+    std::unique_ptr<BranchPredictor> bpredP;
+    std::unique_ptr<Core> coreP;
+    std::unique_ptr<PowerModel> powerP;
+    std::unique_ptr<GatingPolicy> policyP;
+
+    /** Utilisation accumulators over measured cycles. */
+    double intUnitBusySum = 0.0;
+    double fpUnitBusySum = 0.0;
+    double latchFluxSum = 0.0;
+    double portUseSum = 0.0;
+    double busUseSum = 0.0;
+    std::uint64_t measuredCycles = 0;
+
+    /** L2 access count at measurement start (for energy reset). */
+    std::uint64_t l2AccessBase = 0;
+};
+
+/**
+ * Convenience harness: build, run and collect the result in one call.
+ * Instruction counts default to the benchmark-suite settings and may
+ * be overridden by the DCG_BENCH_INSTS / DCG_BENCH_WARMUP environment
+ * variables.
+ */
+RunResult runBenchmark(const Profile &profile, const SimConfig &config,
+                       std::uint64_t instructions = 0,
+                       std::uint64_t warmup = 0);
+
+/** Default measured instructions (honours DCG_BENCH_INSTS). */
+std::uint64_t defaultBenchInstructions();
+/** Default warm-up instructions (honours DCG_BENCH_WARMUP). */
+std::uint64_t defaultBenchWarmup();
+
+} // namespace dcg
+
+#endif // DCG_SIM_SIMULATOR_HH

@@ -1,0 +1,208 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace dcg {
+
+TraceGenerator::TraceGenerator(const Profile &profile, std::uint64_t seed)
+    : prof(profile),
+      rng(seed ^ 0xdc6'0a7e5u),
+      mixSampler(std::vector<double>(prof.mix.begin(), prof.mix.end())),
+      memSampler({prof.memory.fracStack, prof.memory.fracStride,
+                  prof.memory.fracRandom}),
+      curPc(kCodeBase),
+      stackPtr(kDataBase)
+{
+    DCG_ASSERT(prof.numStaticBranches > 0, "profile needs static branches");
+    DCG_ASSERT(prof.codeFootprintBytes >= 4096, "code footprint too small");
+    buildBranches();
+    buildStreams();
+
+    // Low-ILP phases also lean harder on the pointer region.
+    const MemoryBehavior &mb = prof.memory;
+    const double boosted = std::min(1.0, mb.fracRandom *
+                                    prof.phases.lowMissScale);
+    const double rest = mb.fracStack + mb.fracStride;
+    const double scale = rest > 0.0 ? (1.0 - boosted) / rest : 0.0;
+    memSamplerLow = DiscreteSampler({mb.fracStack * scale,
+                                     mb.fracStride * scale, boosted});
+    lowPhase = true;   // first advancePhase() flips to the high phase
+    advancePhase();
+}
+
+void
+TraceGenerator::advancePhase()
+{
+    const PhaseBehavior &ph = prof.phases;
+    if (ph.lowIlpFraction <= 0.0 || ph.lowIlpFraction >= 1.0) {
+        lowPhase = ph.lowIlpFraction >= 1.0;
+        phaseLeft = std::numeric_limits<InstSeq>::max();
+        return;
+    }
+    // Alternate phases with geometric segment lengths; the high phase
+    // mean is scaled so the long-run low-ILP instruction fraction is
+    // lowIlpFraction.
+    lowPhase = !lowPhase;
+    const double f = ph.lowIlpFraction;
+    const double mean_low = std::max(64.0, ph.meanPhaseLen);
+    const double mean = lowPhase ? mean_low
+                                 : mean_low * (1.0 - f) / f;
+    phaseLeft = 1 + rng.geometric(std::min(0.5, 1.0 / mean), 1u << 22);
+}
+
+void
+TraceGenerator::buildBranches()
+{
+    const BranchMixture &bm = prof.branches;
+    DiscreteSampler kinds({bm.fracStronglyTaken, bm.fracStronglyNotTaken,
+                           bm.fracLoop, bm.fracRandom});
+
+    branchTable.reserve(prof.numStaticBranches);
+    for (unsigned i = 0; i < prof.numStaticBranches; ++i) {
+        StaticBranch br;
+        // Spread branch PCs over the code footprint; keep them 4-aligned
+        // and distinct per index so predictor entries are stable.
+        br.pc = wrapCode(kCodeBase +
+                         rng.nextBounded(prof.codeFootprintBytes / 4) * 4);
+        // Mostly short backward/forward targets within the footprint.
+        br.target = wrapCode(kCodeBase +
+                             rng.nextBounded(prof.codeFootprintBytes / 4)
+                             * 4);
+        br.kind = static_cast<BranchKind>(kinds.sample(rng));
+        br.loopPeriod = static_cast<unsigned>(rng.uniformInt(4, 24));
+        br.loopCount = 0;
+        branchTable.push_back(br);
+    }
+}
+
+void
+TraceGenerator::buildStreams()
+{
+    const MemoryBehavior &mb = prof.memory;
+    streams.reserve(mb.numStrideStreams);
+    for (unsigned i = 0; i < mb.numStrideStreams; ++i) {
+        StrideStream s;
+        s.regionBytes = mb.strideRegionBytes / mb.numStrideStreams;
+        if (s.regionBytes < 64)
+            s.regionBytes = 64;
+        s.base = kDataBase + 0x0100'0000 +
+                 static_cast<Addr>(i) * s.regionBytes;
+        s.pos = 0;
+        s.stride = mb.strideBytes;
+        streams.push_back(s);
+    }
+}
+
+Addr
+TraceGenerator::wrapCode(Addr pc) const
+{
+    const Addr off = (pc - kCodeBase) % prof.codeFootprintBytes;
+    return kCodeBase + (off & ~Addr{3});
+}
+
+Addr
+TraceGenerator::nextDataAddr()
+{
+    const MemoryBehavior &mb = prof.memory;
+    const DiscreteSampler &sampler = lowPhase ? memSamplerLow
+                                              : memSampler;
+    switch (sampler.sample(rng)) {
+      case 0: {
+        // Stack: short strided walks within a small hot region.
+        stackPtr += 8;
+        if (stackPtr >= kDataBase + mb.stackBytes)
+            stackPtr = kDataBase;
+        return stackPtr;
+      }
+      case 1: {
+        // Streaming: advance one of the stride streams.
+        auto &s = streams[rng.nextBounded(streams.size())];
+        s.pos += s.stride;
+        if (s.pos >= s.regionBytes)
+            s.pos = 0;
+        return s.base + s.pos;
+      }
+      default: {
+        // Pointer chasing: uniform over a (possibly huge) region.
+        const Addr region = mb.randomRegionBytes ? mb.randomRegionBytes
+                                                 : 4096;
+        return kDataBase + 0x4000'0000 + (rng.nextBounded(region) & ~Addr{7});
+      }
+    }
+}
+
+void
+TraceGenerator::fillDeps(MicroOp &op)
+{
+    const DependenceBehavior &d = prof.deps;
+    double ready_p = d.srcReadyProb;
+    double geo_p = d.depGeoP;
+    if (lowPhase) {
+        ready_p *= prof.phases.lowReadyScale;
+        geo_p = std::min(0.95, geo_p * prof.phases.lowGeoScale);
+    }
+    op.numSrcs = rng.bernoulli(d.frac2Src) ? 2 : 1;
+    for (unsigned i = 0; i < op.numSrcs; ++i) {
+        if (rng.bernoulli(ready_p)) {
+            op.srcDist[i] = 0;
+        } else {
+            unsigned dist = 1 + rng.geometric(geo_p, d.depDistCap - 1);
+            op.srcDist[i] = dist;
+        }
+    }
+}
+
+MicroOp
+TraceGenerator::next()
+{
+    MicroOp op;
+    op.cls = static_cast<OpClass>(mixSampler.sample(rng));
+
+    if (op.cls == OpClass::Branch) {
+        StaticBranch &br = branchTable[rng.nextBounded(branchTable.size())];
+        op.pc = br.pc;
+        op.target = br.target;
+        switch (br.kind) {
+          case BranchKind::StronglyTaken:
+            op.taken = rng.bernoulli(0.995);
+            break;
+          case BranchKind::StronglyNotTaken:
+            op.taken = rng.bernoulli(0.005);
+            break;
+          case BranchKind::Loop:
+            op.taken = (++br.loopCount % br.loopPeriod) != 0;
+            break;
+          case BranchKind::Random:
+            op.taken = rng.bernoulli(0.5);
+            break;
+        }
+        curPc = op.taken ? br.target : wrapCode(br.pc + 4);
+    } else {
+        op.pc = curPc;
+        curPc = wrapCode(curPc + 4);
+    }
+
+    if (op.isMem())
+        op.effAddr = nextDataAddr();
+
+    fillDeps(op);
+    if (op.cls == OpClass::Store) {
+        op.numSrcs = 2;  // address and data
+        if (op.srcDist[1] == 0 && op.srcDist[0] == 0) {
+            // keep stores occasionally dependent on recent producers
+            op.srcDist[1] = rng.bernoulli(prof.deps.srcReadyProb)
+                ? 0 : 1 + rng.geometric(prof.deps.depGeoP,
+                                        prof.deps.depDistCap - 1);
+        }
+    }
+
+    ++count;
+    if (--phaseLeft == 0)
+        advancePhase();
+    return op;
+}
+
+} // namespace dcg

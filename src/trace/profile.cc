@@ -1,0 +1,16 @@
+#include "trace/profile.hh"
+
+namespace dcg {
+
+double
+Profile::mixFraction(OpClass cls) const
+{
+    double total = 0.0;
+    for (double w : mix)
+        total += w;
+    if (total <= 0.0)
+        return 0.0;
+    return mix[static_cast<unsigned>(cls)] / total;
+}
+
+} // namespace dcg

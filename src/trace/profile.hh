@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Workload profile: the parameter set from which a synthetic SPEC2000
+ * benchmark model is generated.
+ *
+ * The paper drives Wattch with Alpha SPEC2000 binaries; we do not have
+ * those (nor an Alpha front end), so each benchmark is replaced by a
+ * stationary stochastic model with the characteristics that matter to
+ * clock gating: instruction mix (which unit pools are exercised),
+ * register dependence distances (how much ILP the window can extract),
+ * branch behaviour (how often the front end refills), and memory
+ * working-set structure (how often the back end stalls on misses).
+ * See DESIGN.md §2 for the substitution argument.
+ */
+
+#ifndef DCG_TRACE_PROFILE_HH
+#define DCG_TRACE_PROFILE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace dcg {
+
+/** Distribution of static-branch behaviour classes. */
+struct BranchMixture
+{
+    double fracStronglyTaken = 0.40;    ///< ~97 % taken
+    double fracStronglyNotTaken = 0.30; ///< ~3 % taken
+    double fracLoop = 0.20;             ///< taken (P-1)x then not taken
+    double fracRandom = 0.10;           ///< 50/50, unpredictable
+};
+
+/** Memory reference stream structure. */
+struct MemoryBehavior
+{
+    double fracStack = 0.45;       ///< small hot region (L1 resident)
+    double fracStride = 0.40;      ///< streaming walks over arrays
+    double fracRandom = 0.15;      ///< uniform over a pointer region
+
+    Addr stackBytes = 8 * 1024;
+    Addr strideRegionBytes = 256 * 1024;
+    Addr randomRegionBytes = 1 * 1024 * 1024;
+    unsigned numStrideStreams = 8;
+    unsigned strideBytes = 16;
+};
+
+/** Register-dependence structure. */
+struct DependenceBehavior
+{
+    double srcReadyProb = 0.35;  ///< operand has no in-flight producer
+    double frac2Src = 0.55;      ///< ops with two register sources
+    double depGeoP = 0.18;       ///< geometric distance parameter
+    unsigned depDistCap = 48;    ///< max encoded producer distance
+};
+
+/**
+ * Program-phase behaviour. PLB's premise (and [1]'s) is that ILP
+ * varies *within* a program; the generator therefore alternates
+ * between a high-ILP phase (the base parameters) and a low-ILP phase
+ * with scaled dependence/memory parameters, with geometrically
+ * distributed phase lengths.
+ */
+struct PhaseBehavior
+{
+    /** Long-run fraction of instructions spent in the low-ILP phase. */
+    double lowIlpFraction = 0.35;
+    /** Mean phase segment length in instructions. */
+    double meanPhaseLen = 3000.0;
+    /** srcReadyProb multiplier while in the low-ILP phase. */
+    double lowReadyScale = 0.30;
+    /** depGeoP multiplier (shorter dependence distances) in low ILP. */
+    double lowGeoScale = 2.8;
+    /** fracRandom (pointer-region) multiplier in the low-ILP phase. */
+    double lowMissScale = 1.8;
+};
+
+/**
+ * Complete synthetic benchmark description. Instances for the SPEC2000
+ * subset used by the paper live in spec2000.hh.
+ */
+struct Profile
+{
+    std::string name;
+    bool isFp = false;  ///< belongs to the SPECfp subset
+
+    /** Instruction-mix weights indexed by OpClass. */
+    std::array<double, kNumOpClasses> mix{};
+
+    DependenceBehavior deps;
+    BranchMixture branches;
+    MemoryBehavior memory;
+    PhaseBehavior phases;
+
+    /** Number of distinct static branches in the model. */
+    unsigned numStaticBranches = 256;
+
+    /** Instruction footprint; controls I-cache behaviour. */
+    Addr codeFootprintBytes = 64 * 1024;
+
+    double mixFraction(OpClass cls) const;
+};
+
+} // namespace dcg
+
+#endif // DCG_TRACE_PROFILE_HH

@@ -1,0 +1,306 @@
+#include "trace/spec2000.hh"
+
+#include "common/log.hh"
+
+namespace dcg {
+
+namespace {
+
+/** Convenience builder: mix given in OpClass order. */
+Profile
+makeProfile(const std::string &name, bool is_fp,
+            std::array<double, kNumOpClasses> mix)
+{
+    Profile p;
+    p.name = name;
+    p.isFp = is_fp;
+    p.mix = mix;
+    // Stride streams are sized to stay L1-resident (hot-array model);
+    // capacity/conflict misses are injected through the random region,
+    // whose size selects L2-resident vs DRAM-bound behaviour.
+    p.memory.strideRegionBytes = 32 * 1024;
+    return p;
+}
+
+//                        IAlu  IMul  IDiv  FAlu  FMul  FDiv  Ld    St    Br
+constexpr std::array<double, kNumOpClasses>
+    kGzipMix    {0.52, 0.010, 0.000, 0.00, 0.00, 0.000, 0.20, 0.09, 0.18},
+    kGccMix     {0.48, 0.010, 0.005, 0.00, 0.00, 0.000, 0.23, 0.12, 0.16},
+    kMcfMix     {0.40, 0.010, 0.000, 0.00, 0.00, 0.000, 0.31, 0.09, 0.19},
+    kParserMix  {0.47, 0.010, 0.005, 0.00, 0.00, 0.000, 0.22, 0.10, 0.20},
+    kPerlbmkMix {0.50, 0.010, 0.005, 0.00, 0.00, 0.000, 0.24, 0.12, 0.13},
+    kVortexMix  {0.45, 0.005, 0.000, 0.00, 0.00, 0.000, 0.27, 0.15, 0.13},
+    kBzip2Mix   {0.50, 0.010, 0.000, 0.00, 0.00, 0.000, 0.23, 0.11, 0.15},
+    kTwolfMix   {0.44, 0.020, 0.005, 0.01, 0.01, 0.000, 0.23, 0.09, 0.19},
+    kWupwiseMix {0.23, 0.010, 0.000, 0.22, 0.22, 0.010, 0.21, 0.07, 0.03},
+    kSwimMix    {0.16, 0.005, 0.000, 0.27, 0.21, 0.005, 0.25, 0.08, 0.02},
+    kApplulMix  {0.18, 0.010, 0.000, 0.28, 0.21, 0.010, 0.22, 0.07, 0.02},
+    kArtMix     {0.28, 0.005, 0.000, 0.22, 0.165, 0.000, 0.24, 0.04, 0.06},
+    kEquakeMix  {0.27, 0.010, 0.000, 0.22, 0.13, 0.005, 0.26, 0.05, 0.06},
+    kAmmpMix    {0.24, 0.005, 0.000, 0.24, 0.16, 0.015, 0.24, 0.05, 0.05},
+    kLucasMix   {0.17, 0.005, 0.000, 0.28, 0.25, 0.005, 0.22, 0.05, 0.02},
+    kApsiMix    {0.23, 0.010, 0.000, 0.25, 0.17, 0.010, 0.22, 0.07, 0.04};
+
+std::vector<Profile>
+buildIntProfiles()
+{
+    std::vector<Profile> v;
+
+    {
+        // gzip: compression loops over hot buffers; high ILP, mostly
+        // predictable branches.
+        Profile p = makeProfile("gzip", false, kGzipMix);
+        p.deps = {0.58, 0.50, 0.08, 48};
+        p.branches = {0.46, 0.28, 0.16, 0.10};
+        p.memory.fracStack = 0.5;
+        p.memory.fracStride = 0.47;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 768 * 1024;   // L2 resident
+        p.codeFootprintBytes = 32 * 1024;
+        v.push_back(p);
+    }
+    {
+        // gcc: branchy with a large code footprint; moderate ILP.
+        Profile p = makeProfile("gcc", false, kGccMix);
+        p.deps = {0.50, 0.54, 0.11, 48};
+        p.branches = {0.40, 0.26, 0.20, 0.14};
+        p.memory.fracStack = 0.48;
+        p.memory.fracStride = 0.49;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 1024 * 1024;  // L2 resident
+        p.codeFootprintBytes = 56 * 1024;
+        p.numStaticBranches = 1024;
+        v.push_back(p);
+    }
+    {
+        // mcf: pointer chasing over a working set far beyond L2; the
+        // paper's stall-heavy best case for DCG.
+        Profile p = makeProfile("mcf", false, kMcfMix);
+        p.deps = {0.40, 0.58, 0.22, 40};
+        p.branches = {0.40, 0.26, 0.22, 0.12};
+        p.memory.fracStack = 0.4;
+        p.memory.fracStride = 0.48;
+        p.memory.fracRandom = 0.12;
+        p.memory.randomRegionBytes = Addr{128} * 1024 * 1024;  // DRAM
+        p.codeFootprintBytes = 24 * 1024;
+        v.push_back(p);
+    }
+    {
+        // parser: dictionary walks, branchy, modest working set.
+        Profile p = makeProfile("parser", false, kParserMix);
+        p.deps = {0.50, 0.54, 0.12, 48};
+        p.branches = {0.40, 0.28, 0.20, 0.12};
+        p.memory.fracStack = 0.5;
+        p.memory.fracStride = 0.47;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 1024 * 1024;  // L2 resident
+        p.codeFootprintBytes = 48 * 1024;
+        v.push_back(p);
+    }
+    {
+        // perlbmk: interpreter with high int ILP, almost no FP; the
+        // paper highlights that DCG gates its FPUs entirely.
+        Profile p = makeProfile("perlbmk", false, kPerlbmkMix);
+        p.deps = {0.58, 0.50, 0.08, 48};
+        p.branches = {0.44, 0.30, 0.20, 0.06};
+        p.memory.fracStack = 0.55;
+        p.memory.fracStride = 0.43;
+        p.memory.fracRandom = 0.02;
+        p.memory.randomRegionBytes = 768 * 1024;
+        p.codeFootprintBytes = 56 * 1024;
+        p.numStaticBranches = 768;
+        v.push_back(p);
+    }
+    {
+        // vortex: OO database; store heavy, very predictable.
+        Profile p = makeProfile("vortex", false, kVortexMix);
+        p.deps = {0.56, 0.50, 0.09, 48};
+        p.branches = {0.50, 0.30, 0.18, 0.02};
+        p.memory.fracStack = 0.52;
+        p.memory.fracStride = 0.46;
+        p.memory.fracRandom = 0.02;
+        p.memory.randomRegionBytes = 1024 * 1024;
+        p.codeFootprintBytes = 56 * 1024;
+        v.push_back(p);
+    }
+    {
+        // bzip2: block-sorting compression, high ILP.
+        Profile p = makeProfile("bzip2", false, kBzip2Mix);
+        p.deps = {0.58, 0.50, 0.08, 48};
+        p.branches = {0.44, 0.28, 0.18, 0.10};
+        p.memory.fracStack = 0.45;
+        p.memory.fracStride = 0.52;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 1024 * 1024;
+        p.codeFootprintBytes = 32 * 1024;
+        v.push_back(p);
+    }
+    {
+        // twolf: place-and-route with data-dependent branches.
+        Profile p = makeProfile("twolf", false, kTwolfMix);
+        p.deps = {0.48, 0.54, 0.14, 48};
+        p.branches = {0.36, 0.26, 0.18, 0.20};
+        p.memory.fracStack = 0.5;
+        p.memory.fracStride = 0.46;
+        p.memory.fracRandom = 0.04;
+        p.memory.randomRegionBytes = 768 * 1024;
+        p.codeFootprintBytes = 48 * 1024;
+        v.push_back(p);
+    }
+    return v;
+}
+
+std::vector<Profile>
+buildFpProfiles()
+{
+    std::vector<Profile> v;
+
+    {
+        // wupwise: QCD kernels, regular loops, ample ILP.
+        Profile p = makeProfile("wupwise", true, kWupwiseMix);
+        p.deps = {0.56, 0.56, 0.08, 48};
+        p.branches = {0.62, 0.20, 0.17, 0.01};
+        p.memory.fracStack = 0.35;
+        p.memory.fracStride = 0.63;
+        p.memory.fracRandom = 0.02;
+        p.memory.randomRegionBytes = 1024 * 1024;
+        p.codeFootprintBytes = 48 * 1024;
+        p.numStaticBranches = 128;
+        v.push_back(p);
+    }
+    {
+        // swim: stencil sweeps with a DRAM-bound fraction.
+        Profile p = makeProfile("swim", true, kSwimMix);
+        p.deps = {0.52, 0.56, 0.09, 48};
+        p.branches = {0.72, 0.12, 0.15, 0.01};
+        p.memory.fracStack = 0.25;
+        p.memory.fracStride = 0.71;
+        p.memory.fracRandom = 0.04;
+        p.memory.randomRegionBytes = 6 * 1024 * 1024;  // beyond L2
+        p.memory.numStrideStreams = 12;
+        p.codeFootprintBytes = 24 * 1024;
+        p.numStaticBranches = 96;
+        v.push_back(p);
+    }
+    {
+        // applu: dense solver, good locality.
+        Profile p = makeProfile("applu", true, kApplulMix);
+        p.deps = {0.52, 0.56, 0.09, 48};
+        p.branches = {0.66, 0.16, 0.16, 0.02};
+        p.memory.fracStack = 0.35;
+        p.memory.fracStride = 0.62;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 1536 * 1024;
+        p.codeFootprintBytes = 48 * 1024;
+        p.numStaticBranches = 96;
+        v.push_back(p);
+    }
+    {
+        // art: neural-net scans that defeat the L2.
+        Profile p = makeProfile("art", true, kArtMix);
+        p.deps = {0.40, 0.58, 0.17, 40};
+        p.branches = {0.56, 0.22, 0.16, 0.06};
+        p.memory.fracStack = 0.25;
+        p.memory.fracStride = 0.67;
+        p.memory.fracRandom = 0.08;
+        p.memory.randomRegionBytes = 6 * 1024 * 1024;
+        p.codeFootprintBytes = 24 * 1024;
+        p.numStaticBranches = 96;
+        v.push_back(p);
+    }
+    {
+        // equake: sparse FEM with indirect accesses.
+        Profile p = makeProfile("equake", true, kEquakeMix);
+        p.deps = {0.46, 0.56, 0.13, 48};
+        p.branches = {0.54, 0.24, 0.16, 0.06};
+        p.memory.fracStack = 0.35;
+        p.memory.fracStride = 0.6;
+        p.memory.fracRandom = 0.05;
+        p.memory.randomRegionBytes = 1536 * 1024;
+        p.codeFootprintBytes = 32 * 1024;
+        v.push_back(p);
+    }
+    {
+        // ammp: molecular dynamics, mixed locality, FP divides.
+        Profile p = makeProfile("ammp", true, kAmmpMix);
+        p.deps = {0.50, 0.56, 0.10, 48};
+        p.branches = {0.54, 0.26, 0.16, 0.04};
+        p.memory.fracStack = 0.4;
+        p.memory.fracStride = 0.56;
+        p.memory.fracRandom = 0.04;
+        p.memory.randomRegionBytes = 1536 * 1024;
+        p.codeFootprintBytes = 48 * 1024;
+        v.push_back(p);
+    }
+    {
+        // lucas: FFTs over a huge working set; the paper's second
+        // stall-heavy outlier alongside mcf.
+        Profile p = makeProfile("lucas", true, kLucasMix);
+        p.deps = {0.40, 0.58, 0.20, 40};
+        p.branches = {0.64, 0.18, 0.16, 0.02};
+        p.memory.fracStack = 0.3;
+        p.memory.fracStride = 0.63;
+        p.memory.fracRandom = 0.07;
+        p.memory.randomRegionBytes = Addr{96} * 1024 * 1024;  // DRAM
+        p.codeFootprintBytes = 24 * 1024;
+        p.numStaticBranches = 64;
+        v.push_back(p);
+    }
+    {
+        // apsi: meteorology code, balanced FP mix.
+        Profile p = makeProfile("apsi", true, kApsiMix);
+        p.deps = {0.52, 0.56, 0.09, 48};
+        p.branches = {0.60, 0.20, 0.17, 0.03};
+        p.memory.fracStack = 0.35;
+        p.memory.fracStride = 0.62;
+        p.memory.fracRandom = 0.03;
+        p.memory.randomRegionBytes = 1536 * 1024;
+        p.codeFootprintBytes = 56 * 1024;
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<Profile>
+specIntProfiles()
+{
+    return buildIntProfiles();
+}
+
+std::vector<Profile>
+specFpProfiles()
+{
+    return buildFpProfiles();
+}
+
+std::vector<Profile>
+allSpecProfiles()
+{
+    auto v = buildIntProfiles();
+    auto fp = buildFpProfiles();
+    v.insert(v.end(), fp.begin(), fp.end());
+    return v;
+}
+
+Profile
+profileByName(const std::string &name)
+{
+    for (const auto &p : allSpecProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+std::vector<std::string>
+allSpecNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allSpecProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace dcg

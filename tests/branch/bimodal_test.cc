@@ -1,0 +1,109 @@
+/** Tests for the bimodal predictor and the hybrid facade mode. */
+
+#include <gtest/gtest.h>
+
+#include "branch/bimodal.hh"
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace dcg;
+
+TEST(Bimodal, LearnsBiasQuickly)
+{
+    BimodalPredictor p;
+    p.update(0x1000, true);
+    p.update(0x1000, true);
+    EXPECT_TRUE(p.predict(0x1000));
+    p.update(0x2000, false);
+    EXPECT_FALSE(p.predict(0x2000));
+}
+
+TEST(Bimodal, SaturatingCountersResistNoise)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 10; ++i)
+        p.update(0x1000, true);
+    // One not-taken blip must not flip a saturated counter.
+    p.update(0x1000, false);
+    EXPECT_TRUE(p.predict(0x1000));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    // The structural weakness the 2-level predictor fixes.
+    BimodalPredictor p;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i % 2) == 0;
+        if (i > 200)
+            correct += p.predict(0x3000) == taken;
+        p.update(0x3000, taken);
+    }
+    EXPECT_LT(correct / 1800.0, 0.7);
+}
+
+TEST(Bimodal, BadGeometryDies)
+{
+    EXPECT_DEATH(BimodalPredictor(1000), "power of two");
+}
+
+namespace {
+
+double
+facadeAccuracy(DirectionKind kind, unsigned period)
+{
+    StatRegistry stats;
+    BranchPredictorConfig cfg;
+    cfg.kind = kind;
+    BranchPredictor bp(cfg, stats);
+    int correct = 0, total = 0;
+    for (int i = 0; i < 8000; ++i) {
+        const bool taken = (i % period) != (period - 1);
+        const auto pred = bp.predict(0x4000);
+        const bool ok = bp.resolve(0x4000, pred, taken, 0x5000);
+        if (i > 1000) {
+            ++total;
+            correct += ok;
+        }
+    }
+    return static_cast<double>(correct) / total;
+}
+
+} // namespace
+
+TEST(HybridPredictor, BeatsBimodalOnLoopPatterns)
+{
+    const double hybrid = facadeAccuracy(DirectionKind::Hybrid, 4);
+    const double bimodal = facadeAccuracy(DirectionKind::Bimodal, 4);
+    EXPECT_GT(hybrid, 0.9);
+    EXPECT_GT(hybrid, bimodal + 0.1);
+}
+
+TEST(HybridPredictor, MatchesTwoLevelWhenPatternsDominate)
+{
+    const double hybrid = facadeAccuracy(DirectionKind::Hybrid, 6);
+    const double twolevel = facadeAccuracy(DirectionKind::TwoLevel, 6);
+    EXPECT_NEAR(hybrid, twolevel, 0.05);
+}
+
+TEST(HybridPredictor, AllKindsHandleBiasedBranches)
+{
+    for (DirectionKind k : {DirectionKind::TwoLevel,
+                            DirectionKind::Bimodal,
+                            DirectionKind::Hybrid}) {
+        StatRegistry stats;
+        BranchPredictorConfig cfg;
+        cfg.kind = k;
+        BranchPredictor bp(cfg, stats);
+        Rng rng(11);
+        int correct = 0;
+        for (int i = 0; i < 4000; ++i) {
+            const bool taken = rng.bernoulli(0.98);
+            const auto pred = bp.predict(0x1000);
+            correct += bp.resolve(0x1000, pred, taken, 0x2000);
+        }
+        EXPECT_GT(correct / 4000.0, 0.9)
+            << "kind " << static_cast<int>(k);
+    }
+}

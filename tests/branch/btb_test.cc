@@ -1,0 +1,64 @@
+/** Tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+
+using namespace dcg;
+
+TEST(Btb, MissOnColdLookup)
+{
+    Btb btb;
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    const auto t = btb.lookup(0x1000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb;
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    // 8-entry, 2-way: 4 sets. PCs 4 sets apart (<<2 in index) collide.
+    Btb btb(8, 2);
+    const Addr stride = 4 * 4;  // pc>>2 % 4 selects the set
+    btb.update(0x1000, 1);
+    btb.update(0x1000 + stride, 2);
+    // Touch the first entry so the second becomes LRU.
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000 + 2 * stride, 3);  // evicts LRU (the second)
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+    EXPECT_FALSE(btb.lookup(0x1000 + stride).has_value());
+    EXPECT_TRUE(btb.lookup(0x1000 + 2 * stride).has_value());
+}
+
+TEST(Btb, ManyBranchesInLargeBtb)
+{
+    Btb btb(8192, 4);
+    for (Addr pc = 0x1000; pc < 0x1000 + 4000 * 4; pc += 4)
+        btb.update(pc, pc + 0x100);
+    int hits = 0;
+    for (Addr pc = 0x1000; pc < 0x1000 + 4000 * 4; pc += 4) {
+        const auto t = btb.lookup(pc);
+        if (t && *t == pc + 0x100)
+            ++hits;
+    }
+    EXPECT_EQ(hits, 4000);  // 4000 branches fit easily in 8192 entries
+}
+
+TEST(Btb, BadGeometryDies)
+{
+    EXPECT_DEATH(Btb(10, 4), "evenly");
+}

@@ -1,0 +1,94 @@
+/** Tests for the branch-predictor facade (direction + BTB). */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace dcg;
+
+namespace {
+
+struct Harness
+{
+    StatRegistry stats;
+    BranchPredictor bp{BranchPredictorConfig{}, stats};
+};
+
+} // namespace
+
+TEST(BranchPredictor, WarmTakenBranchFullyCorrect)
+{
+    Harness h;
+    // Warm both direction and BTB.
+    for (int i = 0; i < 100; ++i) {
+        const auto pred = h.bp.predict(0x1000);
+        h.bp.resolve(0x1000, pred, true, 0x2000);
+    }
+    const auto pred = h.bp.predict(0x1000);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, 0x2000u);
+    EXPECT_TRUE(h.bp.resolve(0x1000, pred, true, 0x2000));
+}
+
+TEST(BranchPredictor, TakenWithoutBtbTargetIsIncorrect)
+{
+    Harness h;
+    // Train direction only via a not-taken history... direction will
+    // predict not-taken; force the case: prediction says taken but BTB
+    // is cold -> counted as a BTB miss and an incorrect prediction.
+    BranchPrediction fake;
+    fake.taken = true;
+    fake.btbHit = false;
+    EXPECT_FALSE(h.bp.resolve(0x4000, fake, true, 0x5000));
+    EXPECT_EQ(h.stats.lookup("bpred.btb_misses"), 1.0);
+}
+
+TEST(BranchPredictor, WrongTargetIsIncorrect)
+{
+    Harness h;
+    BranchPrediction fake;
+    fake.taken = true;
+    fake.btbHit = true;
+    fake.target = 0x9999;
+    EXPECT_FALSE(h.bp.resolve(0x4000, fake, true, 0x5000));
+}
+
+TEST(BranchPredictor, NotTakenNeedsNoTarget)
+{
+    Harness h;
+    // Correctly predicted not-taken is correct regardless of the BTB.
+    for (int i = 0; i < 50; ++i) {
+        const auto pred = h.bp.predict(0x3000);
+        h.bp.resolve(0x3000, pred, false, 0);
+    }
+    const auto pred = h.bp.predict(0x3000);
+    EXPECT_FALSE(pred.taken);
+    EXPECT_TRUE(h.bp.resolve(0x3000, pred, false, 0));
+}
+
+TEST(BranchPredictor, AccuracyTracksMixedStream)
+{
+    Harness h;
+    Rng rng(7);
+    // 90% taken branch with stable target: accuracy should approach
+    // ~90% (mispredicts on the 10% noise).
+    for (int i = 0; i < 20000; ++i) {
+        const bool taken = rng.bernoulli(0.9);
+        const auto pred = h.bp.predict(0x1000);
+        h.bp.resolve(0x1000, pred, taken, 0x8000);
+    }
+    EXPECT_GT(h.bp.accuracy(), 0.80);
+    EXPECT_LT(h.bp.accuracy(), 0.97);
+}
+
+TEST(BranchPredictor, StatsCountersWired)
+{
+    Harness h;
+    const auto pred = h.bp.predict(0x1000);
+    h.bp.resolve(0x1000, pred, !pred.taken, 0x2000);
+    EXPECT_EQ(h.stats.lookup("bpred.lookups"), 1.0);
+    EXPECT_EQ(h.stats.lookup("bpred.dir_mispredicts"), 1.0);
+}

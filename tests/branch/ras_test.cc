@@ -1,0 +1,60 @@
+/** Tests for the return-address stack. */
+
+#include <gtest/gtest.h>
+
+#include "branch/ras.hh"
+
+using namespace dcg;
+
+TEST(Ras, PushPopLifo)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    Ras ras(4);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, TopPeeksWithoutPopping)
+{
+    Ras ras(4);
+    ras.push(0xabc);
+    EXPECT_EQ(ras.top(), 0xabcu);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(Ras, OverflowWrapsCircularly)
+{
+    Ras ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);  // overwrites the oldest (1)
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, CapacityReported)
+{
+    Ras ras(32);
+    EXPECT_EQ(ras.capacity(), 32u);
+}
+
+TEST(Ras, DeepCallChain)
+{
+    Ras ras(32);
+    for (Addr a = 1; a <= 32; ++a)
+        ras.push(a * 16);
+    for (Addr a = 32; a >= 1; --a)
+        EXPECT_EQ(ras.pop(), a * 16);
+}

@@ -1,0 +1,100 @@
+/** Tests for the two-level direction predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/two_level.hh"
+#include "common/rng.hh"
+
+using namespace dcg;
+
+TEST(TwoLevel, LearnsAlwaysTaken)
+{
+    TwoLevelPredictor p;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        correct += p.predict(0x1000) == true;
+        p.update(0x1000, true);
+    }
+    EXPECT_GT(correct, 980);
+}
+
+TEST(TwoLevel, LearnsAlwaysNotTaken)
+{
+    TwoLevelPredictor p;
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        correct += p.predict(0x2000) == false;
+        p.update(0x2000, false);
+    }
+    EXPECT_GT(correct, 990);
+}
+
+TEST(TwoLevel, LearnsAlternatingPattern)
+{
+    TwoLevelPredictor p;
+    int correct = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = (i % 2) == 0;
+        if (i > 200)
+            correct += p.predict(0x3000) == taken;
+        p.update(0x3000, taken);
+    }
+    EXPECT_GT(correct, 1750);  // near-perfect after warm-up
+}
+
+TEST(TwoLevel, LearnsLoopPattern)
+{
+    // Period-6 loop: T T T T T N repeated.
+    TwoLevelPredictor p;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const bool taken = (i % 6) != 5;
+        if (i > 600) {
+            ++total;
+            correct += p.predict(0x4000) == taken;
+        }
+        p.update(0x4000, taken);
+    }
+    EXPECT_GT(correct / static_cast<double>(total), 0.95);
+}
+
+TEST(TwoLevel, RandomBranchNearChance)
+{
+    TwoLevelPredictor p;
+    Rng rng(5);
+    int correct = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = rng.bernoulli(0.5);
+        correct += p.predict(0x5000) == taken;
+        p.update(0x5000, taken);
+    }
+    EXPECT_NEAR(correct / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(TwoLevel, IndependentBranchesDoNotShareHistory)
+{
+    TwoLevelPredictor p;
+    // Branch A always taken; branch B always not-taken. Interleaved
+    // training must keep both learned.
+    for (int i = 0; i < 500; ++i) {
+        p.update(0x1000, true);
+        p.update(0x2004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x2004));
+}
+
+TEST(TwoLevel, ConfigurableGeometry)
+{
+    TwoLevelPredictor p(1024, 2048, 8);
+    EXPECT_EQ(p.historyBits(), 8u);
+    for (int i = 0; i < 200; ++i)
+        p.update(0x1234, true);
+    EXPECT_TRUE(p.predict(0x1234));
+}
+
+TEST(TwoLevel, NonPowerOfTwoTableDies)
+{
+    EXPECT_DEATH(TwoLevelPredictor(1000, 8192, 12), "powers of two");
+}

@@ -1,0 +1,61 @@
+/** Tests for the Table-1 memory hierarchy composition. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+using namespace dcg;
+
+TEST(Hierarchy, Table1Defaults)
+{
+    StatRegistry stats;
+    MemoryHierarchy m(HierarchyConfig{}, stats);
+    EXPECT_EQ(m.dcache().geometry().sizeBytes, 64u * 1024);
+    EXPECT_EQ(m.dcache().geometry().assoc, 2u);
+    EXPECT_EQ(m.dcache().geometry().hitLatency, 2u);
+    EXPECT_EQ(m.l2cache().geometry().sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(m.l2cache().geometry().assoc, 8u);
+    EXPECT_EQ(m.l2cache().geometry().hitLatency, 12u);
+    EXPECT_EQ(m.memory().latency(), 100u);
+}
+
+TEST(Hierarchy, MissLatencyComposesThroughLevels)
+{
+    StatRegistry stats;
+    MemoryHierarchy m(HierarchyConfig{}, stats);
+    // Cold D-cache access: L1(2) + L2(12) + mem(100).
+    EXPECT_EQ(m.dcache().access(0x10000, false, 0), 114u);
+    // L2 now holds the line; a conflicting L1 miss pays L1 + L2 only.
+    // (Same line, well after the fill, from the L1's view it's a hit.)
+    EXPECT_EQ(m.dcache().access(0x10000, false, 1000), 2u);
+}
+
+TEST(Hierarchy, L2SharedBetweenL1s)
+{
+    StatRegistry stats;
+    MemoryHierarchy m(HierarchyConfig{}, stats);
+    // An I-fetch pulls the line into the (shared) L2...
+    m.icache().access(0x40000, false, 0);
+    // ...so the D-side miss to the same line stops at the L2.
+    const Cycle lat = m.dcache().access(0x40000, false, 1000);
+    EXPECT_EQ(lat, 2u + 12u);
+}
+
+TEST(Hierarchy, SeparateL1sDoNotInterfere)
+{
+    StatRegistry stats;
+    MemoryHierarchy m(HierarchyConfig{}, stats);
+    m.dcache().access(0x20000, false, 0);
+    EXPECT_TRUE(m.dcache().contains(0x20000));
+    EXPECT_FALSE(m.icache().contains(0x20000));
+}
+
+TEST(Hierarchy, CustomConfigRespected)
+{
+    StatRegistry stats;
+    HierarchyConfig cfg;
+    cfg.memLatency = 250;
+    cfg.l1d.hitLatency = 3;
+    MemoryHierarchy m(cfg, stats);
+    EXPECT_EQ(m.dcache().access(0x0, false, 0), 3u + 12u + 250u);
+}

@@ -1,0 +1,75 @@
+/** Tests for the fixed-latency delay line. */
+
+#include <gtest/gtest.h>
+
+#include "common/delay_queue.hh"
+
+using namespace dcg;
+
+TEST(DelayQueue, DepthOneIsOneCycleDelay)
+{
+    DelayQueue<int> q(1, 0);
+    EXPECT_EQ(q.tick(5), 0);  // idle value first
+    EXPECT_EQ(q.tick(6), 5);
+    EXPECT_EQ(q.tick(7), 6);
+}
+
+TEST(DelayQueue, DepthThreeDelaysByThree)
+{
+    DelayQueue<int> q(3, -1);
+    EXPECT_EQ(q.tick(10), -1);
+    EXPECT_EQ(q.tick(11), -1);
+    EXPECT_EQ(q.tick(12), -1);
+    EXPECT_EQ(q.tick(13), 10);
+    EXPECT_EQ(q.tick(14), 11);
+}
+
+TEST(DelayQueue, FrontPeeksWithoutConsuming)
+{
+    DelayQueue<int> q(2, 0);
+    q.tick(1);
+    q.tick(2);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.tick(3), 1);
+}
+
+TEST(DelayQueue, FlushRefills)
+{
+    DelayQueue<int> q(2, 0);
+    q.tick(1);
+    q.tick(2);
+    q.flush(9);
+    EXPECT_EQ(q.tick(3), 9);
+    EXPECT_EQ(q.tick(4), 9);
+    EXPECT_EQ(q.tick(5), 3);
+}
+
+TEST(DelayQueue, WorksWithStructs)
+{
+    struct Grant { unsigned mask; };
+    DelayQueue<Grant> q(2, Grant{0});
+    q.tick(Grant{0x3});
+    q.tick(Grant{0x5});
+    EXPECT_EQ(q.tick(Grant{0}).mask, 0x3u);
+    EXPECT_EQ(q.tick(Grant{0}).mask, 0x5u);
+}
+
+TEST(DelayQueue, DepthAccessor)
+{
+    DelayQueue<int> q(4, 0);
+    EXPECT_EQ(q.depth(), 4u);
+}
+
+/** A delay line models the paper's piped GRANT signals: the value the
+ *  issue stage writes in cycle X emerges exactly depth cycles later. */
+TEST(DelayQueue, LongStreamKeepsOrdering)
+{
+    DelayQueue<int> q(5, 0);
+    for (int i = 1; i <= 100; ++i) {
+        const int out = q.tick(i);
+        if (i <= 5)
+            EXPECT_EQ(out, 0);
+        else
+            EXPECT_EQ(out, i - 5);
+    }
+}

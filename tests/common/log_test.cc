@@ -1,0 +1,37 @@
+/** Tests for the gem5-style logging/termination helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+using namespace dcg;
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 42, " broken"), "invariant 42");
+}
+
+TEST(Log, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config: ", "x"),
+                ::testing::ExitedWithCode(1), "bad config: x");
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning ", 1);
+    inform("status ", 2.5);
+    SUCCEED();
+}
+
+TEST(Log, AssertPassesOnTrue)
+{
+    DCG_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Log, AssertDiesWithLocationAndMessage)
+{
+    EXPECT_DEATH(DCG_ASSERT(false, "context ", 7),
+                 "assertion.*failed.*context 7");
+}

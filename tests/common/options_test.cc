@@ -1,0 +1,79 @@
+/** Tests for the command-line option helper. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/options.hh"
+
+using namespace dcg;
+
+namespace {
+
+Options
+parse(std::vector<const char *> args, std::set<std::string> known)
+{
+    args.insert(args.begin(), "prog");
+    return Options(static_cast<int>(args.size()),
+                   const_cast<char **>(args.data()), known);
+}
+
+} // namespace
+
+TEST(Options, ParsesKeyValue)
+{
+    Options o = parse({"--bench=mcf", "--insts=5000"}, {"bench", "insts"});
+    EXPECT_EQ(o.getString("bench", ""), "mcf");
+    EXPECT_EQ(o.getInt("insts", 0), 5000);
+}
+
+TEST(Options, BareFlagIsTrue)
+{
+    Options o = parse({"--verbose"}, {"verbose"});
+    EXPECT_TRUE(o.has("verbose"));
+    EXPECT_TRUE(o.getBool("verbose", false));
+}
+
+TEST(Options, DefaultsWhenAbsent)
+{
+    Options o = parse({}, {"x"});
+    EXPECT_EQ(o.getString("x", "d"), "d");
+    EXPECT_EQ(o.getInt("x", 7), 7);
+    EXPECT_DOUBLE_EQ(o.getDouble("x", 1.5), 1.5);
+    EXPECT_TRUE(o.getBool("x", true));
+}
+
+TEST(Options, DoubleParsing)
+{
+    Options o = parse({"--scale=2.5"}, {"scale"});
+    EXPECT_DOUBLE_EQ(o.getDouble("scale", 0.0), 2.5);
+}
+
+TEST(Options, BoolFalseSpellings)
+{
+    Options o = parse({"--a=0", "--b=false", "--c=1"}, {"a", "b", "c"});
+    EXPECT_FALSE(o.getBool("a", true));
+    EXPECT_FALSE(o.getBool("b", true));
+    EXPECT_TRUE(o.getBool("c", false));
+}
+
+TEST(Options, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parse({"--nope=1"}, {"yes"}),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(Options, NonOptionArgumentIsFatal)
+{
+    EXPECT_EXIT(parse({"positional"}, {"x"}),
+                ::testing::ExitedWithCode(1), "expected --key=value");
+}
+
+TEST(Options, EnvIntReadsEnvironment)
+{
+    ::setenv("DCG_TEST_ENV_INT", "123", 1);
+    EXPECT_EQ(Options::envInt("DCG_TEST_ENV_INT", 0), 123);
+    ::unsetenv("DCG_TEST_ENV_INT");
+    EXPECT_EQ(Options::envInt("DCG_TEST_ENV_INT", 55), 55);
+}

@@ -1,0 +1,166 @@
+/** Tests for the deterministic PRNG and discrete sampling. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace dcg;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    // SplitMix expansion must not produce the degenerate all-zero state.
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 16; ++i)
+        acc |= r.next();
+    EXPECT_NE(acc, 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.uniformInt(3, 10);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 10u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 10;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng r(19);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.geometric(p);
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricHonoursCap)
+{
+    Rng r(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(r.geometric(0.01, 5), 5u);
+}
+
+TEST(Rng, GeometricPEqualOneIsZero)
+{
+    Rng r(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(DiscreteSampler, RespectsWeights)
+{
+    Rng r(31);
+    DiscreteSampler s({1.0, 3.0, 0.0, 6.0});
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[s.sample(r)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(DiscreteSampler, ProbabilityAccessorsNormalised)
+{
+    DiscreteSampler s({2.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(s.probability(1), 0.25);
+    EXPECT_DOUBLE_EQ(s.probability(2), 0.5);
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(DiscreteSampler, SingleBucketAlwaysSampled)
+{
+    Rng r(37);
+    DiscreteSampler s({42.0});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(s.sample(r), 0u);
+}

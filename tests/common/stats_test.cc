@@ -1,0 +1,120 @@
+/** Tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace dcg;
+
+TEST(Stats, CounterBasics)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("a.count", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_DOUBLE_EQ(reg.lookup("a.count"), 7.0);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatRegistry reg;
+    Scalar &s = reg.scalar("e", "energy");
+    s += 1.5;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(1.0);
+    EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatRegistry reg;
+    Average &a = reg.average("m", "mean");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Stats, DistributionBucketsAndOverflow)
+{
+    StatRegistry reg;
+    Distribution &d = reg.distribution("d", "dist", 4);
+    d.sample(0);
+    d.sample(3);
+    d.sample(3);
+    d.sample(9);  // overflow bucket
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(3), 2u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_NEAR(d.mean(), (0 + 3 + 3 + 9) / 4.0, 1e-9);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("n", "count");
+    Formula &f = reg.formula("twice", "2n");
+    f.define([&]() { return 2.0 * static_cast<double>(c.value()); });
+    c += 10;
+    EXPECT_DOUBLE_EQ(f.value(), 20.0);
+    c += 10;
+    EXPECT_DOUBLE_EQ(reg.lookup("twice"), 40.0);
+}
+
+TEST(Stats, DuplicateNameDies)
+{
+    StatRegistry reg;
+    reg.counter("dup", "first");
+    EXPECT_DEATH(reg.counter("dup", "second"), "duplicate");
+}
+
+TEST(Stats, LookupMissingReturnsZero)
+{
+    StatRegistry reg;
+    EXPECT_DOUBLE_EQ(reg.lookup("nope"), 0.0);
+    EXPECT_FALSE(reg.contains("nope"));
+}
+
+TEST(Stats, ResetAllClearsValues)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("c", "x");
+    Scalar &s = reg.scalar("s", "x");
+    Average &a = reg.average("a", "x");
+    c += 3;
+    s += 2.0;
+    a.sample(5.0);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndDescriptions)
+{
+    StatRegistry reg;
+    reg.counter("core.cycles", "simulated cycles") += 12;
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core.cycles"), std::string::npos);
+    EXPECT_NE(out.find("simulated cycles"), std::string::npos);
+    EXPECT_NE(out.find("12"), std::string::npos);
+}
+
+TEST(Stats, SizeCountsEntries)
+{
+    StatRegistry reg;
+    reg.counter("a", "");
+    reg.scalar("b", "");
+    reg.formula("c", "");
+    EXPECT_EQ(reg.size(), 3u);
+}

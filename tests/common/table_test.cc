@@ -1,0 +1,50 @@
+/** Tests for the text-table printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+using namespace dcg;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchDies)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, NumFormatsDecimals)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctScalesFraction)
+{
+    EXPECT_EQ(TextTable::pct(0.199), "19.9");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100");
+}
+
+TEST(TextTable, EmptyTableStillPrintsHeader)
+{
+    TextTable t({"col"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("col"), std::string::npos);
+}

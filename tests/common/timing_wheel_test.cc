@@ -1,0 +1,93 @@
+/** Tests for the timing wheel (short-horizon event scheduler). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/timing_wheel.hh"
+
+using namespace dcg;
+
+TEST(TimingWheel, DeliversAtExactDelay)
+{
+    TimingWheel<int> w(16);
+    w.schedule(3, 42);
+    EXPECT_TRUE(w.advance().empty());   // cycle 1
+    EXPECT_TRUE(w.advance().empty());   // cycle 2
+    const auto &due = w.advance();      // cycle 3
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 42);
+}
+
+TEST(TimingWheel, MultipleEventsSameCycle)
+{
+    TimingWheel<int> w(16);
+    w.schedule(2, 1);
+    w.schedule(2, 2);
+    w.schedule(2, 3);
+    w.advance();
+    const auto &due = w.advance();
+    EXPECT_EQ(due.size(), 3u);
+}
+
+TEST(TimingWheel, OverflowBeyondHorizonStillDelivered)
+{
+    TimingWheel<int> w(8);
+    w.schedule(20, 99);  // beyond the 8-slot horizon
+    for (int i = 0; i < 19; ++i)
+        EXPECT_TRUE(w.advance().empty()) << "cycle " << i;
+    const auto &due = w.advance();
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 99);
+}
+
+TEST(TimingWheel, PendingCountTracksScheduleAndDelivery)
+{
+    TimingWheel<int> w(8);
+    w.schedule(1, 1);
+    w.schedule(5, 2);
+    w.schedule(30, 3);
+    EXPECT_EQ(w.pendingEvents(), 3u);
+    w.advance();
+    EXPECT_EQ(w.pendingEvents(), 2u);
+}
+
+TEST(TimingWheel, ZeroDelayDies)
+{
+    TimingWheel<int> w(8);
+    EXPECT_DEATH(w.schedule(0, 1), "current cycle");
+}
+
+/** Property: random schedules always pop exactly at their delay. */
+TEST(TimingWheel, PropertyRandomSchedulesDeliverOnTime)
+{
+    Rng rng(123);
+    TimingWheel<std::pair<Cycle, int>> w(64);
+    std::multimap<Cycle, int> expect;
+    int next_id = 0;
+    Cycle now = 0;
+
+    for (int step = 0; step < 20000; ++step) {
+        // Schedule 0-2 events with random delays (some beyond horizon).
+        const unsigned k = static_cast<unsigned>(rng.nextBounded(3));
+        for (unsigned i = 0; i < k; ++i) {
+            const Cycle delay = 1 + rng.nextBounded(200);
+            w.schedule(delay, {now + delay, next_id});
+            expect.emplace(now + delay, next_id);
+            ++next_id;
+        }
+        const auto &due = w.advance();
+        ++now;
+        const auto range = expect.equal_range(now);
+        const auto want =
+            static_cast<std::size_t>(std::distance(range.first,
+                                                   range.second));
+        ASSERT_EQ(due.size(), want) << "at cycle " << now;
+        for (const auto &[due_cycle, id] : due)
+            EXPECT_EQ(due_cycle, now);
+        expect.erase(range.first, range.second);
+    }
+}

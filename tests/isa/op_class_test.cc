@@ -1,0 +1,89 @@
+/** Tests for the micro-op class/latency model. */
+
+#include <gtest/gtest.h>
+
+#include "isa/micro_op.hh"
+#include "isa/op_class.hh"
+
+using namespace dcg;
+
+TEST(OpClass, LatenciesMatchSimpleScalarDefaults)
+{
+    EXPECT_EQ(opTiming(OpClass::IntAlu).latency, 1u);
+    EXPECT_EQ(opTiming(OpClass::IntMult).latency, 3u);
+    EXPECT_EQ(opTiming(OpClass::IntDiv).latency, 20u);
+    EXPECT_EQ(opTiming(OpClass::FpAlu).latency, 2u);
+    EXPECT_EQ(opTiming(OpClass::FpMult).latency, 4u);
+    EXPECT_EQ(opTiming(OpClass::FpDiv).latency, 12u);
+}
+
+TEST(OpClass, UnpipelinedUnitsHaveLongIssueRate)
+{
+    EXPECT_GT(opTiming(OpClass::IntDiv).issueRate, 1u);
+    EXPECT_GT(opTiming(OpClass::FpDiv).issueRate, 1u);
+    EXPECT_EQ(opTiming(OpClass::IntAlu).issueRate, 1u);
+    EXPECT_EQ(opTiming(OpClass::FpMult).issueRate, 1u);
+}
+
+TEST(OpClass, FuMappingFollowsTable1Pools)
+{
+    EXPECT_EQ(opFuType(OpClass::IntAlu), FuType::IntAluUnit);
+    EXPECT_EQ(opFuType(OpClass::IntMult), FuType::IntMulDivUnit);
+    EXPECT_EQ(opFuType(OpClass::IntDiv), FuType::IntMulDivUnit);
+    EXPECT_EQ(opFuType(OpClass::FpAlu), FuType::FpAluUnit);
+    EXPECT_EQ(opFuType(OpClass::FpMult), FuType::FpMulDivUnit);
+    EXPECT_EQ(opFuType(OpClass::FpDiv), FuType::FpMulDivUnit);
+    // Loads/stores do AGEN on the integer ALUs (sim-outorder style).
+    EXPECT_EQ(opFuType(OpClass::Load), FuType::IntAluUnit);
+    EXPECT_EQ(opFuType(OpClass::Store), FuType::IntAluUnit);
+    EXPECT_EQ(opFuType(OpClass::Branch), FuType::IntAluUnit);
+}
+
+TEST(OpClass, MemOpsIdentified)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_FALSE(isMemOp(OpClass::Branch));
+}
+
+TEST(OpClass, ResultWritersExcludeStoresAndBranches)
+{
+    EXPECT_TRUE(writesResult(OpClass::IntAlu));
+    EXPECT_TRUE(writesResult(OpClass::Load));
+    EXPECT_TRUE(writesResult(OpClass::FpDiv));
+    EXPECT_FALSE(writesResult(OpClass::Store));
+    EXPECT_FALSE(writesResult(OpClass::Branch));
+}
+
+TEST(OpClass, FpClassesIdentified)
+{
+    EXPECT_TRUE(isFpOp(OpClass::FpAlu));
+    EXPECT_TRUE(isFpOp(OpClass::FpMult));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::IntMult));
+    EXPECT_FALSE(isFpOp(OpClass::Load));
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    for (unsigned i = 0; i < kNumOpClasses; ++i) {
+        for (unsigned j = i + 1; j < kNumOpClasses; ++j) {
+            EXPECT_STRNE(opClassName(static_cast<OpClass>(i)),
+                         opClassName(static_cast<OpClass>(j)));
+        }
+    }
+}
+
+TEST(MicroOp, PredicatesFollowClass)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isBranch());
+    op.cls = OpClass::Branch;
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_FALSE(op.isMem());
+}

@@ -1,0 +1,93 @@
+/** Tests for the per-cycle activity record and the future ledger. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/activity.hh"
+
+using namespace dcg;
+
+TEST(ActivityWheel, AdvanceReturnsScheduledRecord)
+{
+    ActivityWheel w(256);
+    w.at(3, 1).dcachePortsUsed = 2;
+    w.advance();  // cycle 1
+    w.advance();  // cycle 2
+    const CycleActivity &a = w.advance();  // cycle 3
+    EXPECT_EQ(a.dcachePortsUsed, 2u);
+}
+
+TEST(ActivityWheel, LeavingACycleRecyclesItsSlot)
+{
+    ActivityWheel w(256);
+    w.current().issued = 5;
+    w.advance();
+    // Wrap all the way around: the old cycle-0 slot must be clean.
+    for (unsigned i = 0; i < 255; ++i)
+        w.advance();
+    EXPECT_EQ(w.current().issued, 0u);
+}
+
+TEST(ActivityWheel, InsufficientNoticeDies)
+{
+    ActivityWheel w(256);
+    w.advance();
+    // Scheduling "now" with a 2-cycle notice requirement violates the
+    // advance-knowledge contract.
+    EXPECT_DEATH(w.at(w.cycle(), 2), "advance notice");
+}
+
+TEST(ActivityWheel, BeyondHorizonDies)
+{
+    ActivityWheel w(256);
+    EXPECT_DEATH(w.at(300, 0), "horizon");
+}
+
+TEST(ActivityWheel, MarkFuBusySetsMaskOverWindow)
+{
+    ActivityWheel w(256);
+    w.markFuBusy(FuType::IntAluUnit, 2, 4, 7, 2);  // busy cycles 4,5,6
+    for (unsigned c = 1; c <= 8; ++c) {
+        const CycleActivity &a = w.advance();
+        const bool busy =
+            a.fuBusyMask[static_cast<unsigned>(FuType::IntAluUnit)] &
+            (1u << 2);
+        EXPECT_EQ(busy, c >= 4 && c <= 6) << "cycle " << c;
+    }
+}
+
+TEST(ActivityWheel, MarkFuBusyCountsOneStart)
+{
+    ActivityWheel w(256);
+    w.markFuBusy(FuType::FpAluUnit, 0, 3, 5, 1);
+    w.advance();
+    w.advance();
+    const CycleActivity &a = w.advance();
+    EXPECT_EQ(a.fuStarts[static_cast<unsigned>(FuType::FpAluUnit)], 1u);
+}
+
+TEST(CycleActivity, FuBusyCountPopcounts)
+{
+    CycleActivity a;
+    a.fuBusyMask[0] = 0b101101;
+    EXPECT_EQ(a.fuBusyCount(FuType::IntAluUnit), 4u);
+}
+
+TEST(CycleActivity, BumpLatchFluxSaturatesAtWidth)
+{
+    CycleActivity a;
+    for (int i = 0; i < 20; ++i)
+        a.bumpLatchFlux(LatchPhase::MemOut, 8);
+    EXPECT_EQ(a.latchFlux[static_cast<unsigned>(LatchPhase::MemOut)], 8u);
+}
+
+TEST(CycleActivity, ResetClearsEverything)
+{
+    CycleActivity a;
+    a.issued = 3;
+    a.fuBusyMask[1] = 0xff;
+    a.latchFlux[2] = 4;
+    a.reset();
+    EXPECT_EQ(a.issued, 0u);
+    EXPECT_EQ(a.fuBusyMask[1], 0u);
+    EXPECT_EQ(a.latchFlux[2], 0u);
+}

@@ -1,0 +1,94 @@
+/** Tests for pipeline depth/latch-phase configuration. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/config.hh"
+
+using namespace dcg;
+
+TEST(DepthConfig, DefaultIsEightStages)
+{
+    DepthConfig d;
+    EXPECT_EQ(d.totalStages(), 8u);
+}
+
+TEST(DepthConfig, DeepPipelineIsTwentyStages)
+{
+    EXPECT_EQ(deepPipeline().totalStages(), 20u);
+}
+
+TEST(DepthConfig, GroupsPerPhaseSumToStagesMinusExec)
+{
+    for (const DepthConfig d : {DepthConfig{}, deepPipeline()}) {
+        unsigned groups = 0;
+        for (unsigned p = 0; p < kNumLatchPhases; ++p)
+            groups += d.groupsFor(static_cast<LatchPhase>(p));
+        // Every stage boundary has one latch group; the execute stage
+        // contributes its own output group (ExecOut), so groups ==
+        // totalStages.
+        EXPECT_EQ(groups, d.totalStages());
+    }
+}
+
+TEST(LatchPhase, GateabilityFollowsPaperSection22)
+{
+    // Not gateable: fetch-out, decode-out (pre-rename knowledge) and
+    // issue-out (no setup time) — Figure 3's cross marks.
+    EXPECT_FALSE(latchPhaseGateable(LatchPhase::FetchOut));
+    EXPECT_FALSE(latchPhaseGateable(LatchPhase::DecodeOut));
+    EXPECT_FALSE(latchPhaseGateable(LatchPhase::IssueOut));
+    // Gateable: end of rename, register read, execute, memory, wb
+    // (Sec 3.2).
+    EXPECT_TRUE(latchPhaseGateable(LatchPhase::RenameOut));
+    EXPECT_TRUE(latchPhaseGateable(LatchPhase::ReadOut));
+    EXPECT_TRUE(latchPhaseGateable(LatchPhase::ExecOut));
+    EXPECT_TRUE(latchPhaseGateable(LatchPhase::MemOut));
+    EXPECT_TRUE(latchPhaseGateable(LatchPhase::WbOut));
+}
+
+TEST(LatchPhase, NamesDistinct)
+{
+    for (unsigned i = 0; i < kNumLatchPhases; ++i) {
+        for (unsigned j = i + 1; j < kNumLatchPhases; ++j) {
+            EXPECT_STRNE(latchPhaseName(static_cast<LatchPhase>(i)),
+                         latchPhaseName(static_cast<LatchPhase>(j)));
+        }
+    }
+}
+
+TEST(PipeTiming, DefaultOffsetsMatchPaperFigures)
+{
+    CoreConfig cfg;
+    PipeTiming t(cfg);
+    EXPECT_EQ(t.fetchToRename, 2u);
+    EXPECT_EQ(t.renameToSelect, 2u);
+    // Figure 6: selected at X, register read X+1, execute X+2.
+    EXPECT_EQ(t.selectToExec, 2u);
+    // Sec 3.4: executed in X -> writeback X+2.
+    EXPECT_EQ(t.execToWb, 2u);
+}
+
+TEST(PipeTiming, DeepPipelineStretchesFrontEnd)
+{
+    CoreConfig cfg;
+    cfg.depth = deepPipeline();
+    PipeTiming t(cfg);
+    EXPECT_GT(t.fetchToRename, 2u);
+    EXPECT_GT(t.selectToExec, 2u);
+}
+
+TEST(CoreConfig, Table1Defaults)
+{
+    CoreConfig cfg;
+    EXPECT_EQ(cfg.issueWidth, 8u);
+    EXPECT_EQ(cfg.windowSize, 128u);
+    EXPECT_EQ(cfg.lsqSize, 64u);
+    EXPECT_EQ(cfg.fuCount[0], 6u);   // integer ALUs
+    EXPECT_EQ(cfg.fuCount[1], 2u);   // integer mul/div
+    EXPECT_EQ(cfg.fuCount[2], 4u);   // FP ALUs
+    EXPECT_EQ(cfg.fuCount[3], 4u);   // FP mul/div
+    EXPECT_EQ(cfg.dcachePorts, 2u);
+    EXPECT_EQ(cfg.numResultBuses, 8u);
+    EXPECT_TRUE(cfg.sequentialPriority);
+    EXPECT_FALSE(cfg.delayStoresOneCycle);
+}

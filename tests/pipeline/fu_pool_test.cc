@@ -1,0 +1,128 @@
+/** Tests for the FU pool and the sequential-priority policy. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/fu_pool.hh"
+
+using namespace dcg;
+
+namespace {
+
+std::array<unsigned, kNumFuTypes> kTable1{6, 2, 4, 4};
+
+} // namespace
+
+TEST(FuPool, SequentialPriorityPrefersLowestIndex)
+{
+    FuPool pool(kTable1, true);
+    // All free: unit 0 first, then 1, 2...
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 10, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 10, 1), 1);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 10, 1), 2);
+    // Next cycle: unit 0 is free again and is preferred (Sec 3.1:
+    // high-priority units stay busy, low-priority stay gated).
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 11, 1), 0);
+}
+
+TEST(FuPool, RoundRobinRotates)
+{
+    FuPool pool(kTable1, false);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 10, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 11, 1), 1);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 12, 1), 2);
+}
+
+TEST(FuPool, ExhaustionReturnsInvalid)
+{
+    FuPool pool(kTable1, true);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_GE(pool.allocate(FuType::IntAluUnit, 5, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 5, 1), kInvalidIndex);
+}
+
+TEST(FuPool, BusyWindowBlocksUnpipelinedUnit)
+{
+    FuPool pool(kTable1, true);
+    // A divide occupies a mul/div unit for 19 cycles.
+    EXPECT_EQ(pool.allocate(FuType::IntMulDivUnit, 10, 19), 0);
+    EXPECT_EQ(pool.allocate(FuType::IntMulDivUnit, 12, 19), 1);
+    EXPECT_EQ(pool.allocate(FuType::IntMulDivUnit, 14, 19),
+              kInvalidIndex);
+    // After the first frees up (cycle 29) it is available again.
+    EXPECT_EQ(pool.allocate(FuType::IntMulDivUnit, 29, 1), 0);
+}
+
+TEST(FuPool, PipelinedUnitAcceptsBackToBack)
+{
+    FuPool pool(kTable1, true);
+    EXPECT_EQ(pool.allocate(FuType::FpAluUnit, 10, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::FpAluUnit, 11, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::FpAluUnit, 12, 1), 0);
+}
+
+TEST(FuPool, EnabledCountLimitsAllocation)
+{
+    FuPool pool(kTable1, true);
+    pool.setEnabledCount(FuType::IntAluUnit, 3);  // PLB 4-wide mode
+    EXPECT_EQ(pool.enabledCount(FuType::IntAluUnit), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_GE(pool.allocate(FuType::IntAluUnit, 5, 1), 0);
+    EXPECT_EQ(pool.allocate(FuType::IntAluUnit, 5, 1), kInvalidIndex);
+}
+
+TEST(FuPool, EnabledCountClamped)
+{
+    FuPool pool(kTable1, true);
+    pool.setEnabledCount(FuType::FpAluUnit, 0);
+    EXPECT_EQ(pool.enabledCount(FuType::FpAluUnit), 1u);  // at least 1
+    pool.setEnabledCount(FuType::FpAluUnit, 99);
+    EXPECT_EQ(pool.enabledCount(FuType::FpAluUnit), 4u);  // physical cap
+}
+
+TEST(FuPool, ReenableRestoresFullPool)
+{
+    FuPool pool(kTable1, true);
+    pool.setEnabledCount(FuType::IntAluUnit, 3);
+    pool.setEnabledCount(FuType::IntAluUnit, 6);
+    int got = 0;
+    for (int i = 0; i < 6; ++i)
+        got += pool.allocate(FuType::IntAluUnit, 5, 1) >= 0;
+    EXPECT_EQ(got, 6);
+}
+
+TEST(FuPool, TypesAreIndependent)
+{
+    FuPool pool(kTable1, true);
+    for (int i = 0; i < 6; ++i)
+        pool.allocate(FuType::IntAluUnit, 5, 100);
+    // Integer exhaustion does not affect FP pools.
+    EXPECT_GE(pool.allocate(FuType::FpAluUnit, 5, 1), 0);
+    EXPECT_GE(pool.allocate(FuType::FpMulDivUnit, 5, 1), 0);
+}
+
+TEST(FuPool, CountAccessors)
+{
+    FuPool pool(kTable1, true);
+    EXPECT_EQ(pool.count(FuType::IntAluUnit), 6u);
+    EXPECT_EQ(pool.count(FuType::IntMulDivUnit), 2u);
+    EXPECT_EQ(pool.count(FuType::FpAluUnit), 4u);
+    EXPECT_EQ(pool.count(FuType::FpMulDivUnit), 4u);
+    EXPECT_TRUE(pool.sequentialPriority());
+}
+
+/**
+ * The point of sequential priority (Sec 3.1): under a steady partial
+ * load, high-indexed units are never touched, so their clock-gate
+ * state never toggles.
+ */
+TEST(FuPool, SequentialPriorityParksHighUnits)
+{
+    FuPool pool(kTable1, true);
+    for (Cycle c = 0; c < 1000; ++c) {
+        // Two ALU ops per cycle.
+        const int a = pool.allocate(FuType::IntAluUnit, c, 1);
+        const int b = pool.allocate(FuType::IntAluUnit, c, 1);
+        EXPECT_EQ(a, 0);
+        EXPECT_EQ(b, 1);
+    }
+}

@@ -1,0 +1,49 @@
+/** Consistency tests for the issue-queue occupancy signal. */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "pipeline/core.hh"
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+
+TEST(IqOccupancy, MatchesRenamedMinusIssuedRunningSum)
+{
+    StatRegistry stats;
+    TraceGenerator gen(profileByName("parser"), 3);
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    BranchPredictor bp(BranchPredictorConfig{}, stats);
+    Core core(CoreConfig{}, gen, mem, bp, stats);
+
+    std::int64_t expected = 0;
+    for (int i = 0; i < 20000; ++i) {
+        core.tick();
+        const CycleActivity &a = core.activity();
+        // iqOccupied is sampled at the start of the cycle, before this
+        // cycle's renames and issues are applied.
+        ASSERT_EQ(a.iqOccupied, expected) << "cycle " << i;
+        expected += a.renamed;
+        expected -= a.issued;
+        ASSERT_GE(expected, 0);
+        ASSERT_LE(expected, 128);
+    }
+}
+
+TEST(IqOccupancy, BoundedByWindowSize)
+{
+    StatRegistry stats;
+    TraceGenerator gen(profileByName("mcf"), 5);  // window-filling
+    MemoryHierarchy mem(HierarchyConfig{}, stats);
+    BranchPredictor bp(BranchPredictorConfig{}, stats);
+    Core core(CoreConfig{}, gen, mem, bp, stats);
+    unsigned peak = 0;
+    for (int i = 0; i < 20000; ++i) {
+        core.tick();
+        peak = std::max<unsigned>(peak, core.activity().iqOccupied);
+    }
+    EXPECT_LE(peak, 128u);
+    EXPECT_GT(peak, 16u);  // mcf stalls fill the window
+}

@@ -1,0 +1,74 @@
+/** Tests for the LSQ occupancy model and the store buffer. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/lsq.hh"
+
+using namespace dcg;
+
+TEST(Lsq, AllocateRelease)
+{
+    Lsq lsq(4);
+    EXPECT_FALSE(lsq.full());
+    lsq.allocate();
+    lsq.allocate();
+    EXPECT_EQ(lsq.size(), 2u);
+    lsq.release();
+    EXPECT_EQ(lsq.size(), 1u);
+}
+
+TEST(Lsq, FullAtCapacity)
+{
+    Lsq lsq(2);
+    lsq.allocate();
+    lsq.allocate();
+    EXPECT_TRUE(lsq.full());
+    EXPECT_DEATH(lsq.allocate(), "full");
+}
+
+TEST(Lsq, ReleaseEmptyDies)
+{
+    Lsq lsq(2);
+    EXPECT_DEATH(lsq.release(), "empty");
+}
+
+TEST(Lsq, CapacityReported)
+{
+    Lsq lsq(64);
+    EXPECT_EQ(lsq.capacity(), 64u);
+}
+
+TEST(StoreBuffer, FifoDrainOrder)
+{
+    StoreBuffer sb(4);
+    sb.push(0x100);
+    sb.push(0x200);
+    EXPECT_EQ(sb.pop(), 0x100u);
+    EXPECT_EQ(sb.pop(), 0x200u);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, FullBlocksCommit)
+{
+    StoreBuffer sb(2);
+    sb.push(1);
+    sb.push(2);
+    EXPECT_TRUE(sb.full());
+    EXPECT_DEATH(sb.push(3), "full");
+}
+
+TEST(StoreBuffer, PopEmptyDies)
+{
+    StoreBuffer sb(2);
+    EXPECT_DEATH(sb.pop(), "empty");
+}
+
+TEST(StoreBuffer, SizeTracksContents)
+{
+    StoreBuffer sb(8);
+    for (Addr a = 0; a < 5; ++a)
+        sb.push(a);
+    EXPECT_EQ(sb.size(), 5u);
+    sb.pop();
+    EXPECT_EQ(sb.size(), 4u);
+}

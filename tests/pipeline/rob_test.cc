@@ -1,0 +1,88 @@
+/** Tests for the reorder buffer / instruction window. */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/rob.hh"
+
+using namespace dcg;
+
+TEST(Rob, StartsEmpty)
+{
+    Rob rob(8);
+    EXPECT_TRUE(rob.empty());
+    EXPECT_FALSE(rob.full());
+    EXPECT_EQ(rob.size(), 0u);
+    EXPECT_EQ(rob.capacity(), 8u);
+}
+
+TEST(Rob, PushPopFifoOrder)
+{
+    Rob rob(8);
+    for (InstSeq s = 1; s <= 5; ++s)
+        rob.push().seq = s;
+    EXPECT_EQ(rob.size(), 5u);
+    for (InstSeq s = 1; s <= 5; ++s) {
+        EXPECT_EQ(rob.head().seq, s);
+        rob.pop();
+    }
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, FillsToCapacity)
+{
+    Rob rob(4);
+    for (int i = 0; i < 4; ++i)
+        rob.push();
+    EXPECT_TRUE(rob.full());
+    EXPECT_DEATH(rob.push(), "full");
+}
+
+TEST(Rob, WrapAroundKeepsOrder)
+{
+    Rob rob(4);
+    InstSeq next = 1;
+    // Push/pop cycles force head wrap-around.
+    for (int round = 0; round < 10; ++round) {
+        while (!rob.full())
+            rob.push().seq = next++;
+        rob.pop();
+        rob.pop();
+    }
+    InstSeq prev = 0;
+    while (!rob.empty()) {
+        EXPECT_GT(rob.head().seq, prev);
+        prev = rob.head().seq;
+        rob.pop();
+    }
+}
+
+TEST(Rob, LogicalIndexingIsAgeOrdered)
+{
+    Rob rob(8);
+    for (InstSeq s = 10; s < 15; ++s)
+        rob.push().seq = s;
+    rob.pop();  // retire seq 10
+    for (unsigned i = 0; i < rob.size(); ++i)
+        EXPECT_EQ(rob.at(i).seq, 11 + i);
+}
+
+TEST(Rob, PushResetsEntryState)
+{
+    Rob rob(4);
+    DynInst &a = rob.push();
+    a.issued = true;
+    a.mispredicted = true;
+    rob.pop();
+    DynInst &b = rob.push();
+    EXPECT_FALSE(b.issued);
+    EXPECT_FALSE(b.mispredicted);
+    EXPECT_EQ(b.commitReady, kCycleNever);
+}
+
+TEST(Rob, OutOfRangeAccessDies)
+{
+    Rob rob(4);
+    rob.push();
+    EXPECT_DEATH(rob.at(1), "out of range");
+    EXPECT_DEATH(Rob(4).head(), "empty");
+}

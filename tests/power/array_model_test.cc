@@ -1,0 +1,86 @@
+/** Tests for the CACTI-lite array capacitance model. */
+
+#include <gtest/gtest.h>
+
+#include "power/array_model.hh"
+
+using namespace dcg;
+
+TEST(ArrayModel, AllComponentsPositive)
+{
+    ArrayPowerModel m({128, 64, 2, 1});
+    EXPECT_GT(m.decoderCap(), 0.0);
+    EXPECT_GT(m.wordlineCap(), 0.0);
+    EXPECT_GT(m.bitlineCap(), 0.0);
+    EXPECT_GT(m.senseCap(), 0.0);
+    EXPECT_GT(m.camSearchCap(8), 0.0);
+}
+
+TEST(ArrayModel, ReadIsSumOfStages)
+{
+    ArrayPowerModel m({256, 128});
+    EXPECT_DOUBLE_EQ(m.readAccessCap(),
+                     m.decoderCap() + m.wordlineCap() + m.bitlineCap() +
+                     m.senseCap());
+}
+
+TEST(ArrayModel, MoreRowsCostMoreBitline)
+{
+    ArrayPowerModel small({64, 64});
+    ArrayPowerModel big({1024, 64});
+    EXPECT_GT(big.bitlineCap(), small.bitlineCap() * 4);
+    EXPECT_GT(big.decoderCap(), small.decoderCap());
+}
+
+TEST(ArrayModel, MoreColsCostMoreWordline)
+{
+    ArrayPowerModel narrow({128, 32});
+    ArrayPowerModel wide({128, 512});
+    EXPECT_GT(wide.wordlineCap(), narrow.wordlineCap() * 4);
+    EXPECT_GT(wide.senseCap(), narrow.senseCap() * 4);
+}
+
+TEST(ArrayModel, ExtraPortsIncreaseWireLoads)
+{
+    ArrayPowerModel one_port({128, 64, 1, 1});
+    ArrayPowerModel many_ports({128, 64, 8, 4});
+    // Port pitch stretches the cells, lengthening word/bit lines.
+    EXPECT_GT(many_ports.wordlineCap(), one_port.wordlineCap());
+    EXPECT_GT(many_ports.bitlineCap(), one_port.bitlineCap());
+}
+
+TEST(ArrayModel, WriteSkipsSenseAmps)
+{
+    ArrayPowerModel m({128, 64});
+    EXPECT_GT(m.readAccessCap(), 0.0);
+    // Write has no sense amps but stronger bitline swing.
+    EXPECT_NEAR(m.writeAccessCap(),
+                m.decoderCap() + m.wordlineCap() + m.bitlineCap() * 1.2,
+                1e-12);
+}
+
+TEST(ArrayModel, CamSearchScalesWithTagWidth)
+{
+    ArrayPowerModel m({128, 16});
+    EXPECT_GT(m.camSearchCap(32), m.camSearchCap(8));
+}
+
+TEST(ArrayModel, SramCellCapsAreSubPicofarad)
+{
+    // Sanity on the 0.18um technology numbers: a single 64x64 array's
+    // access energy should be well under a cache's but not zero.
+    ArrayPowerModel m({64, 64});
+    EXPECT_GT(m.readAccessCap(), 0.5);
+    EXPECT_LT(m.readAccessCap(), 200.0);
+}
+
+TEST(ArrayModel, EmptyGeometryDies)
+{
+    EXPECT_DEATH(ArrayPowerModel({0, 64}), "empty");
+}
+
+TEST(ArrayModel, BitsAccessor)
+{
+    ArrayGeometry g{128, 64, 1, 1};
+    EXPECT_EQ(g.bits(), 128ul * 64ul);
+}

@@ -1,0 +1,103 @@
+/** Tests for geometry-derived Technology constants. */
+
+#include <gtest/gtest.h>
+
+#include "power/derived.hh"
+#include "sim/presets.hh"
+
+using namespace dcg;
+
+namespace {
+
+Technology
+derive()
+{
+    const SimConfig cfg = table1Config();
+    return derivedTechnology(cfg.core, cfg.mem);
+}
+
+} // namespace
+
+TEST(DerivedTech, AllDerivedValuesPositive)
+{
+    const Technology t = derive();
+    EXPECT_GT(t.dcacheArrayAccessCap, 0.0);
+    EXPECT_GT(t.dcacheDecoderCap, 0.0);
+    EXPECT_GT(t.icacheAccessCap, 0.0);
+    EXPECT_GT(t.l2AccessCap, 0.0);
+    EXPECT_GT(t.regReadCap, 0.0);
+    EXPECT_GT(t.regWriteCap, 0.0);
+    EXPECT_GT(t.iqClockCap, 0.0);
+    EXPECT_GT(t.lsqOpCap, 0.0);
+    EXPECT_GT(t.renameOpCap, 0.0);
+    EXPECT_GT(t.bpredAccessCap, 0.0);
+}
+
+TEST(DerivedTech, L2CostsMoreThanL1)
+{
+    const Technology t = derive();
+    EXPECT_GT(t.l2AccessCap, t.dcacheArrayAccessCap);
+    EXPECT_GT(t.l2AccessCap, t.icacheAccessCap);
+}
+
+TEST(DerivedTech, WriteCostsMoreThanRead)
+{
+    const Technology t = derive();
+    EXPECT_GT(t.regWriteCap, t.regReadCap);
+}
+
+TEST(DerivedTech, WithinPlausibleFactorOfCalibrated)
+{
+    // Raw SRAM capacitance must sit within a broad physical band of
+    // the calibrated effective values (which fold in clock buffering
+    // and drivers): not orders of magnitude above, and not absurdly
+    // small for array-dominated structures.
+    const Technology cal;
+    const Technology der = derive();
+    EXPECT_LT(der.dcacheArrayAccessCap, cal.dcacheArrayAccessCap * 10);
+    EXPECT_GT(der.dcacheArrayAccessCap, cal.dcacheArrayAccessCap / 10);
+    EXPECT_LT(der.icacheAccessCap, cal.icacheAccessCap * 10);
+    EXPECT_GT(der.icacheAccessCap, cal.icacheAccessCap / 10);
+    EXPECT_LT(der.regReadCap, cal.regReadCap * 10);
+    EXPECT_GT(der.regReadCap, cal.regReadCap / 10);
+    EXPECT_LT(der.l2AccessCap, cal.l2AccessCap * 10);
+    EXPECT_GT(der.l2AccessCap, cal.l2AccessCap / 10);
+}
+
+TEST(DerivedTech, NonArrayConstantsUntouched)
+{
+    const Technology cal;
+    const Technology der = derive();
+    EXPECT_DOUBLE_EQ(der.latchBitCap, cal.latchBitCap);
+    EXPECT_DOUBLE_EQ(der.clockWiringCap, cal.clockWiringCap);
+    EXPECT_DOUBLE_EQ(der.intAluClockCap, cal.intAluClockCap);
+    EXPECT_DOUBLE_EQ(der.resultBusClockCap, cal.resultBusClockCap);
+}
+
+TEST(DerivedTech, BiggerCachesDeriveBiggerCaps)
+{
+    const SimConfig cfg = table1Config();
+    HierarchyConfig big = cfg.mem;
+    big.l1d.sizeBytes *= 4;
+    const Technology base = derivedTechnology(cfg.core, cfg.mem);
+    const Technology bigger = derivedTechnology(cfg.core, big);
+    EXPECT_GT(bigger.dcacheArrayAccessCap, base.dcacheArrayAccessCap);
+}
+
+TEST(DerivedTech, CacheArrayGeometryMapsShape)
+{
+    const ArrayGeometry g = cacheArrayGeometry({65536, 2, 32, 2}, 2);
+    EXPECT_EQ(g.rows, 1024u);       // 2048 lines / 2 ways
+    EXPECT_EQ(g.cols, 32u * 8);     // line bits
+    EXPECT_EQ(g.readPorts, 2u);
+}
+
+TEST(DerivedTech, SimulatorRunsWithDerivedTechnology)
+{
+    SimConfig cfg = table1Config(GatingScheme::Dcg);
+    cfg.tech = derivedTechnology(cfg.core, cfg.mem);
+    const RunResult r =
+        runBenchmark(profileByName("gzip"), cfg, 15000, 8000);
+    EXPECT_GT(r.avgPowerW, 0.0);
+    EXPECT_GT(r.ipc, 0.0);
+}

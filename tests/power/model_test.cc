@@ -1,0 +1,240 @@
+/** Tests for the Wattch-style power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+
+using namespace dcg;
+
+namespace {
+
+struct Harness
+{
+    StatRegistry stats;
+    CoreConfig cfg;
+    Technology tech;
+    PowerModel model{cfg, tech, stats};
+};
+
+GateState
+dcgStyleGates(const CoreConfig &cfg, const CycleActivity &act)
+{
+    GateState g;
+    g.dcgControlActive = true;
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        g.fuGateMask[t] = static_cast<std::uint16_t>(
+            ((1u << cfg.fuCount[t]) - 1) & ~act.fuBusyMask[t]);
+    }
+    for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+        if (latchPhaseGateable(static_cast<LatchPhase>(p))) {
+            g.latchSlotsGated[p] = static_cast<std::uint8_t>(
+                cfg.issueWidth - act.latchFlux[p]);
+        }
+    }
+    g.dcachePortsGated = static_cast<std::uint8_t>(
+        cfg.dcachePorts - act.dcachePortsUsed);
+    g.resultBusesGated = static_cast<std::uint8_t>(
+        cfg.numResultBuses - act.resultBusUsed);
+    return g;
+}
+
+} // namespace
+
+TEST(PowerModel, IdleUngatedCycleBurnsClockPower)
+{
+    Harness h;
+    h.model.tick(CycleActivity{}, GateState{});
+    EXPECT_GT(h.model.totalEnergyPJ(), 0.0);
+    EXPECT_GT(h.model.energyPJ(PowerComponent::Latches), 0.0);
+    EXPECT_GT(h.model.energyPJ(PowerComponent::ClockWiring), 0.0);
+    EXPECT_GT(h.model.energyPJ(PowerComponent::IntAlu), 0.0);
+    // No accesses -> no array energy.
+    EXPECT_DOUBLE_EQ(h.model.energyPJ(PowerComponent::DcacheArray), 0.0);
+    EXPECT_DOUBLE_EQ(h.model.energyPJ(PowerComponent::Regfile), 0.0);
+}
+
+TEST(PowerModel, BaselineEnergyIsCycleInvariant)
+{
+    // With no gating, the clocked portion is identical every cycle.
+    Harness h;
+    h.model.tick(CycleActivity{}, GateState{});
+    const double e1 = h.model.totalEnergyPJ();
+    h.model.tick(CycleActivity{}, GateState{});
+    EXPECT_NEAR(h.model.totalEnergyPJ(), 2 * e1, 1e-9);
+}
+
+TEST(PowerModel, FullDcgGatingOnIdleCycleSavesALot)
+{
+    Harness a, b;
+    const CycleActivity idle{};
+    a.model.tick(idle, GateState{});
+    b.model.tick(idle, dcgStyleGates(b.cfg, idle));
+    EXPECT_LT(b.model.totalEnergyPJ(), a.model.totalEnergyPJ() * 0.8);
+    // Ungated components are unaffected.
+    EXPECT_DOUBLE_EQ(b.model.energyPJ(PowerComponent::ClockWiring),
+                     a.model.energyPJ(PowerComponent::ClockWiring));
+    EXPECT_DOUBLE_EQ(b.model.energyPJ(PowerComponent::IssueQueue),
+                     a.model.energyPJ(PowerComponent::IssueQueue));
+}
+
+TEST(PowerModel, GatingBusyUnitDies)
+{
+    Harness h;
+    CycleActivity act;
+    act.fuBusyMask[0] = 0b1;
+    GateState g;
+    g.fuGateMask[0] = 0b1;
+    EXPECT_DEATH(h.model.tick(act, g), "gated a busy");
+}
+
+TEST(PowerModel, GatingUsedLatchSlotsDies)
+{
+    Harness h;
+    CycleActivity act;
+    act.latchFlux[4] = 6;
+    GateState g;
+    g.latchSlotsGated[4] = 4;  // 6 + 4 > 8
+    EXPECT_DEATH(h.model.tick(act, g), "latch slots");
+}
+
+TEST(PowerModel, GatingUsedPortDies)
+{
+    Harness h;
+    CycleActivity act;
+    act.dcachePortsUsed = 2;
+    GateState g;
+    g.dcachePortsGated = 1;
+    EXPECT_DEATH(h.model.tick(act, g), "busy D-cache port");
+}
+
+TEST(PowerModel, GatingUsedBusDies)
+{
+    Harness h;
+    CycleActivity act;
+    act.resultBusUsed = 8;
+    GateState g;
+    g.resultBusesGated = 1;
+    EXPECT_DEATH(h.model.tick(act, g), "busy result bus");
+}
+
+TEST(PowerModel, ActivityAddsAccessEnergy)
+{
+    Harness a, b;
+    CycleActivity act;
+    act.dcacheAccesses = 2;
+    act.regReads = 4;
+    act.regWrites = 2;
+    act.renamed = 8;
+    act.icacheAccesses = 1;
+    a.model.tick(CycleActivity{}, GateState{});
+    b.model.tick(act, GateState{});
+    EXPECT_GT(b.model.energyPJ(PowerComponent::DcacheArray), 0.0);
+    EXPECT_GT(b.model.energyPJ(PowerComponent::Regfile), 0.0);
+    EXPECT_GT(b.model.totalEnergyPJ(), a.model.totalEnergyPJ());
+}
+
+TEST(PowerModel, FuOpEnergyOnTopOfClock)
+{
+    Harness a, b;
+    CycleActivity busy;
+    busy.fuBusyMask[0] = 0b111;
+    busy.fuStarts[0] = 3;
+    a.model.tick(CycleActivity{}, GateState{});
+    b.model.tick(busy, GateState{});
+    EXPECT_GT(b.model.energyPJ(PowerComponent::IntAlu),
+              a.model.energyPJ(PowerComponent::IntAlu));
+}
+
+TEST(PowerModel, IqGatedFractionScalesIssueQueueClock)
+{
+    Harness a, b;
+    GateState half;
+    half.iqGatedFraction = 0.5;
+    a.model.tick(CycleActivity{}, GateState{});
+    b.model.tick(CycleActivity{}, half);
+    // Halving the clocked fraction halves the IQ clock energy (no
+    // wakeup/select activity here).
+    EXPECT_NEAR(b.model.energyPJ(PowerComponent::IssueQueue),
+                a.model.energyPJ(PowerComponent::IssueQueue) * 0.5,
+                1e-9);
+}
+
+TEST(PowerModel, DcgControlOverheadAboutOnePercentOfLatchPower)
+{
+    // Sec 5.3: the extended latches "account for merely 1% of total
+    // latch power".
+    Harness h;
+    GateState g;
+    g.dcgControlActive = true;
+    h.model.tick(CycleActivity{}, g);
+    const double latch = h.model.energyPJ(PowerComponent::Latches);
+    const double ctl = h.model.energyPJ(PowerComponent::DcgControl);
+    EXPECT_GT(ctl, 0.0);
+    EXPECT_LT(ctl / latch, 0.03);
+    EXPECT_GT(ctl / latch, 0.003);
+}
+
+TEST(PowerModel, GroupAccessorsSumComponents)
+{
+    Harness h;
+    GateState g;
+    g.dcgControlActive = true;
+    h.model.tick(CycleActivity{}, g);
+    EXPECT_DOUBLE_EQ(h.model.intUnitsEnergyPJ(),
+                     h.model.energyPJ(PowerComponent::IntAlu) +
+                     h.model.energyPJ(PowerComponent::IntMulDiv));
+    EXPECT_DOUBLE_EQ(h.model.latchEnergyPJ(),
+                     h.model.energyPJ(PowerComponent::Latches) +
+                     h.model.energyPJ(PowerComponent::DcgControl));
+    EXPECT_DOUBLE_EQ(h.model.dcacheEnergyPJ(),
+                     h.model.energyPJ(PowerComponent::DcacheDecoder) +
+                     h.model.energyPJ(PowerComponent::DcacheArray));
+}
+
+TEST(PowerModel, TotalIsSumOfComponents)
+{
+    Harness h;
+    CycleActivity act;
+    act.dcacheAccesses = 1;
+    act.issued = 4;
+    act.iqWakeups = 2;
+    h.model.tick(act, GateState{});
+    double sum = 0.0;
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        sum += h.model.energyPJ(static_cast<PowerComponent>(c));
+    EXPECT_NEAR(h.model.totalEnergyPJ(), sum, 1e-6);
+}
+
+TEST(PowerModel, ResetZeroesEnergies)
+{
+    Harness h;
+    h.model.tick(CycleActivity{}, GateState{});
+    h.model.reset();
+    EXPECT_DOUBLE_EQ(h.model.totalEnergyPJ(), 0.0);
+    EXPECT_EQ(h.model.cycles(), 0u);
+}
+
+TEST(PowerModel, DeeperPipelineHasMoreLatchPower)
+{
+    StatRegistry s1, s2;
+    CoreConfig shallow;
+    CoreConfig deep;
+    deep.depth = deepPipeline();
+    Technology tech;
+    PowerModel m1(shallow, tech, s1), m2(deep, tech, s2);
+    m1.tick(CycleActivity{}, GateState{});
+    m2.tick(CycleActivity{}, GateState{});
+    EXPECT_GT(m2.energyPJ(PowerComponent::Latches),
+              m1.energyPJ(PowerComponent::Latches) * 2.0);
+}
+
+TEST(PowerModel, AveragePowerIsPlausibleForTable1)
+{
+    // A fully-clocked idle 8-wide machine at 0.18um/1GHz should land in
+    // the tens of watts (Wattch-era numbers), not milliwatts or kW.
+    Harness h;
+    for (int i = 0; i < 100; ++i)
+        h.model.tick(CycleActivity{}, GateState{});
+    EXPECT_GT(h.model.averagePowerW(), 5.0);
+    EXPECT_LT(h.model.averagePowerW(), 100.0);
+}

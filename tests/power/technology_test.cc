@@ -1,0 +1,55 @@
+/** Tests for the technology parameter model. */
+
+#include <gtest/gtest.h>
+
+#include "power/technology.hh"
+
+using namespace dcg;
+
+TEST(Technology, EnergyIsCapTimesVddSquared)
+{
+    Technology t;
+    t.vdd = 2.0;
+    EXPECT_DOUBLE_EQ(t.energyPJ(10.0), 40.0);
+}
+
+TEST(Technology, DefaultsAre018Micron)
+{
+    Technology t;
+    EXPECT_DOUBLE_EQ(t.vdd, 1.8);
+    EXPECT_DOUBLE_EQ(t.frequencyGHz, 1.0);
+}
+
+TEST(Technology, WattsFromPicojoules)
+{
+    Technology t;  // 1 GHz
+    // 1000 pJ over 10 cycles = 100 pJ/cycle = 100 pJ/ns = 0.1 W.
+    EXPECT_NEAR(t.wattsFromPJ(1000.0, 10.0), 0.1, 1e-12);
+}
+
+TEST(Technology, WattsScaleWithFrequency)
+{
+    Technology t;
+    t.frequencyGHz = 2.0;
+    EXPECT_NEAR(t.wattsFromPJ(1000.0, 10.0), 0.2, 1e-12);
+}
+
+TEST(Technology, ZeroCyclesYieldsZeroWatts)
+{
+    Technology t;
+    EXPECT_DOUBLE_EQ(t.wattsFromPJ(1000.0, 0.0), 0.0);
+}
+
+TEST(Technology, GatedLoadsArePositive)
+{
+    // Every capacitance a gating scheme can turn off must be positive,
+    // otherwise "savings" could be negative by construction.
+    Technology t;
+    EXPECT_GT(t.latchBitCap, 0.0);
+    EXPECT_GT(t.intAluClockCap, 0.0);
+    EXPECT_GT(t.intMulDivClockCap, 0.0);
+    EXPECT_GT(t.fpAluClockCap, 0.0);
+    EXPECT_GT(t.fpMulDivClockCap, 0.0);
+    EXPECT_GT(t.dcacheDecoderCap, 0.0);
+    EXPECT_GT(t.resultBusClockCap, 0.0);
+}

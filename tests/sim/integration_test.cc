@@ -1,0 +1,202 @@
+/**
+ * End-to-end reproduction invariants: the qualitative claims of the
+ * paper's evaluation section, checked on shortened runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/presets.hh"
+#include "sim/simulator.hh"
+
+using namespace dcg;
+
+namespace {
+
+constexpr std::uint64_t kInsts = 60000;
+constexpr std::uint64_t kWarm = 30000;
+
+RunResult
+runScheme(const std::string &bench, GatingScheme scheme,
+          bool deep = false)
+{
+    const SimConfig cfg =
+        deep ? deepPipelineConfig(scheme) : table1Config(scheme);
+    return runBenchmark(profileByName(bench), cfg, kInsts, kWarm);
+}
+
+} // namespace
+
+/** Sec 5.1 headline: DCG saves substantial power at zero IPC cost. */
+TEST(Integration, DcgSavesPowerWithZeroPerformanceLoss)
+{
+    for (const char *bench : {"gzip", "applu"}) {
+        const RunResult base = runScheme(bench, GatingScheme::None);
+        const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
+        EXPECT_EQ(base.cycles, dcg.cycles) << bench;  // bit-exact timing
+        const double s = 1.0 - dcg.avgPowerW / base.avgPowerW;
+        EXPECT_GT(s, 0.10) << bench;
+        EXPECT_LT(s, 0.60) << bench;
+    }
+}
+
+/** Sec 5.1: PLB saves less than DCG and loses performance. */
+TEST(Integration, DcgBeatsPlbOnPowerAndPerformance)
+{
+    const char *bench = "twolf";
+    const RunResult base = runScheme(bench, GatingScheme::None);
+    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
+    const RunResult orig = runScheme(bench, GatingScheme::PlbOrig);
+    const RunResult ext = runScheme(bench, GatingScheme::PlbExt);
+
+    const double s_dcg = 1.0 - dcg.avgPowerW / base.avgPowerW;
+    const double s_orig = 1.0 - orig.avgPowerW / base.avgPowerW;
+    const double s_ext = 1.0 - ext.avgPowerW / base.avgPowerW;
+
+    EXPECT_GT(s_dcg, s_ext);
+    EXPECT_GT(s_ext, s_orig);
+    EXPECT_GT(s_orig, 0.0);
+
+    // PLB pays an IPC price; DCG does not.
+    EXPECT_EQ(dcg.ipc, base.ipc);
+    EXPECT_LT(ext.ipc, base.ipc);
+}
+
+/** Sec 5.1: mcf and lucas are DCG's best cases (stall-heavy). */
+TEST(Integration, StallHeavyProgramsSaveMost)
+{
+    const RunResult base_mcf = runScheme("mcf", GatingScheme::None);
+    const RunResult dcg_mcf = runScheme("mcf", GatingScheme::Dcg);
+    const RunResult base_gzip = runScheme("gzip", GatingScheme::None);
+    const RunResult dcg_gzip = runScheme("gzip", GatingScheme::Dcg);
+    const double s_mcf = 1.0 - dcg_mcf.avgPowerW / base_mcf.avgPowerW;
+    const double s_gzip = 1.0 - dcg_gzip.avgPowerW / base_gzip.avgPowerW;
+    EXPECT_GT(s_mcf, s_gzip + 0.05);
+}
+
+/** Sec 5.2/Figure 13: int programs save ~all FPU power under DCG. */
+TEST(Integration, IntCodesGateFpusAlmostEntirely)
+{
+    const RunResult base = runScheme("perlbmk", GatingScheme::None);
+    const RunResult dcg = runScheme("perlbmk", GatingScheme::Dcg);
+    const double fpu_saving = 1.0 - dcg.fpUnitsPJ / base.fpUnitsPJ;
+    EXPECT_GT(fpu_saving, 0.95);
+}
+
+/** Figure 12 shape: int-unit savings ~= 1 - utilisation. */
+TEST(Integration, IntUnitSavingsTrackIdleFraction)
+{
+    const RunResult base = runScheme("bzip2", GatingScheme::None);
+    const RunResult dcg = runScheme("bzip2", GatingScheme::Dcg);
+    const double s = 1.0 - dcg.intUnitsPJ / base.intUnitsPJ;
+    // Clock power dominates the units, so savings land near the idle
+    // fraction (1 - util), modulo per-op switching energy.
+    EXPECT_NEAR(s, 1.0 - base.intUnitUtil, 0.15);
+}
+
+/** Figure 15 premise: decoders are a large minority of D-cache power. */
+TEST(Integration, DecoderShareOfDcachePowerNearForty)
+{
+    const RunResult base = runScheme("vortex", GatingScheme::None);
+    const double share =
+        base.componentPJ[static_cast<unsigned>(
+            PowerComponent::DcacheDecoder)] / base.dcachePJ;
+    EXPECT_GT(share, 0.25);
+    EXPECT_LT(share, 0.55);
+}
+
+/** Figure 16 shape: result-bus savings ~= idle bus fraction. */
+TEST(Integration, ResultBusSavingsTrackIdleBuses)
+{
+    const RunResult base = runScheme("parser", GatingScheme::None);
+    const RunResult dcg = runScheme("parser", GatingScheme::Dcg);
+    const double s = 1.0 - dcg.resultBusPJ / base.resultBusPJ;
+    EXPECT_NEAR(s, 1.0 - base.resultBusUtil, 0.2);
+}
+
+/** Figure 17: the 20-stage pipeline saves more than the 8-stage one. */
+TEST(Integration, DeeperPipelineIncreasesDcgSavings)
+{
+    const char *bench = "gcc";
+    const RunResult b8 = runScheme(bench, GatingScheme::None, false);
+    const RunResult d8 = runScheme(bench, GatingScheme::Dcg, false);
+    const RunResult b20 = runScheme(bench, GatingScheme::None, true);
+    const RunResult d20 = runScheme(bench, GatingScheme::Dcg, true);
+    const double s8 = 1.0 - d8.avgPowerW / b8.avgPowerW;
+    const double s20 = 1.0 - d20.avgPowerW / b20.avgPowerW;
+    EXPECT_GT(s20, s8);
+}
+
+/** Sec 4.4: dropping from 6 to 4 integer ALUs costs real performance,
+ *  while 8 -> 6 is nearly free. */
+TEST(Integration, SixIntAlusAreTheSweetSpot)
+{
+    const Profile p = profileByName("bzip2");
+    std::map<unsigned, double> ipc;
+    for (unsigned alus : {8u, 6u, 4u}) {
+        SimConfig cfg = table1Config();
+        cfg.core.fuCount[0] = alus;
+        ipc[alus] = runBenchmark(p, cfg, kInsts, kWarm).ipc;
+    }
+    EXPECT_GT(ipc[6] / ipc[8], 0.97);   // paper: >= 98.8% worst case
+    EXPECT_LT(ipc[4] / ipc[8], ipc[6] / ipc[8]);
+}
+
+/** DCG per-component savings all positive (Sec 5.1: "savings come from
+ *  all, not any one, of the components"). */
+TEST(Integration, SavingsComeFromEveryComponent)
+{
+    const RunResult base = runScheme("equake", GatingScheme::None);
+    const RunResult dcg = runScheme("equake", GatingScheme::Dcg);
+    EXPECT_LT(dcg.latchPJ, base.latchPJ);
+    EXPECT_LT(dcg.intUnitsPJ, base.intUnitsPJ);
+    EXPECT_LT(dcg.fpUnitsPJ, base.fpUnitsPJ);
+    EXPECT_LT(dcg.dcachePJ, base.dcachePJ);
+    EXPECT_LT(dcg.resultBusPJ, base.resultBusPJ);
+}
+
+/** Per-component: DCG beats PLB-ext on every block it gates. */
+TEST(Integration, DcgBeatsPlbExtPerComponent)
+{
+    const char *bench = "ammp";
+    const RunResult base = runScheme(bench, GatingScheme::None);
+    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
+    const RunResult ext = runScheme(bench, GatingScheme::PlbExt);
+    EXPECT_LT(dcg.intUnitsPJ / base.intUnitsPJ,
+              ext.intUnitsPJ / base.intUnitsPJ);
+    EXPECT_LT(dcg.fpUnitsPJ / base.fpUnitsPJ,
+              ext.fpUnitsPJ / base.fpUnitsPJ);
+    EXPECT_LT(dcg.resultBusPJ / base.resultBusPJ,
+              ext.resultBusPJ / base.resultBusPJ);
+}
+
+/** Energy-per-instruction (power-delay) ordering of Figure 11. */
+TEST(Integration, PowerDelayOrdering)
+{
+    const char *bench = "gcc";
+    const RunResult base = runScheme(bench, GatingScheme::None);
+    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
+    const RunResult orig = runScheme(bench, GatingScheme::PlbOrig);
+    EXPECT_LT(dcg.energyPerInstPJ(), orig.energyPerInstPJ());
+    EXPECT_LT(orig.energyPerInstPJ(), base.energyPerInstPJ());
+}
+
+/** DCG's zero-loss property holds for every modelled benchmark. */
+class ZeroLossSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZeroLossSweep, DcgTimingBitExact)
+{
+    const RunResult base = runBenchmark(profileByName(GetParam()),
+                                        table1Config(GatingScheme::None),
+                                        25000, 10000);
+    const RunResult dcg = runBenchmark(profileByName(GetParam()),
+                                       table1Config(GatingScheme::Dcg),
+                                       25000, 10000);
+    EXPECT_EQ(base.cycles, dcg.cycles);
+    EXPECT_LT(dcg.totalEnergyPJ, base.totalEnergyPJ);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ZeroLossSweep,
+                         ::testing::ValuesIn(allSpecNames()),
+                         [](const auto &info) { return info.param; });

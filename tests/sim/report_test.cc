@@ -1,0 +1,100 @@
+/** Tests for the CSV/JSON result writers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/report.hh"
+
+using namespace dcg;
+
+namespace {
+
+RunResult
+sample(const std::string &bench, const std::string &scheme)
+{
+    RunResult r;
+    r.benchmark = bench;
+    r.scheme = scheme;
+    r.instructions = 1000;
+    r.cycles = 400;
+    r.ipc = 2.5;
+    r.totalEnergyPJ = 12345.0;
+    r.avgPowerW = 30.0;
+    r.componentPJ[0] = 111.0;
+    r.branchAccuracy = 0.9;
+    return r;
+}
+
+} // namespace
+
+TEST(Report, CsvHasHeaderAndRows)
+{
+    std::ostringstream os;
+    writeResultsCsv({sample("gzip", "dcg"), sample("mcf", "base")}, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("benchmark,scheme,"), std::string::npos);
+    EXPECT_NE(out.find("gzip,dcg,1000,400,2.5"), std::string::npos);
+    EXPECT_NE(out.find("mcf,base"), std::string::npos);
+    // One header + two data rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Report, CsvIncludesComponentColumns)
+{
+    std::ostringstream os;
+    writeResultsCsv({sample("gzip", "dcg")}, os);
+    EXPECT_NE(os.str().find("pj_latches"), std::string::npos);
+    EXPECT_NE(os.str().find("pj_result_bus"), std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedArray)
+{
+    std::ostringstream os;
+    writeResultsJson({sample("gzip", "dcg"), sample("mcf", "base")}, os);
+    const std::string out = os.str();
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_NE(out.find("\"benchmark\": \"gzip\""), std::string::npos);
+    EXPECT_NE(out.find("\"components_pj\""), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+              std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(Report, JsonEscapesSpecialCharacters)
+{
+    std::ostringstream os;
+    writeResultsJson({sample("we\"ird\\name", "dcg")}, os);
+    EXPECT_NE(os.str().find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(Report, EmptyResultsProduceHeaderOnly)
+{
+    std::ostringstream csv, json;
+    writeResultsCsv({}, csv);
+    writeResultsJson({}, json);
+    const std::string csv_text = csv.str();
+    EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 1);
+    EXPECT_EQ(json.str(), "[\n]\n");
+}
+
+TEST(Report, FileWritersRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/dcg_report.csv";
+    writeResultsCsvFile({sample("gzip", "dcg")}, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("benchmark"), std::string::npos);
+}
+
+TEST(Report, UnwritablePathIsFatal)
+{
+    EXPECT_EXIT(writeResultsCsvFile({}, "/nonexistent-dir/x.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,148 @@
+/** Tests for the generator's memory address stream structure. */
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+
+namespace {
+
+Profile
+memProfile()
+{
+    Profile p;
+    p.name = "memtest";
+    p.mix = {0.2, 0, 0, 0, 0, 0, 0.6, 0.2, 0.0};  // load/store heavy
+    p.phases.lowIlpFraction = 0.0;
+    return p;
+}
+
+constexpr Addr kStackBase = TraceGenerator::kDataBase;
+constexpr Addr kStreamBase = TraceGenerator::kDataBase + 0x0100'0000;
+constexpr Addr kRandomBase = TraceGenerator::kDataBase + 0x4000'0000;
+
+} // namespace
+
+TEST(MemoryModel, AddressesFallInDeclaredRegions)
+{
+    Profile p = memProfile();
+    TraceGenerator g(p, 3);
+    for (int i = 0; i < 50000; ++i) {
+        const MicroOp op = g.next();
+        if (!op.isMem())
+            continue;
+        const Addr a = op.effAddr;
+        const bool in_stack =
+            a >= kStackBase && a < kStackBase + p.memory.stackBytes;
+        const bool in_stream =
+            a >= kStreamBase &&
+            a < kStreamBase + p.memory.strideRegionBytes;
+        const bool in_random =
+            a >= kRandomBase &&
+            a < kRandomBase + p.memory.randomRegionBytes;
+        ASSERT_TRUE(in_stack || in_stream || in_random)
+            << std::hex << a;
+    }
+}
+
+TEST(MemoryModel, RegionFrequenciesMatchFractions)
+{
+    Profile p = memProfile();
+    p.memory.fracStack = 0.2;
+    p.memory.fracStride = 0.5;
+    p.memory.fracRandom = 0.3;
+    TraceGenerator g(p, 5);
+    int stack = 0, stream = 0, random = 0, total = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const MicroOp op = g.next();
+        if (!op.isMem())
+            continue;
+        ++total;
+        if (op.effAddr < kStreamBase)
+            ++stack;
+        else if (op.effAddr < kRandomBase)
+            ++stream;
+        else
+            ++random;
+    }
+    EXPECT_NEAR(stack / static_cast<double>(total), 0.2, 0.02);
+    EXPECT_NEAR(stream / static_cast<double>(total), 0.5, 0.02);
+    EXPECT_NEAR(random / static_cast<double>(total), 0.3, 0.02);
+}
+
+TEST(MemoryModel, StrideStreamsAdvanceMonotonically)
+{
+    Profile p = memProfile();
+    p.memory.fracStack = 0.0;
+    p.memory.fracStride = 1.0;
+    p.memory.fracRandom = 0.0;
+    p.memory.numStrideStreams = 1;
+    p.memory.strideBytes = 16;
+    TraceGenerator g(p, 7);
+    Addr prev = 0;
+    int wraps = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const MicroOp op = g.next();
+        if (!op.isMem())
+            continue;
+        if (prev != 0) {
+            if (op.effAddr > prev)
+                EXPECT_EQ(op.effAddr - prev, 16u);
+            else
+                ++wraps;  // region wrap-around
+        }
+        prev = op.effAddr;
+    }
+    EXPECT_LT(wraps, 10);
+}
+
+TEST(MemoryModel, RandomRegionCoversItsSize)
+{
+    Profile p = memProfile();
+    p.memory.fracStack = 0.0;
+    p.memory.fracStride = 0.0;
+    p.memory.fracRandom = 1.0;
+    p.memory.randomRegionBytes = 1 << 20;
+    TraceGenerator g(p, 9);
+    Addr min_a = ~Addr{0}, max_a = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MicroOp op = g.next();
+        if (!op.isMem())
+            continue;
+        min_a = std::min(min_a, op.effAddr);
+        max_a = std::max(max_a, op.effAddr);
+    }
+    // Nearly the full 1MB span should be touched.
+    EXPECT_LT(min_a - kRandomBase, Addr{64} * 1024);
+    EXPECT_GT(max_a - kRandomBase, Addr{960} * 1024);
+}
+
+TEST(MemoryModel, LowPhaseShiftsTrafficToPointerRegion)
+{
+    Profile p = memProfile();
+    p.memory.fracStack = 0.5;
+    p.memory.fracStride = 0.45;
+    p.memory.fracRandom = 0.05;
+    p.phases.lowIlpFraction = 0.5;
+    p.phases.meanPhaseLen = 2000;
+    p.phases.lowMissScale = 4.0;
+    TraceGenerator g(p, 11);
+    int rand_high = 0, n_high = 0, rand_low = 0, n_low = 0;
+    for (int i = 0; i < 300000; ++i) {
+        const MicroOp op = g.next();
+        if (!op.isMem())
+            continue;
+        const bool random = op.effAddr >= kRandomBase;
+        if (g.inLowIlpPhase()) {
+            rand_low += random;
+            ++n_low;
+        } else {
+            rand_high += random;
+            ++n_high;
+        }
+    }
+    EXPECT_GT(rand_low / static_cast<double>(n_low),
+              2.5 * rand_high / static_cast<double>(n_high));
+}

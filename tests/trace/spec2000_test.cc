@@ -1,0 +1,115 @@
+/** Tests for the SPEC2000 profile catalogue. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+
+TEST(Spec2000, EightIntAndEightFp)
+{
+    EXPECT_EQ(specIntProfiles().size(), 8u);
+    EXPECT_EQ(specFpProfiles().size(), 8u);
+    EXPECT_EQ(allSpecProfiles().size(), 16u);
+}
+
+TEST(Spec2000, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : allSpecProfiles())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Spec2000, IntProfilesHaveNoFpWorkToSpeakOf)
+{
+    for (const auto &p : specIntProfiles()) {
+        const double fp = p.mixFraction(OpClass::FpAlu) +
+                          p.mixFraction(OpClass::FpMult) +
+                          p.mixFraction(OpClass::FpDiv);
+        EXPECT_LT(fp, 0.05) << p.name;
+        EXPECT_FALSE(p.isFp) << p.name;
+    }
+}
+
+TEST(Spec2000, FpProfilesHaveSubstantialFpWork)
+{
+    for (const auto &p : specFpProfiles()) {
+        const double fp = p.mixFraction(OpClass::FpAlu) +
+                          p.mixFraction(OpClass::FpMult) +
+                          p.mixFraction(OpClass::FpDiv);
+        EXPECT_GT(fp, 0.30) << p.name;
+        EXPECT_TRUE(p.isFp) << p.name;
+    }
+}
+
+TEST(Spec2000, MixesAreNormalisedDistributions)
+{
+    for (const auto &p : allSpecProfiles()) {
+        double total = 0.0;
+        for (double w : p.mix) {
+            EXPECT_GE(w, 0.0) << p.name;
+            total += w;
+        }
+        EXPECT_NEAR(total, 1.0, 0.02) << p.name;
+    }
+}
+
+TEST(Spec2000, MemoryFractionsNormalised)
+{
+    for (const auto &p : allSpecProfiles()) {
+        const double m = p.memory.fracStack + p.memory.fracStride +
+                         p.memory.fracRandom;
+        EXPECT_NEAR(m, 1.0, 0.02) << p.name;
+    }
+}
+
+TEST(Spec2000, BranchMixturesNormalised)
+{
+    for (const auto &p : allSpecProfiles()) {
+        const auto &b = p.branches;
+        EXPECT_NEAR(b.fracStronglyTaken + b.fracStronglyNotTaken +
+                    b.fracLoop + b.fracRandom, 1.0, 0.02) << p.name;
+    }
+}
+
+TEST(Spec2000, StallOutliersHaveHugePointerRegions)
+{
+    // The paper singles out mcf and lucas as the stall-heavy programs
+    // with "unusually high cache miss rates" (Sec 5.1).
+    const Profile mcf = profileByName("mcf");
+    const Profile lucas = profileByName("lucas");
+    EXPECT_GT(mcf.memory.randomRegionBytes, Addr{16} * 1024 * 1024);
+    EXPECT_GT(lucas.memory.randomRegionBytes, Addr{16} * 1024 * 1024);
+    EXPECT_GT(mcf.memory.fracRandom, 0.1);
+}
+
+TEST(Spec2000, PerlbmkHasNoFpUse)
+{
+    // Sec 5.2: integer codes like perlbmk "seldom use the FP units",
+    // which is why DCG can gate their FPUs entirely.
+    const Profile p = profileByName("perlbmk");
+    EXPECT_DOUBLE_EQ(p.mixFraction(OpClass::FpAlu), 0.0);
+    EXPECT_DOUBLE_EQ(p.mixFraction(OpClass::FpMult), 0.0);
+}
+
+TEST(Spec2000, LookupByNameRoundTrips)
+{
+    for (const auto &name : allSpecNames())
+        EXPECT_EQ(profileByName(name).name, name);
+}
+
+TEST(Spec2000, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("not-a-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Spec2000, CodeFootprintsFitInstructionCache)
+{
+    // The synthetic code model keeps footprints within the 64KB L1I
+    // (DESIGN.md: large-footprint behaviour is not modelled).
+    for (const auto &p : allSpecProfiles())
+        EXPECT_LE(p.codeFootprintBytes, Addr{64} * 1024) << p.name;
+}
