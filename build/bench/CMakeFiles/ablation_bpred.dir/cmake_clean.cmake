@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bpred.dir/ablation_bpred.cc.o"
+  "CMakeFiles/ablation_bpred.dir/ablation_bpred.cc.o.d"
+  "ablation_bpred"
+  "ablation_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iq.dir/ablation_iq.cc.o"
+  "CMakeFiles/ablation_iq.dir/ablation_iq.cc.o.d"
+  "ablation_iq"
+  "ablation_iq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

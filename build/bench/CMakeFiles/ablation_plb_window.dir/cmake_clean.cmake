@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plb_window.dir/ablation_plb_window.cc.o"
+  "CMakeFiles/ablation_plb_window.dir/ablation_plb_window.cc.o.d"
+  "ablation_plb_window"
+  "ablation_plb_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plb_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wrongpath.dir/ablation_wrongpath.cc.o"
+  "CMakeFiles/ablation_wrongpath.dir/ablation_wrongpath.cc.o.d"
+  "ablation_wrongpath"
+  "ablation_wrongpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrongpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

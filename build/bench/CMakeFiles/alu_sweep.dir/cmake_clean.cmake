@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_sweep.dir/alu_sweep.cc.o"
+  "CMakeFiles/alu_sweep.dir/alu_sweep.cc.o.d"
+  "alu_sweep"
+  "alu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

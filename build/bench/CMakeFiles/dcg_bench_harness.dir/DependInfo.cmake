@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/harness.cc" "bench/CMakeFiles/dcg_bench_harness.dir/harness.cc.o" "gcc" "bench/CMakeFiles/dcg_bench_harness.dir/harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gating/CMakeFiles/dcg_gating.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dcg_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dcg_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcg_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dcg_bench_harness.dir/harness.cc.o.d"
+  "libdcg_bench_harness.a"
+  "libdcg_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_total_power.dir/fig10_total_power.cc.o"
+  "CMakeFiles/fig10_total_power.dir/fig10_total_power.cc.o.d"
+  "fig10_total_power"
+  "fig10_total_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_total_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

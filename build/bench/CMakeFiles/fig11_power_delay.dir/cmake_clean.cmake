@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power_delay.dir/fig11_power_delay.cc.o"
+  "CMakeFiles/fig11_power_delay.dir/fig11_power_delay.cc.o.d"
+  "fig11_power_delay"
+  "fig11_power_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

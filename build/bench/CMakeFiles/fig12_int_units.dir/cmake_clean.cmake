@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_int_units.dir/fig12_int_units.cc.o"
+  "CMakeFiles/fig12_int_units.dir/fig12_int_units.cc.o.d"
+  "fig12_int_units"
+  "fig12_int_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_int_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

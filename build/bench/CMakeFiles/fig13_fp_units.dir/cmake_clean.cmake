@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fp_units.dir/fig13_fp_units.cc.o"
+  "CMakeFiles/fig13_fp_units.dir/fig13_fp_units.cc.o.d"
+  "fig13_fp_units"
+  "fig13_fp_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fp_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_latches.dir/fig14_latches.cc.o"
+  "CMakeFiles/fig14_latches.dir/fig14_latches.cc.o.d"
+  "fig14_latches"
+  "fig14_latches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_latches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

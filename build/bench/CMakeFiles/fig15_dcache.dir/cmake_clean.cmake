@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dcache.dir/fig15_dcache.cc.o"
+  "CMakeFiles/fig15_dcache.dir/fig15_dcache.cc.o.d"
+  "fig15_dcache"
+  "fig15_dcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

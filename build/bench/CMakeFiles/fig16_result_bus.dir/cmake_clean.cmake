@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_result_bus.dir/fig16_result_bus.cc.o"
+  "CMakeFiles/fig16_result_bus.dir/fig16_result_bus.cc.o.d"
+  "fig16_result_bus"
+  "fig16_result_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_result_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

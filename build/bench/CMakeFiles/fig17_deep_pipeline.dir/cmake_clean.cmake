@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_deep_pipeline.dir/fig17_deep_pipeline.cc.o"
+  "CMakeFiles/fig17_deep_pipeline.dir/fig17_deep_pipeline.cc.o.d"
+  "fig17_deep_pipeline"
+  "fig17_deep_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_deep_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization.dir/utilization.cc.o"
+  "CMakeFiles/utilization.dir/utilization.cc.o.d"
+  "utilization"
+  "utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_power_model.dir/validation_power_model.cc.o"
+  "CMakeFiles/validation_power_model.dir/validation_power_model.cc.o.d"
+  "validation_power_model"
+  "validation_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

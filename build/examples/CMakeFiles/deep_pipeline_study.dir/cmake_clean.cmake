@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_pipeline_study.dir/deep_pipeline_study.cpp.o"
+  "CMakeFiles/deep_pipeline_study.dir/deep_pipeline_study.cpp.o.d"
+  "deep_pipeline_study"
+  "deep_pipeline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_pipeline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cc" "src/branch/CMakeFiles/dcg_branch.dir/bimodal.cc.o" "gcc" "src/branch/CMakeFiles/dcg_branch.dir/bimodal.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/branch/CMakeFiles/dcg_branch.dir/btb.cc.o" "gcc" "src/branch/CMakeFiles/dcg_branch.dir/btb.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/branch/CMakeFiles/dcg_branch.dir/predictor.cc.o" "gcc" "src/branch/CMakeFiles/dcg_branch.dir/predictor.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/branch/CMakeFiles/dcg_branch.dir/ras.cc.o" "gcc" "src/branch/CMakeFiles/dcg_branch.dir/ras.cc.o.d"
+  "/root/repo/src/branch/two_level.cc" "src/branch/CMakeFiles/dcg_branch.dir/two_level.cc.o" "gcc" "src/branch/CMakeFiles/dcg_branch.dir/two_level.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

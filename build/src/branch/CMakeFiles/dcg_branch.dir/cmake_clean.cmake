@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_branch.dir/bimodal.cc.o"
+  "CMakeFiles/dcg_branch.dir/bimodal.cc.o.d"
+  "CMakeFiles/dcg_branch.dir/btb.cc.o"
+  "CMakeFiles/dcg_branch.dir/btb.cc.o.d"
+  "CMakeFiles/dcg_branch.dir/predictor.cc.o"
+  "CMakeFiles/dcg_branch.dir/predictor.cc.o.d"
+  "CMakeFiles/dcg_branch.dir/ras.cc.o"
+  "CMakeFiles/dcg_branch.dir/ras.cc.o.d"
+  "CMakeFiles/dcg_branch.dir/two_level.cc.o"
+  "CMakeFiles/dcg_branch.dir/two_level.cc.o.d"
+  "libdcg_branch.a"
+  "libdcg_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_cache.dir/cache.cc.o"
+  "CMakeFiles/dcg_cache.dir/cache.cc.o.d"
+  "CMakeFiles/dcg_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/dcg_cache.dir/hierarchy.cc.o.d"
+  "libdcg_cache.a"
+  "libdcg_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_common.dir/log.cc.o"
+  "CMakeFiles/dcg_common.dir/log.cc.o.d"
+  "CMakeFiles/dcg_common.dir/options.cc.o"
+  "CMakeFiles/dcg_common.dir/options.cc.o.d"
+  "CMakeFiles/dcg_common.dir/rng.cc.o"
+  "CMakeFiles/dcg_common.dir/rng.cc.o.d"
+  "CMakeFiles/dcg_common.dir/stats.cc.o"
+  "CMakeFiles/dcg_common.dir/stats.cc.o.d"
+  "CMakeFiles/dcg_common.dir/table.cc.o"
+  "CMakeFiles/dcg_common.dir/table.cc.o.d"
+  "libdcg_common.a"
+  "libdcg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcg_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_gating.dir/dcg.cc.o"
+  "CMakeFiles/dcg_gating.dir/dcg.cc.o.d"
+  "CMakeFiles/dcg_gating.dir/plb.cc.o"
+  "CMakeFiles/dcg_gating.dir/plb.cc.o.d"
+  "libdcg_gating.a"
+  "libdcg_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_isa.dir/op_class.cc.o"
+  "CMakeFiles/dcg_isa.dir/op_class.cc.o.d"
+  "libdcg_isa.a"
+  "libdcg_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

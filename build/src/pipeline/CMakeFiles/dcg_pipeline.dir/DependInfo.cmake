@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/config.cc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/config.cc.o" "gcc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/config.cc.o.d"
+  "/root/repo/src/pipeline/core.cc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/core.cc.o" "gcc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/core.cc.o.d"
+  "/root/repo/src/pipeline/fu_pool.cc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/fu_pool.cc.o" "gcc" "src/pipeline/CMakeFiles/dcg_pipeline.dir/fu_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/dcg_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcg_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

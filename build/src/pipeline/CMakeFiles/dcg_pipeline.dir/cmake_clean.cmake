@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_pipeline.dir/config.cc.o"
+  "CMakeFiles/dcg_pipeline.dir/config.cc.o.d"
+  "CMakeFiles/dcg_pipeline.dir/core.cc.o"
+  "CMakeFiles/dcg_pipeline.dir/core.cc.o.d"
+  "CMakeFiles/dcg_pipeline.dir/fu_pool.cc.o"
+  "CMakeFiles/dcg_pipeline.dir/fu_pool.cc.o.d"
+  "libdcg_pipeline.a"
+  "libdcg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_power.dir/array_model.cc.o"
+  "CMakeFiles/dcg_power.dir/array_model.cc.o.d"
+  "CMakeFiles/dcg_power.dir/derived.cc.o"
+  "CMakeFiles/dcg_power.dir/derived.cc.o.d"
+  "CMakeFiles/dcg_power.dir/model.cc.o"
+  "CMakeFiles/dcg_power.dir/model.cc.o.d"
+  "libdcg_power.a"
+  "libdcg_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

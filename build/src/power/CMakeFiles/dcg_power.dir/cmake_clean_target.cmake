@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcg_power.a"
+)

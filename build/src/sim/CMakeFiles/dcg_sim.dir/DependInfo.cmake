@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/presets.cc" "src/sim/CMakeFiles/dcg_sim.dir/presets.cc.o" "gcc" "src/sim/CMakeFiles/dcg_sim.dir/presets.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/dcg_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/dcg_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/dcg_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/dcg_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gating/CMakeFiles/dcg_gating.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dcg_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dcg_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcg_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

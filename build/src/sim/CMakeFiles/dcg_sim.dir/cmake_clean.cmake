@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_sim.dir/presets.cc.o"
+  "CMakeFiles/dcg_sim.dir/presets.cc.o.d"
+  "CMakeFiles/dcg_sim.dir/report.cc.o"
+  "CMakeFiles/dcg_sim.dir/report.cc.o.d"
+  "CMakeFiles/dcg_sim.dir/simulator.cc.o"
+  "CMakeFiles/dcg_sim.dir/simulator.cc.o.d"
+  "libdcg_sim.a"
+  "libdcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

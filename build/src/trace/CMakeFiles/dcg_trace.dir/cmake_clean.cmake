@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcg_trace.dir/generator.cc.o"
+  "CMakeFiles/dcg_trace.dir/generator.cc.o.d"
+  "CMakeFiles/dcg_trace.dir/profile.cc.o"
+  "CMakeFiles/dcg_trace.dir/profile.cc.o.d"
+  "CMakeFiles/dcg_trace.dir/spec2000.cc.o"
+  "CMakeFiles/dcg_trace.dir/spec2000.cc.o.d"
+  "libdcg_trace.a"
+  "libdcg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

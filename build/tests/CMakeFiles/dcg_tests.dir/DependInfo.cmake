@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/branch/bimodal_test.cc" "tests/CMakeFiles/dcg_tests.dir/branch/bimodal_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/branch/bimodal_test.cc.o.d"
+  "/root/repo/tests/branch/btb_test.cc" "tests/CMakeFiles/dcg_tests.dir/branch/btb_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/branch/btb_test.cc.o.d"
+  "/root/repo/tests/branch/predictor_test.cc" "tests/CMakeFiles/dcg_tests.dir/branch/predictor_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/branch/predictor_test.cc.o.d"
+  "/root/repo/tests/branch/ras_test.cc" "tests/CMakeFiles/dcg_tests.dir/branch/ras_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/branch/ras_test.cc.o.d"
+  "/root/repo/tests/branch/two_level_test.cc" "tests/CMakeFiles/dcg_tests.dir/branch/two_level_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/branch/two_level_test.cc.o.d"
+  "/root/repo/tests/cache/cache_test.cc" "tests/CMakeFiles/dcg_tests.dir/cache/cache_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/cache/cache_test.cc.o.d"
+  "/root/repo/tests/cache/hierarchy_test.cc" "tests/CMakeFiles/dcg_tests.dir/cache/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/cache/hierarchy_test.cc.o.d"
+  "/root/repo/tests/common/delay_queue_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/delay_queue_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/delay_queue_test.cc.o.d"
+  "/root/repo/tests/common/log_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/log_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/log_test.cc.o.d"
+  "/root/repo/tests/common/options_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/options_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/options_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/common/timing_wheel_test.cc" "tests/CMakeFiles/dcg_tests.dir/common/timing_wheel_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/common/timing_wheel_test.cc.o.d"
+  "/root/repo/tests/gating/dcg_test.cc" "tests/CMakeFiles/dcg_tests.dir/gating/dcg_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/gating/dcg_test.cc.o.d"
+  "/root/repo/tests/gating/plb_test.cc" "tests/CMakeFiles/dcg_tests.dir/gating/plb_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/gating/plb_test.cc.o.d"
+  "/root/repo/tests/isa/op_class_test.cc" "tests/CMakeFiles/dcg_tests.dir/isa/op_class_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/isa/op_class_test.cc.o.d"
+  "/root/repo/tests/pipeline/activity_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/activity_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/activity_test.cc.o.d"
+  "/root/repo/tests/pipeline/config_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/config_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/config_test.cc.o.d"
+  "/root/repo/tests/pipeline/core_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/core_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/core_test.cc.o.d"
+  "/root/repo/tests/pipeline/fu_pool_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/fu_pool_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/fu_pool_test.cc.o.d"
+  "/root/repo/tests/pipeline/iq_occupancy_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/iq_occupancy_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/iq_occupancy_test.cc.o.d"
+  "/root/repo/tests/pipeline/lsq_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/lsq_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/lsq_test.cc.o.d"
+  "/root/repo/tests/pipeline/rob_test.cc" "tests/CMakeFiles/dcg_tests.dir/pipeline/rob_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/pipeline/rob_test.cc.o.d"
+  "/root/repo/tests/power/array_model_test.cc" "tests/CMakeFiles/dcg_tests.dir/power/array_model_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/power/array_model_test.cc.o.d"
+  "/root/repo/tests/power/derived_test.cc" "tests/CMakeFiles/dcg_tests.dir/power/derived_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/power/derived_test.cc.o.d"
+  "/root/repo/tests/power/model_test.cc" "tests/CMakeFiles/dcg_tests.dir/power/model_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/power/model_test.cc.o.d"
+  "/root/repo/tests/power/technology_test.cc" "tests/CMakeFiles/dcg_tests.dir/power/technology_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/power/technology_test.cc.o.d"
+  "/root/repo/tests/sim/integration_test.cc" "tests/CMakeFiles/dcg_tests.dir/sim/integration_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/sim/integration_test.cc.o.d"
+  "/root/repo/tests/sim/report_test.cc" "tests/CMakeFiles/dcg_tests.dir/sim/report_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/sim/report_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/dcg_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/trace/generator_test.cc" "tests/CMakeFiles/dcg_tests.dir/trace/generator_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/trace/generator_test.cc.o.d"
+  "/root/repo/tests/trace/memory_model_test.cc" "tests/CMakeFiles/dcg_tests.dir/trace/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/trace/memory_model_test.cc.o.d"
+  "/root/repo/tests/trace/spec2000_test.cc" "tests/CMakeFiles/dcg_tests.dir/trace/spec2000_test.cc.o" "gcc" "tests/CMakeFiles/dcg_tests.dir/trace/spec2000_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gating/CMakeFiles/dcg_gating.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dcg_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dcg_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dcg_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dcg_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcgsim.dir/dcgsim.cc.o"
+  "CMakeFiles/dcgsim.dir/dcgsim.cc.o.d"
+  "dcgsim"
+  "dcgsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcgsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
