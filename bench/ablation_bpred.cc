@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -22,27 +23,37 @@ main()
     printHeader("Study — DCG savings vs branch predictor quality",
                 "bimodal / 2-level (Table 1) / hybrid front ends");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
-
     struct Kind { DirectionKind kind; const char *name; };
     const Kind kinds[] = {
         {DirectionKind::Bimodal, "bimodal"},
         {DirectionKind::TwoLevel, "2-level"},
         {DirectionKind::Hybrid, "hybrid"},
     };
+    const char *benches[] = {"gcc", "twolf", "parser", "gzip"};
 
-    TextTable t({"bench", "predictor", "bpred acc (%)", "IPC",
-                 "DCG save (%)"});
-    for (const char *name : {"gcc", "twolf", "parser", "gzip"}) {
+    // Declarative grid: (bench x predictor x {base, dcg}); the engine
+    // schedules the jobs across DCG_JOBS workers.
+    std::vector<exp::Job> jobs;
+    for (const char *name : benches) {
         const Profile p = profileByName(name);
         for (const Kind &k : kinds) {
             SimConfig base = table1Config(GatingScheme::None);
             base.bpred.kind = k.kind;
             SimConfig dcg = base;
             dcg.scheme = GatingScheme::Dcg;
-            const RunResult b = runBenchmark(p, base, insts, warm);
-            const RunResult d = runBenchmark(p, dcg, insts, warm);
+            jobs.push_back(exp::makeJob(p, base));
+            jobs.push_back(exp::makeJob(p, dcg));
+        }
+    }
+    const auto results = runJobs(jobs);
+
+    TextTable t({"bench", "predictor", "bpred acc (%)", "IPC",
+                 "DCG save (%)"});
+    std::size_t i = 0;
+    for (const char *name : benches) {
+        for (const Kind &k : kinds) {
+            const RunResult &b = results[i++];
+            const RunResult &d = results[i++];
             t.addRow({name, k.name, TextTable::pct(b.branchAccuracy),
                       TextTable::num(b.ipc, 2),
                       TextTable::pct(powerSaving(b, d))});
@@ -53,5 +64,6 @@ main()
                  "smaller DCG\npercentages (but more work done per "
                  "joule). DCG's zero performance\nloss holds under "
                  "every front end.\n";
+    printEngineSummary();
     return 0;
 }

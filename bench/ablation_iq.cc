@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -22,21 +23,25 @@ main()
     printHeader("Extension — DCG + issue-queue gating per [6] (Sec 2.2.2)",
                 "total power saving; IQ gating adds on top of DCG");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
+    // Per benchmark: baseline, plain DCG, DCG + issue-queue gating.
+    SimConfig combo_cfg = table1Config(GatingScheme::Dcg);
+    combo_cfg.dcg.gateIssueQueue = true;
+
+    std::vector<exp::Job> jobs;
+    for (const Profile &p : allSpecProfiles()) {
+        jobs.push_back(exp::makeJob(p, table1Config(GatingScheme::None)));
+        jobs.push_back(exp::makeJob(p, table1Config(GatingScheme::Dcg)));
+        jobs.push_back(exp::makeJob(p, combo_cfg));
+    }
+    const auto results = runJobs(jobs);
 
     TextTable t({"bench", "DCG (%)", "DCG+[6] (%)", "delta", "dIPC (%)"});
     double sum_a = 0.0, sum_b = 0.0;
+    std::size_t i = 0;
     for (const Profile &p : allSpecProfiles()) {
-        const RunResult base = runBenchmark(
-            p, table1Config(GatingScheme::None), insts, warm);
-
-        const RunResult plain = runBenchmark(
-            p, table1Config(GatingScheme::Dcg), insts, warm);
-
-        SimConfig cfg = table1Config(GatingScheme::Dcg);
-        cfg.dcg.gateIssueQueue = true;
-        const RunResult combo = runBenchmark(p, cfg, insts, warm);
+        const RunResult &base = results[i++];
+        const RunResult &plain = results[i++];
+        const RunResult &combo = results[i++];
 
         const double sa = powerSaving(base, plain);
         const double sb = powerSaving(base, combo);
@@ -51,5 +56,6 @@ main()
               << TextTable::pct(sum_a / 16) << "%  ->  DCG+[6] "
               << TextTable::pct(sum_b / 16)
               << "%, still with zero performance loss.\n";
+    printEngineSummary();
     return 0;
 }

@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -22,26 +23,34 @@ main()
     printHeader("Ablation — sequential priority vs round-robin (Sec 3.1)",
                 "gate-control transitions per kilo-cycle, int ALU pool");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
-
-    TextTable t({"bench", "seq tog/kcyc", "rr tog/kcyc", "ratio",
-                 "seq save%", "rr save%"});
+    // Per benchmark: {sequential, round-robin} x {dcg, base}; the DCG
+    // jobs capture the int-ALU gate toggle counter from the registry.
+    std::vector<exp::Job> jobs;
     for (const Profile &p : allSpecProfiles()) {
-        double toggles[2], saving[2];
         for (int mode = 0; mode < 2; ++mode) {
-            SimConfig cfg = table1Config(GatingScheme::Dcg);
-            cfg.core.sequentialPriority = mode == 0;
-            Simulator sim(p, cfg);
-            sim.run(insts, warm);
-            const RunResult r = sim.result();
-            const double cycles = static_cast<double>(r.cycles);
-            toggles[mode] =
-                sim.stats().lookup("dcg.toggles.IntAlu") / cycles * 1000;
+            SimConfig dcg_cfg = table1Config(GatingScheme::Dcg);
+            dcg_cfg.core.sequentialPriority = mode == 0;
+            exp::Job dcg_job = exp::makeJob(p, dcg_cfg);
+            dcg_job.captureStats = {"dcg.toggles.IntAlu"};
+            jobs.push_back(std::move(dcg_job));
 
             SimConfig base_cfg = table1Config(GatingScheme::None);
             base_cfg.core.sequentialPriority = mode == 0;
-            const RunResult base = runBenchmark(p, base_cfg, insts, warm);
+            jobs.push_back(exp::makeJob(p, base_cfg));
+        }
+    }
+    const auto results = runJobs(jobs);
+
+    TextTable t({"bench", "seq tog/kcyc", "rr tog/kcyc", "ratio",
+                 "seq save%", "rr save%"});
+    std::size_t i = 0;
+    for (const Profile &p : allSpecProfiles()) {
+        double toggles[2], saving[2];
+        for (int mode = 0; mode < 2; ++mode) {
+            const RunResult &r = results[i++];
+            const RunResult &base = results[i++];
+            toggles[mode] = r.extraStats.at("dcg.toggles.IntAlu") /
+                            static_cast<double>(r.cycles) * 1000;
             saving[mode] = powerSaving(base, r);
         }
         t.addRow({p.name, TextTable::num(toggles[0], 1),
@@ -54,5 +63,6 @@ main()
                  "gated state,\ncutting control toggling (ratio > 1) at "
                  "unchanged power savings —\nexactly the paper's "
                  "rationale.\n";
+    printEngineSummary();
     return 0;
 }

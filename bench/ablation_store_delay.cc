@@ -7,7 +7,9 @@
  * this binary quantifies it.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -21,17 +23,23 @@ main()
     printHeader("Ablation — store +1 cycle clock-gate setup (Sec 3.3)",
                 "performance cost of delaying store D-cache access");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
+    SimConfig case1 = table1Config(GatingScheme::Dcg);
+    SimConfig case2 = case1;
+    case2.core.delayStoresOneCycle = true;
+
+    std::vector<exp::Job> jobs;
+    for (const Profile &p : allSpecProfiles()) {
+        jobs.push_back(exp::makeJob(p, case1));
+        jobs.push_back(exp::makeJob(p, case2));
+    }
+    const auto results = runJobs(jobs);
 
     TextTable t({"bench", "IPC case1", "IPC case2", "loss (%)"});
     double worst = 0.0;
+    std::size_t i = 0;
     for (const Profile &p : allSpecProfiles()) {
-        SimConfig c1 = table1Config(GatingScheme::Dcg);
-        SimConfig c2 = c1;
-        c2.core.delayStoresOneCycle = true;
-        const RunResult a = runBenchmark(p, c1, insts, warm);
-        const RunResult b = runBenchmark(p, c2, insts, warm);
+        const RunResult &a = results[i++];
+        const RunResult &b = results[i++];
         const double loss = 1.0 - b.ipc / a.ipc;
         worst = std::max(worst, loss);
         t.addRow({p.name, TextTable::num(a.ipc, 3),
@@ -42,5 +50,6 @@ main()
               << "% — stores do not produce pipeline values, so the "
                  "delay is\nabsorbed by the store buffer (paper: "
                  "\"virtually no performance loss\").\n";
+    printEngineSummary();
     return 0;
 }

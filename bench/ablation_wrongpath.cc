@@ -9,6 +9,7 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -23,24 +24,30 @@ main()
                 "baseline power and DCG savings with/without wrong-path"
                 " fetch");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
+    SimConfig b0 = table1Config(GatingScheme::None);
+    SimConfig d0 = table1Config(GatingScheme::Dcg);
+    SimConfig b1 = b0, d1 = d0;
+    b1.core.modelWrongPathFetch = true;
+    d1.core.modelWrongPathFetch = true;
+
+    const char *benches[] = {"gzip", "gcc", "twolf", "parser", "art"};
+
+    std::vector<exp::Job> jobs;
+    for (const char *name : benches) {
+        const Profile p = profileByName(name);
+        for (const SimConfig &cfg : {b0, d0, b1, d1})
+            jobs.push_back(exp::makeJob(p, cfg));
+    }
+    const auto results = runJobs(jobs);
 
     TextTable t({"bench", "baseW", "baseW+wp", "DCG% ", "DCG%+wp",
                  "dIPC (%)"});
-    for (const char *name : {"gzip", "gcc", "twolf", "parser", "art"}) {
-        const Profile p = profileByName(name);
-
-        SimConfig b0 = table1Config(GatingScheme::None);
-        SimConfig d0 = table1Config(GatingScheme::Dcg);
-        SimConfig b1 = b0, d1 = d0;
-        b1.core.modelWrongPathFetch = true;
-        d1.core.modelWrongPathFetch = true;
-
-        const RunResult rb0 = runBenchmark(p, b0, insts, warm);
-        const RunResult rd0 = runBenchmark(p, d0, insts, warm);
-        const RunResult rb1 = runBenchmark(p, b1, insts, warm);
-        const RunResult rd1 = runBenchmark(p, d1, insts, warm);
+    std::size_t i = 0;
+    for (const char *name : benches) {
+        const RunResult &rb0 = results[i++];
+        const RunResult &rd0 = results[i++];
+        const RunResult &rb1 = results[i++];
+        const RunResult &rd1 = results[i++];
 
         t.addRow({name, TextTable::num(rb0.avgPowerW, 1),
                   TextTable::num(rb1.avgPowerW, 1),
@@ -53,5 +60,6 @@ main()
                  "little, nudging DCG's\n*relative* savings down by "
                  "well under a point — the deviation noted in\n"
                  "DESIGN.md Sec 6 is immaterial to the conclusions.\n";
+    printEngineSummary();
     return 0;
 }

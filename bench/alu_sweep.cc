@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/table.hh"
@@ -21,19 +22,25 @@ main()
     printHeader("Section 4.4 — optimal number of integer ALUs",
                 "relative performance vs an 8-ALU machine");
 
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
     const unsigned counts[] = {8, 6, 4};
+
+    std::vector<exp::Job> jobs;
+    for (const Profile &p : allSpecProfiles()) {
+        for (unsigned n : counts) {
+            SimConfig cfg = table1Config();
+            cfg.core.fuCount[0] = n;
+            jobs.push_back(exp::makeJob(p, cfg));
+        }
+    }
+    const auto results = runJobs(jobs);
 
     TextTable t({"bench", "suite", "IPC@8", "rel@6 (%)", "rel@4 (%)"});
     double worst6 = 1.0, worst4 = 1.0;
+    std::size_t i = 0;
     for (const Profile &p : allSpecProfiles()) {
         double ipc[3];
-        for (int i = 0; i < 3; ++i) {
-            SimConfig cfg = table1Config();
-            cfg.core.fuCount[0] = counts[i];
-            ipc[i] = runBenchmark(p, cfg, insts, warm).ipc;
-        }
+        for (double &x : ipc)
+            x = results[i++].ipc;
         const double rel6 = ipc[1] / ipc[0];
         const double rel4 = ipc[2] / ipc[0];
         worst6 = std::min(worst6, rel6);
@@ -49,5 +56,6 @@ main()
               << "% (paper 92.7%).\n"
               << "Conclusion (as in the paper): 6 integer ALUs are the "
               << "power/performance sweet spot for the 8-wide machine.\n";
+    printEngineSummary();
     return 0;
 }

@@ -55,5 +55,6 @@ main()
               << "  PLB-ext  int " << TextTable::pct(ext_m.intMean)
               << "% (paper 11.0)   fp " << TextTable::pct(ext_m.fpMean)
               << "% (paper 8.7)\n";
+    printEngineSummary();
     return 0;
 }

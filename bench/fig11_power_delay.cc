@@ -68,5 +68,6 @@ main()
               << "  PLB-orig perf loss int "
               << TextTable::pct(loss.intMean) << "%  fp "
               << TextTable::pct(loss.fpMean) << "% (paper ~2.9%)\n";
+    printEngineSummary();
     return 0;
 }

@@ -43,5 +43,6 @@ main()
               << "% (paper 19.9)   20-stage "
               << TextTable::pct(sum20 / grid20.size())
               << "% (paper 24.5)\n";
+    printEngineSummary();
     return 0;
 }

@@ -9,76 +9,13 @@ namespace dcg::bench {
 std::vector<SchemeResults>
 runGrid(const GridRequest &req)
 {
-    const std::uint64_t insts = defaultBenchInstructions();
-    const std::uint64_t warm = defaultBenchWarmup();
-
-    auto config = [&](GatingScheme s) {
-        return req.deepPipeline ? deepPipelineConfig(s) : table1Config(s);
-    };
-
-    std::vector<SchemeResults> grid;
-    for (const Profile &p : allSpecProfiles()) {
-        SchemeResults r;
-        r.profile = p;
-        r.base = runBenchmark(p, config(GatingScheme::None), insts, warm);
-        if (req.wantDcg)
-            r.dcg = runBenchmark(p, config(GatingScheme::Dcg), insts,
-                                 warm);
-        if (req.wantPlbOrig)
-            r.plbOrig = runBenchmark(p, config(GatingScheme::PlbOrig),
-                                     insts, warm);
-        if (req.wantPlbExt)
-            r.plbExt = runBenchmark(p, config(GatingScheme::PlbExt),
-                                    insts, warm);
-        grid.push_back(std::move(r));
-    }
-    return grid;
+    return exp::runGrid(exp::sessionEngine(), req);
 }
 
-double
-powerSaving(const RunResult &base, const RunResult &gated)
+std::vector<RunResult>
+runJobs(const std::vector<exp::Job> &jobs)
 {
-    return 1.0 - gated.avgPowerW / base.avgPowerW;
-}
-
-double
-powerDelaySaving(const RunResult &base, const RunResult &gated)
-{
-    // Power x delay per instruction: P * (cycles/inst) — both a power
-    // increase and a slowdown reduce the saving (Figure 11).
-    const double base_pd = base.avgPowerW / base.ipc;
-    const double gated_pd = gated.avgPowerW / gated.ipc;
-    return 1.0 - gated_pd / base_pd;
-}
-
-double
-componentSaving(const RunResult &base, const RunResult &gated,
-                const std::function<double(const RunResult &)> &pick)
-{
-    // Component energies are compared per cycle so that PLB's longer
-    // runtime does not masquerade as savings.
-    const double base_rate = pick(base) / static_cast<double>(base.cycles);
-    const double gated_rate =
-        pick(gated) / static_cast<double>(gated.cycles);
-    return 1.0 - gated_rate / base_rate;
-}
-
-IntFpMeans
-meansBySuite(const std::vector<SchemeResults> &grid,
-             const std::function<double(const SchemeResults &)> &value)
-{
-    double int_sum = 0.0, fp_sum = 0.0;
-    unsigned int_n = 0, fp_n = 0;
-    for (const auto &r : grid) {
-        if (r.profile.isFp) {
-            fp_sum += value(r);
-            ++fp_n;
-        } else {
-            int_sum += value(r);
-            ++int_n;
-        }
-    }
-    return {int_n ? int_sum / int_n : 0.0, fp_n ? fp_sum / fp_n : 0.0};
+    return exp::sessionEngine().run(jobs);
 }
 
 void
@@ -89,8 +26,19 @@ printHeader(const std::string &figure, const std::string &claim)
               << "(runs: " << defaultBenchInstructions()
               << " instructions after " << defaultBenchWarmup()
               << " warm-up; override with DCG_BENCH_INSTS /"
-              << " DCG_BENCH_WARMUP)\n"
+              << " DCG_BENCH_WARMUP; workers: "
+              << exp::sessionEngine().workers()
+              << ", override with DCG_JOBS)\n"
               << "==================================================\n";
+}
+
+void
+printEngineSummary()
+{
+    const exp::Engine &e = exp::sessionEngine();
+    std::cout << "\n[engine] " << e.workers() << " worker(s), "
+              << e.cacheMisses() << " simulation(s), "
+              << e.cacheHits() << " cache hit(s)\n";
 }
 
 void
@@ -127,6 +75,7 @@ runComponentFigure(const std::string &figure, const std::string &claim,
               << "  PLB-ext int " << TextTable::pct(ext_m.intMean)
               << "%  fp " << TextTable::pct(ext_m.fpMean) << "%   "
               << paper_ext << "\n";
+    printEngineSummary();
 }
 
 } // namespace dcg::bench

@@ -1,73 +1,49 @@
 /**
  * @file
- * Shared helpers for the per-figure experiment binaries.
+ * Shared helpers for the per-figure experiment binaries — now a thin
+ * presentation layer over the exp:: experiment engine.
  *
  * Each binary regenerates one table/figure of the paper's evaluation
- * section: it runs the relevant (benchmark x scheme) grid and prints
- * the same rows the paper plots, plus the paper's reported values for
- * comparison. Run length is controlled by DCG_BENCH_INSTS /
- * DCG_BENCH_WARMUP.
+ * section: it states the (benchmark x scheme) grid it needs as an
+ * exp::GridRequest, the session engine executes the jobs (in parallel
+ * when DCG_JOBS > 1) with a shared result cache, and the binary prints
+ * the same rows the paper plots plus the paper's reported values.
+ * Run length is controlled by DCG_BENCH_INSTS / DCG_BENCH_WARMUP.
  */
 
 #ifndef DCG_BENCH_HARNESS_HH
 #define DCG_BENCH_HARNESS_HH
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "sim/presets.hh"
-#include "sim/simulator.hh"
+#include "exp/engine.hh"
+#include "exp/grid.hh"
+#include "exp/metrics.hh"
 
 namespace dcg::bench {
 
-/** One benchmark's runs across the schemes a figure needs. */
-struct SchemeResults
-{
-    Profile profile;
-    RunResult base;
-    RunResult dcg;
-    RunResult plbOrig;  ///< valid only if requested
-    RunResult plbExt;   ///< valid only if requested
-};
+// The grid/metric vocabulary lives in the engine layer now; the
+// figure binaries keep using it under their accustomed names.
+using exp::GridRequest;
+using exp::IntFpMeans;
+using exp::SchemeResults;
+using exp::componentSaving;
+using exp::meansBySuite;
+using exp::powerDelaySaving;
+using exp::powerSaving;
 
-/** Which schemes a figure needs beyond the baseline. */
-struct GridRequest
-{
-    bool wantDcg = true;
-    bool wantPlbOrig = false;
-    bool wantPlbExt = false;
-    bool deepPipeline = false;
-};
-
-/** Run the full SPEC grid for a figure. */
+/** Run the full SPEC grid for a figure on the session engine. */
 std::vector<SchemeResults> runGrid(const GridRequest &req);
 
-/** Fractional total-power saving of @p gated vs @p base. */
-double powerSaving(const RunResult &base, const RunResult &gated);
-
-/**
- * Fractional power-delay (energy x time per instruction) saving:
- * both power loss and slowdown hurt, as in Figure 11.
- */
-double powerDelaySaving(const RunResult &base, const RunResult &gated);
-
-/** Fractional saving of a component energy selected by @p pick. */
-double componentSaving(const RunResult &base, const RunResult &gated,
-                       const std::function<double(const RunResult &)> &pick);
-
-/** Mean over int / fp subsets of per-benchmark values. */
-struct IntFpMeans
-{
-    double intMean;
-    double fpMean;
-};
-IntFpMeans meansBySuite(const std::vector<SchemeResults> &grid,
-                        const std::function<double(const SchemeResults &)>
-                            &value);
+/** Run an explicit job list on the session engine. */
+std::vector<RunResult> runJobs(const std::vector<exp::Job> &jobs);
 
 /** Print the standard figure header. */
 void printHeader(const std::string &figure, const std::string &claim);
+
+/** Print the session engine's worker / cache summary line. */
+void printEngineSummary();
 
 /**
  * Shared driver for the per-component figures (12-16): prints DCG and

@@ -65,5 +65,6 @@ main()
               << TextTable::pct(du.fpMean) << "  (paper ~40)\n"
               << "  result bus  " << TextTable::pct(bu.intMean) << "/"
               << TextTable::pct(bu.fpMean) << "  (paper ~40)\n";
+    printEngineSummary();
     return 0;
 }

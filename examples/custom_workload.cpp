@@ -6,16 +6,19 @@
  * each gating scheme responds.
  *
  * This is the template for adding your own workloads: fill a Profile,
- * hand it to the Simulator, read the RunResult.
+ * wrap it in exp::Jobs (one per gating scheme), hand the batch to the
+ * experiment engine, read the RunResults.
  *
  * Usage:
  *   custom_workload [--insts=150000] [--warmup=60000] [--pointer_mb=32]
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/options.hh"
 #include "common/table.hh"
+#include "exp/engine.hh"
 #include "sim/presets.hh"
 
 using namespace dcg;
@@ -59,17 +62,21 @@ main(int argc, char **argv)
     std::cout << "== custom workload 'memdb' (pointer region "
               << pointer_mb << " MB) ==\n\n";
 
-    // --- 2. Run it under every gating scheme.
+    // --- 2. Declare one job per gating scheme and run the batch on
+    //        the engine (parallel when DCG_JOBS > 1).
+    std::vector<exp::Job> jobs;
+    for (GatingScheme s : {GatingScheme::None, GatingScheme::Dcg,
+                           GatingScheme::PlbOrig, GatingScheme::PlbExt})
+        jobs.push_back(exp::makeJob(db, table1Config(s), insts, warmup));
+
+    exp::Engine engine;
+    const auto results = engine.run(jobs);
+    const RunResult &base = results[0];
+
     TextTable t({"scheme", "IPC", "power (W)", "saving (%)",
                  "E/inst (pJ)"});
-    RunResult base;
-    for (GatingScheme s : {GatingScheme::None, GatingScheme::Dcg,
-                           GatingScheme::PlbOrig, GatingScheme::PlbExt}) {
-        const RunResult r =
-            runBenchmark(db, table1Config(s), insts, warmup);
-        if (s == GatingScheme::None)
-            base = r;
-        t.addRow({gatingSchemeName(s), TextTable::num(r.ipc, 2),
+    for (const RunResult &r : results) {
+        t.addRow({r.scheme, TextTable::num(r.ipc, 2),
                   TextTable::num(r.avgPowerW, 1),
                   TextTable::pct(1.0 - r.avgPowerW / base.avgPowerW),
                   TextTable::num(r.energyPerInstPJ(), 0)});

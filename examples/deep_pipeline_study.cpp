@@ -5,6 +5,9 @@
  * DCG's savings grow as more gateable latch groups appear, while the
  * mispredict penalty erodes IPC.
  *
+ * The depth sweep is declared as one batch of exp::Jobs; the engine
+ * runs the (depth x {base, dcg}) grid in parallel.
+ *
  * Usage:
  *   deep_pipeline_study [--bench=gcc] [--insts=150000] [--warmup=60000]
  */
@@ -14,6 +17,7 @@
 
 #include "common/options.hh"
 #include "common/table.hh"
+#include "exp/engine.hh"
 #include "sim/presets.hh"
 
 using namespace dcg;
@@ -61,23 +65,35 @@ main(int argc, char **argv)
 
     std::cout << "== DCG vs pipeline depth on " << bench << " ==\n\n";
 
-    TextTable t({"stages", "gateable latch groups", "base IPC",
-                 "DCG saving (%)"});
-    for (unsigned stages : {8u, 11u, 14u, 17u, 20u}) {
+    const std::vector<unsigned> depths{8, 11, 14, 17, 20};
+
+    std::vector<exp::Job> jobs;
+    for (unsigned stages : depths) {
         SimConfig base = table1Config(GatingScheme::None);
         base.core.depth = depthForStages(stages);
         SimConfig dcg = base;
         dcg.scheme = GatingScheme::Dcg;
+        jobs.push_back(exp::makeJob(profile, base, insts, warmup));
+        jobs.push_back(exp::makeJob(profile, dcg, insts, warmup));
+    }
 
+    exp::Engine engine;
+    const auto results = engine.run(jobs);
+
+    TextTable t({"stages", "gateable latch groups", "base IPC",
+                 "DCG saving (%)"});
+    std::size_t i = 0;
+    for (unsigned stages : depths) {
+        const DepthConfig depth = depthForStages(stages);
         unsigned gateable = 0;
         for (unsigned p = 0; p < kNumLatchPhases; ++p) {
             const auto phase = static_cast<LatchPhase>(p);
             if (latchPhaseGateable(phase))
-                gateable += base.core.depth.groupsFor(phase);
+                gateable += depth.groupsFor(phase);
         }
 
-        const RunResult b = runBenchmark(profile, base, insts, warmup);
-        const RunResult d = runBenchmark(profile, dcg, insts, warmup);
+        const RunResult &b = results[i++];
+        const RunResult &d = results[i++];
         t.addRow({std::to_string(stages), std::to_string(gateable),
                   TextTable::num(b.ipc, 2),
                   TextTable::pct(1.0 - d.avgPowerW / b.avgPowerW)});

@@ -4,6 +4,10 @@
  * machine with and without Deterministic Clock Gating and print the
  * headline numbers.
  *
+ * Runs go through the experiment engine (exp::Engine), which is the
+ * recommended entry point: it executes independent simulations in
+ * parallel and caches results by configuration.
+ *
  * Usage:
  *   quickstart [--bench=mcf] [--insts=400000] [--warmup=60000]
  */
@@ -12,6 +16,7 @@
 
 #include "common/options.hh"
 #include "common/table.hh"
+#include "exp/engine.hh"
 #include "sim/presets.hh"
 
 using namespace dcg;
@@ -32,12 +37,17 @@ main(int argc, char **argv)
               << (profile.isFp ? "SPECfp" : "SPECint") << " model), "
               << insts << " instructions ==\n\n";
 
-    const RunResult base =
-        runBenchmark(profile, table1Config(GatingScheme::None), insts,
-                     warmup);
-    const RunResult dcgRun =
-        runBenchmark(profile, table1Config(GatingScheme::Dcg), insts,
-                     warmup);
+    // Declare the two runs and let the engine execute them (in
+    // parallel when more than one worker is available).
+    exp::Engine engine;
+    const auto results = engine.run({
+        exp::makeJob(profile, table1Config(GatingScheme::None), insts,
+                     warmup),
+        exp::makeJob(profile, table1Config(GatingScheme::Dcg), insts,
+                     warmup),
+    });
+    const RunResult &base = results[0];
+    const RunResult &dcgRun = results[1];
 
     TextTable t({"metric", "baseline", "DCG"});
     t.addRow({"IPC", TextTable::num(base.ipc, 3),

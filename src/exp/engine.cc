@@ -1,0 +1,126 @@
+#include "exp/engine.hh"
+
+#include <thread>
+
+#include "common/options.hh"
+
+namespace dcg::exp {
+
+Engine::Engine(unsigned jobs)
+    : numWorkers(jobs ? jobs : defaultJobs())
+{
+}
+
+unsigned
+Engine::defaultJobs()
+{
+    const auto env = Options::envInt("DCG_JOBS", 0);
+    if (env > 0)
+        return static_cast<unsigned>(env);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+Engine::cacheSize() const
+{
+    std::lock_guard<std::mutex> lk(cacheMutex);
+    return cache.size();
+}
+
+void
+Engine::clearCache()
+{
+    std::lock_guard<std::mutex> lk(cacheMutex);
+    cache.clear();
+}
+
+std::shared_ptr<Engine::Entry>
+Engine::lookupOrClaim(const std::string &key, bool &owner)
+{
+    std::lock_guard<std::mutex> lk(cacheMutex);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        owner = false;
+        ++hits;
+        return it->second;
+    }
+    owner = true;
+    ++misses;
+    auto entry = std::make_shared<Entry>();
+    cache.emplace(key, entry);
+    return entry;
+}
+
+RunResult
+Engine::execute(const Job &job) const
+{
+    // Every job gets its own deterministic RNG stream so results do
+    // not depend on which worker runs it or in what order.
+    SimConfig cfg = job.config;
+    cfg.seed = deriveJobSeed(job);
+
+    Simulator sim(job.profile, cfg);
+    sim.run(job.resolvedInstructions(), job.resolvedWarmup());
+    RunResult r = sim.result();
+    for (const std::string &name : job.captureStats)
+        r.extraStats[name] = sim.stats().lookup(name);
+    return r;
+}
+
+RunResult
+Engine::runOne(const Job &job)
+{
+    bool owner = false;
+    auto entry = lookupOrClaim(jobKey(job), owner);
+    if (owner) {
+        RunResult r = execute(job);
+        {
+            std::lock_guard<std::mutex> lk(entry->m);
+            entry->result = r;
+            entry->done = true;
+        }
+        entry->cv.notify_all();
+        return r;
+    }
+    std::unique_lock<std::mutex> lk(entry->m);
+    entry->cv.wait(lk, [&] { return entry->done; });
+    return entry->result;
+}
+
+std::vector<RunResult>
+Engine::run(const std::vector<Job> &jobs)
+{
+    std::vector<RunResult> results(jobs.size());
+    const auto nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(numWorkers, jobs.size()));
+
+    if (nthreads <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = runOne(jobs[i]);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i; (i = next.fetch_add(1)) < jobs.size(); )
+            results[i] = runOne(jobs[i]);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+Engine &
+sessionEngine()
+{
+    static Engine engine;
+    return engine;
+}
+
+} // namespace dcg::exp

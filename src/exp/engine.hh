@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Experiment engine: executes Jobs on a fixed-size worker pool with a
+ * keyed result cache.
+ *
+ * Each Simulator is self-contained (no globals, per-instance RNG), so
+ * jobs run concurrently without synchronisation; determinism comes
+ * from the per-job seed derivation in job.hh, which makes results
+ * bit-identical regardless of worker count or execution order.
+ *
+ * The cache is keyed by jobKey() and lives for the Engine's lifetime:
+ * a figure binary that needs the baseline grid and the DCG grid
+ * simulates each (benchmark, config) pair exactly once, even when
+ * several batches — or several threads within one batch — request it.
+ *
+ * Worker count resolution: explicit argument > DCG_JOBS environment
+ * variable > std::thread::hardware_concurrency().
+ */
+
+#ifndef DCG_EXP_ENGINE_HH
+#define DCG_EXP_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exp/job.hh"
+
+namespace dcg::exp {
+
+class Engine
+{
+  public:
+    /** @param jobs worker-thread count; 0 = defaultJobs(). */
+    explicit Engine(unsigned jobs = 0);
+
+    /**
+     * Execute a batch. Results come back in request order; duplicate
+     * (and previously cached) jobs are simulated only once.
+     */
+    std::vector<RunResult> run(const std::vector<Job> &jobs);
+
+    /** Execute (or fetch from cache) a single job. */
+    RunResult runOne(const Job &job);
+
+    unsigned workers() const { return numWorkers; }
+
+    /// @name Cache observability (used by tests and run summaries)
+    /// @{
+    std::uint64_t cacheHits() const { return hits.load(); }
+    std::uint64_t cacheMisses() const { return misses.load(); }
+    std::size_t cacheSize() const;
+    void clearCache();
+    /// @}
+
+    /** DCG_JOBS environment override, else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+  private:
+    /** One cache slot; built by the first requester, awaited by rest. */
+    struct Entry
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        RunResult result;
+    };
+
+    std::shared_ptr<Entry> lookupOrClaim(const std::string &key,
+                                         bool &owner);
+    RunResult execute(const Job &job) const;
+
+    unsigned numWorkers;
+    mutable std::mutex cacheMutex;
+    std::map<std::string, std::shared_ptr<Entry>> cache;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+/**
+ * Process-wide engine shared by every driver in one binary, so the
+ * figure harness, ablations and tools all draw from one result cache.
+ */
+Engine &sessionEngine();
+
+} // namespace dcg::exp
+
+#endif // DCG_EXP_ENGINE_HH

@@ -1,0 +1,77 @@
+#include "exp/grid.hh"
+
+namespace dcg::exp {
+
+namespace {
+
+std::vector<GatingScheme>
+requestedSchemes(const GridRequest &req)
+{
+    std::vector<GatingScheme> schemes{GatingScheme::None};
+    if (req.wantDcg)
+        schemes.push_back(GatingScheme::Dcg);
+    if (req.wantPlbOrig)
+        schemes.push_back(GatingScheme::PlbOrig);
+    if (req.wantPlbExt)
+        schemes.push_back(GatingScheme::PlbExt);
+    return schemes;
+}
+
+std::vector<Profile>
+requestedProfiles(const GridRequest &req)
+{
+    if (req.benchmarks.empty())
+        return allSpecProfiles();
+    std::vector<Profile> profiles;
+    profiles.reserve(req.benchmarks.size());
+    for (const std::string &name : req.benchmarks)
+        profiles.push_back(profileByName(name));
+    return profiles;
+}
+
+} // namespace
+
+std::vector<Job>
+gridJobs(const GridRequest &req)
+{
+    const auto schemes = requestedSchemes(req);
+    std::vector<Job> jobs;
+    for (const Profile &p : requestedProfiles(req)) {
+        for (GatingScheme s : schemes) {
+            const SimConfig cfg = req.deepPipeline
+                ? deepPipelineConfig(s) : table1Config(s);
+            jobs.push_back(makeJob(p, cfg, req.instructions,
+                                   req.warmup));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SchemeResults>
+runGrid(Engine &engine, const GridRequest &req)
+{
+    const auto schemes = requestedSchemes(req);
+    const auto jobs = gridJobs(req);
+    const auto results = engine.run(jobs);
+
+    std::vector<SchemeResults> grid;
+    grid.reserve(jobs.size() / schemes.size());
+    std::size_t i = 0;
+    for (const Profile &p : requestedProfiles(req)) {
+        SchemeResults r;
+        r.profile = p;
+        for (GatingScheme s : schemes) {
+            const RunResult &res = results[i++];
+            switch (s) {
+              case GatingScheme::None:    r.base = res; break;
+              case GatingScheme::Dcg:     r.dcg = res; break;
+              case GatingScheme::PlbOrig: r.plbOrig = res; break;
+              case GatingScheme::PlbExt:  r.plbExt = res; break;
+            }
+        }
+        grid.push_back(std::move(r));
+    }
+    return grid;
+}
+
+} // namespace dcg::exp

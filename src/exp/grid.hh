@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Declarative (benchmark x scheme) grid requests — the shape of every
+ * figure in the paper's evaluation section. A driver states *which*
+ * schemes (and optionally which benchmarks) it needs; expansion into
+ * Jobs and execution order belong to the Engine.
+ */
+
+#ifndef DCG_EXP_GRID_HH
+#define DCG_EXP_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "sim/presets.hh"
+#include "trace/spec2000.hh"
+
+namespace dcg::exp {
+
+/** Which schemes a figure needs beyond the baseline. */
+struct GridRequest
+{
+    bool wantDcg = true;
+    bool wantPlbOrig = false;
+    bool wantPlbExt = false;
+    bool deepPipeline = false;
+
+    /** Benchmark subset; empty = the full SPEC2000 model set. */
+    std::vector<std::string> benchmarks;
+
+    /** Run lengths; 0 = DCG_BENCH_INSTS / DCG_BENCH_WARMUP defaults. */
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+};
+
+/** One benchmark's runs across the schemes a figure needs. */
+struct SchemeResults
+{
+    Profile profile;
+    RunResult base;
+    RunResult dcg;
+    RunResult plbOrig;  ///< valid only if requested
+    RunResult plbExt;   ///< valid only if requested
+};
+
+/** Expand a request into the flat job list the engine executes. */
+std::vector<Job> gridJobs(const GridRequest &req);
+
+/** Run the grid on @p engine and regroup results per benchmark. */
+std::vector<SchemeResults> runGrid(Engine &engine,
+                                   const GridRequest &req);
+
+} // namespace dcg::exp
+
+#endif // DCG_EXP_GRID_HH

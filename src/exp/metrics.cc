@@ -1,0 +1,51 @@
+#include "exp/metrics.hh"
+
+namespace dcg::exp {
+
+double
+powerSaving(const RunResult &base, const RunResult &gated)
+{
+    return 1.0 - gated.avgPowerW / base.avgPowerW;
+}
+
+double
+powerDelaySaving(const RunResult &base, const RunResult &gated)
+{
+    // Power x delay per instruction: P * (cycles/inst) — both a power
+    // increase and a slowdown reduce the saving (Figure 11).
+    const double base_pd = base.avgPowerW / base.ipc;
+    const double gated_pd = gated.avgPowerW / gated.ipc;
+    return 1.0 - gated_pd / base_pd;
+}
+
+double
+componentSaving(const RunResult &base, const RunResult &gated,
+                const std::function<double(const RunResult &)> &pick)
+{
+    // Component energies are compared per cycle so that PLB's longer
+    // runtime does not masquerade as savings.
+    const double base_rate = pick(base) / static_cast<double>(base.cycles);
+    const double gated_rate =
+        pick(gated) / static_cast<double>(gated.cycles);
+    return 1.0 - gated_rate / base_rate;
+}
+
+IntFpMeans
+meansBySuite(const std::vector<SchemeResults> &grid,
+             const std::function<double(const SchemeResults &)> &value)
+{
+    double int_sum = 0.0, fp_sum = 0.0;
+    unsigned int_n = 0, fp_n = 0;
+    for (const auto &r : grid) {
+        if (r.profile.isFp) {
+            fp_sum += value(r);
+            ++fp_n;
+        } else {
+            int_sum += value(r);
+            ++int_n;
+        }
+    }
+    return {int_n ? int_sum / int_n : 0.0, fp_n ? fp_sum / fp_n : 0.0};
+}
+
+} // namespace dcg::exp

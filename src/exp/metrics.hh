@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Derived metrics shared by the figure drivers: power / power-delay /
+ * component savings and per-suite means. Pure functions over
+ * RunResults; no I/O.
+ */
+
+#ifndef DCG_EXP_METRICS_HH
+#define DCG_EXP_METRICS_HH
+
+#include <functional>
+#include <vector>
+
+#include "exp/grid.hh"
+
+namespace dcg::exp {
+
+/** Fractional total-power saving of @p gated vs @p base. */
+double powerSaving(const RunResult &base, const RunResult &gated);
+
+/**
+ * Fractional power-delay (energy x time per instruction) saving:
+ * both power loss and slowdown hurt, as in Figure 11.
+ */
+double powerDelaySaving(const RunResult &base, const RunResult &gated);
+
+/** Fractional saving of a component energy selected by @p pick. */
+double componentSaving(const RunResult &base, const RunResult &gated,
+                       const std::function<double(const RunResult &)> &pick);
+
+/** Mean over int / fp subsets of per-benchmark values. */
+struct IntFpMeans
+{
+    double intMean;
+    double fpMean;
+};
+IntFpMeans meansBySuite(const std::vector<SchemeResults> &grid,
+                        const std::function<double(const SchemeResults &)>
+                            &value);
+
+} // namespace dcg::exp
+
+#endif // DCG_EXP_METRICS_HH

@@ -1,8 +1,12 @@
 #include "sim/report.hh"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
+#include <istream>
+#include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "common/log.hh"
 #include "power/model.hh"
@@ -29,24 +33,202 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * Minimal recursive-descent parser for the subset of JSON the writer
+ * emits (objects, arrays, strings, numbers, bools). Errors are
+ * fatal(): result files are produced by this program, so malformed
+ * input means a truncated or foreign file.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::istream &stream) : is(stream) {}
+
+    void expect(char c)
+    {
+        skipWs();
+        if (is.get() != c)
+            fatal("result JSON: expected '", c, "'");
+    }
+
+    bool consumeIf(char c)
+    {
+        skipWs();
+        if (is.peek() == c) {
+            is.get();
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        for (int c; (c = is.get()) != '"'; ) {
+            if (c == EOF)
+                fatal("result JSON: unterminated string");
+            if (c == '\\') {
+                const int e = is.get();
+                switch (e) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case 'n':  out += '\n'; break;
+                  case 't':  out += '\t'; break;
+                  default:
+                    fatal("result JSON: unsupported escape '\\",
+                          static_cast<char>(e), "'");
+                }
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+        return out;
+    }
+
+    double parseNumber()
+    {
+        skipWs();
+        std::string tok;
+        while (true) {
+            const int c = is.peek();
+            if (c == EOF || (!std::isdigit(c) && c != '-' && c != '+' &&
+                             c != '.' && c != 'e' && c != 'E'))
+                break;
+            tok += static_cast<char>(is.get());
+        }
+        if (tok.empty())
+            fatal("result JSON: expected a number");
+        return std::stod(tok);
+    }
+
+    /** Parse {"name": number, ...} into @p store via @p set. */
+    template <typename Setter>
+    void parseNumberObject(const Setter &set)
+    {
+        expect('{');
+        if (consumeIf('}'))
+            return;
+        do {
+            const std::string key = parseString();
+            expect(':');
+            set(key, parseNumber());
+        } while (consumeIf(','));
+        expect('}');
+    }
+
+    void skipWs()
+    {
+        while (std::isspace(is.peek()))
+            is.get();
+    }
+
+    bool atEof()
+    {
+        skipWs();
+        return is.peek() == EOF;
+    }
+
+  private:
+    std::istream &is;
+};
+
+int
+componentByName(const std::string &name)
+{
+    for (unsigned c = 0; c < kNumPowerComponents; ++c) {
+        if (name == powerComponentName(static_cast<PowerComponent>(c)))
+            return static_cast<int>(c);
+    }
+    return -1;
+}
+
+RunResult
+parseResultObject(JsonParser &p)
+{
+    RunResult r;
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "benchmark") {
+            r.benchmark = p.parseString();
+        } else if (key == "scheme") {
+            r.scheme = p.parseString();
+        } else if (key == "instructions") {
+            r.instructions = static_cast<std::uint64_t>(p.parseNumber());
+        } else if (key == "cycles") {
+            r.cycles = static_cast<std::uint64_t>(p.parseNumber());
+        } else if (key == "ipc") {
+            r.ipc = p.parseNumber();
+        } else if (key == "total_energy_pj") {
+            r.totalEnergyPJ = p.parseNumber();
+        } else if (key == "avg_power_w") {
+            r.avgPowerW = p.parseNumber();
+        } else if (key == "energy_per_inst_pj") {
+            p.parseNumber();  // derived; recomputed on demand
+        } else if (key == "branch_accuracy") {
+            r.branchAccuracy = p.parseNumber();
+        } else if (key == "l1d_miss_rate") {
+            r.l1dMissRate = p.parseNumber();
+        } else if (key == "group_pj") {
+            p.parseNumberObject([&](const std::string &k, double v) {
+                if (k == "int_units") r.intUnitsPJ = v;
+                else if (k == "fp_units") r.fpUnitsPJ = v;
+                else if (k == "latches") r.latchPJ = v;
+                else if (k == "dcache") r.dcachePJ = v;
+                else if (k == "result_bus") r.resultBusPJ = v;
+                else fatal("result JSON: unknown group '", k, "'");
+            });
+        } else if (key == "utilization") {
+            p.parseNumberObject([&](const std::string &k, double v) {
+                if (k == "int_units") r.intUnitUtil = v;
+                else if (k == "fp_units") r.fpUnitUtil = v;
+                else if (k == "latches") r.latchUtil = v;
+                else if (k == "dcache_ports") r.dcachePortUtil = v;
+                else if (k == "result_bus") r.resultBusUtil = v;
+                else fatal("result JSON: unknown utilisation '", k, "'");
+            });
+        } else if (key == "components_pj") {
+            p.parseNumberObject([&](const std::string &k, double v) {
+                const int c = componentByName(k);
+                if (c < 0)
+                    fatal("result JSON: unknown component '", k, "'");
+                r.componentPJ[static_cast<unsigned>(c)] = v;
+            });
+        } else if (key == "extra") {
+            p.parseNumberObject([&](const std::string &k, double v) {
+                r.extraStats[k] = v;
+            });
+        } else {
+            fatal("result JSON: unknown field '", key, "'");
+        }
+    } while (p.consumeIf(','));
+    p.expect('}');
+    return r;
+}
+
 } // namespace
 
 void
 writeResultsCsv(const std::vector<RunResult> &results, std::ostream &os)
 {
     os << "benchmark,scheme,instructions,cycles,ipc,total_energy_pj,"
-          "avg_power_w,energy_per_inst_pj,int_unit_util,fp_unit_util,"
+          "avg_power_w,energy_per_inst_pj,int_units_pj,fp_units_pj,"
+          "latch_pj,dcache_pj,result_bus_pj,int_unit_util,fp_unit_util,"
           "latch_util,dcache_port_util,result_bus_util,branch_accuracy,"
           "l1d_miss_rate";
     for (unsigned c = 0; c < kNumPowerComponents; ++c)
         os << ",pj_" << powerComponentName(static_cast<PowerComponent>(c));
     os << '\n';
 
-    os << std::setprecision(10);
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
     for (const RunResult &r : results) {
         os << r.benchmark << ',' << r.scheme << ',' << r.instructions
            << ',' << r.cycles << ',' << r.ipc << ',' << r.totalEnergyPJ
            << ',' << r.avgPowerW << ',' << r.energyPerInstPJ() << ','
+           << r.intUnitsPJ << ',' << r.fpUnitsPJ << ',' << r.latchPJ
+           << ',' << r.dcachePJ << ',' << r.resultBusPJ << ','
            << r.intUnitUtil << ',' << r.fpUnitUtil << ',' << r.latchUtil
            << ',' << r.dcachePortUtil << ',' << r.resultBusUtil << ','
            << r.branchAccuracy << ',' << r.l1dMissRate;
@@ -59,7 +241,8 @@ writeResultsCsv(const std::vector<RunResult> &results, std::ostream &os)
 void
 writeResultsJson(const std::vector<RunResult> &results, std::ostream &os)
 {
-    os << std::setprecision(10) << "[\n";
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << "[\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &r = results[i];
         os << "  {\"benchmark\": \"" << jsonEscape(r.benchmark)
@@ -69,17 +252,101 @@ writeResultsJson(const std::vector<RunResult> &results, std::ostream &os)
            << ", \"ipc\": " << r.ipc
            << ", \"total_energy_pj\": " << r.totalEnergyPJ
            << ", \"avg_power_w\": " << r.avgPowerW
+           << ", \"energy_per_inst_pj\": " << r.energyPerInstPJ()
            << ", \"branch_accuracy\": " << r.branchAccuracy
            << ", \"l1d_miss_rate\": " << r.l1dMissRate
-           << ", \"components_pj\": {";
+           << ",\n   \"group_pj\": {"
+           << "\"int_units\": " << r.intUnitsPJ
+           << ", \"fp_units\": " << r.fpUnitsPJ
+           << ", \"latches\": " << r.latchPJ
+           << ", \"dcache\": " << r.dcachePJ
+           << ", \"result_bus\": " << r.resultBusPJ
+           << "},\n   \"utilization\": {"
+           << "\"int_units\": " << r.intUnitUtil
+           << ", \"fp_units\": " << r.fpUnitUtil
+           << ", \"latches\": " << r.latchUtil
+           << ", \"dcache_ports\": " << r.dcachePortUtil
+           << ", \"result_bus\": " << r.resultBusUtil
+           << "},\n   \"components_pj\": {";
         for (unsigned c = 0; c < kNumPowerComponents; ++c) {
             os << (c ? ", " : "") << '"'
                << powerComponentName(static_cast<PowerComponent>(c))
                << "\": " << r.componentPJ[c];
         }
-        os << "}}" << (i + 1 < results.size() ? "," : "") << '\n';
+        os << '}';
+        if (!r.extraStats.empty()) {
+            os << ",\n   \"extra\": {";
+            bool first = true;
+            for (const auto &[name, value] : r.extraStats) {
+                os << (first ? "" : ", ") << '"' << jsonEscape(name)
+                   << "\": " << value;
+                first = false;
+            }
+            os << '}';
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << '\n';
     }
     os << "]\n";
+}
+
+std::vector<RunResult>
+readResultsJson(std::istream &is)
+{
+    JsonParser p(is);
+    std::vector<RunResult> results;
+    p.expect('[');
+    if (!p.consumeIf(']')) {
+        do {
+            results.push_back(parseResultObject(p));
+        } while (p.consumeIf(','));
+        p.expect(']');
+    }
+    return results;
+}
+
+void
+writeResultsSchemaJson(std::ostream &os)
+{
+    os << "{\n"
+          "  \"schema\": \"dcg.run_result\",\n"
+          "  \"version\": 2,\n"
+          "  \"fields\": [\n"
+          "    {\"name\": \"benchmark\", \"type\": \"string\"},\n"
+          "    {\"name\": \"scheme\", \"type\": \"string\","
+          " \"values\": [\"base\", \"dcg\", \"plb-orig\","
+          " \"plb-ext\"]},\n"
+          "    {\"name\": \"instructions\", \"type\": \"integer\"},\n"
+          "    {\"name\": \"cycles\", \"type\": \"integer\"},\n"
+          "    {\"name\": \"ipc\", \"type\": \"number\"},\n"
+          "    {\"name\": \"total_energy_pj\", \"type\": \"number\","
+          " \"unit\": \"pJ\"},\n"
+          "    {\"name\": \"avg_power_w\", \"type\": \"number\","
+          " \"unit\": \"W\"},\n"
+          "    {\"name\": \"energy_per_inst_pj\", \"type\": \"number\","
+          " \"unit\": \"pJ\"},\n"
+          "    {\"name\": \"branch_accuracy\", \"type\": \"number\","
+          " \"unit\": \"fraction\"},\n"
+          "    {\"name\": \"l1d_miss_rate\", \"type\": \"number\","
+          " \"unit\": \"fraction\"},\n"
+          "    {\"name\": \"group_pj\", \"type\": \"object\","
+          " \"unit\": \"pJ\", \"keys\": [\"int_units\", \"fp_units\","
+          " \"latches\", \"dcache\", \"result_bus\"]},\n"
+          "    {\"name\": \"utilization\", \"type\": \"object\","
+          " \"unit\": \"fraction\", \"keys\": [\"int_units\","
+          " \"fp_units\", \"latches\", \"dcache_ports\","
+          " \"result_bus\"]},\n"
+          "    {\"name\": \"components_pj\", \"type\": \"object\","
+          " \"unit\": \"pJ\", \"keys\": [";
+    for (unsigned c = 0; c < kNumPowerComponents; ++c) {
+        os << (c ? ", " : "") << '"'
+           << powerComponentName(static_cast<PowerComponent>(c)) << '"';
+    }
+    os << "]},\n"
+          "    {\"name\": \"extra\", \"type\": \"object\","
+          " \"optional\": true, \"description\":"
+          " \"captured registry statistics, keyed by stat name\"}\n"
+          "  ]\n"
+          "}\n";
 }
 
 void
@@ -100,6 +367,15 @@ writeResultsJsonFile(const std::vector<RunResult> &results,
     if (!os)
         fatal("cannot open '", path, "' for writing");
     writeResultsJson(results, os);
+}
+
+std::vector<RunResult>
+readResultsJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    return readResultsJson(is);
 }
 
 } // namespace dcg

@@ -1,8 +1,12 @@
 /**
  * @file
- * Machine-readable result export: CSV and JSON writers for RunResult
- * collections, so experiment output can feed plotting scripts without
- * scraping the text tables.
+ * Machine-readable result export: CSV and JSON writers (plus a JSON
+ * reader and a schema description) for RunResult collections, so
+ * experiment output can feed plotting scripts and downstream tooling
+ * without scraping the text tables.
+ *
+ * The JSON writer emits doubles with max_digits10 precision, so
+ * writeResultsJson -> readResultsJson round-trips bit-exactly.
  */
 
 #ifndef DCG_SIM_REPORT_HH
@@ -20,15 +24,34 @@ namespace dcg {
 void writeResultsCsv(const std::vector<RunResult> &results,
                      std::ostream &os);
 
-/** JSON array of result objects (component energies included). */
+/**
+ * JSON array of result objects: headline metrics, grouped component
+ * energies, utilisations, the full per-component breakdown and any
+ * captured extra statistics.
+ */
 void writeResultsJson(const std::vector<RunResult> &results,
                       std::ostream &os);
+
+/**
+ * Parse a JSON array previously produced by writeResultsJson().
+ * fatal() on malformed input or unknown component names.
+ */
+std::vector<RunResult> readResultsJson(std::istream &is);
+
+/**
+ * Machine-readable description of the JSON result schema (field
+ * names, types, units), for consumers that validate before parsing.
+ */
+void writeResultsSchemaJson(std::ostream &os);
 
 /** Convenience: write to a file path; fatal() on I/O failure. */
 void writeResultsCsvFile(const std::vector<RunResult> &results,
                          const std::string &path);
 void writeResultsJsonFile(const std::vector<RunResult> &results,
                           const std::string &path);
+
+/** Convenience: read a JSON result file; fatal() on I/O failure. */
+std::vector<RunResult> readResultsJsonFile(const std::string &path);
 
 } // namespace dcg
 

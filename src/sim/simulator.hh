@@ -10,6 +10,7 @@
 
 #include <array>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -78,6 +79,12 @@ struct RunResult
 
     double branchAccuracy = 0.0;
     double l1dMissRate = 0.0;
+
+    /**
+     * Named registry statistics captured on request (see
+     * exp::Job::captureStats); empty for plain Simulator runs.
+     */
+    std::map<std::string, double> extraStats;
 
     /** Power x delay, normalised per instruction (pJ/inst). */
     double energyPerInstPJ() const

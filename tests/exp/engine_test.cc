@@ -1,0 +1,195 @@
+/**
+ * Tests for the parallel experiment engine: determinism across worker
+ * counts and execution orders, cache behaviour, and stat capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/engine.hh"
+#include "exp/grid.hh"
+#include "sim/presets.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+using namespace dcg::exp;
+
+namespace {
+
+// Short runs keep the full suite fast; long enough that every scheme
+// actually gates something.
+constexpr std::uint64_t kInsts = 2000;
+constexpr std::uint64_t kWarmup = 500;
+
+std::vector<Job>
+smallGrid()
+{
+    std::vector<Job> jobs;
+    for (const char *name : {"gzip", "mcf", "equake"}) {
+        for (GatingScheme s : {GatingScheme::None, GatingScheme::Dcg,
+                               GatingScheme::PlbExt}) {
+            jobs.push_back(makeJob(profileByName(name), table1Config(s),
+                                   kInsts, kWarmup));
+        }
+    }
+    return jobs;
+}
+
+void
+expectBitIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.totalEnergyPJ, b.totalEnergyPJ);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        EXPECT_EQ(a.componentPJ[c], b.componentPJ[c]);
+    EXPECT_EQ(a.intUnitsPJ, b.intUnitsPJ);
+    EXPECT_EQ(a.fpUnitsPJ, b.fpUnitsPJ);
+    EXPECT_EQ(a.latchPJ, b.latchPJ);
+    EXPECT_EQ(a.dcachePJ, b.dcachePJ);
+    EXPECT_EQ(a.resultBusPJ, b.resultBusPJ);
+    EXPECT_EQ(a.intUnitUtil, b.intUnitUtil);
+    EXPECT_EQ(a.fpUnitUtil, b.fpUnitUtil);
+    EXPECT_EQ(a.latchUtil, b.latchUtil);
+    EXPECT_EQ(a.dcachePortUtil, b.dcachePortUtil);
+    EXPECT_EQ(a.resultBusUtil, b.resultBusUtil);
+    EXPECT_EQ(a.branchAccuracy, b.branchAccuracy);
+    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate);
+    EXPECT_EQ(a.extraStats, b.extraStats);
+}
+
+} // namespace
+
+TEST(Engine, ParallelMatchesSerialBitExactly)
+{
+    const auto jobs = smallGrid();
+    Engine serial(1);
+    Engine parallel(4);
+    const auto s = serial.run(jobs);
+    const auto p = parallel.run(jobs);
+    ASSERT_EQ(s.size(), jobs.size());
+    ASSERT_EQ(p.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectBitIdentical(s[i], p[i]);
+}
+
+TEST(Engine, ExecutionOrderDoesNotChangeResults)
+{
+    auto jobs = smallGrid();
+    Engine forward(2);
+    const auto fwd = forward.run(jobs);
+
+    auto reversed = jobs;
+    std::reverse(reversed.begin(), reversed.end());
+    Engine backward(2);
+    const auto bwd = backward.run(reversed);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectBitIdentical(fwd[i], bwd[jobs.size() - 1 - i]);
+}
+
+TEST(Engine, CacheReturnsSharedBaselineWithoutResimulating)
+{
+    Engine engine(2);
+    const Job base = makeJob(profileByName("gzip"),
+                             table1Config(GatingScheme::None), kInsts,
+                             kWarmup);
+    const Job dcg = makeJob(profileByName("gzip"),
+                            table1Config(GatingScheme::Dcg), kInsts,
+                            kWarmup);
+
+    const auto first = engine.run({base, dcg});
+    EXPECT_EQ(engine.cacheMisses(), 2u);
+    EXPECT_EQ(engine.cacheHits(), 0u);
+
+    // A second figure needing the same baseline hits the cache.
+    const auto second = engine.run({base});
+    EXPECT_EQ(engine.cacheMisses(), 2u);
+    EXPECT_EQ(engine.cacheHits(), 1u);
+    expectBitIdentical(first[0], second[0]);
+
+    // Duplicates inside one batch are simulated once too.
+    Engine fresh(4);
+    fresh.run({base, base, base, base});
+    EXPECT_EQ(fresh.cacheMisses(), 1u);
+    EXPECT_EQ(fresh.cacheHits(), 3u);
+}
+
+TEST(Engine, GridSharesBaselineAcrossRequests)
+{
+    Engine engine(2);
+    GridRequest dcg_only;
+    dcg_only.benchmarks = {"gzip", "mcf"};
+    dcg_only.instructions = kInsts;
+    dcg_only.warmup = kWarmup;
+
+    GridRequest plb = dcg_only;
+    plb.wantDcg = false;
+    plb.wantPlbExt = true;
+
+    const auto grid_a = runGrid(engine, dcg_only);
+    ASSERT_EQ(grid_a.size(), 2u);
+    EXPECT_EQ(engine.cacheMisses(), 4u);  // 2 base + 2 dcg
+
+    // Second request re-uses both baselines; only PLB runs are new.
+    const auto grid_b = runGrid(engine, plb);
+    EXPECT_EQ(engine.cacheMisses(), 6u);
+    EXPECT_EQ(engine.cacheHits(), 2u);
+    expectBitIdentical(grid_a[0].base, grid_b[0].base);
+    expectBitIdentical(grid_a[1].base, grid_b[1].base);
+}
+
+TEST(Engine, ResultsComeBackInRequestOrder)
+{
+    Engine engine(3);
+    const auto jobs = smallGrid();
+    const auto results = engine.run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].benchmark, jobs[i].profile.name);
+        EXPECT_EQ(results[i].scheme,
+                  gatingSchemeName(jobs[i].config.scheme));
+    }
+}
+
+TEST(Engine, CapturesRequestedStats)
+{
+    Engine engine(1);
+    Job job = makeJob(profileByName("gzip"),
+                      table1Config(GatingScheme::PlbExt), kInsts,
+                      kWarmup);
+    job.captureStats = {"plb.mode_transitions", "no.such.stat"};
+    const RunResult r = engine.runOne(job);
+    ASSERT_EQ(r.extraStats.size(), 2u);
+    EXPECT_TRUE(r.extraStats.count("plb.mode_transitions"));
+    // Unknown names record 0, matching StatRegistry::lookup().
+    EXPECT_EQ(r.extraStats.at("no.such.stat"), 0.0);
+}
+
+TEST(Engine, WorkerCountResolution)
+{
+    EXPECT_GE(Engine::defaultJobs(), 1u);
+    Engine five(5);
+    EXPECT_EQ(five.workers(), 5u);
+    Engine fallback(0);
+    EXPECT_EQ(fallback.workers(), Engine::defaultJobs());
+}
+
+TEST(Engine, ClearCacheForcesResimulation)
+{
+    Engine engine(1);
+    const Job job = makeJob(profileByName("gzip"),
+                            table1Config(GatingScheme::None), kInsts,
+                            kWarmup);
+    const RunResult a = engine.runOne(job);
+    engine.clearCache();
+    EXPECT_EQ(engine.cacheSize(), 0u);
+    const RunResult b = engine.runOne(job);
+    EXPECT_EQ(engine.cacheMisses(), 2u);
+    expectBitIdentical(a, b);
+}

@@ -1,0 +1,111 @@
+/** Tests for Job key canonicalisation and seed derivation. */
+
+#include <gtest/gtest.h>
+
+#include "exp/job.hh"
+#include "sim/presets.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+using namespace dcg::exp;
+
+namespace {
+
+Job
+gzipJob(GatingScheme scheme = GatingScheme::Dcg)
+{
+    return makeJob(profileByName("gzip"), table1Config(scheme), 2000,
+                   500);
+}
+
+} // namespace
+
+TEST(JobKey, IdenticalJobsShareAKey)
+{
+    EXPECT_EQ(jobKey(gzipJob()), jobKey(gzipJob()));
+}
+
+TEST(JobKey, EveryRelevantFieldSeparatesKeys)
+{
+    const Job ref = gzipJob();
+
+    Job other = gzipJob(GatingScheme::PlbExt);
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.instructions = 3000;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.warmup = 499;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.config.seed = 2;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.config.core.fuCount[0] = 4;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.config.tech.latchBitCap *= 1.0000001;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.profile = profileByName("mcf");
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.captureStats = {"plb.mode_transitions"};
+    EXPECT_NE(jobKey(ref), jobKey(other));
+}
+
+TEST(JobKey, AdjacentFieldsDoNotMerge)
+{
+    // "1","23" vs "12","3" style collisions must be impossible.
+    Job a = gzipJob();
+    a.instructions = 1;
+    a.warmup = 23;
+    Job b = gzipJob();
+    b.instructions = 12;
+    b.warmup = 3;
+    EXPECT_NE(jobKey(a), jobKey(b));
+}
+
+TEST(JobKey, ZeroRunLengthsResolveToDefaults)
+{
+    Job implicit = gzipJob();
+    implicit.instructions = 0;
+    implicit.warmup = 0;
+    Job expl = gzipJob();
+    expl.instructions = defaultBenchInstructions();
+    expl.warmup = defaultBenchWarmup();
+    EXPECT_EQ(jobKey(implicit), jobKey(expl));
+}
+
+TEST(JobSeed, DeterministicAndSchemeIndependent)
+{
+    EXPECT_EQ(deriveJobSeed(gzipJob()), deriveJobSeed(gzipJob()));
+
+    // All schemes of one benchmark must replay the same instruction
+    // stream (the paper compares schemes on identical traces).
+    EXPECT_EQ(deriveJobSeed(gzipJob(GatingScheme::None)),
+              deriveJobSeed(gzipJob(GatingScheme::PlbExt)));
+
+    // Run length does not perturb the stream either.
+    Job longer = gzipJob();
+    longer.instructions = 100000;
+    EXPECT_EQ(deriveJobSeed(gzipJob()), deriveJobSeed(longer));
+}
+
+TEST(JobSeed, WorkloadsGetIndependentStreams)
+{
+    Job mcf = gzipJob();
+    mcf.profile = profileByName("mcf");
+    EXPECT_NE(deriveJobSeed(gzipJob()), deriveJobSeed(mcf));
+
+    Job reseeded = gzipJob();
+    reseeded.config.seed = 2;
+    EXPECT_NE(deriveJobSeed(gzipJob()), deriveJobSeed(reseeded));
+}

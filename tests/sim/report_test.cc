@@ -98,3 +98,106 @@ TEST(Report, UnwritablePathIsFatal)
     EXPECT_EXIT(writeResultsCsvFile({}, "/nonexistent-dir/x.csv"),
                 ::testing::ExitedWithCode(1), "cannot open");
 }
+
+namespace {
+
+/** A result with every field set to a non-representable decimal. */
+RunResult
+fullSample()
+{
+    RunResult r = sample("mcf", "plb-ext");
+    r.ipc = 1.0 / 3.0;
+    r.totalEnergyPJ = 2.0 / 7.0;
+    r.avgPowerW = 29.123456789012345;
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        r.componentPJ[c] = 1.0 / (c + 3.0);
+    r.intUnitsPJ = 0.1;
+    r.fpUnitsPJ = 0.2;
+    r.latchPJ = 0.3;
+    r.dcachePJ = 0.4;
+    r.resultBusPJ = 0.5;
+    r.intUnitUtil = 1.0 / 9.0;
+    r.fpUnitUtil = 1.0 / 11.0;
+    r.latchUtil = 1.0 / 13.0;
+    r.dcachePortUtil = 1.0 / 17.0;
+    r.resultBusUtil = 1.0 / 19.0;
+    r.branchAccuracy = 0.937;
+    r.l1dMissRate = 0.021;
+    r.extraStats["plb.mode_transitions"] = 42.0;
+    r.extraStats["dcg.toggles.IntAlu"] = 1.0 / 23.0;
+    return r;
+}
+
+void
+expectBitIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.totalEnergyPJ, b.totalEnergyPJ);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        EXPECT_EQ(a.componentPJ[c], b.componentPJ[c]);
+    EXPECT_EQ(a.intUnitsPJ, b.intUnitsPJ);
+    EXPECT_EQ(a.fpUnitsPJ, b.fpUnitsPJ);
+    EXPECT_EQ(a.latchPJ, b.latchPJ);
+    EXPECT_EQ(a.dcachePJ, b.dcachePJ);
+    EXPECT_EQ(a.resultBusPJ, b.resultBusPJ);
+    EXPECT_EQ(a.intUnitUtil, b.intUnitUtil);
+    EXPECT_EQ(a.fpUnitUtil, b.fpUnitUtil);
+    EXPECT_EQ(a.latchUtil, b.latchUtil);
+    EXPECT_EQ(a.dcachePortUtil, b.dcachePortUtil);
+    EXPECT_EQ(a.resultBusUtil, b.resultBusUtil);
+    EXPECT_EQ(a.branchAccuracy, b.branchAccuracy);
+    EXPECT_EQ(a.l1dMissRate, b.l1dMissRate);
+    EXPECT_EQ(a.extraStats, b.extraStats);
+}
+
+} // namespace
+
+TEST(Report, JsonRoundTripsBitExactly)
+{
+    const std::vector<RunResult> in{fullSample(), sample("gzip", "dcg")};
+    std::stringstream ss;
+    writeResultsJson(in, ss);
+    const std::vector<RunResult> out = readResultsJson(ss);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        expectBitIdentical(in[i], out[i]);
+}
+
+TEST(Report, JsonFileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/dcg_report.json";
+    writeResultsJsonFile({fullSample()}, path);
+    const auto out = readResultsJsonFile(path);
+    ASSERT_EQ(out.size(), 1u);
+    expectBitIdentical(fullSample(), out[0]);
+}
+
+TEST(Report, ReadRejectsMalformedJson)
+{
+    std::istringstream truncated("[\n  {\"benchmark\": \"gzip\"");
+    EXPECT_EXIT(readResultsJson(truncated),
+                ::testing::ExitedWithCode(1), "result JSON");
+}
+
+TEST(Report, SchemaListsAllFieldGroups)
+{
+    std::ostringstream os;
+    writeResultsSchemaJson(os);
+    const std::string s = os.str();
+    for (const char *field :
+         {"benchmark", "scheme", "instructions", "cycles", "ipc",
+          "total_energy_pj", "avg_power_w", "group_pj", "utilization",
+          "components_pj", "extra"})
+        EXPECT_NE(s.find(std::string("\"name\": \"") + field + '"'),
+                  std::string::npos) << field;
+    // Every power component is enumerated in the schema.
+    for (unsigned c = 0; c < kNumPowerComponents; ++c)
+        EXPECT_NE(s.find(powerComponentName(
+                      static_cast<PowerComponent>(c))),
+                  std::string::npos);
+}
