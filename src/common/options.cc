@@ -1,5 +1,6 @@
 #include "common/options.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/log.hh"
@@ -72,6 +73,18 @@ Options::envInt(const char *name, std::int64_t def)
     if (!v || !*v)
         return def;
     return std::strtoll(v, nullptr, 0);
+}
+
+bool
+Options::parseInt(const std::string &text, std::int64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace dcg

@@ -36,6 +36,15 @@ class Options
     /** Read an integer environment variable with default. */
     static std::int64_t envInt(const char *name, std::int64_t def);
 
+    /**
+     * Strict integer parse of the *whole* of @p text (base 0: decimal,
+     * 0x hex, 0 octal; leading whitespace ok). Returns false on empty
+     * input, trailing junk or overflow — unlike getInt()/envInt(),
+     * which inherit strtoll's silent zero-on-garbage coercion. Callers
+     * that must diagnose bad worker counts (--jobs, DCG_JOBS) use this.
+     */
+    static bool parseInt(const std::string &text, std::int64_t &out);
+
   private:
     std::map<std::string, std::string> values;
 };

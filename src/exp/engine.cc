@@ -1,7 +1,9 @@
 #include "exp/engine.hh"
 
+#include <cstdlib>
 #include <thread>
 
+#include "common/log.hh"
 #include "common/options.hh"
 
 namespace dcg::exp {
@@ -14,11 +16,19 @@ Engine::Engine(unsigned jobs)
 unsigned
 Engine::defaultJobs()
 {
-    const auto env = Options::envInt("DCG_JOBS", 0);
-    if (env > 0)
-        return static_cast<unsigned>(env);
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    const unsigned fallback = hw ? hw : 1;
+    const char *env = std::getenv("DCG_JOBS");
+    if (!env || !*env)
+        return fallback;
+    std::int64_t v = 0;
+    if (!Options::parseInt(env, v) || v <= 0) {
+        warn("ignoring invalid DCG_JOBS='", env,
+             "': expected a positive integer; using ", fallback,
+             " worker(s)");
+        return fallback;
+    }
+    return static_cast<unsigned>(v);
 }
 
 std::size_t
@@ -68,13 +78,45 @@ Engine::execute(const Job &job) const
     return r;
 }
 
-RunResult
-Engine::runOne(const Job &job)
+bool
+Engine::tryCached(const Job &job, RunResult &out)
 {
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(cacheMutex);
+        auto it = cache.find(jobKey(job));
+        if (it == cache.end())
+            return false;
+        entry = it->second;
+    }
+    std::lock_guard<std::mutex> lk(entry->m);
+    if (!entry->done)
+        return false;
+    ++hits;
+    out = entry->result;
+    return true;
+}
+
+RunResult
+Engine::runOne(const Job &job, RunOutcome *outcome)
+{
+    const std::string key = jobKey(job);
     bool owner = false;
-    auto entry = lookupOrClaim(jobKey(job), owner);
+    auto entry = lookupOrClaim(key, owner);
     if (owner) {
-        RunResult r = execute(job);
+        RunResult r;
+        if (store && store->get(key, r)) {
+            ++diskHitCount;
+            if (outcome)
+                *outcome = RunOutcome::DiskHit;
+        } else {
+            r = execute(job);
+            ++simCount;
+            if (outcome)
+                *outcome = RunOutcome::Simulated;
+            if (store)
+                store->put(key, r);
+        }
         {
             std::lock_guard<std::mutex> lk(entry->m);
             entry->result = r;
@@ -84,6 +126,8 @@ Engine::runOne(const Job &job)
         return r;
     }
     std::unique_lock<std::mutex> lk(entry->m);
+    if (outcome)
+        *outcome = entry->done ? RunOutcome::MemHit : RunOutcome::Shared;
     entry->cv.wait(lk, [&] { return entry->done; });
     return entry->result;
 }

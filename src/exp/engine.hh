@@ -13,8 +13,16 @@
  * simulates each (benchmark, config) pair exactly once, even when
  * several batches — or several threads within one batch — request it.
  *
+ * Beneath the in-memory cache an optional ResultStoreBase can be
+ * attached (see serve/store.hh for the on-disk implementation): a
+ * memory miss consults the store before simulating, and freshly
+ * simulated results are written back, so results survive across
+ * processes and a service restart starts warm.
+ *
  * Worker count resolution: explicit argument > DCG_JOBS environment
- * variable > std::thread::hardware_concurrency().
+ * variable > std::thread::hardware_concurrency(). A garbage, zero or
+ * negative DCG_JOBS is diagnosed with warn() and ignored rather than
+ * silently coerced.
  */
 
 #ifndef DCG_EXP_ENGINE_HH
@@ -32,6 +40,33 @@
 
 namespace dcg::exp {
 
+/**
+ * Slot for a persistent result layer beneath the in-memory cache.
+ * Implementations must be safe to call from several worker threads
+ * concurrently (the engine guarantees at most one caller per key at a
+ * time, but different keys arrive in parallel). A corrupt or missing
+ * record is a miss (get() returns false), never an error.
+ */
+class ResultStoreBase
+{
+  public:
+    virtual ~ResultStoreBase() = default;
+
+    /** Fetch the record for @p key into @p out; false = miss. */
+    virtual bool get(const std::string &key, RunResult &out) = 0;
+
+    /** Persist (or overwrite/repair) the record for @p key. */
+    virtual void put(const std::string &key, const RunResult &r) = 0;
+};
+
+/** Where runOne() found (or produced) a result; for stats and tests. */
+enum class RunOutcome {
+    MemHit,     ///< served from the in-memory cache
+    DiskHit,    ///< served from the attached persistent store
+    Simulated,  ///< executed a fresh simulation
+    Shared,     ///< waited on another thread's in-flight execution
+};
+
 class Engine
 {
   public:
@@ -44,8 +79,26 @@ class Engine
      */
     std::vector<RunResult> run(const std::vector<Job> &jobs);
 
-    /** Execute (or fetch from cache) a single job. */
-    RunResult runOne(const Job &job);
+    /** Execute (or fetch from cache/store) a single job. */
+    RunResult runOne(const Job &job, RunOutcome *outcome = nullptr);
+
+    /**
+     * Non-blocking peek: copy a *completed* in-memory cache entry for
+     * @p job into @p out (counting a hit). False if absent or still
+     * being simulated by another thread. Lets a server answer warm
+     * resubmissions without occupying a worker.
+     */
+    bool tryCached(const Job &job, RunResult &out);
+
+    /**
+     * Attach a persistent store beneath the in-memory cache (nullptr
+     * detaches). Not thread-safe against concurrent run()s; attach
+     * before submitting work.
+     */
+    void attachStore(std::shared_ptr<ResultStoreBase> s)
+    {
+        store = std::move(s);
+    }
 
     unsigned workers() const { return numWorkers; }
 
@@ -53,11 +106,19 @@ class Engine
     /// @{
     std::uint64_t cacheHits() const { return hits.load(); }
     std::uint64_t cacheMisses() const { return misses.load(); }
+    /** Memory misses answered by the persistent store. */
+    std::uint64_t diskHits() const { return diskHitCount.load(); }
+    /** Simulations actually executed (= misses - disk hits). */
+    std::uint64_t simulations() const { return simCount.load(); }
     std::size_t cacheSize() const;
     void clearCache();
     /// @}
 
-    /** DCG_JOBS environment override, else hardware_concurrency. */
+    /**
+     * DCG_JOBS environment override, else hardware_concurrency.
+     * Invalid DCG_JOBS values (non-numeric, zero, negative) warn and
+     * fall back instead of being silently coerced.
+     */
     static unsigned defaultJobs();
 
   private:
@@ -77,8 +138,11 @@ class Engine
     unsigned numWorkers;
     mutable std::mutex cacheMutex;
     std::map<std::string, std::shared_ptr<Entry>> cache;
+    std::shared_ptr<ResultStoreBase> store;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> diskHitCount{0};
+    std::atomic<std::uint64_t> simCount{0};
 };
 
 /**

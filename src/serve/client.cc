@@ -1,0 +1,181 @@
+#include "serve/client.hh"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace dcg::serve {
+
+namespace {
+
+/** Give up on a persistently "busy" server after this many retries. */
+constexpr unsigned kMaxBusyRetries = 600;
+
+} // namespace
+
+Client::Client(const std::string &hostPort)
+    : peer(hostPort)
+{
+    const std::size_t colon = hostPort.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= hostPort.size())
+        fatal("--server expects HOST:PORT, got '", hostPort, "'");
+    const std::string host = hostPort.substr(0, colon);
+    const std::string port = hostPort.substr(colon + 1);
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0)
+        fatal("cannot resolve '", hostPort, "': ", gai_strerror(rc));
+
+    int last_errno = 0;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_errno = errno;
+        close(fd);
+        fd = -1;
+    }
+    freeaddrinfo(res);
+    if (fd < 0)
+        fatal("cannot connect to ", hostPort, ": ",
+              std::strerror(last_errno));
+}
+
+Client::~Client()
+{
+    if (fd >= 0)
+        close(fd);
+}
+
+std::string
+Client::recvLine()
+{
+    while (true) {
+        const std::size_t nl = inBuf.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = inBuf.substr(0, nl);
+            inBuf.erase(0, nl + 1);
+            return line;
+        }
+        char buf[4096];
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            inBuf.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatal("connection to ", peer, n == 0 ? " closed" : " failed",
+              " while awaiting a response");
+    }
+}
+
+JsonValue
+Client::request(const JsonValue &req)
+{
+    std::string line = req.dump();
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = send(fd, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatal("cannot send request to ", peer, ": ",
+              std::strerror(errno));
+    }
+
+    JsonValue resp;
+    std::string err;
+    const std::string reply = recvLine();
+    if (!JsonValue::parse(reply, resp, err) || !resp.isObject())
+        fatal("malformed response from ", peer, ": ", err);
+    return resp;
+}
+
+std::uint64_t
+Client::submitWithRetry(const JobSpec &spec)
+{
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("submit"));
+    req.set("job", spec.toJson());
+
+    for (unsigned attempt = 0; attempt < kMaxBusyRetries; ++attempt) {
+        const JsonValue resp = request(req);
+        if (resp.get("ok").asBool(false))
+            return resp.get("id").asU64(0);
+        const std::string code = resp.get("error").asString();
+        if (code != "busy")
+            fatal("server rejected job (", code, "): ",
+                  resp.get("detail").asString());
+        // Backpressure: honour the server's retry-after hint.
+        const auto delay_ms = resp.get("retry_after_ms").asU64(250);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms ? delay_ms : 250));
+    }
+    fatal("server at ", peer, " stayed busy after ", kMaxBusyRetries,
+          " retries");
+}
+
+std::vector<RunResult>
+Client::runJobs(const std::vector<JobSpec> &specs)
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(specs.size());
+    for (const JobSpec &spec : specs)
+        ids.push_back(submitWithRetry(spec));
+
+    std::vector<RunResult> results;
+    results.reserve(ids.size());
+    for (std::uint64_t id : ids) {
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::string("result"));
+        req.set("id", JsonValue::integer(id));
+        req.set("wait", JsonValue::boolean(true));
+        const JsonValue resp = request(req);
+        if (!resp.get("ok").asBool(false))
+            fatal("server failed job ", id, " (",
+                  resp.get("error").asString(), "): ",
+                  resp.get("detail").asString());
+        std::vector<RunResult> one;
+        std::string err;
+        if (!resultsFromJson(resp.get("result"), one, err) ||
+            one.size() != 1)
+            fatal("malformed result for job ", id, ": ", err);
+        results.push_back(std::move(one.front()));
+    }
+    return results;
+}
+
+JsonValue
+Client::stats()
+{
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("stats"));
+    const JsonValue resp = request(req);
+    if (!resp.get("ok").asBool(false))
+        fatal("stats request failed: ", resp.get("error").asString());
+    return resp.get("stats");
+}
+
+} // namespace dcg::serve

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Blocking client for the dcgserved protocol — the engine room behind
+ * `dcgsim --server HOST:PORT`.
+ *
+ * One TCP connection, one request line out, one response line back.
+ * runJobs() hides the submit/wait/backpressure dance: it submits each
+ * spec (sleeping and retrying on "busy" using the server's
+ * retry-after hint), then collects results in request order, so a
+ * caller gets exactly what a local Engine::run() would have returned —
+ * bit-identical, since RunResult doubles travel as max_digits10
+ * tokens and are re-parsed by the same reader.
+ *
+ * Errors (refused connection, dropped socket, protocol violations)
+ * are fatal(): this is a CLI path, not a library promise.
+ */
+
+#ifndef DCG_SERVE_CLIENT_HH
+#define DCG_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+
+namespace dcg::serve {
+
+class Client
+{
+  public:
+    /** Connect to "host:port" (fatal() on failure). */
+    explicit Client(const std::string &hostPort);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one request line, return the parsed response line. */
+    JsonValue request(const JsonValue &req);
+
+    /**
+     * Run @p specs remotely: submit each (retrying on backpressure),
+     * then wait for every result. Results in request order.
+     */
+    std::vector<RunResult> runJobs(const std::vector<JobSpec> &specs);
+
+    /** Fetch the server's stats object (the "stats" member). */
+    JsonValue stats();
+
+  private:
+    std::uint64_t submitWithRetry(const JobSpec &spec);
+    std::string recvLine();
+
+    int fd = -1;
+    std::string peer;
+    std::string inBuf;
+};
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_CLIENT_HH

@@ -1,0 +1,260 @@
+#include "serve/protocol.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "trace/spec2000.hh"
+
+namespace dcg::serve {
+
+namespace {
+
+bool
+knownBench(const std::string &name)
+{
+    const auto names = allSpecNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+void
+specFieldsToJson(JsonValue &o, unsigned depth, std::uint64_t insts,
+                 std::uint64_t warmup, std::uint64_t seed, bool gateIq,
+                 bool storeDelay, bool roundRobin)
+{
+    o.set("depth", JsonValue::integer(std::uint64_t{depth}));
+    o.set("insts", JsonValue::integer(insts));
+    o.set("warmup", JsonValue::integer(warmup));
+    o.set("seed", JsonValue::integer(seed));
+    if (gateIq)
+        o.set("gate_iq", JsonValue::boolean(true));
+    if (storeDelay)
+        o.set("store_delay", JsonValue::boolean(true));
+    if (roundRobin)
+        o.set("round_robin", JsonValue::boolean(true));
+}
+
+} // namespace
+
+bool
+parseSchemeName(const std::string &name, GatingScheme &out)
+{
+    if (name == "base")
+        out = GatingScheme::None;
+    else if (name == "dcg")
+        out = GatingScheme::Dcg;
+    else if (name == "plb-orig")
+        out = GatingScheme::PlbOrig;
+    else if (name == "plb-ext")
+        out = GatingScheme::PlbExt;
+    else
+        return false;
+    return true;
+}
+
+bool
+JobSpec::validate(std::string &err) const
+{
+    GatingScheme s;
+    if (!parseSchemeName(scheme, s)) {
+        err = "unknown scheme '" + scheme +
+              "' (expected base|dcg|plb-orig|plb-ext)";
+        return false;
+    }
+    if (!knownBench(bench)) {
+        err = "unknown benchmark '" + bench + "'";
+        return false;
+    }
+    return true;
+}
+
+exp::Job
+JobSpec::toJob() const
+{
+    GatingScheme s;
+    if (!parseSchemeName(scheme, s))
+        fatal("JobSpec::toJob on unvalidated scheme '", scheme, "'");
+
+    // Mirror dcgsim's local configuration path exactly: this is the
+    // contract that makes --server output byte-identical.
+    SimConfig cfg = depth >= 20 ? deepPipelineConfig(s) : table1Config(s);
+    cfg.seed = seed;
+    cfg.dcg.gateIssueQueue = gateIq;
+    cfg.core.delayStoresOneCycle = storeDelay;
+    cfg.core.sequentialPriority = !roundRobin;
+    return exp::makeJob(profileByName(bench), cfg, insts, warmup);
+}
+
+JsonValue
+JobSpec::toJson() const
+{
+    JsonValue o = JsonValue::object();
+    o.set("bench", JsonValue::string(bench));
+    o.set("scheme", JsonValue::string(scheme));
+    specFieldsToJson(o, depth, insts, warmup, seed, gateIq, storeDelay,
+                     roundRobin);
+    return o;
+}
+
+bool
+JobSpec::fromJson(const JsonValue &v, JobSpec &out, std::string &err)
+{
+    if (!v.isObject()) {
+        err = "job spec must be an object";
+        return false;
+    }
+    JobSpec s;
+    s.bench = v.get("bench").asString();
+    s.scheme = v.has("scheme") ? v.get("scheme").asString() : "dcg";
+    s.depth = static_cast<unsigned>(v.get("depth").asU64(8));
+    s.insts = v.get("insts").asU64(0);
+    s.warmup = v.get("warmup").asU64(0);
+    s.seed = v.get("seed").asU64(1);
+    s.gateIq = v.get("gate_iq").asBool(false);
+    s.storeDelay = v.get("store_delay").asBool(false);
+    s.roundRobin = v.get("round_robin").asBool(false);
+    if (!s.validate(err))
+        return false;
+    out = std::move(s);
+    return true;
+}
+
+bool
+GridSpec::validate(std::string &err) const
+{
+    for (const std::string &b : benchmarks) {
+        if (!knownBench(b)) {
+            err = "unknown benchmark '" + b + "'";
+            return false;
+        }
+    }
+    GatingScheme s;
+    for (const std::string &name : schemes) {
+        if (!parseSchemeName(name, s)) {
+            err = "unknown scheme '" + name +
+                  "' (expected base|dcg|plb-orig|plb-ext)";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<JobSpec>
+GridSpec::expand() const
+{
+    const std::vector<std::string> benches =
+        benchmarks.empty() ? allSpecNames() : benchmarks;
+    const std::vector<std::string> schms =
+        schemes.empty() ? std::vector<std::string>{"base", "dcg"}
+                        : schemes;
+
+    std::vector<JobSpec> specs;
+    specs.reserve(benches.size() * schms.size());
+    for (const std::string &b : benches) {
+        for (const std::string &s : schms) {
+            JobSpec spec;
+            spec.bench = b;
+            spec.scheme = s;
+            spec.depth = depth;
+            spec.insts = insts;
+            spec.warmup = warmup;
+            spec.seed = seed;
+            spec.gateIq = gateIq;
+            spec.storeDelay = storeDelay;
+            spec.roundRobin = roundRobin;
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
+JsonValue
+GridSpec::toJson() const
+{
+    JsonValue o = JsonValue::object();
+    JsonValue benches = JsonValue::array();
+    for (const std::string &b : benchmarks)
+        benches.push(JsonValue::string(b));
+    o.set("benchmarks", std::move(benches));
+    JsonValue schms = JsonValue::array();
+    for (const std::string &s : schemes)
+        schms.push(JsonValue::string(s));
+    o.set("schemes", std::move(schms));
+    specFieldsToJson(o, depth, insts, warmup, seed, gateIq, storeDelay,
+                     roundRobin);
+    return o;
+}
+
+bool
+GridSpec::fromJson(const JsonValue &v, GridSpec &out, std::string &err)
+{
+    if (!v.isObject()) {
+        err = "grid spec must be an object";
+        return false;
+    }
+    GridSpec g;
+    for (const JsonValue &b : v.get("benchmarks").items())
+        g.benchmarks.push_back(b.asString());
+    for (const JsonValue &s : v.get("schemes").items())
+        g.schemes.push_back(s.asString());
+    g.depth = static_cast<unsigned>(v.get("depth").asU64(8));
+    g.insts = v.get("insts").asU64(0);
+    g.warmup = v.get("warmup").asU64(0);
+    g.seed = v.get("seed").asU64(1);
+    g.gateIq = v.get("gate_iq").asBool(false);
+    g.storeDelay = v.get("store_delay").asBool(false);
+    g.roundRobin = v.get("round_robin").asBool(false);
+    if (!g.validate(err))
+        return false;
+    out = std::move(g);
+    return true;
+}
+
+JsonValue
+resultsToJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(results, os);
+    JsonValue v;
+    std::string err;
+    // The writer's output is always parseable; a failure here is a
+    // programming error, not an input error.
+    if (!JsonValue::parse(os.str(), v, err))
+        panic("resultsToJson: writer/parser mismatch: ", err);
+    return v;
+}
+
+bool
+resultsFromJson(const JsonValue &v, std::vector<RunResult> &out,
+                std::string &err)
+{
+    if (!v.isArray()) {
+        err = "results must be a JSON array";
+        return false;
+    }
+    std::istringstream is(v.dump());
+    return tryReadResultsJson(is, out, &err);
+}
+
+JsonValue
+okResponse()
+{
+    JsonValue o = JsonValue::object();
+    o.set("ok", JsonValue::boolean(true));
+    return o;
+}
+
+JsonValue
+errorResponse(const std::string &code, const std::string &detail)
+{
+    JsonValue o = JsonValue::object();
+    o.set("ok", JsonValue::boolean(false));
+    o.set("error", JsonValue::string(code));
+    if (!detail.empty())
+        o.set("detail", JsonValue::string(detail));
+    return o;
+}
+
+} // namespace dcg::serve

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Wire protocol for dcgserved: newline-delimited JSON, one request and
+ * one response object per line.
+ *
+ * A JobSpec is the network-portable description of one simulation —
+ * the same surface dcgsim exposes (benchmark, scheme, pipeline depth,
+ * run lengths, seed, ablation toggles). Both sides expand a spec into
+ * an exp::Job through the identical presets code path, which is what
+ * makes `dcgsim --server` output byte-identical to a local run.
+ *
+ * Requests ("op" selects the verb):
+ *   {"op":"submit", "job": {JobSpec}}            -> {"ok":true,"ids":[N]}
+ *   {"op":"submit", "jobs": [{JobSpec}, ...]}    -> {"ok":true,"ids":[...]}
+ *   {"op":"submit", "grid": {GridSpec}}          -> {"ok":true,"ids":[...]}
+ *   {"op":"status", "id": N}                     -> {"ok":true,"status":...}
+ *   {"op":"result", "id": N, "wait": true|false} -> result or status
+ *   {"op":"stats"}                               -> {"ok":true,"stats":{..}}
+ *   {"op":"shutdown"}                            -> {"ok":true,...}; drains
+ *
+ * Error responses: {"ok":false, "error": "<code>", "detail": "..."};
+ * a full queue answers code "busy" plus "retry_after_ms". Done results
+ * carry "result": [<RunResult>] — the exact writeResultsJson() array
+ * flattened onto one line, numbers forwarded token-for-token.
+ */
+
+#ifndef DCG_SERVE_PROTOCOL_HH
+#define DCG_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/job.hh"
+#include "serve/json.hh"
+
+namespace dcg::serve {
+
+/** Network-portable description of one simulation request. */
+struct JobSpec
+{
+    std::string bench = "gzip";
+    std::string scheme = "dcg";   ///< base|dcg|plb-orig|plb-ext
+    unsigned depth = 8;           ///< >= 20 selects the Fig-17 machine
+    std::uint64_t insts = 0;      ///< 0 = receiver-side default
+    std::uint64_t warmup = 0;
+    std::uint64_t seed = 1;
+    bool gateIq = false;
+    bool storeDelay = false;
+    bool roundRobin = false;
+
+    /**
+     * Validate without terminating (the server must reject, not die):
+     * false + @p err on unknown benchmark/scheme.
+     */
+    bool validate(std::string &err) const;
+
+    /** Expand via the presets path; fatal() if not validate()d. */
+    exp::Job toJob() const;
+
+    JsonValue toJson() const;
+    static bool fromJson(const JsonValue &v, JobSpec &out,
+                         std::string &err);
+};
+
+/** A (benchmarks x schemes) request, expanded server- or client-side. */
+struct GridSpec
+{
+    std::vector<std::string> benchmarks;  ///< empty = full SPEC set
+    std::vector<std::string> schemes;     ///< empty = {base, dcg}
+    unsigned depth = 8;
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed = 1;
+    bool gateIq = false;
+    bool storeDelay = false;
+    bool roundRobin = false;
+
+    bool validate(std::string &err) const;
+    std::vector<JobSpec> expand() const;
+
+    JsonValue toJson() const;
+    static bool fromJson(const JsonValue &v, GridSpec &out,
+                         std::string &err);
+};
+
+/** Non-fatal scheme-name parse (base|dcg|plb-orig|plb-ext). */
+bool parseSchemeName(const std::string &name, GatingScheme &out);
+
+/**
+ * RunResults as a JSON value: the writeResultsJson() array reparsed
+ * with raw number tokens preserved, so embedding it in a response and
+ * dump()ing stays bit-exact.
+ */
+JsonValue resultsToJson(const std::vector<RunResult> &results);
+
+/** Inverse of resultsToJson(); false + @p err on malformed input. */
+bool resultsFromJson(const JsonValue &v, std::vector<RunResult> &out,
+                     std::string &err);
+
+/// @name Response helpers (shared by server and tests)
+/// @{
+JsonValue okResponse();
+JsonValue errorResponse(const std::string &code,
+                        const std::string &detail);
+/// @}
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_PROTOCOL_HH

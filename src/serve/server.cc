@@ -1,0 +1,717 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace dcg::serve {
+
+namespace {
+
+/** Cap a single request line; beyond this the peer is misbehaving. */
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+const char *
+stateName(int state)
+{
+    switch (state) {
+      case 0: return "queued";
+      case 1: return "running";
+      default: return "done";
+    }
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &config)
+    : cfg(config),
+      workerCount(config.workers ? config.workers
+                                 : exp::Engine::defaultJobs()),
+      eng(workerCount)
+{
+    if (!cfg.storeDir.empty()) {
+        store = std::make_shared<ResultStore>(cfg.storeDir);
+        eng.attachStore(store);
+    }
+
+    if (pipe(wakePipe) != 0)
+        fatal("dcgserved: cannot create wake pipe: ",
+              std::strerror(errno));
+    setNonBlocking(wakePipe[0]);
+    setNonBlocking(wakePipe[1]);
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo *res = nullptr;
+    const std::string port_str = std::to_string(cfg.port);
+    const int rc =
+        getaddrinfo(cfg.host.c_str(), port_str.c_str(), &hints, &res);
+    if (rc != 0)
+        fatal("dcgserved: cannot resolve '", cfg.host,
+              "': ", gai_strerror(rc));
+
+    listenFd = socket(res->ai_family, res->ai_socktype,
+                      res->ai_protocol);
+    if (listenFd < 0) {
+        freeaddrinfo(res);
+        fatal("dcgserved: cannot create socket: ",
+              std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (bind(listenFd, res->ai_addr, res->ai_addrlen) != 0) {
+        const int e = errno;
+        freeaddrinfo(res);
+        fatal("dcgserved: cannot bind ", cfg.host, ":", cfg.port, ": ",
+              std::strerror(e));
+    }
+    freeaddrinfo(res);
+    if (listen(listenFd, 64) != 0)
+        fatal("dcgserved: listen failed: ", std::strerror(errno));
+    setNonBlocking(listenFd);
+
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                    &blen) == 0)
+        boundPort = ntohs(bound.sin_port);
+}
+
+Server::~Server()
+{
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        workersStop = true;
+    }
+    qCv.notify_all();
+    for (std::thread &t : workerThreads)
+        if (t.joinable())
+            t.join();
+    for (auto &[id, c] : conns)
+        if (c.fd >= 0)
+            close(c.fd);
+    if (listenFd >= 0)
+        close(listenFd);
+    if (wakePipe[0] >= 0)
+        close(wakePipe[0]);
+    if (wakePipe[1] >= 0)
+        close(wakePipe[1]);
+}
+
+void
+Server::requestStop()
+{
+    // Only async-signal-safe operations: dcgserved calls this from
+    // its SIGINT/SIGTERM handler.
+    stopFlag.store(true, std::memory_order_release);
+    const char b = 1;
+    const ssize_t n = write(wakePipe[1], &b, 1);
+    (void)n;
+}
+
+void
+Server::wake()
+{
+    const char b = 1;
+    const ssize_t n = write(wakePipe[1], &b, 1);
+    (void)n;
+}
+
+void
+Server::pushEvent(Event ev)
+{
+    std::lock_guard<std::mutex> lk(evMutex);
+    events.push_back(std::move(ev));
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        WorkItem item;
+        {
+            std::unique_lock<std::mutex> lk(qMutex);
+            qCv.wait(lk, [this] {
+                return workersStop || !pending.empty();
+            });
+            if (workersStop)
+                return;
+            item = std::move(pending.front());
+            pending.pop_front();
+            // Claim busy before releasing the lock so idle() can never
+            // observe "queue empty, nobody busy" mid-handoff.
+            busyWorkers.fetch_add(1, std::memory_order_acq_rel);
+        }
+        pushEvent({Event::Kind::Started, item.id, {},
+                   exp::RunOutcome::Simulated});
+        wake();
+
+        exp::RunOutcome outcome = exp::RunOutcome::Simulated;
+        const RunResult r = eng.runOne(item.job, &outcome);
+
+        pushEvent({Event::Kind::Done, item.id, r, outcome});
+        busyWorkers.fetch_sub(1, std::memory_order_acq_rel);
+        wake();
+    }
+}
+
+bool
+Server::idle()
+{
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        if (!pending.empty() ||
+            busyWorkers.load(std::memory_order_acquire) != 0)
+            return false;
+    }
+    {
+        std::lock_guard<std::mutex> lk(evMutex);
+        if (!events.empty())
+            return false;
+    }
+    for (const auto &[id, c] : conns)
+        if (c.fd >= 0 && !c.out.empty())
+            return false;
+    return true;
+}
+
+void
+Server::run()
+{
+    workerThreads.reserve(workerCount);
+    for (unsigned i = 0; i < workerCount; ++i)
+        workerThreads.emplace_back([this] { workerLoop(); });
+
+    bool drain_announced = false;
+    std::chrono::steady_clock::time_point drain_start{};
+
+    while (true) {
+        const bool draining = stopFlag.load(std::memory_order_acquire);
+        if (draining && listenFd >= 0) {
+            close(listenFd);
+            listenFd = -1;
+        }
+        if (draining && !drain_announced) {
+            drain_announced = true;
+            drain_start = std::chrono::steady_clock::now();
+            inform("dcgserved: draining (", jobsSubmitted - jobsCompleted,
+                   " job(s) outstanding)");
+        }
+
+        drainEvents();
+
+        if (draining) {
+            if (idle())
+                break;
+            const auto waited =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - drain_start);
+            if (waited.count() >=
+                static_cast<long long>(cfg.drainGraceMs)) {
+                warn("dcgserved: drain grace expired; abandoning "
+                     "undelivered output");
+                break;
+            }
+        }
+
+        // Build the poll set: wake pipe, listener, every connection.
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> fd_conn;  // conn id per pollfd; 0=none
+        fds.push_back({wakePipe[0], POLLIN, 0});
+        fd_conn.push_back(0);
+        if (listenFd >= 0) {
+            fds.push_back({listenFd, POLLIN, 0});
+            fd_conn.push_back(0);
+        }
+        for (const auto &[id, c] : conns) {
+            if (c.fd < 0)
+                continue;
+            short ev = POLLIN;
+            if (!c.out.empty())
+                ev |= POLLOUT;
+            fds.push_back({c.fd, ev, 0});
+            fd_conn.push_back(id);
+        }
+
+        const int timeout_ms = draining ? 50 : -1;
+        const int nready =
+            poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 timeout_ms);
+        if (nready < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("dcgserved: poll failed: ", std::strerror(errno));
+        }
+
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if (!fds[i].revents)
+                continue;
+            if (fds[i].fd == wakePipe[0]) {
+                char buf[256];
+                while (read(wakePipe[0], buf, sizeof(buf)) > 0) {
+                }
+                continue;
+            }
+            if (listenFd >= 0 && fds[i].fd == listenFd) {
+                acceptClients();
+                continue;
+            }
+            auto it = conns.find(fd_conn[i]);
+            if (it == conns.end() || it->second.fd < 0)
+                continue;
+            Conn &conn = it->second;
+            if (fds[i].revents & POLLIN)
+                readConn(conn);
+            if (conn.fd >= 0 && (fds[i].revents & POLLOUT))
+                writeConn(conn);
+            if (conn.fd >= 0 &&
+                (fds[i].revents & (POLLERR | POLLNVAL)))
+                closeConn(conn);
+        }
+
+        // Sweep connections closed during this iteration.
+        for (auto it = conns.begin(); it != conns.end();) {
+            if (it->second.fd < 0)
+                it = conns.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    for (auto &[id, c] : conns)
+        closeConn(c);
+    conns.clear();
+    if (listenFd >= 0) {
+        close(listenFd);
+        listenFd = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        workersStop = true;
+    }
+    qCv.notify_all();
+    for (std::thread &t : workerThreads)
+        t.join();
+    workerThreads.clear();
+}
+
+void
+Server::acceptClients()
+{
+    while (true) {
+        const int fd = accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            return;  // EAGAIN/EWOULDBLOCK/EINTR: try next iteration
+        setNonBlocking(fd);
+        Conn c;
+        c.id = nextConnId++;
+        c.fd = fd;
+        conns.emplace(c.id, std::move(c));
+    }
+}
+
+void
+Server::closeConn(Conn &conn)
+{
+    if (conn.fd >= 0) {
+        close(conn.fd);
+        conn.fd = -1;  // swept (and erased) at the end of the loop
+    }
+}
+
+void
+Server::readConn(Conn &conn)
+{
+    char buf[4096];
+    while (true) {
+        const ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+            if (conn.in.size() > kMaxLineBytes) {
+                warn("dcgserved: dropping connection with oversized "
+                     "request line");
+                closeConn(conn);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            closeConn(conn);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn);
+        return;
+    }
+
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t nl = conn.in.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = conn.in.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (!line.empty())
+            handleLine(conn, line);
+        if (conn.fd < 0)
+            return;
+    }
+    conn.in.erase(0, start);
+}
+
+void
+Server::writeConn(Conn &conn)
+{
+    while (!conn.out.empty()) {
+        const ssize_t n = send(conn.fd, conn.out.data(),
+                               conn.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n < 0 && errno == EINTR)
+            continue;
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+Server::handleLine(Conn &conn, const std::string &line)
+{
+    JsonValue req;
+    std::string err;
+    if (!JsonValue::parse(line, req, err) || !req.isObject()) {
+        ++badRequests;
+        conn.out += errorResponse("bad_request",
+                                  err.empty()
+                                      ? "request must be a JSON object"
+                                      : err)
+                        .dump();
+        conn.out += '\n';
+        return;
+    }
+
+    const std::string op = req.get("op").asString();
+    if (op == "submit") {
+        const JsonValue resp =
+            stopFlag.load(std::memory_order_acquire)
+                ? errorResponse("draining", "server is shutting down")
+                : handleSubmit(req);
+        conn.out += resp.dump();
+        conn.out += '\n';
+    } else if (op == "status") {
+        conn.out += handleStatus(req).dump();
+        conn.out += '\n';
+    } else if (op == "result") {
+        handleResult(conn, req);  // may park the response
+    } else if (op == "stats") {
+        JsonValue resp = okResponse();
+        resp.set("stats", statsJson());
+        conn.out += resp.dump();
+        conn.out += '\n';
+    } else if (op == "shutdown") {
+        JsonValue resp = okResponse();
+        resp.set("status", JsonValue::string("draining"));
+        conn.out += resp.dump();
+        conn.out += '\n';
+        requestStop();
+    } else {
+        ++badRequests;
+        conn.out +=
+            errorResponse("bad_request", "unknown op '" + op + "'")
+                .dump();
+        conn.out += '\n';
+    }
+}
+
+JsonValue
+Server::handleSubmit(const JsonValue &req)
+{
+    std::vector<JobSpec> specs;
+    std::string err;
+    if (req.has("job")) {
+        JobSpec s;
+        if (!JobSpec::fromJson(req.get("job"), s, err)) {
+            ++badRequests;
+            return errorResponse("bad_request", err);
+        }
+        specs.push_back(std::move(s));
+    } else if (req.has("jobs")) {
+        const JsonValue &arr = req.get("jobs");
+        if (!arr.isArray()) {
+            ++badRequests;
+            return errorResponse("bad_request", "jobs must be an array");
+        }
+        for (const JsonValue &v : arr.items()) {
+            JobSpec s;
+            if (!JobSpec::fromJson(v, s, err)) {
+                ++badRequests;
+                return errorResponse("bad_request", err);
+            }
+            specs.push_back(std::move(s));
+        }
+    } else if (req.has("grid")) {
+        GridSpec g;
+        if (!GridSpec::fromJson(req.get("grid"), g, err)) {
+            ++badRequests;
+            return errorResponse("bad_request", err);
+        }
+        specs = g.expand();
+    } else {
+        ++badRequests;
+        return errorResponse("bad_request",
+                             "submit needs 'job', 'jobs' or 'grid'");
+    }
+    if (specs.empty()) {
+        ++badRequests;
+        return errorResponse("bad_request", "empty submission");
+    }
+
+    // Peek the warm cache first: satisfied jobs complete immediately
+    // and never occupy a queue slot or worker.
+    struct Admit
+    {
+        exp::Job job;
+        bool cached = false;
+        RunResult result;
+    };
+    std::vector<Admit> admits;
+    admits.reserve(specs.size());
+    std::size_t need_slots = 0;
+    for (const JobSpec &s : specs) {
+        Admit a;
+        a.job = s.toJob();
+        a.cached = eng.tryCached(a.job, a.result);
+        if (!a.cached)
+            ++need_slots;
+        admits.push_back(std::move(a));
+    }
+
+    // Bounded admission: reject the whole submit (all-or-nothing, so
+    // clients never track partial grids) when the queue cannot take it.
+    std::size_t queue_len;
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        queue_len = pending.size();
+    }
+    if (queue_len + need_slots > cfg.queueCapacity) {
+        ++submitsRejected;
+        JsonValue resp = errorResponse("busy", "job queue is full");
+        resp.set("retry_after_ms",
+                 JsonValue::integer(std::uint64_t{cfg.retryAfterMs}));
+        resp.set("queue_depth",
+                 JsonValue::integer(std::uint64_t{queue_len}));
+        resp.set("queue_capacity",
+                 JsonValue::integer(std::uint64_t{cfg.queueCapacity}));
+        return resp;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    JsonValue ids = JsonValue::array();
+    std::size_t enqueued = 0;
+    for (Admit &a : admits) {
+        const std::uint64_t id = nextJobId++;
+        JobRec rec;
+        rec.enqueued = now;
+        if (a.cached) {
+            rec.state = JobState::Done;
+            rec.result = std::move(a.result);
+            ++jobsCompleted;  // zero-latency completion
+        }
+        jobs.emplace(id, std::move(rec));
+        ids.push(JsonValue::integer(id));
+        ++jobsSubmitted;
+        if (!a.cached) {
+            std::lock_guard<std::mutex> lk(qMutex);
+            pending.push_back({id, std::move(a.job)});
+            ++enqueued;
+        }
+    }
+    if (enqueued)
+        qCv.notify_all();
+
+    JsonValue resp = okResponse();
+    if (ids.items().size() == 1)
+        resp.set("id", ids.items().front());
+    resp.set("ids", std::move(ids));
+    return resp;
+}
+
+JsonValue
+Server::handleStatus(const JsonValue &req) const
+{
+    const std::uint64_t id = req.get("id").asU64(0);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return errorResponse("unknown_id", "no such job id");
+    JsonValue resp = okResponse();
+    resp.set("id", JsonValue::integer(id));
+    resp.set("status",
+             JsonValue::string(
+                 stateName(static_cast<int>(it->second.state))));
+    return resp;
+}
+
+void
+Server::handleResult(Conn &conn, const JsonValue &req)
+{
+    const std::uint64_t id = req.get("id").asU64(0);
+    auto it = jobs.find(id);
+    if (it == jobs.end()) {
+        conn.out +=
+            errorResponse("unknown_id", "no such job id").dump();
+        conn.out += '\n';
+        return;
+    }
+    JobRec &rec = it->second;
+    if (rec.state == JobState::Done) {
+        conn.out += doneResponse(id, rec).dump();
+        conn.out += '\n';
+        return;
+    }
+    if (req.get("wait").asBool(false)) {
+        rec.waiters.push_back(conn.id);  // answered on completion
+        return;
+    }
+    JsonValue resp = okResponse();
+    resp.set("id", JsonValue::integer(id));
+    resp.set("status",
+             JsonValue::string(stateName(static_cast<int>(rec.state))));
+    conn.out += resp.dump();
+    conn.out += '\n';
+}
+
+JsonValue
+Server::doneResponse(std::uint64_t id, const JobRec &rec) const
+{
+    JsonValue resp = okResponse();
+    resp.set("id", JsonValue::integer(id));
+    resp.set("status", JsonValue::string("done"));
+    resp.set("result", resultsToJson({rec.result}));
+    return resp;
+}
+
+void
+Server::drainEvents()
+{
+    std::deque<Event> batch;
+    {
+        std::lock_guard<std::mutex> lk(evMutex);
+        batch.swap(events);
+    }
+    for (Event &ev : batch) {
+        auto it = jobs.find(ev.id);
+        if (it == jobs.end())
+            continue;
+        JobRec &rec = it->second;
+        if (ev.kind == Event::Kind::Started) {
+            if (rec.state == JobState::Queued)
+                rec.state = JobState::Running;
+            continue;
+        }
+        finishJob(ev.id, rec, ev.result);
+    }
+}
+
+void
+Server::finishJob(std::uint64_t id, JobRec &rec, const RunResult &r)
+{
+    rec.state = JobState::Done;
+    rec.result = r;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - rec.enqueued)
+            .count();
+    latencySumUs += static_cast<std::uint64_t>(us);
+    latencyMaxUs =
+        std::max(latencyMaxUs, static_cast<std::uint64_t>(us));
+    ++jobsCompleted;
+
+    if (rec.waiters.empty())
+        return;
+    std::string line = doneResponse(id, rec).dump();
+    line += '\n';
+    for (std::uint64_t cid : rec.waiters) {
+        auto cit = conns.find(cid);
+        if (cit != conns.end() && cit->second.fd >= 0)
+            cit->second.out += line;
+    }
+    rec.waiters.clear();
+}
+
+JsonValue
+Server::statsJson() const
+{
+    std::size_t depth;
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        depth = pending.size();
+    }
+    JsonValue s = JsonValue::object();
+    s.set("workers", JsonValue::integer(std::uint64_t{workerCount}));
+    s.set("busy_workers",
+          JsonValue::integer(std::uint64_t{
+              busyWorkers.load(std::memory_order_acquire)}));
+    s.set("queue_depth", JsonValue::integer(std::uint64_t{depth}));
+    s.set("queue_capacity",
+          JsonValue::integer(std::uint64_t{cfg.queueCapacity}));
+    s.set("connections",
+          JsonValue::integer(std::uint64_t{conns.size()}));
+    s.set("jobs_submitted", JsonValue::integer(jobsSubmitted));
+    s.set("jobs_completed", JsonValue::integer(jobsCompleted));
+    s.set("submits_rejected", JsonValue::integer(submitsRejected));
+    s.set("bad_requests", JsonValue::integer(badRequests));
+    s.set("mem_hits", JsonValue::integer(eng.cacheHits()));
+    s.set("mem_misses", JsonValue::integer(eng.cacheMisses()));
+    s.set("disk_hits", JsonValue::integer(eng.diskHits()));
+    s.set("simulations", JsonValue::integer(eng.simulations()));
+    s.set("cache_entries",
+          JsonValue::integer(std::uint64_t{eng.cacheSize()}));
+    if (store) {
+        s.set("store_records",
+              JsonValue::integer(std::uint64_t{store->size()}));
+        s.set("store_corrupt",
+              JsonValue::integer(store->corruptRecords()));
+        s.set("store_dir", JsonValue::string(store->directory()));
+    }
+    s.set("latency_mean_us",
+          JsonValue::number(jobsCompleted
+                                ? static_cast<double>(latencySumUs) /
+                                      static_cast<double>(jobsCompleted)
+                                : 0.0));
+    s.set("latency_max_us", JsonValue::integer(latencyMaxUs));
+    s.set("draining",
+          JsonValue::boolean(stopFlag.load(std::memory_order_acquire)));
+    return s;
+}
+
+} // namespace dcg::serve

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * dcgserved's core: an asynchronous TCP simulation service over the
+ * experiment Engine.
+ *
+ * Architecture (one process, two kinds of threads):
+ *
+ *  - The I/O thread (run()) owns a poll()-based event loop: the
+ *    non-blocking listen socket, every client connection, and a
+ *    self-wake pipe. It parses newline-delimited JSON requests,
+ *    admits jobs to a *bounded* queue (over-capacity submits are
+ *    rejected with a retry-after hint — backpressure, not buffering),
+ *    and answers status/result/stats without touching a worker.
+ *
+ *  - N worker threads pop admitted jobs and run them through
+ *    Engine::runOne(). Duplicate in-flight jobs coalesce on the
+ *    engine's lookupOrClaim slot; completed results flow back to the
+ *    I/O thread as events through the wake pipe, which then resolves
+ *    any parked "result"+wait requests.
+ *
+ * Warm resubmissions never occupy a worker: admission first peeks the
+ * engine's in-memory cache (Engine::tryCached) and completes such jobs
+ * immediately. With a ResultStore attached, results additionally
+ * survive restarts — a cold process serves a previously-seen grid
+ * entirely from disk (stats report 0 simulations).
+ *
+ * Shutdown: requestStop() (async-signal-safe; wired to SIGINT/SIGTERM
+ * by dcgserved) stops accepting and admitting, drains queued and
+ * running jobs, flushes responses, then returns from run(). A drain
+ * grace period bounds how long undeliverable output is waited for.
+ */
+
+#ifndef DCG_SERVE_SERVER_HH
+#define DCG_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "serve/store.hh"
+
+namespace dcg::serve {
+
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;        ///< 0 = ephemeral (see Server::port)
+    unsigned workers = 0;          ///< 0 = Engine::defaultJobs()
+    std::size_t queueCapacity = 256;
+    std::string storeDir;          ///< empty = no persistent store
+    unsigned retryAfterMs = 250;   ///< backpressure hint to clients
+    unsigned drainGraceMs = 5000;  ///< max wait for undelivered output
+};
+
+class Server
+{
+  public:
+    /**
+     * Bind and listen (fatal() on failure); the actual port — useful
+     * with port 0 — is available immediately via port(). No requests
+     * are served until run().
+     */
+    explicit Server(const ServerConfig &config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Event loop; blocks until requestStop() and the drain finish. */
+    void run();
+
+    /** Begin graceful drain. Async-signal-safe. */
+    void requestStop();
+
+    std::uint16_t port() const { return boundPort; }
+    exp::Engine &engine() { return eng; }
+
+  private:
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::string in;
+        std::string out;
+    };
+
+    enum class JobState { Queued, Running, Done };
+
+    struct JobRec
+    {
+        JobState state = JobState::Queued;
+        RunResult result;
+        std::chrono::steady_clock::time_point enqueued;
+        std::vector<std::uint64_t> waiters;  ///< conn ids parked on wait
+    };
+
+    struct WorkItem
+    {
+        std::uint64_t id = 0;
+        exp::Job job;
+    };
+
+    struct Event
+    {
+        enum class Kind { Started, Done } kind = Kind::Done;
+        std::uint64_t id = 0;
+        RunResult result;
+        exp::RunOutcome outcome = exp::RunOutcome::Simulated;
+    };
+
+    /// @name I/O-thread side
+    /// @{
+    void acceptClients();
+    void readConn(Conn &conn);
+    void writeConn(Conn &conn);
+    void closeConn(Conn &conn);
+    void handleLine(Conn &conn, const std::string &line);
+    JsonValue handleSubmit(const JsonValue &req);
+    JsonValue handleStatus(const JsonValue &req) const;
+    void handleResult(Conn &conn, const JsonValue &req);
+    JsonValue statsJson() const;
+    JsonValue doneResponse(std::uint64_t id, const JobRec &rec) const;
+    void drainEvents();
+    void finishJob(std::uint64_t id, JobRec &rec, const RunResult &r);
+    bool idle();
+    /// @}
+
+    /// @name Worker side
+    /// @{
+    void workerLoop();
+    void pushEvent(Event ev);
+    void wake();
+    /// @}
+
+    ServerConfig cfg;
+    unsigned workerCount;
+    exp::Engine eng;
+    std::shared_ptr<ResultStore> store;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    std::uint16_t boundPort = 0;
+    std::atomic<bool> stopFlag{false};
+
+    std::uint64_t nextConnId = 1;
+    std::map<std::uint64_t, Conn> conns;  ///< conn id -> connection
+
+    std::uint64_t nextJobId = 1;
+    std::map<std::uint64_t, JobRec> jobs;  ///< I/O thread only
+
+    mutable std::mutex qMutex;
+    std::condition_variable qCv;
+    std::deque<WorkItem> pending;
+    bool workersStop = false;
+    std::vector<std::thread> workerThreads;
+    std::atomic<unsigned> busyWorkers{0};
+
+    mutable std::mutex evMutex;
+    std::deque<Event> events;
+
+    /// @name Service counters (I/O thread only)
+    /// @{
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t submitsRejected = 0;
+    std::uint64_t badRequests = 0;
+    std::uint64_t latencySumUs = 0;
+    std::uint64_t latencyMaxUs = 0;
+    /// @}
+};
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_SERVER_HH

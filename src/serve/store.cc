@@ -1,0 +1,158 @@
+#include "serve/store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/log.hh"
+#include "serve/json.hh"
+#include "sim/report.hh"
+
+namespace fs = std::filesystem;
+
+namespace dcg::serve {
+
+namespace {
+
+constexpr int kStoreFormatVersion = 1;
+
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * 128 bits of FNV-1a (two independent offset bases) keep accidental
+ * collisions out of reach for any realistic sweep; a real collision
+ * is still caught by the key stored inside the record.
+ */
+std::string
+recordName(const std::string &key)
+{
+    const std::uint64_t a = fnv1a(key, 0xcbf29ce484222325ULL);
+    const std::uint64_t b = fnv1a(key, 0x84222325cbf29ce4ULL);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx.json",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    return buf;
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &directory)
+    : dir(directory)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("result store: cannot create directory '", dir, "': ",
+              ec.message());
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            index.insert(entry.path().filename().string());
+    }
+    if (ec)
+        warn("result store: cannot index '", dir, "': ", ec.message());
+}
+
+std::string
+ResultStore::recordPath(const std::string &key) const
+{
+    return (fs::path(dir) / recordName(key)).string();
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lk(indexMutex);
+    return index.size();
+}
+
+bool
+ResultStore::get(const std::string &key, RunResult &out)
+{
+    std::ifstream is(recordPath(key));
+    if (!is)
+        return false;
+
+    // Header line: {"dcg_store": 1, "key": "..."}.
+    std::string header;
+    if (!std::getline(is, header)) {
+        ++corrupt;
+        return false;
+    }
+    JsonValue h;
+    std::string err;
+    if (!JsonValue::parse(header, h, err) || !h.isObject() ||
+        h.get("dcg_store").asI64(-1) != kStoreFormatVersion ||
+        h.get("key").asString() != key) {
+        ++corrupt;
+        return false;
+    }
+
+    // Body: the standard one-result JSON array. Any truncation or
+    // damage is a miss; the caller re-simulates and put() repairs.
+    std::vector<RunResult> results;
+    if (!tryReadResultsJson(is, results, &err) || results.size() != 1) {
+        ++corrupt;
+        return false;
+    }
+    out = std::move(results.front());
+    return true;
+}
+
+void
+ResultStore::put(const std::string &key, const RunResult &r)
+{
+    const std::string name = recordName(key);
+    const fs::path final_path = fs::path(dir) / name;
+    const fs::path tmp_path =
+        final_path.string() + ".tmp." +
+        std::to_string(tmpCounter.fetch_add(1));
+
+    {
+        std::ofstream os(tmp_path);
+        if (!os) {
+            warn("result store: cannot write '", tmp_path.string(),
+                 "'; result not persisted");
+            return;
+        }
+        JsonValue header = JsonValue::object();
+        header.set("dcg_store", JsonValue::integer(
+            static_cast<std::int64_t>(kStoreFormatVersion)));
+        header.set("key", JsonValue::string(key));
+        os << header.dump() << '\n';
+        writeResultsJson({r}, os);
+        os.flush();
+        if (!os) {
+            warn("result store: short write to '", tmp_path.string(),
+                 "'; result not persisted");
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            return;
+        }
+    }
+
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        warn("result store: cannot rename '", tmp_path.string(),
+             "' into place: ", ec.message());
+        fs::remove(tmp_path, ec);
+        return;
+    }
+
+    std::lock_guard<std::mutex> lk(indexMutex);
+    index.insert(name);
+}
+
+} // namespace dcg::serve

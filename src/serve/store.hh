@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ResultStore: the persistent, content-addressed result layer that
+ * dcgserved (and any Engine) slots beneath the in-memory cache.
+ *
+ * One record per jobKey(), stored as a small file whose name is a
+ * 128-bit FNV-1a hash of the key. A record is a one-line JSON header
+ * (format version + the full key, for verification) followed by the
+ * standard writeResultsJson() array of exactly one RunResult, so the
+ * on-disk format round-trips bit-exactly through the same code path
+ * as every other result file in the repo.
+ *
+ * Durability and tolerance:
+ *  - writes go to a temporary file in the same directory and are
+ *    renamed into place, so readers never observe a half-written
+ *    record and concurrent writers of the same key last-write-win;
+ *  - a truncated, corrupt or foreign record (including a hash
+ *    collision, detected via the stored key) is treated as a miss —
+ *    the engine re-simulates and put() repairs the record in place.
+ *
+ * Safe for concurrent use from several worker threads (the directory
+ * index is mutex-guarded; file operations are per-key).
+ */
+
+#ifndef DCG_SERVE_STORE_HH
+#define DCG_SERVE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "exp/engine.hh"
+
+namespace dcg::serve {
+
+class ResultStore : public exp::ResultStoreBase
+{
+  public:
+    /**
+     * Open (creating if needed) the store rooted at @p directory and
+     * index the records already present. fatal() if the directory
+     * cannot be created.
+     */
+    explicit ResultStore(const std::string &directory);
+
+    bool get(const std::string &key, RunResult &out) override;
+    void put(const std::string &key, const RunResult &r) override;
+
+    /** Records currently on disk (indexed at open + later puts). */
+    std::size_t size() const;
+
+    /** Corrupt/foreign records encountered by get() so far. */
+    std::uint64_t corruptRecords() const { return corrupt.load(); }
+
+    const std::string &directory() const { return dir; }
+
+    /** Absolute record path for @p key (exposed for tests/tools). */
+    std::string recordPath(const std::string &key) const;
+
+  private:
+    std::string dir;
+    mutable std::mutex indexMutex;
+    std::unordered_set<std::string> index;  ///< record file names
+    std::atomic<std::uint64_t> corrupt{0};
+    std::atomic<std::uint64_t> tmpCounter{0};
+};
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_STORE_HH

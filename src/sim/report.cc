@@ -7,6 +7,7 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/log.hh"
 #include "power/model.hh"
@@ -34,10 +35,20 @@ jsonEscape(const std::string &s)
 }
 
 /**
+ * Raised by JsonParser on malformed input; callers decide whether it
+ * is fatal (CLI paths) or a recoverable miss (the serve-layer result
+ * store treats a truncated record as absent and re-simulates).
+ */
+struct ResultParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
  * Minimal recursive-descent parser for the subset of JSON the writer
- * emits (objects, arrays, strings, numbers, bools). Errors are
- * fatal(): result files are produced by this program, so malformed
- * input means a truncated or foreign file.
+ * emits (objects, arrays, strings, numbers, bools). Errors throw
+ * ResultParseError: result files are produced by this program, so
+ * malformed input means a truncated or foreign file.
  */
 class JsonParser
 {
@@ -48,7 +59,8 @@ class JsonParser
     {
         skipWs();
         if (is.get() != c)
-            fatal("result JSON: expected '", c, "'");
+            throw ResultParseError(
+                detail::fold("result JSON: expected '", c, "'"));
     }
 
     bool consumeIf(char c)
@@ -67,7 +79,7 @@ class JsonParser
         std::string out;
         for (int c; (c = is.get()) != '"'; ) {
             if (c == EOF)
-                fatal("result JSON: unterminated string");
+                throw ResultParseError("result JSON: unterminated string");
             if (c == '\\') {
                 const int e = is.get();
                 switch (e) {
@@ -76,8 +88,9 @@ class JsonParser
                   case 'n':  out += '\n'; break;
                   case 't':  out += '\t'; break;
                   default:
-                    fatal("result JSON: unsupported escape '\\",
-                          static_cast<char>(e), "'");
+                    throw ResultParseError(
+                        detail::fold("result JSON: unsupported escape"
+                                     " '\\", static_cast<char>(e), "'"));
                 }
             } else {
                 out += static_cast<char>(c);
@@ -98,8 +111,14 @@ class JsonParser
             tok += static_cast<char>(is.get());
         }
         if (tok.empty())
-            fatal("result JSON: expected a number");
-        return std::stod(tok);
+            throw ResultParseError("result JSON: expected a number");
+        try {
+            return std::stod(tok);
+        } catch (const std::exception &) {
+            throw ResultParseError(
+                detail::fold("result JSON: malformed number '", tok,
+                             "'"));
+        }
     }
 
     /** Parse {"name": number, ...} into @p store via @p set. */
@@ -178,7 +197,8 @@ parseResultObject(JsonParser &p)
                 else if (k == "latches") r.latchPJ = v;
                 else if (k == "dcache") r.dcachePJ = v;
                 else if (k == "result_bus") r.resultBusPJ = v;
-                else fatal("result JSON: unknown group '", k, "'");
+                else throw ResultParseError(detail::fold(
+                    "result JSON: unknown group '", k, "'"));
             });
         } else if (key == "utilization") {
             p.parseNumberObject([&](const std::string &k, double v) {
@@ -187,13 +207,15 @@ parseResultObject(JsonParser &p)
                 else if (k == "latches") r.latchUtil = v;
                 else if (k == "dcache_ports") r.dcachePortUtil = v;
                 else if (k == "result_bus") r.resultBusUtil = v;
-                else fatal("result JSON: unknown utilisation '", k, "'");
+                else throw ResultParseError(detail::fold(
+                    "result JSON: unknown utilisation '", k, "'"));
             });
         } else if (key == "components_pj") {
             p.parseNumberObject([&](const std::string &k, double v) {
                 const int c = componentByName(k);
                 if (c < 0)
-                    fatal("result JSON: unknown component '", k, "'");
+                    throw ResultParseError(detail::fold(
+                        "result JSON: unknown component '", k, "'"));
                 r.componentPJ[static_cast<unsigned>(c)] = v;
             });
         } else if (key == "extra") {
@@ -201,7 +223,8 @@ parseResultObject(JsonParser &p)
                 r.extraStats[k] = v;
             });
         } else {
-            fatal("result JSON: unknown field '", key, "'");
+            throw ResultParseError(detail::fold(
+                "result JSON: unknown field '", key, "'"));
         }
     } while (p.consumeIf(','));
     p.expect('}');
@@ -289,18 +312,36 @@ writeResultsJson(const std::vector<RunResult> &results, std::ostream &os)
     os << "]\n";
 }
 
+bool
+tryReadResultsJson(std::istream &is, std::vector<RunResult> &out,
+                   std::string *error)
+{
+    try {
+        JsonParser p(is);
+        std::vector<RunResult> results;
+        p.expect('[');
+        if (!p.consumeIf(']')) {
+            do {
+                results.push_back(parseResultObject(p));
+            } while (p.consumeIf(','));
+            p.expect(']');
+        }
+        out = std::move(results);
+        return true;
+    } catch (const std::exception &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
 std::vector<RunResult>
 readResultsJson(std::istream &is)
 {
-    JsonParser p(is);
     std::vector<RunResult> results;
-    p.expect('[');
-    if (!p.consumeIf(']')) {
-        do {
-            results.push_back(parseResultObject(p));
-        } while (p.consumeIf(','));
-        p.expect(']');
-    }
+    std::string error;
+    if (!tryReadResultsJson(is, results, &error))
+        fatal(error);
     return results;
 }
 

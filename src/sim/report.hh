@@ -39,6 +39,16 @@ void writeResultsJson(const std::vector<RunResult> &results,
 std::vector<RunResult> readResultsJson(std::istream &is);
 
 /**
+ * Non-terminating variant of readResultsJson() for callers that must
+ * survive malformed input (the serve-layer result store treats a
+ * truncated or corrupt record as a cache miss). Returns false and
+ * leaves @p out untouched on failure; @p error (if non-null) receives
+ * a one-line description.
+ */
+bool tryReadResultsJson(std::istream &is, std::vector<RunResult> &out,
+                        std::string *error = nullptr);
+
+/**
  * Machine-readable description of the JSON result schema (field
  * names, types, units), for consumers that validate before parsing.
  */

@@ -70,6 +70,28 @@ TEST(Options, NonOptionArgumentIsFatal)
                 ::testing::ExitedWithCode(1), "expected --key=value");
 }
 
+TEST(Options, ParseIntAcceptsWholeTokensOnly)
+{
+    // The strict parser behind --jobs / DCG_JOBS validation: the whole
+    // token must be one integer, unlike getInt's legacy strtoll.
+    std::int64_t v = 0;
+    EXPECT_TRUE(Options::parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(Options::parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(Options::parseInt("0", v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(Options::parseInt("0x10", v));  // base-0: hex works
+    EXPECT_EQ(v, 16);
+
+    EXPECT_FALSE(Options::parseInt("", v));
+    EXPECT_FALSE(Options::parseInt("banana", v));
+    EXPECT_FALSE(Options::parseInt("12abc", v));
+    EXPECT_FALSE(Options::parseInt("1.5", v));
+    EXPECT_FALSE(Options::parseInt("4 ", v));
+    EXPECT_FALSE(Options::parseInt("99999999999999999999999999", v));
+}
+
 TEST(Options, EnvIntReadsEnvironment)
 {
     ::setenv("DCG_TEST_ENV_INT", "123", 1);

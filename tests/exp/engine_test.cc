@@ -6,6 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "exp/engine.hh"
 #include "exp/grid.hh"
@@ -178,6 +182,132 @@ TEST(Engine, WorkerCountResolution)
     EXPECT_EQ(five.workers(), 5u);
     Engine fallback(0);
     EXPECT_EQ(fallback.workers(), Engine::defaultJobs());
+}
+
+TEST(Engine, ConcurrentDuplicateJobsSimulateExactlyOnce)
+{
+    // Many threads race runOne() on a single key: exactly one claims
+    // the cache slot and simulates; the rest either share its
+    // in-flight execution or hit the finished entry. Either way the
+    // results are bit-identical and only one simulation runs.
+    constexpr unsigned kThreads = 16;
+    Engine engine(4);
+    const Job job = makeJob(profileByName("gzip"),
+                            table1Config(GatingScheme::Dcg), kInsts,
+                            kWarmup);
+
+    std::vector<RunResult> results(kThreads);
+    std::vector<RunOutcome> outcomes(kThreads, RunOutcome::Simulated);
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            ++ready;
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            results[i] = engine.runOne(job, &outcomes[i]);
+        });
+    }
+    while (ready.load() != kThreads) {
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(engine.simulations(), 1u);
+    EXPECT_EQ(engine.cacheMisses(), 1u);
+    EXPECT_EQ(engine.cacheHits(), kThreads - 1);
+    EXPECT_EQ(engine.cacheSize(), 1u);
+
+    unsigned simulated = 0;
+    for (RunOutcome o : outcomes) {
+        EXPECT_TRUE(o == RunOutcome::Simulated ||
+                    o == RunOutcome::Shared || o == RunOutcome::MemHit);
+        if (o == RunOutcome::Simulated)
+            ++simulated;
+    }
+    EXPECT_EQ(simulated, 1u);
+    for (unsigned i = 1; i < kThreads; ++i)
+        expectBitIdentical(results[0], results[i]);
+}
+
+TEST(Engine, TryCachedPeeksWithoutBlockingOrSimulating)
+{
+    Engine engine(1);
+    const Job job = makeJob(profileByName("gzip"),
+                            table1Config(GatingScheme::None), kInsts,
+                            kWarmup);
+    RunResult peeked;
+    EXPECT_FALSE(engine.tryCached(job, peeked));
+    EXPECT_EQ(engine.simulations(), 0u);
+
+    const RunResult r = engine.runOne(job);
+    ASSERT_TRUE(engine.tryCached(job, peeked));
+    expectBitIdentical(r, peeked);
+    EXPECT_EQ(engine.cacheHits(), 1u);
+    EXPECT_EQ(engine.simulations(), 1u);
+}
+
+namespace {
+
+/** Set/clear DCG_JOBS for one scope, restoring the old value after. */
+class ScopedDcgJobs
+{
+  public:
+    explicit ScopedDcgJobs(const char *value)
+    {
+        const char *old = std::getenv("DCG_JOBS");
+        if (old)
+            saved = old;
+        had = old != nullptr;
+        if (value)
+            ::setenv("DCG_JOBS", value, 1);
+        else
+            ::unsetenv("DCG_JOBS");
+    }
+
+    ~ScopedDcgJobs()
+    {
+        if (had)
+            ::setenv("DCG_JOBS", saved.c_str(), 1);
+        else
+            ::unsetenv("DCG_JOBS");
+    }
+
+  private:
+    std::string saved;
+    bool had = false;
+};
+
+} // namespace
+
+TEST(Engine, DefaultJobsHonoursValidDcgJobs)
+{
+    ScopedDcgJobs env("3");
+    EXPECT_EQ(Engine::defaultJobs(), 3u);
+    Engine engine(0);
+    EXPECT_EQ(engine.workers(), 3u);
+}
+
+TEST(Engine, DefaultJobsRejectsInvalidDcgJobs)
+{
+    // Satellite hardening: garbage, zero and negative DCG_JOBS values
+    // fall back to the hardware default (with a warning) instead of
+    // being silently coerced into some other worker count.
+    unsigned fallback;
+    {
+        ScopedDcgJobs env(nullptr);
+        fallback = Engine::defaultJobs();
+    }
+    ASSERT_GE(fallback, 1u);
+
+    for (const char *bad : {"banana", "0", "-4", "3garbage", ""}) {
+        ScopedDcgJobs env(bad);
+        EXPECT_EQ(Engine::defaultJobs(), fallback)
+            << "DCG_JOBS='" << bad << "'";
+    }
 }
 
 TEST(Engine, ClearCacheForcesResimulation)

@@ -1,0 +1,185 @@
+/**
+ * Tests for the dcgserved wire protocol types: JobSpec/GridSpec JSON
+ * round-trips, validation (reject, don't die), grid expansion, and the
+ * bit-exact result embedding used by "result" responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/engine.hh"
+#include "serve/protocol.hh"
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+using namespace dcg::serve;
+
+namespace {
+
+constexpr std::uint64_t kInsts = 2000;
+constexpr std::uint64_t kWarmup = 500;
+
+JobSpec
+sampleSpec()
+{
+    JobSpec s;
+    s.bench = "mcf";
+    s.scheme = "plb-ext";
+    s.depth = 20;
+    s.insts = kInsts;
+    s.warmup = kWarmup;
+    s.seed = 7;
+    s.gateIq = true;
+    s.storeDelay = true;
+    s.roundRobin = true;
+    return s;
+}
+
+} // namespace
+
+TEST(Protocol, JobSpecJsonRoundTrip)
+{
+    const JobSpec s = sampleSpec();
+    JobSpec back;
+    std::string err;
+    ASSERT_TRUE(JobSpec::fromJson(s.toJson(), back, err)) << err;
+    EXPECT_EQ(back.bench, s.bench);
+    EXPECT_EQ(back.scheme, s.scheme);
+    EXPECT_EQ(back.depth, s.depth);
+    EXPECT_EQ(back.insts, s.insts);
+    EXPECT_EQ(back.warmup, s.warmup);
+    EXPECT_EQ(back.seed, s.seed);
+    EXPECT_EQ(back.gateIq, s.gateIq);
+    EXPECT_EQ(back.storeDelay, s.storeDelay);
+    EXPECT_EQ(back.roundRobin, s.roundRobin);
+
+    // The round-tripped spec expands to the same cache key — the
+    // property the whole remote-execution path rests on.
+    EXPECT_EQ(exp::jobKey(s.toJob()), exp::jobKey(back.toJob()));
+}
+
+TEST(Protocol, JobSpecValidationRejectsWithoutDying)
+{
+    std::string err;
+    JobSpec ok;
+    EXPECT_TRUE(ok.validate(err));
+
+    JobSpec badBench = ok;
+    badBench.bench = "quake3";
+    EXPECT_FALSE(badBench.validate(err));
+    EXPECT_NE(err.find("quake3"), std::string::npos);
+
+    JobSpec badScheme = ok;
+    badScheme.scheme = "turbo";
+    EXPECT_FALSE(badScheme.validate(err));
+    EXPECT_NE(err.find("turbo"), std::string::npos);
+}
+
+TEST(Protocol, JobSpecToJobMatchesPresets)
+{
+    JobSpec s;
+    s.bench = "gzip";
+    s.scheme = "dcg";
+    s.depth = 8;
+    s.insts = kInsts;
+    s.warmup = kWarmup;
+    s.seed = 3;
+    const exp::Job job = s.toJob();
+    SimConfig expect = table1Config(GatingScheme::Dcg);
+    expect.seed = 3;
+    EXPECT_EQ(exp::jobKey(job),
+              exp::jobKey(exp::makeJob(profileByName("gzip"), expect,
+                                       kInsts, kWarmup)));
+
+    // depth >= 20 switches to the deep-pipeline machine.
+    s.depth = 20;
+    SimConfig deep = deepPipelineConfig(GatingScheme::Dcg);
+    deep.seed = 3;
+    EXPECT_EQ(exp::jobKey(s.toJob()),
+              exp::jobKey(exp::makeJob(profileByName("gzip"), deep,
+                                       kInsts, kWarmup)));
+}
+
+TEST(Protocol, GridSpecExpansionAndDefaults)
+{
+    GridSpec g;
+    g.insts = kInsts;
+    g.warmup = kWarmup;
+    std::string err;
+    ASSERT_TRUE(g.validate(err)) << err;
+
+    // Defaults: full benchmark set x {base, dcg}.
+    const auto all = g.expand();
+    EXPECT_EQ(all.size(), allSpecNames().size() * 2);
+
+    g.benchmarks = {"gzip", "mcf"};
+    g.schemes = {"base", "dcg", "plb-ext"};
+    const auto some = g.expand();
+    ASSERT_EQ(some.size(), 6u);
+    EXPECT_EQ(some[0].bench, "gzip");
+    EXPECT_EQ(some[0].scheme, "base");
+    EXPECT_EQ(some[5].bench, "mcf");
+    EXPECT_EQ(some[5].scheme, "plb-ext");
+    for (const JobSpec &s : some) {
+        EXPECT_EQ(s.insts, kInsts);
+        EXPECT_EQ(s.warmup, kWarmup);
+    }
+
+    GridSpec bad = g;
+    bad.schemes = {"warp"};
+    EXPECT_FALSE(bad.validate(err));
+
+    GridSpec back;
+    ASSERT_TRUE(GridSpec::fromJson(g.toJson(), back, err)) << err;
+    EXPECT_EQ(back.benchmarks, g.benchmarks);
+    EXPECT_EQ(back.schemes, g.schemes);
+    EXPECT_EQ(back.insts, g.insts);
+}
+
+TEST(Protocol, ParseSchemeName)
+{
+    GatingScheme s = GatingScheme::None;
+    EXPECT_TRUE(parseSchemeName("dcg", s));
+    EXPECT_EQ(s, GatingScheme::Dcg);
+    EXPECT_TRUE(parseSchemeName("plb-orig", s));
+    EXPECT_EQ(s, GatingScheme::PlbOrig);
+    EXPECT_FALSE(parseSchemeName("DCG", s));
+    EXPECT_FALSE(parseSchemeName("", s));
+}
+
+TEST(Protocol, ResultsSurviveJsonEmbeddingBitExactly)
+{
+    exp::Engine engine(1);
+    JobSpec s;
+    s.bench = "gzip";
+    s.insts = kInsts;
+    s.warmup = kWarmup;
+    const RunResult r = engine.runOne(s.toJob());
+
+    // Embed exactly as the server does, then recover exactly as the
+    // client does, and compare canonical serialisations byte-for-byte.
+    const JsonValue v = resultsToJson({r});
+    std::vector<RunResult> back;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(v, back, err)) << err;
+    ASSERT_EQ(back.size(), 1u);
+
+    std::ostringstream a, b;
+    writeResultsJson({r}, a);
+    writeResultsJson({back.front()}, b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Protocol, ResponseHelpers)
+{
+    const JsonValue ok = okResponse();
+    EXPECT_TRUE(ok.get("ok").asBool());
+
+    const JsonValue err = errorResponse("busy", "queue full");
+    EXPECT_FALSE(err.get("ok").asBool(true));
+    EXPECT_EQ(err.get("error").asString(), "busy");
+    EXPECT_EQ(err.get("detail").asString(), "queue full");
+}

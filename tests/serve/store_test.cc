@@ -1,0 +1,240 @@
+/**
+ * Tests for the persistent ResultStore: bit-exact round-trips,
+ * persistence across instances, corruption recovery (satellite:
+ * truncated record -> miss -> re-simulate -> record repaired), and the
+ * Engine integration (disk hits instead of simulations after restart).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <unistd.h>
+
+#include "exp/engine.hh"
+#include "serve/store.hh"
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+using namespace dcg::exp;
+using namespace dcg::serve;
+
+namespace {
+
+constexpr std::uint64_t kInsts = 2000;
+constexpr std::uint64_t kWarmup = 500;
+
+/** Fresh per-test directory under the build tree's temp space. */
+std::string
+freshDir(const std::string &tag)
+{
+    namespace fs = std::filesystem;
+    const fs::path p = fs::temp_directory_path() /
+        ("dcg_store_test_" + tag + "_" +
+         std::to_string(::getpid()));
+    fs::remove_all(p);
+    return p.string();
+}
+
+Job
+smallJob(const char *bench, GatingScheme s)
+{
+    return makeJob(profileByName(bench), table1Config(s), kInsts,
+                   kWarmup);
+}
+
+/** Bit-exactness via the canonical serialisation. */
+std::string
+asJson(const RunResult &r)
+{
+    std::ostringstream os;
+    writeResultsJson({r}, os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(ResultStore, PutGetRoundTripsBitExactly)
+{
+    const std::string dir = freshDir("roundtrip");
+    ResultStore store(dir);
+    EXPECT_EQ(store.size(), 0u);
+
+    Engine engine(1);
+    const Job job = smallJob("gzip", GatingScheme::Dcg);
+    const RunResult r = engine.runOne(job);
+    const std::string key = jobKey(job);
+
+    RunResult out;
+    EXPECT_FALSE(store.get(key, out));
+    store.put(key, r);
+    EXPECT_EQ(store.size(), 1u);
+    ASSERT_TRUE(store.get(key, out));
+    EXPECT_EQ(asJson(r), asJson(out));
+    EXPECT_EQ(store.corruptRecords(), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, RecordsPersistAcrossInstances)
+{
+    const std::string dir = freshDir("persist");
+    Engine engine(1);
+    const Job job = smallJob("mcf", GatingScheme::None);
+    const RunResult r = engine.runOne(job);
+    const std::string key = jobKey(job);
+
+    {
+        ResultStore store(dir);
+        store.put(key, r);
+    }
+
+    // A brand-new instance (a "restarted service") indexes and serves
+    // the record written by the previous one.
+    ResultStore reopened(dir);
+    EXPECT_EQ(reopened.size(), 1u);
+    RunResult out;
+    ASSERT_TRUE(reopened.get(key, out));
+    EXPECT_EQ(asJson(r), asJson(out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, DistinctKeysGetDistinctRecords)
+{
+    const std::string dir = freshDir("distinct");
+    ResultStore store(dir);
+    Engine engine(2);
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    ASSERT_NE(jobKey(a), jobKey(b));
+    EXPECT_NE(store.recordPath(jobKey(a)), store.recordPath(jobKey(b)));
+
+    store.put(jobKey(a), engine.runOne(a));
+    store.put(jobKey(b), engine.runOne(b));
+    EXPECT_EQ(store.size(), 2u);
+
+    RunResult out;
+    ASSERT_TRUE(store.get(jobKey(a), out));
+    EXPECT_EQ(out.scheme, "base");
+    ASSERT_TRUE(store.get(jobKey(b), out));
+    EXPECT_EQ(out.scheme, "dcg");
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, TruncatedRecordIsAMissAndGetsRepaired)
+{
+    const std::string dir = freshDir("truncated");
+    ResultStore store(dir);
+    Engine engine(1);
+    const Job job = smallJob("equake", GatingScheme::Dcg);
+    const RunResult r = engine.runOne(job);
+    const std::string key = jobKey(job);
+    store.put(key, r);
+
+    // Truncate the record mid-body, as a crash mid-write (without the
+    // tmp+rename dance) would have left it.
+    const std::string path = store.recordPath(key);
+    {
+        std::ifstream is(path);
+        std::string all((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+        ASSERT_GT(all.size(), 40u);
+        std::ofstream os(path, std::ios::trunc);
+        os << all.substr(0, all.size() / 2);
+    }
+
+    RunResult out;
+    EXPECT_FALSE(store.get(key, out));
+    EXPECT_EQ(store.corruptRecords(), 1u);
+
+    // put() repairs the damaged record in place.
+    store.put(key, r);
+    ASSERT_TRUE(store.get(key, out));
+    EXPECT_EQ(asJson(r), asJson(out));
+    EXPECT_EQ(store.corruptRecords(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, GarbageAndForeignRecordsAreMisses)
+{
+    const std::string dir = freshDir("garbage");
+    ResultStore store(dir);
+    Engine engine(1);
+    const Job job = smallJob("gzip", GatingScheme::None);
+    const std::string key = jobKey(job);
+
+    // Unparseable header.
+    {
+        std::ofstream os(store.recordPath(key));
+        os << "not json at all\n";
+    }
+    RunResult out;
+    EXPECT_FALSE(store.get(key, out));
+    EXPECT_EQ(store.corruptRecords(), 1u);
+
+    // Valid header but for a *different* key — the shape a 128-bit
+    // hash collision would take. The embedded key catches it.
+    const RunResult r = engine.runOne(job);
+    store.put("some other key entirely", r);
+    {
+        std::ifstream src(store.recordPath("some other key entirely"));
+        std::ofstream dst(store.recordPath(key), std::ios::trunc);
+        dst << src.rdbuf();
+    }
+    EXPECT_FALSE(store.get(key, out));
+    EXPECT_EQ(store.corruptRecords(), 2u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, EngineServesWarmStoreWithoutSimulating)
+{
+    const std::string dir = freshDir("engine");
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+
+    // Cold engine: everything simulates, and lands in the store.
+    std::vector<RunResult> first;
+    {
+        Engine engine(2);
+        engine.attachStore(std::make_shared<ResultStore>(dir));
+        first = engine.run({a, b});
+        EXPECT_EQ(engine.simulations(), 2u);
+        EXPECT_EQ(engine.diskHits(), 0u);
+        EXPECT_EQ(engine.cacheMisses(), 2u);
+    }
+
+    // "Restarted" engine on the same directory: all memory misses are
+    // answered by disk; zero simulations run.
+    Engine warm(2);
+    auto store = std::make_shared<ResultStore>(dir);
+    EXPECT_EQ(store->size(), 2u);
+    warm.attachStore(store);
+    RunOutcome outcome = RunOutcome::Simulated;
+    const RunResult ra = warm.runOne(a, &outcome);
+    EXPECT_EQ(outcome, RunOutcome::DiskHit);
+    const RunResult rb = warm.runOne(b, &outcome);
+    EXPECT_EQ(outcome, RunOutcome::DiskHit);
+    EXPECT_EQ(warm.simulations(), 0u);
+    EXPECT_EQ(warm.diskHits(), 2u);
+    // Disk hits are still memory misses — the counter contract.
+    EXPECT_EQ(warm.cacheMisses(), 2u);
+    EXPECT_EQ(asJson(first[0]), asJson(ra));
+    EXPECT_EQ(asJson(first[1]), asJson(rb));
+
+    // Third access is now a pure memory hit.
+    warm.runOne(a, &outcome);
+    EXPECT_EQ(outcome, RunOutcome::MemHit);
+    EXPECT_EQ(warm.cacheHits(), 1u);
+
+    std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * dcgserved — the networked simulation service.
+ *
+ * Listens on a TCP port for newline-delimited JSON requests (see
+ * serve/protocol.hh), executes jobs on a worker pool through the
+ * shared experiment Engine, and — with --store — persists every
+ * result in an on-disk store so a restarted server answers previously
+ * seen jobs without simulating at all.
+ *
+ * Examples:
+ *   dcgserved --port=7878 --store=/var/tmp/dcg-results
+ *   dcgserved --port=0 --jobs=8 --queue-cap=64   # ephemeral port
+ *
+ * SIGINT/SIGTERM triggers a graceful drain: queued and running jobs
+ * finish, responses flush, then the process exits 0.
+ *
+ * The first stdout line is "dcgserved: listening on HOST:PORT" so
+ * scripts (and the CI loopback smoke job) can scrape the actual port
+ * when started with --port=0.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "common/log.hh"
+#include "common/options.hh"
+#include "serve/server.hh"
+
+using namespace dcg;
+
+namespace {
+
+serve::Server *gServer = nullptr;
+
+extern "C" void
+onSignal(int)
+{
+    if (gServer)
+        gServer->requestStop();  // async-signal-safe
+}
+
+/** Strict non-negative integer option; fatal() with a clear message. */
+std::int64_t
+checkedCount(const Options &opts, const std::string &key,
+             std::int64_t def, std::int64_t min)
+{
+    if (!opts.has(key))
+        return def;
+    const std::string raw = opts.getString(key, "");
+    std::int64_t v = 0;
+    if (!Options::parseInt(raw, v) || v < min)
+        fatal("invalid --", key, "='", raw, "': expected an integer >= ",
+              min);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv,
+                 {"host", "port", "jobs", "queue-cap", "store",
+                  "retry-after-ms", "drain-grace-ms", "help"});
+
+    if (opts.has("help")) {
+        std::cout <<
+            "dcgserved [--host=ADDR] [--port=N (0 = ephemeral)]\n"
+            "          [--jobs=N (workers; default DCG_JOBS or all"
+            " cores)]\n"
+            "          [--queue-cap=N (bounded job queue; default"
+            " 256)]\n"
+            "          [--store=DIR (persistent result store)]\n"
+            "          [--retry-after-ms=N] [--drain-grace-ms=N]\n";
+        return 0;
+    }
+
+    serve::ServerConfig cfg;
+    cfg.host = opts.getString("host", "127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(
+        checkedCount(opts, "port", 0, 0));
+    cfg.workers = static_cast<unsigned>(
+        checkedCount(opts, "jobs", 0, 0));
+    cfg.queueCapacity = static_cast<std::size_t>(
+        checkedCount(opts, "queue-cap", 256, 1));
+    cfg.storeDir = opts.getString("store", "");
+    cfg.retryAfterMs = static_cast<unsigned>(
+        checkedCount(opts, "retry-after-ms", 250, 1));
+    cfg.drainGraceMs = static_cast<unsigned>(
+        checkedCount(opts, "drain-grace-ms", 5000, 0));
+
+    serve::Server server(cfg);
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::cout << "dcgserved: listening on " << cfg.host << ":"
+              << server.port() << std::endl;
+    if (!cfg.storeDir.empty())
+        std::cout << "dcgserved: result store at " << cfg.storeDir
+                  << std::endl;
+
+    server.run();
+
+    gServer = nullptr;
+    std::cout << "dcgserved: drained, exiting" << std::endl;
+    return 0;
+}

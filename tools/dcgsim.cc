@@ -8,41 +8,94 @@
  *
  * Runs go through the exp::Engine, so --bench=all executes the
  * benchmarks in parallel (--jobs / DCG_JOBS, default all cores) with
- * bit-identical results to a serial run.
+ * bit-identical results to a serial run. With --server=HOST:PORT the
+ * same jobs are executed by a dcgserved instance instead — output is
+ * byte-identical either way (the request is expanded through the same
+ * presets path on the server, and results round-trip bit-exactly).
+ *
+ * After an engine run a one-line JSON summary with the cache counters
+ * goes to stderr ({"dcgsim_summary": {...}}), so sweep scripts can
+ * verify dedup without parsing human-readable output.
  *
  * Examples:
  *   dcgsim --bench=mcf --scheme=dcg --dump-stats
  *   dcgsim --bench=all --scheme=plb-ext --insts=300000 --csv=out.csv
  *   dcgsim --bench=all --scheme=dcg --jobs=8 --json=out.json
- *   dcgsim --bench=gcc --scheme=dcg --depth=20 --gate-iq
+ *   dcgsim --bench=all --scheme=dcg --server=127.0.0.1:7878
+ *   dcgsim --server=127.0.0.1:7878 --server-stats
  */
 
 #include <iostream>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/options.hh"
 #include "common/table.hh"
 #include "exp/engine.hh"
+#include "serve/client.hh"
 #include "sim/presets.hh"
 #include "sim/report.hh"
+#include "trace/spec2000.hh"
 
 using namespace dcg;
 
 namespace {
 
-GatingScheme
-schemeFromName(const std::string &name)
+/**
+ * Satellite hardening: --jobs must be a real non-negative integer.
+ * 0 keeps the default resolution (DCG_JOBS, then all cores); garbage
+ * or negative values are a clear fatal() instead of a silent strtoll
+ * coercion to "run with some other worker count".
+ */
+unsigned
+resolveJobsOption(const Options &opts)
 {
-    if (name == "base")
-        return GatingScheme::None;
-    if (name == "dcg")
-        return GatingScheme::Dcg;
-    if (name == "plb-orig")
-        return GatingScheme::PlbOrig;
-    if (name == "plb-ext")
-        return GatingScheme::PlbExt;
-    fatal("unknown scheme '", name,
-          "' (expected base|dcg|plb-orig|plb-ext)");
+    if (!opts.has("jobs"))
+        return 0;
+    const std::string raw = opts.getString("jobs", "");
+    std::int64_t v = 0;
+    if (!Options::parseInt(raw, v) || v < 0)
+        fatal("invalid --jobs='", raw,
+              "': expected a non-negative integer (0 = default worker"
+              " count)");
+    return static_cast<unsigned>(v);
+}
+
+/** One-line machine-readable run summary on stderr. */
+void
+printSummary(std::size_t jobs, const exp::Engine &engine)
+{
+    serve::JsonValue s = serve::JsonValue::object();
+    s.set("jobs", serve::JsonValue::integer(std::uint64_t{jobs}));
+    s.set("cache_hits", serve::JsonValue::integer(engine.cacheHits()));
+    s.set("cache_misses",
+          serve::JsonValue::integer(engine.cacheMisses()));
+    s.set("cache_size",
+          serve::JsonValue::integer(std::uint64_t{engine.cacheSize()}));
+    s.set("disk_hits", serve::JsonValue::integer(engine.diskHits()));
+    s.set("simulations",
+          serve::JsonValue::integer(engine.simulations()));
+    s.set("source", serve::JsonValue::string("local"));
+    serve::JsonValue o = serve::JsonValue::object();
+    o.set("dcgsim_summary", std::move(s));
+    std::cerr << o.dump() << '\n';
+}
+
+void
+printServerSummary(std::size_t jobs, serve::Client &client)
+{
+    serve::JsonValue stats = client.stats();
+    serve::JsonValue s = serve::JsonValue::object();
+    s.set("jobs", serve::JsonValue::integer(std::uint64_t{jobs}));
+    s.set("cache_hits", stats.get("mem_hits"));
+    s.set("cache_misses", stats.get("mem_misses"));
+    s.set("cache_size", stats.get("cache_entries"));
+    s.set("disk_hits", stats.get("disk_hits"));
+    s.set("simulations", stats.get("simulations"));
+    s.set("source", serve::JsonValue::string("server"));
+    serve::JsonValue o = serve::JsonValue::object();
+    o.set("dcgsim_summary", std::move(s));
+    std::cerr << o.dump() << '\n';
 }
 
 } // namespace
@@ -53,7 +106,8 @@ main(int argc, char **argv)
     Options opts(argc, argv,
                  {"bench", "scheme", "insts", "warmup", "depth", "seed",
                   "gate-iq", "store-delay", "round-robin", "dump-stats",
-                  "csv", "json", "jobs", "schema", "help"});
+                  "csv", "json", "jobs", "schema", "server",
+                  "server-stats", "help"});
 
     if (opts.has("help")) {
         std::cout <<
@@ -64,6 +118,10 @@ main(int argc, char **argv)
             "       [--dump-stats] [--csv=path] [--json=path]\n"
             "       [--jobs=N (parallel workers; default DCG_JOBS or"
             " all cores)]\n"
+            "       [--server=HOST:PORT (run jobs on a dcgserved"
+            " instance)]\n"
+            "       [--server-stats (print the server's stats JSON and"
+            " exit)]\n"
             "       [--schema (print the JSON result schema and"
             " exit)]\n";
         return 0;
@@ -74,53 +132,83 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (opts.getBool("server-stats", false)) {
+        if (!opts.has("server"))
+            fatal("--server-stats requires --server=HOST:PORT");
+        serve::Client client(opts.getString("server", ""));
+        std::cout << client.stats().dump() << '\n';
+        return 0;
+    }
+
     const std::string bench = opts.getString("bench", "gzip");
-    const GatingScheme scheme =
-        schemeFromName(opts.getString("scheme", "dcg"));
     const auto insts = static_cast<std::uint64_t>(
         opts.getInt("insts",
                     static_cast<std::int64_t>(defaultBenchInstructions())));
     const auto warmup = static_cast<std::uint64_t>(
         opts.getInt("warmup",
                     static_cast<std::int64_t>(defaultBenchWarmup())));
-    const auto depth = static_cast<unsigned>(opts.getInt("depth", 8));
 
-    SimConfig cfg = depth >= 20 ? deepPipelineConfig(scheme)
-                                : table1Config(scheme);
-    cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
-    cfg.dcg.gateIssueQueue = opts.getBool("gate-iq", false);
-    cfg.core.delayStoresOneCycle = opts.getBool("store-delay", false);
-    cfg.core.sequentialPriority = !opts.getBool("round-robin", false);
+    // One JobSpec per benchmark: the shared, network-portable job
+    // description both the local and the --server path expand through
+    // the identical presets code (the byte-identity contract).
+    serve::JobSpec proto;
+    proto.scheme = opts.getString("scheme", "dcg");
+    proto.depth = static_cast<unsigned>(opts.getInt("depth", 8));
+    proto.insts = insts;
+    proto.warmup = warmup;
+    proto.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    proto.gateIq = opts.getBool("gate-iq", false);
+    proto.storeDelay = opts.getBool("store-delay", false);
+    proto.roundRobin = opts.getBool("round-robin", false);
 
-    std::vector<Profile> profiles;
+    std::vector<std::string> benches;
     if (bench == "all")
-        profiles = allSpecProfiles();
+        benches = allSpecNames();
     else
-        profiles.push_back(profileByName(bench));
+        benches.push_back(bench);
+
+    std::vector<serve::JobSpec> specs;
+    specs.reserve(benches.size());
+    for (const std::string &b : benches) {
+        serve::JobSpec s = proto;
+        s.bench = b;
+        std::string err;
+        if (!s.validate(err))
+            fatal(err);
+        specs.push_back(std::move(s));
+    }
 
     std::vector<RunResult> results;
     if (opts.getBool("dump-stats", false)) {
+        if (opts.has("server"))
+            fatal("--dump-stats needs the live statistics registry and"
+                  " cannot run remotely; drop --server");
         // Dumping needs the live statistics registry, which only the
         // Simulator holds — run serially outside the engine. Matches
         // the engine's numbers via the same per-job seed derivation.
-        for (const Profile &p : profiles) {
-            exp::Job job = exp::makeJob(p, cfg, insts, warmup);
-            SimConfig seeded = cfg;
+        for (const serve::JobSpec &s : specs) {
+            exp::Job job = s.toJob();
+            SimConfig seeded = job.config;
             seeded.seed = exp::deriveJobSeed(job);
-            Simulator sim(p, seeded);
+            Simulator sim(job.profile, seeded);
             sim.run(insts, warmup);
             results.push_back(sim.result());
-            std::cout << "---- statistics: " << p.name << " ----\n";
+            std::cout << "---- statistics: " << job.profile.name
+                      << " ----\n";
             sim.dumpStats(std::cout);
         }
+    } else if (opts.has("server")) {
+        serve::Client client(opts.getString("server", ""));
+        results = client.runJobs(specs);
+        printServerSummary(specs.size(), client);
     } else {
-        exp::Engine engine(
-            static_cast<unsigned>(opts.getInt("jobs", 0)));
+        exp::Engine engine(resolveJobsOption(opts));
         std::vector<exp::Job> jobs;
-        jobs.reserve(profiles.size());
-        for (const Profile &p : profiles)
-            jobs.push_back(exp::makeJob(p, cfg, insts, warmup));
+        jobs.reserve(specs.size());
+        for (const serve::JobSpec &s : specs)
+            jobs.push_back(s.toJob());
         results = engine.run(jobs);
+        printSummary(specs.size(), engine);
     }
 
     TextTable t({"bench", "scheme", "IPC", "power (W)", "E/inst (pJ)",
