@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the project's own sources using the compilation
+# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+#   ci/run-tidy.sh [BUILD_DIR]           (default: build)
+#
+# Scope: src/ tools/ bench/ examples/. tests/ is excluded on purpose —
+# gtest macro expansions trip bugprone-* checks that say nothing about
+# our code.
+#
+# Exit codes:
+#   0  clean (or clang-tidy not installed: prints a notice and skips,
+#      so `--target tidy` stays usable on machines without clang)
+#   1  unsuppressed diagnostics
+#   2  usage / missing compile_commands.json
+#
+# Suppression policy: a diagnostic is ignored iff it matches a
+# non-comment line of ci/tidy-suppressions.txt (fixed-string match
+# against the "file:line:col: warning: ... [check-name]" line). Keep
+# that file empty; every entry needs a justification comment.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+SUPP="$ROOT/ci/tidy-suppressions.txt"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "run-tidy: $TIDY not found; skipping (install clang-tidy to run locally)"
+    exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run-tidy: $BUILD_DIR/compile_commands.json missing;" \
+         "configure with cmake first" >&2
+    exit 2
+fi
+
+cd "$ROOT"
+FILES=$(find src tools bench examples \
+             \( -name '*.cc' -o -name '*.cpp' \) | sort)
+if [ -z "$FILES" ]; then
+    echo "run-tidy: no sources found" >&2
+    exit 2
+fi
+
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+
+# shellcheck disable=SC2086
+"$TIDY" -p "$BUILD_DIR" --quiet $FILES >"$LOG" 2>/dev/null
+# clang-tidy's own exit code conflates config and diagnostic failures;
+# grade on the diagnostics we can attribute instead.
+
+grep -E ': (warning|error): ' "$LOG" | sort -u > "$LOG.diags" || true
+
+UNSUPPRESSED=0
+while IFS= read -r diag; do
+    [ -z "$diag" ] && continue
+    if [ -s "$SUPP" ] && grep -v '^[[:space:]]*#' "$SUPP" | \
+            grep -qF -- "$(echo "$diag" | cut -d: -f1-2)"; then
+        echo "suppressed: $diag"
+        continue
+    fi
+    echo "$diag"
+    UNSUPPRESSED=$((UNSUPPRESSED + 1))
+done < "$LOG.diags"
+rm -f "$LOG.diags"
+
+if [ "$UNSUPPRESSED" -gt 0 ]; then
+    echo "run-tidy: $UNSUPPRESSED unsuppressed diagnostic(s)" >&2
+    exit 1
+fi
+echo "run-tidy: clean"
+exit 0

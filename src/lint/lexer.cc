@@ -1,0 +1,188 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace dcg::lint {
+
+namespace {
+
+/** True if src[pos] starts a raw string literal's R" introducer. */
+bool
+atRawStringIntro(const std::string &src, std::size_t pos)
+{
+    if (pos + 1 >= src.size() || src[pos] != 'R' || src[pos + 1] != '"')
+        return false;
+    // R must not be the tail of a longer identifier (e.g. FOOR"...").
+    return pos == 0 || !isIdentChar(src[pos - 1]);
+}
+
+} // namespace
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+stripCode(const std::string &src, bool strip_strings)
+{
+    std::string out = src;
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    } state = State::Code;
+
+    std::string raw_delim;  // ")delim" terminator for raw strings
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        switch (state) {
+          case State::Code:
+            if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+                state = State::LineComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && i + 1 < src.size() &&
+                       src[i + 1] == '*') {
+                state = State::BlockComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (atRawStringIntro(src, i)) {
+                raw_delim = ")";
+                std::size_t j = i + 2;
+                while (j < src.size() && src[j] != '(')
+                    raw_delim += src[j++];
+                raw_delim += '"';
+                state = State::RawString;
+                if (strip_strings) {
+                    for (std::size_t k = i; k <= j && k < src.size(); ++k)
+                        if (src[k] != '\n')
+                            out[k] = ' ';
+                }
+                i = j;  // now inside the raw body
+            } else if (c == '"') {
+                state = State::String;
+                if (strip_strings)
+                    out[i] = ' ';
+            } else if (c == '\'') {
+                state = State::Char;
+                if (strip_strings)
+                    out[i] = ' ';
+            }
+            break;
+
+          case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+
+          case State::BlockComment:
+            if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+                out[i] = out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+
+          case State::String:
+          case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            if (c == '\\' && i + 1 < src.size()) {
+                if (strip_strings) {
+                    out[i] = ' ';
+                    if (src[i + 1] != '\n')
+                        out[i + 1] = ' ';
+                }
+                ++i;
+            } else if (c == quote) {
+                if (strip_strings)
+                    out[i] = ' ';
+                state = State::Code;
+            } else if (strip_strings && c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          }
+
+          case State::RawString:
+            if (c == ')' &&
+                src.compare(i, raw_delim.size(), raw_delim) == 0) {
+                if (strip_strings) {
+                    for (std::size_t k = i; k < i + raw_delim.size(); ++k)
+                        out[k] = ' ';
+                }
+                i += raw_delim.size() - 1;
+                state = State::Code;
+            } else if (strip_strings && c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(text[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok =
+            end >= text.size() || !isIdentChar(text[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos += 1;
+    }
+    return false;
+}
+
+int
+lineOfOffset(const std::string &text, std::size_t pos)
+{
+    int line = 1;
+    for (std::size_t i = 0; i < pos && i < text.size(); ++i)
+        if (text[i] == '\n')
+            ++line;
+    return line;
+}
+
+std::vector<std::string>
+toLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace dcg::lint

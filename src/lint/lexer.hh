@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Lightweight C++ lexing helpers for dcglint (src/lint/lint.hh).
+ *
+ * dcglint deliberately avoids libclang: the invariants it enforces are
+ * lexical (identifier X must appear in directory Y, a call statement
+ * must not discard its result), so comment/string-aware text scanning
+ * is sufficient, dependency-free, and fast enough to run as a ctest.
+ */
+
+#ifndef DCG_LINT_LEXER_HH
+#define DCG_LINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace dcg::lint {
+
+/**
+ * Return @p src with comment bodies — and, when @p strip_strings is
+ * set, string/character literal bodies — replaced by spaces. Newlines
+ * are preserved, so byte offsets map to the original line numbers.
+ * Handles line and block comments, escape sequences, and raw string
+ * literals R"delim(...)delim".
+ */
+std::string stripCode(const std::string &src, bool strip_strings);
+
+/** True for characters that can appear in a C++ identifier. */
+bool isIdentChar(char c);
+
+/** Whole-word occurrence test on (already stripped) text. */
+bool containsWord(const std::string &text, const std::string &word);
+
+/** 1-based line number of byte offset @p pos in @p text. */
+int lineOfOffset(const std::string &text, std::size_t pos);
+
+/** Split into lines (newline not included). */
+std::vector<std::string> toLines(const std::string &text);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+} // namespace dcg::lint
+
+#endif // DCG_LINT_LEXER_HH

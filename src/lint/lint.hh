@@ -1,0 +1,95 @@
+/**
+ * @file
+ * dcglint: project-specific static checks for the gating/energy
+ * accounting invariants the simulator's correctness argument rests on.
+ *
+ * The deterministic-clock-gating claim (19.9 % power saving at ~0 %
+ * IPC loss) is only as good as the wiring between the activity
+ * counters the pipeline records, the power model that converts them
+ * into energy, and the reporting layer that serializes them. These
+ * checks make that wiring a build-time invariant instead of a code
+ * review convention:
+ *
+ *  - activity-counter: every field of CycleActivity declared in
+ *    src/pipeline/activity.hh must be written by the pipeline
+ *    (src/pipeline/) and consumed by the energy-accounting side
+ *    (src/power/ or src/gating/ — gating controllers feed the
+ *    GateState the power model charges against). An orphaned counter
+ *    means recorded activity that silently never reaches the power
+ *    model, i.e. an energy-accounting hole.
+ *
+ *  - stat-report: every statistic registered on a StatRegistry
+ *    (stats.counter("name", ...) and friends) must be listed in the
+ *    stat catalog in src/sim/report.cc, which is what --capture /
+ *    extraStats serialization documents. A stat missing from the
+ *    catalog is invisible to the result schema.
+ *
+ *  - syscall-return: every fallible POSIX call in src/serve/ and
+ *    tools/ must consume its return value (assignment, comparison,
+ *    condition, or explicit (void) discard). close() is allowlisted.
+ *
+ *  - naked-new: no `new` / `delete` expressions anywhere in src/ or
+ *    tools/ (ownership goes through make_unique/make_shared or
+ *    containers); deleted special member functions (= delete) are not
+ *    flagged.
+ *
+ * All checks are lexical (see lexer.hh) — no libclang dependency —
+ * and anchored on real paths in the tree; a check whose anchor is
+ * missing reports nothing unless LintOptions::requireAnchors is set
+ * (the mode CI and the repo ctest use), in which case it is a
+ * configuration error.
+ */
+
+#ifndef DCG_LINT_LINT_HH
+#define DCG_LINT_LINT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcg::lint {
+
+struct Diagnostic
+{
+    std::string file;     ///< path relative to the lint root
+    int line = 0;         ///< 1-based; 0 = whole-file/config finding
+    std::string check;    ///< check name, e.g. "activity-counter"
+    std::string message;
+};
+
+struct LintOptions
+{
+    std::string root = ".";      ///< project root to lint
+    bool requireAnchors = false; ///< missing anchor file = config error
+    /** Empty = all checks; else names from checkNames(). */
+    std::vector<std::string> checks;
+};
+
+/** Registered check names, in execution order. */
+const std::vector<std::string> &checkNames();
+
+/// @name Individual checks (exposed for tests)
+/// @{
+std::vector<Diagnostic> checkActivityCounters(const LintOptions &opts);
+std::vector<Diagnostic> checkStatsReported(const LintOptions &opts);
+std::vector<Diagnostic> checkSyscallReturns(const LintOptions &opts);
+std::vector<Diagnostic> checkNakedNew(const LintOptions &opts);
+/// @}
+
+/** Run the selected checks; diagnostics sorted by (file, line). */
+std::vector<Diagnostic> runChecks(const LintOptions &opts);
+
+/** "file:line: [check] message" (line omitted when 0). */
+std::string formatDiagnostic(const Diagnostic &d);
+
+/**
+ * CLI driver shared by tools/dcglint.cc and the tests: runs checks,
+ * prints diagnostics to @p out. Returns the process exit code:
+ * 0 = clean, 1 = findings, 2 = configuration error (bad root, unknown
+ * check name, or — with requireAnchors — a missing anchor file).
+ */
+int runDcglint(const LintOptions &opts, std::ostream &out);
+
+} // namespace dcg::lint
+
+#endif // DCG_LINT_LINT_HH

@@ -47,9 +47,13 @@ struct CycleActivity
     std::uint8_t issued = 0;
     std::uint8_t committed = 0;
 
-    std::uint8_t intIssued = 0;   ///< integer-class ops issued
-    std::uint8_t fpIssued = 0;    ///< FP-class ops issued
-    std::uint8_t memIssued = 0;   ///< loads+stores issued
+    /**
+     * FP-class ops issued; feeds the PLB controller's FP-IPC guard.
+     * (Former intIssued/memIssued siblings were dropped: nothing in
+     * the power or gating path consumed them, which is exactly the
+     * orphaned-counter condition dcglint now rejects.)
+     */
+    std::uint8_t fpIssued = 0;
 
     std::uint8_t bpredLookups = 0;
     std::uint8_t wrongPathFetched = 0;

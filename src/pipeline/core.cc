@@ -205,10 +205,6 @@ Core::issueOne(DynInst &di, CycleActivity &act, Cycle now)
 
     if (isFpOp(cls))
         ++act.fpIssued;
-    else
-        ++act.intIssued;
-    if (isMemOp(cls))
-        ++act.memIssued;
 
     // Register-file reads happen in the read stage, next cycle.
     wheel.at(now + 1, 1).regReads += di.op.numSrcs;

@@ -26,8 +26,12 @@ void
 setNonBlocking(int fd)
 {
     const int flags = fcntl(fd, F_GETFL, 0);
-    if (flags >= 0)
-        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        // A blocking fd degrades the event loop but is not fatal;
+        // every read/write path already handles short operations.
+        warn("dcgserved: cannot set O_NONBLOCK on fd ", fd, ": ",
+             std::strerror(errno));
+    }
 }
 
 const char *
@@ -79,7 +83,13 @@ Server::Server(const ServerConfig &config)
               std::strerror(errno));
     }
     const int one = 1;
-    setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+        // Without SO_REUSEADDR a quick restart may fail to bind; warn
+        // now so that the later bind error has context.
+        warn("dcgserved: setsockopt(SO_REUSEADDR) failed: ",
+             std::strerror(errno));
+    }
     if (bind(listenFd, res->ai_addr, res->ai_addrlen) != 0) {
         const int e = errno;
         freeaddrinfo(res);

@@ -390,6 +390,69 @@ writeResultsSchemaJson(std::ostream &os)
           "}\n";
 }
 
+const std::vector<StatCatalogEntry> &
+statRegistryCatalog()
+{
+    // Keep sorted by name. dcglint's stat-report check requires every
+    // literal registration site in src/ to have its name listed here;
+    // the report_test cross-checks that the catalog exactly matches
+    // the union of stats the gating schemes register, so
+    // dynamically-composed names (per-cache-instance counters, per-FU
+    // toggle counters) are enumerated concretely.
+    static const std::vector<StatCatalogEntry> catalog = {
+        {"bpred.btb_misses", "taken predictions without a BTB target"},
+        {"bpred.correct", "fully correct predictions"},
+        {"bpred.dir_mispredicts", "wrong taken/not-taken direction"},
+        {"bpred.lookups", "branch predictions made"},
+        {"core.commit_latency", "issue-to-commit latency (cycles)"},
+        {"core.commit_wait_complete", "commits stalled on in-flight head"},
+        {"core.commit_wait_issue", "commits stalled on unissued head"},
+        {"core.commit_wait_storebuf", "commits stalled on store buffer"},
+        {"core.committed", "committed instructions"},
+        {"core.cycles", "simulated cycles"},
+        {"core.fetch_stall_cycles", "cycles fetch produced nothing"},
+        {"core.fetched_per_cycle", "mean fetch bandwidth"},
+        {"core.ipc", "committed IPC"},
+        {"core.issue_wait", "mean window wait before issue (cycles)"},
+        {"core.issued", "issued instructions"},
+        {"core.lsq_full_stalls", "rename stalls on a full LSQ"},
+        {"core.mispredicts", "branch mispredictions"},
+        {"core.rob_full_stalls", "rename stalls on a full ROB"},
+        {"core.window_occupancy", "mean issue-window occupancy"},
+        {"dcache.accesses", "L1D cache accesses"},
+        {"dcache.misses", "L1D cache misses"},
+        {"dcache.mshr_stalls", "L1D stalls on a full MSHR"},
+        {"dcache.prefetches", "L1D prefetches issued"},
+        {"dcache.writebacks", "L1D dirty-line writebacks"},
+        {"dcg.gated_dcache_ports", "D-cache port-cycles clock-gated"},
+        {"dcg.gated_fu_cycles", "FU instance-cycles clock-gated"},
+        {"dcg.gated_latch_slots", "latch slot-cycles clock-gated"},
+        {"dcg.gated_result_buses", "result-bus cycles clock-gated"},
+        {"dcg.toggles.FpAlu", "FP-ALU gate-control transitions"},
+        {"dcg.toggles.FpMulDiv", "FP mul/div gate-control transitions"},
+        {"dcg.toggles.IntAlu", "integer-ALU gate-control transitions"},
+        {"dcg.toggles.IntMulDiv", "int mul/div gate-control transitions"},
+        {"icache.accesses", "L1I cache accesses"},
+        {"icache.misses", "L1I cache misses"},
+        {"icache.mshr_stalls", "L1I stalls on a full MSHR"},
+        {"icache.prefetches", "L1I prefetches issued"},
+        {"icache.writebacks", "L1I dirty-line writebacks"},
+        {"l2.accesses", "L2 cache accesses"},
+        {"l2.misses", "L2 cache misses"},
+        {"l2.mshr_stalls", "L2 stalls on a full MSHR"},
+        {"l2.prefetches", "L2 prefetches issued"},
+        {"l2.writebacks", "L2 dirty-line writebacks"},
+        {"mem.accesses", "main memory accesses"},
+        {"plb.mode_transitions", "issue-mode changes"},
+        {"plb.windows_4wide", "windows spent in 4-wide mode"},
+        {"plb.windows_6wide", "windows spent in 6-wide mode"},
+        {"plb.windows_8wide", "windows spent in 8-wide mode"},
+        {"power.avg_watts", "average power (W)"},
+        {"power.total_energy_pj", "total dynamic energy (pJ)"},
+    };
+    return catalog;
+}
+
 void
 writeResultsCsvFile(const std::vector<RunResult> &results,
                     const std::string &path)

@@ -63,6 +63,25 @@ void writeResultsJsonFile(const std::vector<RunResult> &results,
 /** Convenience: read a JSON result file; fatal() on I/O failure. */
 std::vector<RunResult> readResultsJsonFile(const std::string &path);
 
+/** One entry of the registry-statistic catalog. */
+struct StatCatalogEntry
+{
+    const char *name;  ///< registry name, e.g. "core.ipc"
+    const char *desc;  ///< what the value means
+};
+
+/**
+ * Catalog of every statistic the simulator can register, across all
+ * gating schemes. This is the authoritative name list for the
+ * "extra" result field (--capture serializes registry stats by these
+ * names), and `dcglint` enforces that every stats.counter(...)-style
+ * registration in src/ appears here — a stat missing from the catalog
+ * would be invisible to the result schema. sim/report_test.cc checks
+ * the other direction: every catalog name is actually registered by
+ * some scheme, so the list cannot rot.
+ */
+const std::vector<StatCatalogEntry> &statRegistryCatalog();
+
 } // namespace dcg
 
 #endif // DCG_SIM_REPORT_HH

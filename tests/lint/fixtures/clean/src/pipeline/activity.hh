@@ -1,0 +1,10 @@
+// Fixture: fully wired tree — dcglint must report nothing.
+#include <cstdint>
+
+struct CycleActivity
+{
+    std::uint8_t usedCtr = 0;
+    std::uint8_t busyCtr = 0;
+
+    void reset() { *this = CycleActivity{}; }
+};

@@ -1,0 +1,14 @@
+#include "pipeline/activity.hh"
+
+struct Reg
+{
+    int &counter(const char *name, const char *desc);
+};
+
+void
+tick(CycleActivity &act, Reg &stats)
+{
+    ++act.usedCtr;
+    act.busyCtr += 2;
+    stats.counter("core.ticks", "tick count");
+}

@@ -1,0 +1,4 @@
+// Fixture catalog: every registered stat is listed.
+const char *kCatalog[] = {
+    "core.ticks",
+};

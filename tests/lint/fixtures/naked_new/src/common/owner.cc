@@ -1,0 +1,21 @@
+// Fixture: raw new/delete (flagged) next to a deleted member (not
+// flagged) and mentions inside comments and strings (not flagged).
+struct Owner
+{
+    Owner(const Owner &) = delete;  // fine: deleted member function
+    int *p = nullptr;
+};
+
+int *
+make()
+{
+    const char *s = "new delete";  // fine: string literal
+    (void)s;
+    return new int(7);  // BAD
+}
+
+void
+unmake(int *p)
+{
+    delete p;  // BAD
+}

@@ -1,0 +1,12 @@
+// Fixture: one healthy counter, one produced-but-unconsumed counter
+// (the energy-accounting hole), one consumed-but-never-written one.
+#include <cstdint>
+
+struct CycleActivity
+{
+    std::uint8_t usedCtr = 0;
+    std::uint8_t orphanCtr = 0;  // written in core.cc, consumed nowhere
+    std::uint8_t ghostCtr = 0;   // read by power, written nowhere
+
+    void reset() { *this = CycleActivity{}; }
+};

@@ -1,0 +1,8 @@
+#include "pipeline/activity.hh"
+
+void
+tick(CycleActivity &act)
+{
+    ++act.usedCtr;
+    ++act.orphanCtr;
+}

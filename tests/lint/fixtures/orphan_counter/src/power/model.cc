@@ -1,0 +1,7 @@
+#include "pipeline/activity.hh"
+
+double
+energy(const CycleActivity &act)
+{
+    return 1.0 * act.usedCtr + 2.0 * act.ghostCtr;
+}

@@ -1,0 +1,17 @@
+// Fixture: one discarded fallible syscall among checked/allowlisted
+// uses.
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+int
+setup(int fd)
+{
+    fcntl(fd, F_SETFL, 0);              // BAD: result discarded
+    if (bind(fd, nullptr, 0) != 0)      // ok: checked
+        return -1;
+    const int rc = listen(fd, 4);       // ok: assigned
+    (void)shutdown(fd, SHUT_RDWR);      // ok: explicit discard
+    close(fd);                          // ok: allowlisted
+    return rc;
+}

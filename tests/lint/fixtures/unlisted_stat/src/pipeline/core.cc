@@ -1,0 +1,12 @@
+// Fixture: two stat registrations; only one is in the report catalog.
+struct Reg
+{
+    int &counter(const char *name, const char *desc);
+};
+
+void
+wire(Reg &stats)
+{
+    stats.counter("core.listed", "present in report.cc");
+    stats.counter("core.unlisted", "missing from report.cc");
+}

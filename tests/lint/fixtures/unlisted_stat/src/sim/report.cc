@@ -1,0 +1,4 @@
+// Fixture catalog: lists only "core.listed".
+const char *kCatalog[] = {
+    "core.listed",
+};

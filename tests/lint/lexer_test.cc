@@ -1,0 +1,80 @@
+#include "lint/lexer.hh"
+
+#include <gtest/gtest.h>
+
+namespace dcg::lint {
+namespace {
+
+TEST(LintLexer, StripsLineComments)
+{
+    const std::string out =
+        stripCode("int x = 1; // new delete\nint y;", true);
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_EQ(out.find("delete"), std::string::npos);
+    EXPECT_NE(out.find("int y;"), std::string::npos);
+}
+
+TEST(LintLexer, StripsBlockCommentsPreservingNewlines)
+{
+    const std::string src = "a /* one\ntwo */ b";
+    const std::string out = stripCode(src, true);
+    EXPECT_EQ(out.size(), src.size());
+    EXPECT_EQ(out.find("one"), std::string::npos);
+    EXPECT_EQ(out.find("two"), std::string::npos);
+    EXPECT_NE(out.find('\n'), std::string::npos);
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(LintLexer, StringStrippingIsOptional)
+{
+    const std::string src = "call(\"core.ipc\");";
+    EXPECT_NE(stripCode(src, false).find("core.ipc"),
+              std::string::npos);
+    EXPECT_EQ(stripCode(src, true).find("core.ipc"),
+              std::string::npos);
+}
+
+TEST(LintLexer, HandlesEscapesInsideStrings)
+{
+    // The escaped quote must not terminate the literal early.
+    const std::string out =
+        stripCode("f(\"a\\\"new\\\"b\"); delete p;", true);
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_NE(out.find("delete"), std::string::npos);
+}
+
+TEST(LintLexer, HandlesRawStrings)
+{
+    const std::string out =
+        stripCode("auto s = R\"(new delete)\"; int n;", true);
+    EXPECT_EQ(out.find("new"), std::string::npos);
+    EXPECT_EQ(out.find("delete"), std::string::npos);
+    EXPECT_NE(out.find("int n;"), std::string::npos);
+}
+
+TEST(LintLexer, ContainsWordRespectsBoundaries)
+{
+    EXPECT_TRUE(containsWord("x = issued + 1", "issued"));
+    EXPECT_FALSE(containsWord("x = fpIssued + 1", "issued"));
+    EXPECT_FALSE(containsWord("x = issued_total", "issued"));
+    EXPECT_TRUE(containsWord("act.issued++", "issued"));
+}
+
+TEST(LintLexer, LineOfOffset)
+{
+    const std::string text = "a\nbb\nccc\n";
+    EXPECT_EQ(lineOfOffset(text, 0), 1);
+    EXPECT_EQ(lineOfOffset(text, 2), 2);
+    EXPECT_EQ(lineOfOffset(text, 5), 3);
+}
+
+TEST(LintLexer, Trim)
+{
+    EXPECT_EQ(trim("  a b\t\n"), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+} // namespace
+} // namespace dcg::lint

@@ -1,0 +1,186 @@
+/**
+ * dcglint behaviour on the fixture trees under tests/lint/fixtures/:
+ * exact diagnostics (check, file, line, message substrings) and exit
+ * codes, including the clean tree and the anchor-enforcement mode the
+ * repo-wide ctest uses.
+ */
+
+#include "lint/lint.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef DCG_LINT_FIXTURES
+#error "DCG_LINT_FIXTURES must point at tests/lint/fixtures"
+#endif
+
+namespace dcg::lint {
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(DCG_LINT_FIXTURES) + "/" + name;
+}
+
+bool
+hasDiag(const std::vector<Diagnostic> &diags, const std::string &check,
+        const std::string &needle)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const Diagnostic &d) {
+                           return d.check == check &&
+                                  d.message.find(needle) !=
+                                      std::string::npos;
+                       });
+}
+
+TEST(Dcglint, CleanTreePasses)
+{
+    LintOptions opts;
+    opts.root = fixture("clean");
+    opts.requireAnchors = true;
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 0);
+    EXPECT_NE(out.str().find("dcglint: clean"), std::string::npos);
+}
+
+TEST(Dcglint, OrphanedActivityCounterIsCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("orphan_counter");
+    const std::vector<Diagnostic> diags = checkActivityCounters(opts);
+
+    // Exactly two findings: orphanCtr is written but never consumed,
+    // ghostCtr is consumed but never written. usedCtr is healthy.
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_TRUE(hasDiag(diags, "activity-counter",
+                        "'orphanCtr' is never consumed"));
+    EXPECT_TRUE(hasDiag(diags, "activity-counter",
+                        "'ghostCtr' is never written"));
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.file, "src/pipeline/activity.hh");
+        EXPECT_GT(d.line, 0);
+    }
+
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 1);
+    EXPECT_NE(out.str().find("2 finding(s)"), std::string::npos);
+}
+
+TEST(Dcglint, UncheckedSyscallIsCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("unchecked_syscall");
+    const std::vector<Diagnostic> diags = checkSyscallReturns(opts);
+
+    // Only the discarded fcntl() is flagged; the checked bind(), the
+    // assigned listen(), the (void) shutdown() and the allowlisted
+    // close() are all fine.
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "syscall-return");
+    EXPECT_EQ(diags[0].file, "src/serve/conn.cc");
+    EXPECT_NE(diags[0].message.find("fcntl"), std::string::npos);
+
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 1);
+}
+
+TEST(Dcglint, NakedNewAndDeleteAreCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("naked_new");
+    const std::vector<Diagnostic> diags = checkNakedNew(opts);
+
+    // new int(7) and delete p — but not "= delete" nor the words in
+    // comments or string literals.
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_TRUE(hasDiag(diags, "naked-new", "naked 'new'"));
+    EXPECT_TRUE(hasDiag(diags, "naked-new", "naked 'delete'"));
+}
+
+TEST(Dcglint, UnlistedStatIsCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("unlisted_stat");
+    const std::vector<Diagnostic> diags = checkStatsReported(opts);
+
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "stat-report");
+    EXPECT_EQ(diags[0].file, "src/pipeline/core.cc");
+    EXPECT_NE(diags[0].message.find("core.unlisted"),
+              std::string::npos);
+}
+
+TEST(Dcglint, CheckSelectionFilters)
+{
+    // The orphan_counter tree is dirty for activity-counter but clean
+    // for every other check.
+    LintOptions opts;
+    opts.root = fixture("orphan_counter");
+    opts.checks = {"syscall-return", "naked-new"};
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 0);
+}
+
+TEST(Dcglint, UnknownCheckIsConfigError)
+{
+    LintOptions opts;
+    opts.root = fixture("clean");
+    opts.checks = {"no-such-check"};
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 2);
+}
+
+TEST(Dcglint, BadRootIsConfigError)
+{
+    LintOptions opts;
+    opts.root = fixture("does_not_exist");
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 2);
+}
+
+TEST(Dcglint, MissingAnchorsAreConfigErrorsOnlyWhenRequired)
+{
+    // unchecked_syscall has no activity.hh / report.cc anchors: the
+    // anchored checks silently skip by default (fixture mode)...
+    LintOptions opts;
+    opts.root = fixture("unchecked_syscall");
+    EXPECT_TRUE(checkActivityCounters(opts).empty());
+    EXPECT_TRUE(checkStatsReported(opts).empty());
+
+    // ...but the repo-wide mode treats a missing anchor as exit 2, so
+    // renaming activity.hh cannot silently disable the invariant.
+    opts.requireAnchors = true;
+    opts.checks = {"activity-counter"};
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 2);
+    EXPECT_NE(out.str().find("anchor"), std::string::npos);
+}
+
+TEST(Dcglint, DiagnosticFormatting)
+{
+    Diagnostic d{"src/a.cc", 12, "naked-new", "msg"};
+    EXPECT_EQ(formatDiagnostic(d), "src/a.cc:12: [naked-new] msg");
+    d.line = 0;
+    EXPECT_EQ(formatDiagnostic(d), "src/a.cc: [naked-new] msg");
+}
+
+TEST(Dcglint, RepoTreeIsClean)
+{
+    // The real repository must satisfy its own invariants. The ctest
+    // driver also runs the dcglint binary against the source root;
+    // this in-process variant pins the library behaviour.
+    LintOptions opts;
+    opts.root = DCG_LINT_REPO_ROOT;
+    opts.requireAnchors = true;
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 0) << out.str();
+}
+
+} // namespace
+} // namespace dcg::lint

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "sim/presets.hh"
 #include "sim/report.hh"
+#include "trace/spec2000.hh"
 
 using namespace dcg;
 
@@ -200,4 +203,35 @@ TEST(Report, SchemaListsAllFieldGroups)
         EXPECT_NE(s.find(powerComponentName(
                       static_cast<PowerComponent>(c))),
                   std::string::npos);
+}
+
+TEST(Report, StatCatalogMatchesRegisteredStats)
+{
+    // The catalog in report.cc is the authoritative stat-name list
+    // (dcglint checks registrations against it); this test closes the
+    // loop in the other direction: the catalog must be exactly the
+    // union of what the schemes actually register, so entries cannot
+    // rot when a stat is renamed or removed.
+    std::set<std::string> registered;
+    for (GatingScheme scheme :
+         {GatingScheme::None, GatingScheme::Dcg, GatingScheme::PlbOrig,
+          GatingScheme::PlbExt}) {
+        Simulator sim(profileByName("gzip"), table1Config(scheme));
+        std::ostringstream os;
+        sim.dumpStats(os);
+        std::istringstream is(os.str());
+        std::string line;
+        while (std::getline(is, line)) {
+            const std::size_t sp = line.find(' ');
+            if (sp != std::string::npos && sp > 0)
+                registered.insert(line.substr(0, sp));
+        }
+    }
+
+    std::set<std::string> catalog;
+    for (const StatCatalogEntry &e : statRegistryCatalog()) {
+        EXPECT_TRUE(catalog.insert(e.name).second)
+            << "duplicate catalog entry: " << e.name;
+    }
+    EXPECT_EQ(registered, catalog);
 }

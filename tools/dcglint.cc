@@ -1,0 +1,57 @@
+/**
+ * @file
+ * dcglint — project-specific static checks (see src/lint/lint.hh).
+ *
+ * Usage:
+ *   dcglint [--root=DIR] [--check=name[,name...]] [--require-anchors]
+ *           [--list-checks]
+ *
+ * Exit codes: 0 clean, 1 findings, 2 configuration error. CI and the
+ * repo ctest run `dcglint --root=<repo> --require-anchors` so a
+ * renamed anchor file fails loudly instead of silently passing.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/options.hh"
+#include "lint/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    dcg::Options opts(argc, argv,
+                      {"root", "check", "require-anchors", "list-checks",
+                       "help"});
+
+    if (opts.has("help")) {
+        std::cout <<
+            "dcglint [--root=DIR (default .)]\n"
+            "        [--check=name[,name...] (default: all)]\n"
+            "        [--require-anchors (missing anchor file = error)]\n"
+            "        [--list-checks]\n";
+        return 0;
+    }
+    if (opts.has("list-checks")) {
+        for (const std::string &name : dcg::lint::checkNames())
+            std::cout << name << '\n';
+        return 0;
+    }
+
+    dcg::lint::LintOptions lopts;
+    lopts.root = opts.getString("root", ".");
+    lopts.requireAnchors = opts.has("require-anchors");
+
+    std::string checks = opts.getString("check", "");
+    while (!checks.empty()) {
+        const std::size_t comma = checks.find(',');
+        const std::string name = checks.substr(0, comma);
+        if (!name.empty())
+            lopts.checks.push_back(name);
+        if (comma == std::string::npos)
+            break;
+        checks.erase(0, comma + 1);
+    }
+
+    return dcg::lint::runDcglint(lopts, std::cout);
+}

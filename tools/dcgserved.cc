@@ -15,12 +15,24 @@
  * SIGINT/SIGTERM triggers a graceful drain: queued and running jobs
  * finish, responses flush, then the process exits 0.
  *
+ * Signal handling uses the self-pipe pattern end to end: the handler
+ * does no work beyond Server::requestStop(), which is limited to an
+ * atomic flag store plus one write() to the server's wake pipe — both
+ * async-signal-safe — and the poll() loop notices the flag on the
+ * next wakeup. The handler also preserves errno, and the server
+ * pointer it dereferences is a lock-free atomic so handler and main
+ * thread never race on it.
+ *
  * The first stdout line is "dcgserved: listening on HOST:PORT" so
  * scripts (and the CI loopback smoke job) can scrape the actual port
  * when started with --port=0.
  */
 
+#include <cerrno>
 #include <csignal>
+#include <cstring>
+
+#include <atomic>
 #include <iostream>
 
 #include "common/log.hh"
@@ -31,13 +43,34 @@ using namespace dcg;
 
 namespace {
 
-serve::Server *gServer = nullptr;
+std::atomic<serve::Server *> gServer{nullptr};
+static_assert(std::atomic<serve::Server *>::is_always_lock_free,
+              "signal handler needs a lock-free server pointer");
 
 extern "C" void
 onSignal(int)
 {
-    if (gServer)
-        gServer->requestStop();  // async-signal-safe
+    // Async-signal-safe only: atomic load/store and write(2). Keep
+    // errno unchanged in case we interrupted a syscall whose caller
+    // is mid errno-check.
+    const int saved_errno = errno;
+    if (serve::Server *s = gServer.load(std::memory_order_acquire))
+        s->requestStop();
+    errno = saved_errno;
+}
+
+/** Install @p handler for SIGINT/SIGTERM via sigaction (no SA_RESTART:
+ *  poll() must return early so the drain starts immediately). */
+void
+installSignalHandlers(void (*handler)(int))
+{
+    struct sigaction sa = {};
+    sa.sa_handler = handler;
+    if (sigemptyset(&sa.sa_mask) != 0 ||
+        sigaction(SIGINT, &sa, nullptr) != 0 ||
+        sigaction(SIGTERM, &sa, nullptr) != 0)
+        fatal("dcgserved: cannot install signal handlers: ",
+              std::strerror(errno));
 }
 
 /** Strict non-negative integer option; fatal() with a clear message. */
@@ -91,9 +124,8 @@ main(int argc, char **argv)
         checkedCount(opts, "drain-grace-ms", 5000, 0));
 
     serve::Server server(cfg);
-    gServer = &server;
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    gServer.store(&server, std::memory_order_release);
+    installSignalHandlers(onSignal);
 
     std::cout << "dcgserved: listening on " << cfg.host << ":"
               << server.port() << std::endl;
@@ -103,7 +135,7 @@ main(int argc, char **argv)
 
     server.run();
 
-    gServer = nullptr;
+    gServer.store(nullptr, std::memory_order_release);
     std::cout << "dcgserved: drained, exiting" << std::endl;
     return 0;
 }
