@@ -8,6 +8,29 @@
 
 namespace dcg::exp {
 
+namespace {
+
+/**
+ * Footprint estimate for one cache slot: fixed slot overhead (map
+ * node, Entry, mutex/cv, RunResult value members) plus the variable
+ * strings. Only feeds the eviction budget — it need not be exact,
+ * just monotone in actual memory use.
+ */
+std::uint64_t
+approxEntryBytes(const std::string &key, const RunResult &r)
+{
+    std::uint64_t n = 512;  // slot + RunResult fixed members
+    n += key.size();
+    n += r.benchmark.size() + r.scheme.size();
+    for (const auto &[name, value] : r.extraStats) {
+        (void)value;
+        n += name.size() + 48;  // map node + double
+    }
+    return n;
+}
+
+} // namespace
+
 Engine::Engine(unsigned jobs)
     : numWorkers(jobs ? jobs : defaultJobs())
 {
@@ -43,6 +66,38 @@ Engine::clearCache()
 {
     std::lock_guard<std::mutex> lk(cacheMutex);
     cache.clear();
+    cacheBytes = 0;
+}
+
+std::uint64_t
+Engine::bytes() const
+{
+    std::lock_guard<std::mutex> lk(cacheMutex);
+    return cacheBytes;
+}
+
+std::size_t
+Engine::evictTo(std::uint64_t budgetBytes)
+{
+    std::lock_guard<std::mutex> lk(cacheMutex);
+    std::size_t evicted = 0;
+    while (cacheBytes > budgetBytes) {
+        auto victim = cache.end();
+        for (auto it = cache.begin(); it != cache.end(); ++it) {
+            if (!it->second->done.load(std::memory_order_acquire))
+                continue;  // in-flight: waiters park on this slot
+            if (victim == cache.end() ||
+                it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == cache.end())
+            break;  // only in-flight entries left
+        cacheBytes -= std::min(cacheBytes,
+                               victim->second->approxBytes);
+        cache.erase(victim);
+        ++evicted;
+    }
+    return evicted;
 }
 
 std::shared_ptr<Engine::Entry>
@@ -53,11 +108,13 @@ Engine::lookupOrClaim(const std::string &key, bool &owner)
     if (it != cache.end()) {
         owner = false;
         ++hits;
+        it->second->lastUse = ++useClock;
         return it->second;
     }
     owner = true;
     ++misses;
     auto entry = std::make_shared<Entry>();
+    entry->lastUse = ++useClock;
     cache.emplace(key, entry);
     return entry;
 }
@@ -88,6 +145,7 @@ Engine::tryCached(const Job &job, RunResult &out)
         if (it == cache.end())
             return false;
         entry = it->second;
+        entry->lastUse = ++useClock;
     }
     std::lock_guard<std::mutex> lk(entry->m);
     if (!entry->done)
@@ -120,15 +178,26 @@ Engine::runOne(const Job &job, RunOutcome *outcome)
         {
             std::lock_guard<std::mutex> lk(entry->m);
             entry->result = r;
-            entry->done = true;
+            entry->done.store(true, std::memory_order_release);
         }
         entry->cv.notify_all();
+        {
+            // Count the completed slot toward the eviction budget —
+            // but only if an evictTo() racing with the completion has
+            // not already dropped it.
+            std::lock_guard<std::mutex> lk(cacheMutex);
+            auto it = cache.find(key);
+            if (it != cache.end() && it->second == entry) {
+                entry->approxBytes = approxEntryBytes(key, r);
+                cacheBytes += entry->approxBytes;
+            }
+        }
         return r;
     }
     std::unique_lock<std::mutex> lk(entry->m);
     if (outcome)
         *outcome = entry->done ? RunOutcome::MemHit : RunOutcome::Shared;
-    entry->cv.wait(lk, [&] { return entry->done; });
+    entry->cv.wait(lk, [&] { return entry->done.load(); });
     return entry->result;
 }
 

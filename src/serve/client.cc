@@ -5,12 +5,14 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/log.hh"
+#include "exp/job.hh"
 
 namespace dcg::serve {
 
@@ -19,24 +21,59 @@ namespace {
 /** Give up on a persistently "busy" server after this many retries. */
 constexpr unsigned kMaxBusyRetries = 600;
 
+/** Route key for a validated spec: the engine's content address. */
+std::string
+specRouteKey(const JobSpec &spec)
+{
+    return exp::jobKey(spec.toJob());
+}
+
+void
+sleepRetryHint(const JsonValue &resp)
+{
+    const auto delay_ms = resp.get("retry_after_ms").asU64(250);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(delay_ms ? delay_ms : 250));
+}
+
 } // namespace
 
-Client::Client(const std::string &hostPort)
-    : peer(hostPort)
+// ---------------------------------------------------------------- //
+// Connection                                                       //
+// ---------------------------------------------------------------- //
+
+Connection::~Connection()
 {
-    const std::size_t colon = hostPort.rfind(':');
-    if (colon == std::string::npos || colon + 1 >= hostPort.size())
-        fatal("--server expects HOST:PORT, got '", hostPort, "'");
-    const std::string host = hostPort.substr(0, colon);
-    const std::string port = hostPort.substr(colon + 1);
+    shut();
+}
+
+void
+Connection::shut()
+{
+    if (fd >= 0) {
+        close(fd);
+        fd = -1;
+    }
+    inBuf.clear();
+}
+
+bool
+Connection::open(const Endpoint &ep, std::string &err)
+{
+    shut();
+    peer = ep.str();
 
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
     addrinfo *res = nullptr;
-    const int rc = getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
-    if (rc != 0)
-        fatal("cannot resolve '", hostPort, "': ", gai_strerror(rc));
+    const std::string port = std::to_string(ep.port);
+    const int rc = getaddrinfo(ep.host.c_str(), port.c_str(), &hints,
+                               &res);
+    if (rc != 0) {
+        err = "cannot resolve '" + peer + "': " + gai_strerror(rc);
+        return false;
+    }
 
     int last_errno = 0;
     for (addrinfo *ai = res; ai; ai = ai->ai_next) {
@@ -52,26 +89,43 @@ Client::Client(const std::string &hostPort)
         fd = -1;
     }
     freeaddrinfo(res);
-    if (fd < 0)
-        fatal("cannot connect to ", hostPort, ": ",
-              std::strerror(last_errno));
+    if (fd < 0) {
+        err = "cannot connect to " + peer + ": " +
+              std::strerror(last_errno);
+        return false;
+    }
+    return true;
 }
 
-Client::~Client()
+bool
+Connection::sendAll(const std::string &line, std::string &err)
 {
-    if (fd >= 0)
-        close(fd);
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n = send(fd, line.data() + off,
+                               line.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        err = "cannot send request to " + peer + ": " +
+              std::strerror(errno);
+        return false;
+    }
+    return true;
 }
 
-std::string
-Client::recvLine()
+bool
+Connection::recvLine(std::string &line, std::string &err)
 {
     while (true) {
         const std::size_t nl = inBuf.find('\n');
         if (nl != std::string::npos) {
-            std::string line = inBuf.substr(0, nl);
+            line = inBuf.substr(0, nl);
             inBuf.erase(0, nl + 1);
-            return line;
+            return true;
         }
         char buf[4096];
         const ssize_t n = recv(fd, buf, sizeof(buf), 0);
@@ -81,47 +135,120 @@ Client::recvLine()
         }
         if (n < 0 && errno == EINTR)
             continue;
-        fatal("connection to ", peer, n == 0 ? " closed" : " failed",
-              " while awaiting a response");
+        err = "connection to " + peer +
+              (n == 0 ? " closed" : " failed") +
+              " while awaiting a response";
+        return false;
     }
 }
 
-JsonValue
-Client::request(const JsonValue &req)
+bool
+Connection::roundTrip(const JsonValue &req, JsonValue &resp,
+                      std::string &err)
 {
+    if (fd < 0) {
+        err = "connection to " + peer + " is not open";
+        return false;
+    }
     std::string line = req.dump();
     line += '\n';
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n = send(fd, line.data() + off, line.size() - off,
-                               MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<std::size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        fatal("cannot send request to ", peer, ": ",
-              std::strerror(errno));
+    if (!sendAll(line, err)) {
+        shut();
+        return false;
     }
-
-    JsonValue resp;
-    std::string err;
-    const std::string reply = recvLine();
-    if (!JsonValue::parse(reply, resp, err) || !resp.isObject())
-        fatal("malformed response from ", peer, ": ", err);
-    return resp;
+    std::string reply;
+    if (!recvLine(reply, err)) {
+        shut();
+        return false;
+    }
+    if (!JsonValue::parse(reply, resp, err) || !resp.isObject()) {
+        err = "malformed response from " + peer + ": " + err;
+        shut();
+        return false;
+    }
+    return true;
 }
 
+// ---------------------------------------------------------------- //
+// Server-side forwarding                                           //
+// ---------------------------------------------------------------- //
+
+bool
+forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
+                 RunResult &out, std::string &err)
+{
+    Connection conn;
+    if (!conn.open(peer, err))
+        return false;
+
+    JsonValue submit = JsonValue::object();
+    submit.set("op", JsonValue::string("submit"));
+    submit.set("job", spec.toJson());
+    submit.set("forwarded", JsonValue::boolean(true));
+    stampVersion(submit, kProtocolVersion);
+
+    std::uint64_t id = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        JsonValue resp;
+        if (!conn.roundTrip(submit, resp, err))
+            return false;
+        if (resp.get("ok").asBool(false)) {
+            id = resp.get("id").asU64(0);
+            break;
+        }
+        const std::string code = resp.get("error").asString();
+        if (code != "busy") {
+            err = "peer " + peer.str() + " rejected forwarded job (" +
+                  code + "): " + resp.get("detail").asString();
+            return false;
+        }
+        if (attempt + 1 >= kMaxBusyRetries) {
+            err = "peer " + peer.str() + " stayed busy after " +
+                  std::to_string(kMaxBusyRetries) + " retries";
+            return false;
+        }
+        sleepRetryHint(resp);
+    }
+
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("result"));
+    req.set("id", JsonValue::integer(id));
+    req.set("wait", JsonValue::boolean(true));
+    stampVersion(req, kProtocolVersion);
+    JsonValue resp;
+    if (!conn.roundTrip(req, resp, err))
+        return false;
+    if (!resp.get("ok").asBool(false)) {
+        err = "peer " + peer.str() + " failed forwarded job (" +
+              resp.get("error").asString() + "): " +
+              resp.get("detail").asString();
+        return false;
+    }
+    std::vector<RunResult> one;
+    if (!resultsFromJson(resp.get("result"), one, err) ||
+        one.size() != 1) {
+        err = "malformed forwarded result from " + peer.str() + ": " +
+              err;
+        return false;
+    }
+    out = std::move(one.front());
+    return true;
+}
+
+// ---------------------------------------------------------------- //
+// ClientBase                                                       //
+// ---------------------------------------------------------------- //
+
 std::uint64_t
-Client::submitWithRetry(const JobSpec &spec)
+ClientBase::submitWithRetry(const JobSpec &spec,
+                            const std::string &routeKey)
 {
     JsonValue req = JsonValue::object();
     req.set("op", JsonValue::string("submit"));
     req.set("job", spec.toJson());
 
     for (unsigned attempt = 0; attempt < kMaxBusyRetries; ++attempt) {
-        const JsonValue resp = request(req);
+        const JsonValue resp = roundTrip(req, routeKey);
         if (resp.get("ok").asBool(false))
             return resp.get("id").asU64(0);
         const std::string code = resp.get("error").asString();
@@ -129,53 +256,190 @@ Client::submitWithRetry(const JobSpec &spec)
             fatal("server rejected job (", code, "): ",
                   resp.get("detail").asString());
         // Backpressure: honour the server's retry-after hint.
-        const auto delay_ms = resp.get("retry_after_ms").asU64(250);
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(delay_ms ? delay_ms : 250));
+        sleepRetryHint(resp);
     }
-    fatal("server at ", peer, " stayed busy after ", kMaxBusyRetries,
-          " retries");
+    fatal("server stayed busy after ", kMaxBusyRetries, " retries");
 }
 
 std::vector<RunResult>
-Client::runJobs(const std::vector<JobSpec> &specs)
+ClientBase::runJobs(const std::vector<JobSpec> &specs)
 {
+    // Content-addressed route keys pin every job — and its later
+    // result fetch — to the ring node that owns it.
+    std::vector<std::string> keys;
+    keys.reserve(specs.size());
+    for (const JobSpec &spec : specs)
+        keys.push_back(specRouteKey(spec));
+
     std::vector<std::uint64_t> ids;
     ids.reserve(specs.size());
-    for (const JobSpec &spec : specs)
-        ids.push_back(submitWithRetry(spec));
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        ids.push_back(submitWithRetry(specs[i], keys[i]));
 
     std::vector<RunResult> results;
     results.reserve(ids.size());
-    for (std::uint64_t id : ids) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
         JsonValue req = JsonValue::object();
         req.set("op", JsonValue::string("result"));
-        req.set("id", JsonValue::integer(id));
+        req.set("id", JsonValue::integer(ids[i]));
         req.set("wait", JsonValue::boolean(true));
-        const JsonValue resp = request(req);
+        const JsonValue resp = roundTrip(req, keys[i]);
         if (!resp.get("ok").asBool(false))
-            fatal("server failed job ", id, " (",
+            fatal("server failed job ", ids[i], " (",
                   resp.get("error").asString(), "): ",
                   resp.get("detail").asString());
         std::vector<RunResult> one;
         std::string err;
         if (!resultsFromJson(resp.get("result"), one, err) ||
             one.size() != 1)
-            fatal("malformed result for job ", id, ": ", err);
+            fatal("malformed result for job ", ids[i], ": ", err);
         results.push_back(std::move(one.front()));
     }
     return results;
 }
 
-JsonValue
-Client::stats()
+// ---------------------------------------------------------------- //
+// ClusterClient                                                    //
+// ---------------------------------------------------------------- //
+
+ClusterClient::ClusterClient(std::vector<Endpoint> endpoints)
+    : eps(std::move(endpoints))
 {
-    JsonValue req = JsonValue::object();
-    req.set("op", JsonValue::string("stats"));
-    const JsonValue resp = request(req);
-    if (!resp.get("ok").asBool(false))
-        fatal("stats request failed: ", resp.get("error").asString());
-    return resp.get("stats");
+    if (eps.empty())
+        fatal("client: empty server endpoint list");
+    ring = HashRing(endpointStrings(eps));
+    conns.reserve(eps.size());
+    for (std::size_t i = 0; i < eps.size(); ++i)
+        conns.push_back(std::make_unique<Connection>());
+}
+
+void
+ClusterClient::connect()
+{
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+        std::string err;
+        if (!conns[i]->isOpen() && !conns[i]->open(eps[i], err))
+            fatal(err);
+    }
+}
+
+JsonValue
+ClusterClient::exchange(std::size_t idx, const JsonValue &req)
+{
+    std::string err;
+    Connection &conn = *conns[idx];
+    if (!conn.isOpen() && !conn.open(eps[idx], err))
+        fatal(err);
+    JsonValue resp;
+    if (!conn.roundTrip(req, resp, err))
+        fatal(err);
+    if (!resp.get("ok").asBool(false)) {
+        const std::string code = resp.get("error").asString();
+        if (code == "unsupported_version")
+            fatal("server ", eps[idx].str(),
+                  " rejected the protocol version: ",
+                  resp.get("detail").asString());
+        if (code == "not_owner" && resp.has("redirect")) {
+            // Ring disagreement safety net: follow the server's
+            // redirect exactly once.
+            const std::string target =
+                resp.get("redirect").asString();
+            for (std::size_t i = 0; i < eps.size(); ++i) {
+                if (i == idx || eps[i].str() != target)
+                    continue;
+                Connection &rconn = *conns[i];
+                if (!rconn.isOpen() && !rconn.open(eps[i], err))
+                    fatal(err);
+                JsonValue redirected;
+                if (!rconn.roundTrip(req, redirected, err))
+                    fatal(err);
+                return redirected;
+            }
+            fatal("server ", eps[idx].str(),
+                  " redirected to unknown node '", target, "'");
+        }
+    }
+    return resp;
+}
+
+JsonValue
+ClusterClient::roundTrip(const JsonValue &req,
+                         const std::string &routeKey)
+{
+    const std::size_t idx =
+        routeKey.empty() || eps.size() == 1
+            ? 0
+            : ring.ownerIndex(routeKey);
+    JsonValue vreq = req;
+    if (!vreq.has("version"))
+        stampVersion(vreq, kProtocolVersion);
+    return exchange(idx, vreq);
+}
+
+JsonValue
+ClusterClient::stats()
+{
+    std::vector<JsonValue> per;
+    per.reserve(eps.size());
+    for (std::size_t i = 0; i < eps.size(); ++i) {
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::string("stats"));
+        stampVersion(req, kProtocolVersion);
+        const JsonValue resp = exchange(i, req);
+        if (!resp.get("ok").asBool(false))
+            fatal("stats request to ", eps[i].str(), " failed: ",
+                  resp.get("error").asString());
+        per.push_back(resp.get("stats"));
+    }
+    if (per.size() == 1)
+        return per.front();
+
+    // Aggregate: sum every numeric counter across nodes (max for the
+    // latency high-water mark, drop the per-node mean), and attach
+    // the untouched per-node objects under "nodes".
+    JsonValue agg = JsonValue::object();
+    for (const auto &[name, v] : per.front().members()) {
+        if (!v.isNumber() || name == "latency_mean_us")
+            continue;
+        std::uint64_t acc = 0;
+        for (const JsonValue &s : per) {
+            const std::uint64_t x = s.get(name).asU64(0);
+            acc = name == "latency_max_us" ? std::max(acc, x)
+                                           : acc + x;
+        }
+        agg.set(name, JsonValue::integer(acc));
+    }
+    agg.set("nodes_total",
+            JsonValue::integer(std::uint64_t{eps.size()}));
+    JsonValue nodes = JsonValue::object();
+    for (std::size_t i = 0; i < eps.size(); ++i)
+        nodes.set(eps[i].str(), std::move(per[i]));
+    agg.set("nodes", std::move(nodes));
+    return agg;
+}
+
+// ---------------------------------------------------------------- //
+// Client (compatibility wrapper)                                   //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+std::vector<Endpoint>
+singleEndpoint(const std::string &hostPort)
+{
+    Endpoint ep;
+    std::string err;
+    if (!parseEndpoint(hostPort, ep, err))
+        fatal("--server expects HOST:PORT, got ", err);
+    return {ep};
+}
+
+} // namespace
+
+Client::Client(const std::string &hostPort)
+    : ClusterClient(singleEndpoint(hostPort))
+{
+    this->connect();
 }
 
 } // namespace dcg::serve

@@ -1,61 +1,170 @@
 /**
  * @file
- * Blocking client for the dcgserved protocol — the engine room behind
- * `dcgsim --server HOST:PORT`.
+ * Client stack for the dcgserved protocol — the engine room behind
+ * `dcgsim --server HOST:PORT[,HOST:PORT...]`.
  *
- * One TCP connection, one request line out, one response line back.
- * runJobs() hides the submit/wait/backpressure dance: it submits each
- * spec (sleeping and retrying on "busy" using the server's
- * retry-after hint), then collects results in request order, so a
- * caller gets exactly what a local Engine::run() would have returned —
+ * Three layers, redesigned for the sharded cluster:
+ *
+ *  - Connection: one blocking TCP connection speaking the
+ *    newline-JSON protocol. Every failure is reported (bool + error
+ *    string), never fatal — this is the transport the *server* also
+ *    uses when forwarding a job to the peer that owns its key, and a
+ *    peer outage must not kill the forwarding node.
+ *
+ *  - ClientBase: the transport-agnostic client API. Subclasses
+ *    provide connect() and roundTrip(request, routeKey); the base
+ *    implements the submit/wait/backpressure dance of runJobs() on
+ *    top, routing every request by the job's content-addressed key so
+ *    an implementation can pick the owning node. CLI semantics:
+ *    transport errors and protocol violations are fatal() here.
+ *
+ *  - ClusterClient: ClientBase over a consistent-hash ring of
+ *    endpoints. Each job is submitted directly to the node the ring
+ *    designates (client-side fan-out — no double hop), and the
+ *    matching result request goes back to the same node. Speaks
+ *    protocol version 2; follows one `not_owner` redirect as a safety
+ *    net when client and server disagree about the ring.
+ *
+ *  - Client: thin compatibility wrapper — the original single-socket
+ *    "HOST:PORT" constructor and request() surface, now a one-node
+ *    ClusterClient. Existing callers compile and behave unchanged.
+ *
+ * runJobs() returns exactly what a local Engine::run() would have —
  * bit-identical, since RunResult doubles travel as max_digits10
- * tokens and are re-parsed by the same reader.
- *
- * Errors (refused connection, dropped socket, protocol violations)
- * are fatal(): this is a CLI path, not a library promise.
+ * tokens and are re-parsed by the same reader — regardless of how
+ * many nodes the grid was scattered across.
  */
 
 #ifndef DCG_SERVE_CLIENT_HH
 #define DCG_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "serve/endpoint.hh"
 #include "serve/json.hh"
 #include "serve/protocol.hh"
+#include "serve/ring.hh"
 
 namespace dcg::serve {
 
-class Client
+/**
+ * One blocking TCP connection; newline-delimited JSON request in,
+ * one parsed response out. Non-fatal by design (see file comment).
+ */
+class Connection
 {
   public:
-    /** Connect to "host:port" (fatal() on failure). */
-    explicit Client(const std::string &hostPort);
-    ~Client();
+    Connection() = default;
+    ~Connection();
 
-    Client(const Client &) = delete;
-    Client &operator=(const Client &) = delete;
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
 
-    /** Send one request line, return the parsed response line. */
-    JsonValue request(const JsonValue &req);
+    /** Connect to @p ep (closing any previous socket first). */
+    bool open(const Endpoint &ep, std::string &err);
+    bool isOpen() const { return fd >= 0; }
+    void shut();
+
+    /** The "host:port" this connection targets (set by open()). */
+    const std::string &peerName() const { return peer; }
 
     /**
-     * Run @p specs remotely: submit each (retrying on backpressure),
-     * then wait for every result. Results in request order.
+     * Send one request line, receive one response line, parse it.
+     * On any failure the connection is closed and false is returned
+     * with @p err describing the failure.
      */
-    std::vector<RunResult> runJobs(const std::vector<JobSpec> &specs);
-
-    /** Fetch the server's stats object (the "stats" member). */
-    JsonValue stats();
+    bool roundTrip(const JsonValue &req, JsonValue &resp,
+                   std::string &err);
 
   private:
-    std::uint64_t submitWithRetry(const JobSpec &spec);
-    std::string recvLine();
+    bool sendAll(const std::string &line, std::string &err);
+    bool recvLine(std::string &line, std::string &err);
 
     int fd = -1;
     std::string peer;
     std::string inBuf;
+};
+
+/**
+ * Server-side forwarding: run @p spec on @p peer (submit with bounded
+ * busy retries, then wait for the result). Marks the submit
+ * "forwarded" so a ring disagreement surfaces as `not_owner` instead
+ * of a forwarding loop. Non-fatal: false + @p err on any failure.
+ */
+bool forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
+                      RunResult &out, std::string &err);
+
+/** Transport-agnostic client API (CLI semantics: errors are fatal). */
+class ClientBase
+{
+  public:
+    virtual ~ClientBase() = default;
+
+    /** Eagerly establish the transport; fatal() on failure. */
+    virtual void connect() = 0;
+
+    /**
+     * One request/response exchange with the node that owns
+     * @p routeKey (a jobKey(); "" = the default/first node).
+     */
+    virtual JsonValue roundTrip(const JsonValue &req,
+                                const std::string &routeKey) = 0;
+
+    /** The server stats surface (aggregated for multi-node setups). */
+    virtual JsonValue stats() = 0;
+
+    /**
+     * Run @p specs remotely: submit each to its owning node (retrying
+     * on backpressure), then wait for every result. Results come back
+     * in request order.
+     */
+    std::vector<RunResult> runJobs(const std::vector<JobSpec> &specs);
+
+  protected:
+    std::uint64_t submitWithRetry(const JobSpec &spec,
+                                  const std::string &routeKey);
+};
+
+/** ClientBase over a consistent-hash ring of server endpoints. */
+class ClusterClient : public ClientBase
+{
+  public:
+    /** fatal() on an empty endpoint list. Connects lazily. */
+    explicit ClusterClient(std::vector<Endpoint> endpoints);
+
+    void connect() override;
+    JsonValue roundTrip(const JsonValue &req,
+                        const std::string &routeKey) override;
+    JsonValue stats() override;
+
+    std::size_t nodeCount() const { return eps.size(); }
+    const HashRing &ringView() const { return ring; }
+
+  private:
+    /** Exchange with node @p idx, opening it on first use; follows
+     *  one not_owner redirect; fatal() on failure. */
+    JsonValue exchange(std::size_t idx, const JsonValue &req);
+
+    std::vector<Endpoint> eps;
+    HashRing ring;
+    std::vector<std::unique_ptr<Connection>> conns;  ///< per endpoint
+};
+
+/** Compatibility wrapper: the original single-socket client API. */
+class Client : public ClusterClient
+{
+  public:
+    /** Parse "host:port" and connect; fatal() on either failing. */
+    explicit Client(const std::string &hostPort);
+
+    /** Send one request line, return the parsed response line. */
+    JsonValue request(const JsonValue &req)
+    {
+        return roundTrip(req, "");
+    }
 };
 
 } // namespace dcg::serve

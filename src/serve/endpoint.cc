@@ -1,0 +1,83 @@
+#include "serve/endpoint.hh"
+
+#include <algorithm>
+
+#include "common/options.hh"
+
+namespace dcg::serve {
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out, std::string &err)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+        err = "'" + text + "': expected HOST:PORT";
+        return false;
+    }
+    const std::string host = text.substr(0, colon);
+    const std::string port = text.substr(colon + 1);
+    if (host.empty()) {
+        err = "'" + text + "': empty host";
+        return false;
+    }
+    std::int64_t p = 0;
+    if (port.empty() || !Options::parseInt(port, p)) {
+        err = "'" + text + "': port is not a number";
+        return false;
+    }
+    if (p < 1 || p > 65535) {
+        err = "'" + text + "': port out of range 1..65535";
+        return false;
+    }
+    out.host = host;
+    out.port = static_cast<std::uint16_t>(p);
+    return true;
+}
+
+bool
+parseEndpoints(const std::string &list, std::vector<Endpoint> &out,
+               std::string &err)
+{
+    if (list.empty()) {
+        err = "empty server list";
+        return false;
+    }
+    std::vector<Endpoint> eps;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        const std::string item = list.substr(start, end - start);
+        if (item.empty()) {
+            err = "empty element in server list '" + list +
+                  "' (stray comma?)";
+            return false;
+        }
+        Endpoint ep;
+        if (!parseEndpoint(item, ep, err))
+            return false;
+        if (std::find(eps.begin(), eps.end(), ep) != eps.end()) {
+            err = "duplicate endpoint '" + ep.str() + "' in list";
+            return false;
+        }
+        eps.push_back(std::move(ep));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    out = std::move(eps);
+    return true;
+}
+
+std::vector<std::string>
+endpointStrings(const std::vector<Endpoint> &endpoints)
+{
+    std::vector<std::string> names;
+    names.reserve(endpoints.size());
+    for (const Endpoint &ep : endpoints)
+        names.push_back(ep.str());
+    return names;
+}
+
+} // namespace dcg::serve

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Endpoint: one "HOST:PORT" server address, plus the shared parser
+ * behind every server-address flag in the tree (`dcgsim --server=...`,
+ * `dcgserved --peers=.../--self=...`).
+ *
+ * The textual form matters beyond convenience: consistent-hash ring
+ * nodes are identified by the *canonical string* str() produces, so
+ * every process that names the same cluster must spell each node the
+ * same way ("127.0.0.1:7878", not "localhost:7878" on one side). The
+ * parser therefore rejects anything ambiguous — empty hosts, ports
+ * outside 1..65535, empty list elements from stray commas, and
+ * duplicate endpoints (which would double-weight a ring node).
+ *
+ * Parsing is non-fatal (bool + error string) so servers can reject
+ * bad peer lists with a message and tests can probe malformed input;
+ * CLI callers wrap the failure in fatal() themselves.
+ */
+
+#ifndef DCG_SERVE_ENDPOINT_HH
+#define DCG_SERVE_ENDPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcg::serve {
+
+struct Endpoint
+{
+    std::string host;
+    std::uint16_t port = 0;
+
+    /** Canonical "host:port" — the ring node identity. */
+    std::string str() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+
+    bool operator==(const Endpoint &o) const
+    {
+        return host == o.host && port == o.port;
+    }
+};
+
+/**
+ * Parse one "HOST:PORT". False + @p err on an empty host, a missing
+ * or non-numeric port, or a port outside 1..65535. IPv6 literals are
+ * out of scope for this protocol (the last ':' splits host and port).
+ */
+bool parseEndpoint(const std::string &text, Endpoint &out,
+                   std::string &err);
+
+/**
+ * Parse "HOST:PORT[,HOST:PORT...]" — the `--server` / `--peers` flag
+ * syntax. Rejects an empty list, empty elements (leading, doubled or
+ * trailing commas) and duplicate endpoints. On failure @p out is left
+ * untouched.
+ */
+bool parseEndpoints(const std::string &list, std::vector<Endpoint> &out,
+                    std::string &err);
+
+/** Canonical strings for a parsed list, in list order. */
+std::vector<std::string> endpointStrings(
+    const std::vector<Endpoint> &endpoints);
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_ENDPOINT_HH

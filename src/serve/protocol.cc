@@ -257,4 +257,51 @@ errorResponse(const std::string &code, const std::string &detail)
     return o;
 }
 
+bool
+requestVersion(const JsonValue &req, unsigned &version,
+               std::string &err)
+{
+    if (!req.has("version")) {
+        version = 1;  // pre-versioning client
+        return true;
+    }
+    const JsonValue &v = req.get("version");
+    const std::uint64_t n = v.asU64(0);
+    if (!v.isNumber() || n == 0) {
+        err = "version must be a positive integer";
+        return false;
+    }
+    version = static_cast<unsigned>(n);
+    return true;
+}
+
+void
+stampVersion(JsonValue &resp, unsigned version)
+{
+    resp.set("version",
+             JsonValue::integer(std::uint64_t{version}));
+}
+
+JsonValue
+unsupportedVersionResponse(unsigned requested)
+{
+    JsonValue o = errorResponse(
+        "unsupported_version",
+        "requested protocol version " + std::to_string(requested) +
+            "; this server speaks up to " +
+            std::to_string(kProtocolVersion));
+    o.set("supported",
+          JsonValue::integer(std::uint64_t{kProtocolVersion}));
+    return o;
+}
+
+JsonValue
+notOwnerResponse(const std::string &ownerAddress)
+{
+    JsonValue o = errorResponse(
+        "not_owner", "job key is owned by " + ownerAddress);
+    o.set("redirect", JsonValue::string(ownerAddress));
+    return o;
+}
+
 } // namespace dcg::serve

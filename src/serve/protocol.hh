@@ -16,7 +16,25 @@
  *   {"op":"status", "id": N}                     -> {"ok":true,"status":...}
  *   {"op":"result", "id": N, "wait": true|false} -> result or status
  *   {"op":"stats"}                               -> {"ok":true,"stats":{..}}
+ *   {"op":"compact"}                             -> {"ok":true,"removed":N}
  *   {"op":"shutdown"}                            -> {"ok":true,...}; drains
+ *
+ * Versioning: every request MAY carry "version": N; a request without
+ * one is treated as version 1 (the pre-cluster protocol), so old
+ * single-socket clients keep working unchanged. Every response
+ * carries "version" echoing the request's (old clients ignore the
+ * extra member). A request with a version above kProtocolVersion is
+ * rejected with the structured error "unsupported_version" plus a
+ * "supported" member naming the highest version this server speaks.
+ *
+ * Clustering (version 2): in a sharded deployment a submit for a job
+ * key this node does not own is transparently forwarded to the owner
+ * unless the request carries "redirect": true, in which case the
+ * server answers {"ok":false, "error":"not_owner",
+ * "redirect":"HOST:PORT"} so a ring-aware client reconnects itself.
+ * Server-to-server forwards are marked "forwarded": true; a forwarded
+ * submit is never re-forwarded (ring disagreement yields "not_owner"
+ * instead of a forwarding loop).
  *
  * Error responses: {"ok":false, "error": "<code>", "detail": "..."};
  * a full queue answers code "busy" plus "retry_after_ms". Done results
@@ -35,6 +53,23 @@
 #include "serve/json.hh"
 
 namespace dcg::serve {
+
+/**
+ * Highest protocol version this build speaks. Version 1 is the
+ * original single-server protocol; version 2 adds the version field
+ * itself, `not_owner`/`redirect` and forwarded submits.
+ */
+constexpr unsigned kProtocolVersion = 2;
+
+/**
+ * Extract a request's protocol version: absent = 1 (legacy client).
+ * False + @p err when "version" is present but not a positive
+ * integer. A version above kProtocolVersion parses fine — reject it
+ * separately with unsupportedVersionResponse() so the client learns
+ * what *is* supported.
+ */
+bool requestVersion(const JsonValue &req, unsigned &version,
+                    std::string &err);
 
 /** Network-portable description of one simulation request. */
 struct JobSpec
@@ -103,6 +138,15 @@ bool resultsFromJson(const JsonValue &v, std::vector<RunResult> &out,
 JsonValue okResponse();
 JsonValue errorResponse(const std::string &code,
                         const std::string &detail);
+
+/** Stamp the response envelope's "version" member (insert/replace). */
+void stampVersion(JsonValue &resp, unsigned version);
+
+/** "unsupported_version" error naming the supported maximum. */
+JsonValue unsupportedVersionResponse(unsigned requested);
+
+/** "not_owner" error carrying the owning node as "redirect". */
+JsonValue notOwnerResponse(const std::string &ownerAddress);
 /// @}
 
 } // namespace dcg::serve

@@ -1,0 +1,74 @@
+#include "serve/ring.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dcg::serve {
+
+std::uint64_t
+HashRing::hash(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    // Raw FNV-1a clusters badly on the short, similar strings this
+    // ring sees ("host:port#v", job keys differing in a few chars) —
+    // enough to hand one node half the arc. The 64-bit avalanche
+    // finisher makes every output bit depend on every input byte.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+HashRing::HashRing(std::vector<std::string> nodeNames,
+                   unsigned vnodesPerNode)
+    : names(std::move(nodeNames))
+{
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            if (names[i] == names[j])
+                fatal("hash ring: duplicate node '", names[i], "'");
+    }
+    points.reserve(names.size() * vnodesPerNode);
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        for (unsigned v = 0; v < vnodesPerNode; ++v) {
+            // Hashing "name#v" instead of seeding per node keeps the
+            // point set a pure function of the name strings.
+            points.emplace_back(
+                hash(names[n] + "#" + std::to_string(v)),
+                static_cast<std::uint32_t>(n));
+        }
+    }
+    // Sort by (hash, index): the index tiebreak makes even a point
+    // collision between two nodes resolve identically everywhere.
+    std::sort(points.begin(), points.end());
+}
+
+std::size_t
+HashRing::ownerIndex(const std::string &key) const
+{
+    if (points.empty())
+        fatal("hash ring: owner lookup on an empty ring");
+    const std::uint64_t h = hash(key);
+    auto it = std::lower_bound(
+        points.begin(), points.end(), h,
+        [](const std::pair<std::uint64_t, std::uint32_t> &p,
+           std::uint64_t v) { return p.first < v; });
+    if (it == points.end())
+        it = points.begin();  // wrap past the top of the ring
+    return it->second;
+}
+
+const std::string &
+HashRing::owner(const std::string &key) const
+{
+    return names[ownerIndex(key)];
+}
+
+} // namespace dcg::serve

@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "serve/client.hh"
 
 namespace dcg::serve {
 
@@ -40,6 +41,7 @@ stateName(int state)
     switch (state) {
       case 0: return "queued";
       case 1: return "running";
+      case 3: return "failed";
       default: return "done";
     }
 }
@@ -55,6 +57,14 @@ Server::Server(const ServerConfig &config)
     if (!cfg.storeDir.empty()) {
         store = std::make_shared<ResultStore>(cfg.storeDir);
         eng.attachStore(store);
+        // One startup compaction: clear interrupted-write leftovers
+        // and invalid records before the first request arrives.
+        const std::size_t removed = store->compact();
+        if (removed)
+            inform("dcgserved: startup compaction removed ", removed,
+                   " stale file(s) from '", cfg.storeDir, "'");
+        if (cfg.storeBudgetBytes)
+            store->setBudgetBytes(cfg.storeBudgetBytes);
     }
 
     if (pipe(wakePipe) != 0)
@@ -106,6 +116,30 @@ Server::Server(const ServerConfig &config)
     if (getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
                     &blen) == 0)
         boundPort = ntohs(bound.sin_port);
+
+    if (!cfg.peers.empty())
+        configureCluster(cfg.peers, cfg.self);
+}
+
+void
+Server::configureCluster(const std::vector<Endpoint> &allNodes,
+                         const std::string &self)
+{
+    if (allNodes.empty())
+        fatal("dcgserved: cluster needs at least one node");
+    bool found = false;
+    for (const Endpoint &ep : allNodes)
+        found = found || ep.str() == self;
+    if (!found)
+        fatal("dcgserved: own address '", self,
+              "' is not in the cluster node list");
+    nodes = allNodes;
+    ring = HashRing(endpointStrings(nodes));
+    selfAddr = self;
+    clustered = nodes.size() > 1;
+    if (clustered)
+        inform("dcgserved: cluster of ", nodes.size(),
+               " node(s); this shard is ", selfAddr);
 }
 
 Server::~Server()
@@ -174,13 +208,31 @@ Server::workerLoop()
             busyWorkers.fetch_add(1, std::memory_order_acq_rel);
         }
         pushEvent({Event::Kind::Started, item.id, {},
-                   exp::RunOutcome::Simulated});
+                   exp::RunOutcome::Simulated, item.remote, false, {}});
         wake();
 
-        exp::RunOutcome outcome = exp::RunOutcome::Simulated;
-        const RunResult r = eng.runOne(item.job, &outcome);
+        Event done;
+        done.kind = Event::Kind::Done;
+        done.id = item.id;
+        done.remote = item.remote;
+        if (item.remote) {
+            // Peer-owned job: the worker blocks on the peer so the
+            // event loop never does. The result is NOT stored locally
+            // — it lives on the shard the ring designated.
+            std::string err;
+            if (!forwardJobToPeer(item.peer, item.spec, done.result,
+                                  err)) {
+                done.failed = true;
+                done.error = "forward to " + item.peer.str() +
+                             " failed: " + err;
+            }
+        } else {
+            done.result = eng.runOne(item.job, &done.outcome);
+            if (cfg.cacheBudgetBytes)
+                eng.evictTo(cfg.cacheBudgetBytes);
+        }
 
-        pushEvent({Event::Kind::Done, item.id, r, outcome});
+        pushEvent(std::move(done));
         busyWorkers.fetch_sub(1, std::memory_order_acq_rel);
         wake();
     }
@@ -421,46 +473,67 @@ Server::handleLine(Conn &conn, const std::string &line)
     std::string err;
     if (!JsonValue::parse(line, req, err) || !req.isObject()) {
         ++badRequests;
-        conn.out += errorResponse("bad_request",
-                                  err.empty()
-                                      ? "request must be a JSON object"
-                                      : err)
-                        .dump();
+        JsonValue resp =
+            errorResponse("bad_request",
+                          err.empty() ? "request must be a JSON object"
+                                      : err);
+        stampVersion(resp, 1);
+        conn.out += resp.dump();
+        conn.out += '\n';
+        return;
+    }
+
+    // Envelope version: absent = 1 (legacy client); anything newer
+    // than we speak gets the structured rejection.
+    unsigned version = 1;
+    JsonValue early;
+    bool rejected = false;
+    if (!requestVersion(req, version, err)) {
+        ++badRequests;
+        early = errorResponse("bad_request", err);
+        version = 1;
+        rejected = true;
+    } else if (version > kProtocolVersion) {
+        ++badRequests;
+        early = unsupportedVersionResponse(version);
+        rejected = true;
+    }
+    if (rejected) {
+        stampVersion(early, version);
+        conn.out += early.dump();
         conn.out += '\n';
         return;
     }
 
     const std::string op = req.get("op").asString();
+    if (op == "result") {
+        handleResult(conn, req, version);  // may park the response
+        return;
+    }
+
+    JsonValue resp;
     if (op == "submit") {
-        const JsonValue resp =
-            stopFlag.load(std::memory_order_acquire)
-                ? errorResponse("draining", "server is shutting down")
-                : handleSubmit(req);
-        conn.out += resp.dump();
-        conn.out += '\n';
+        resp = stopFlag.load(std::memory_order_acquire)
+                   ? errorResponse("draining", "server is shutting down")
+                   : handleSubmit(req);
     } else if (op == "status") {
-        conn.out += handleStatus(req).dump();
-        conn.out += '\n';
-    } else if (op == "result") {
-        handleResult(conn, req);  // may park the response
+        resp = handleStatus(req);
     } else if (op == "stats") {
-        JsonValue resp = okResponse();
+        resp = okResponse();
         resp.set("stats", statsJson());
-        conn.out += resp.dump();
-        conn.out += '\n';
+    } else if (op == "compact") {
+        resp = handleCompact();
     } else if (op == "shutdown") {
-        JsonValue resp = okResponse();
+        resp = okResponse();
         resp.set("status", JsonValue::string("draining"));
-        conn.out += resp.dump();
-        conn.out += '\n';
         requestStop();
     } else {
         ++badRequests;
-        conn.out +=
-            errorResponse("bad_request", "unknown op '" + op + "'")
-                .dump();
-        conn.out += '\n';
+        resp = errorResponse("bad_request", "unknown op '" + op + "'");
     }
+    stampVersion(resp, version);
+    conn.out += resp.dump();
+    conn.out += '\n';
 }
 
 JsonValue
@@ -506,23 +579,48 @@ Server::handleSubmit(const JsonValue &req)
         return errorResponse("bad_request", "empty submission");
     }
 
-    // Peek the warm cache first: satisfied jobs complete immediately
-    // and never occupy a queue slot or worker.
+    // Ring ownership per job. A forwarded submit for a key we do not
+    // own means the peer's ring disagrees with ours: answer not_owner
+    // rather than forwarding again (no loops, ever). A client that
+    // asked to route itself ("redirect": true, single job) gets the
+    // owner's address back instead of transparent forwarding.
+    const bool forwarded = req.get("forwarded").asBool(false);
+    const bool wantRedirect = req.get("redirect").asBool(false);
+
     struct Admit
     {
         exp::Job job;
         bool cached = false;
         RunResult result;
+        bool remote = false;
+        std::size_t ownerIdx = 0;
+        JobSpec spec;
     };
     std::vector<Admit> admits;
     admits.reserve(specs.size());
     std::size_t need_slots = 0;
-    for (const JobSpec &s : specs) {
+    for (JobSpec &s : specs) {
         Admit a;
         a.job = s.toJob();
-        a.cached = eng.tryCached(a.job, a.result);
-        if (!a.cached)
+        if (clustered) {
+            const std::string key = exp::jobKey(a.job);
+            a.ownerIdx = ring.ownerIndex(key);
+            a.remote = nodes[a.ownerIdx].str() != selfAddr;
+        }
+        if (a.remote) {
+            if (forwarded || (wantRedirect && specs.size() == 1)) {
+                ++notOwnerReplies;
+                return notOwnerResponse(nodes[a.ownerIdx].str());
+            }
+            a.spec = std::move(s);
             ++need_slots;
+        } else {
+            // Peek the warm cache first: satisfied jobs complete
+            // immediately and never occupy a queue slot or worker.
+            a.cached = eng.tryCached(a.job, a.result);
+            if (!a.cached)
+                ++need_slots;
+        }
         admits.push_back(std::move(a));
     }
 
@@ -561,8 +659,17 @@ Server::handleSubmit(const JsonValue &req)
         ids.push(JsonValue::integer(id));
         ++jobsSubmitted;
         if (!a.cached) {
+            WorkItem item;
+            item.id = id;
+            item.remote = a.remote;
+            if (a.remote) {
+                item.peer = nodes[a.ownerIdx];
+                item.spec = std::move(a.spec);
+            } else {
+                item.job = std::move(a.job);
+            }
             std::lock_guard<std::mutex> lk(qMutex);
-            pending.push_back({id, std::move(a.job)});
+            pending.push_back(std::move(item));
             ++enqueued;
         }
     }
@@ -592,32 +699,46 @@ Server::handleStatus(const JsonValue &req) const
 }
 
 void
-Server::handleResult(Conn &conn, const JsonValue &req)
+Server::handleResult(Conn &conn, const JsonValue &req,
+                     unsigned version)
 {
     const std::uint64_t id = req.get("id").asU64(0);
     auto it = jobs.find(id);
+    JsonValue resp;
     if (it == jobs.end()) {
-        conn.out +=
-            errorResponse("unknown_id", "no such job id").dump();
-        conn.out += '\n';
-        return;
+        resp = errorResponse("unknown_id", "no such job id");
+    } else if (it->second.state == JobState::Done) {
+        resp = doneResponse(id, it->second);
+    } else if (it->second.state == JobState::Failed) {
+        resp = failedResponse(id, it->second);
+    } else if (req.get("wait").asBool(false)) {
+        it->second.waiters.push_back({conn.id, version});
+        return;  // answered on completion
+    } else {
+        resp = okResponse();
+        resp.set("id", JsonValue::integer(id));
+        resp.set("status",
+                 JsonValue::string(
+                     stateName(static_cast<int>(it->second.state))));
     }
-    JobRec &rec = it->second;
-    if (rec.state == JobState::Done) {
-        conn.out += doneResponse(id, rec).dump();
-        conn.out += '\n';
-        return;
-    }
-    if (req.get("wait").asBool(false)) {
-        rec.waiters.push_back(conn.id);  // answered on completion
-        return;
-    }
-    JsonValue resp = okResponse();
-    resp.set("id", JsonValue::integer(id));
-    resp.set("status",
-             JsonValue::string(stateName(static_cast<int>(rec.state))));
+    stampVersion(resp, version);
     conn.out += resp.dump();
     conn.out += '\n';
+}
+
+JsonValue
+Server::handleCompact()
+{
+    if (!store)
+        return errorResponse("no_store",
+                             "server runs without a persistent store");
+    const std::size_t removed = store->compact();
+    JsonValue resp = okResponse();
+    resp.set("removed", JsonValue::integer(std::uint64_t{removed}));
+    resp.set("records",
+             JsonValue::integer(std::uint64_t{store->entries()}));
+    resp.set("bytes", JsonValue::integer(store->bytes()));
+    return resp;
 }
 
 JsonValue
@@ -627,6 +748,15 @@ Server::doneResponse(std::uint64_t id, const JobRec &rec) const
     resp.set("id", JsonValue::integer(id));
     resp.set("status", JsonValue::string("done"));
     resp.set("result", resultsToJson({rec.result}));
+    return resp;
+}
+
+JsonValue
+Server::failedResponse(std::uint64_t id, const JobRec &rec) const
+{
+    JsonValue resp = errorResponse("forward_failed", rec.error);
+    resp.set("id", JsonValue::integer(id));
+    resp.set("status", JsonValue::string("failed"));
     return resp;
 }
 
@@ -648,15 +778,24 @@ Server::drainEvents()
                 rec.state = JobState::Running;
             continue;
         }
-        finishJob(ev.id, rec, ev.result);
+        finishJob(ev.id, rec, ev);
     }
 }
 
 void
-Server::finishJob(std::uint64_t id, JobRec &rec, const RunResult &r)
+Server::finishJob(std::uint64_t id, JobRec &rec, Event &ev)
 {
-    rec.state = JobState::Done;
-    rec.result = r;
+    if (ev.failed) {
+        rec.state = JobState::Failed;
+        rec.error = std::move(ev.error);
+        ++forwardFailures;
+        warn("dcgserved: job ", id, ": ", rec.error);
+    } else {
+        rec.state = JobState::Done;
+        rec.result = std::move(ev.result);
+        if (ev.remote)
+            ++jobsForwarded;
+    }
     const auto us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - rec.enqueued)
@@ -668,12 +807,16 @@ Server::finishJob(std::uint64_t id, JobRec &rec, const RunResult &r)
 
     if (rec.waiters.empty())
         return;
-    std::string line = doneResponse(id, rec).dump();
-    line += '\n';
-    for (std::uint64_t cid : rec.waiters) {
-        auto cit = conns.find(cid);
-        if (cit != conns.end() && cit->second.fd >= 0)
-            cit->second.out += line;
+    for (const Waiter &w : rec.waiters) {
+        auto cit = conns.find(w.connId);
+        if (cit == conns.end() || cit->second.fd < 0)
+            continue;
+        JsonValue resp = rec.state == JobState::Failed
+                             ? failedResponse(id, rec)
+                             : doneResponse(id, rec);
+        stampVersion(resp, w.version);
+        cit->second.out += resp.dump();
+        cit->second.out += '\n';
     }
     rec.waiters.clear();
 }
@@ -698,6 +841,9 @@ Server::statsJson() const
           JsonValue::integer(std::uint64_t{conns.size()}));
     s.set("jobs_submitted", JsonValue::integer(jobsSubmitted));
     s.set("jobs_completed", JsonValue::integer(jobsCompleted));
+    s.set("jobs_forwarded", JsonValue::integer(jobsForwarded));
+    s.set("forward_failures", JsonValue::integer(forwardFailures));
+    s.set("not_owner_replies", JsonValue::integer(notOwnerReplies));
     s.set("submits_rejected", JsonValue::integer(submitsRejected));
     s.set("bad_requests", JsonValue::integer(badRequests));
     s.set("mem_hits", JsonValue::integer(eng.cacheHits()));
@@ -706,11 +852,17 @@ Server::statsJson() const
     s.set("simulations", JsonValue::integer(eng.simulations()));
     s.set("cache_entries",
           JsonValue::integer(std::uint64_t{eng.cacheSize()}));
+    s.set("cache_bytes", JsonValue::integer(eng.bytes()));
     if (store) {
         s.set("store_records",
               JsonValue::integer(std::uint64_t{store->size()}));
+        s.set("store_bytes", JsonValue::integer(store->bytes()));
         s.set("store_corrupt",
               JsonValue::integer(store->corruptRecords()));
+        s.set("store_evicted",
+              JsonValue::integer(store->evictedRecords()));
+        s.set("store_compactions",
+              JsonValue::integer(store->compactions()));
         s.set("store_dir", JsonValue::string(store->directory()));
     }
     s.set("latency_mean_us",
@@ -719,6 +871,13 @@ Server::statsJson() const
                                       static_cast<double>(jobsCompleted)
                                 : 0.0));
     s.set("latency_max_us", JsonValue::integer(latencyMaxUs));
+    s.set("protocol_version",
+          JsonValue::integer(std::uint64_t{kProtocolVersion}));
+    if (clustered) {
+        s.set("cluster_self", JsonValue::string(selfAddr));
+        s.set("cluster_nodes",
+              JsonValue::integer(std::uint64_t{nodes.size()}));
+    }
     s.set("draining",
           JsonValue::boolean(stopFlag.load(std::memory_order_acquire)));
     return s;

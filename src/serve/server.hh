@@ -1,7 +1,7 @@
 /**
  * @file
  * dcgserved's core: an asynchronous TCP simulation service over the
- * experiment Engine.
+ * experiment Engine — one shard of a (possibly single-node) cluster.
  *
  * Architecture (one process, two kinds of threads):
  *
@@ -12,17 +12,31 @@
  *    rejected with a retry-after hint — backpressure, not buffering),
  *    and answers status/result/stats without touching a worker.
  *
- *  - N worker threads pop admitted jobs and run them through
- *    Engine::runOne(). Duplicate in-flight jobs coalesce on the
- *    engine's lookupOrClaim slot; completed results flow back to the
- *    I/O thread as events through the wake pipe, which then resolves
- *    any parked "result"+wait requests.
+ *  - N worker threads pop admitted jobs. A locally-owned job runs
+ *    through Engine::runOne(); a job owned by a cluster peer is
+ *    forwarded over the same wire protocol (forwardJobToPeer) so the
+ *    event loop never blocks on a peer. Either way results flow back
+ *    to the I/O thread as events through the wake pipe, which then
+ *    resolves any parked "result"+wait requests.
+ *
+ * Clustering: configureCluster() (or ServerConfig::peers/self) names
+ * every node of the shared consistent-hash ring plus this node's own
+ * canonical "host:port". A submit whose job key hashes to a peer is
+ * transparently forwarded — unless the client asked for
+ * "redirect": true (answered with not_owner + the owner's address) or
+ * the submit is itself a forward (answered with not_owner, never
+ * re-forwarded, so ring disagreement cannot loop). Forwarded results
+ * are NOT persisted locally: every record lives on exactly the shard
+ * the ring designates.
  *
  * Warm resubmissions never occupy a worker: admission first peeks the
  * engine's in-memory cache (Engine::tryCached) and completes such jobs
  * immediately. With a ResultStore attached, results additionally
  * survive restarts — a cold process serves a previously-seen grid
- * entirely from disk (stats report 0 simulations).
+ * entirely from disk (stats report 0 simulations). Both layers share
+ * the exp::StoreLifecycle seam: storeBudgetBytes/cacheBudgetBytes put
+ * LRU bounds on the persistent store and the in-memory cache, and the
+ * store is compacted once at startup and on {"op":"compact"}.
  *
  * Shutdown: requestStop() (async-signal-safe; wired to SIGINT/SIGTERM
  * by dcgserved) stops accepting and admitting, drains queued and
@@ -46,8 +60,10 @@
 #include <vector>
 
 #include "exp/engine.hh"
+#include "serve/endpoint.hh"
 #include "serve/json.hh"
 #include "serve/protocol.hh"
+#include "serve/ring.hh"
 #include "serve/store.hh"
 
 namespace dcg::serve {
@@ -61,6 +77,18 @@ struct ServerConfig
     std::string storeDir;          ///< empty = no persistent store
     unsigned retryAfterMs = 250;   ///< backpressure hint to clients
     unsigned drainGraceMs = 5000;  ///< max wait for undelivered output
+
+    /// @name Clustering (empty peers = standalone single node)
+    /// @{
+    std::vector<Endpoint> peers;   ///< every ring node, self included
+    std::string self;              ///< this node's canonical host:port
+    /// @}
+
+    /// @name Lifecycle budgets (0 = unbounded)
+    /// @{
+    std::uint64_t storeBudgetBytes = 0;  ///< LRU bound on the store
+    std::uint64_t cacheBudgetBytes = 0;  ///< LRU bound on the cache
+    /// @}
 };
 
 class Server
@@ -77,6 +105,16 @@ class Server
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
+    /**
+     * Join a cluster after construction but before run() — the window
+     * tests and multi-process launchers need when ports are ephemeral
+     * and the full ring is only known once every node has bound.
+     * @p allNodes must contain @p self (canonical "host:port");
+     * fatal() otherwise or on a malformed ring.
+     */
+    void configureCluster(const std::vector<Endpoint> &allNodes,
+                          const std::string &self);
+
     /** Event loop; blocks until requestStop() and the drain finish. */
     void run();
 
@@ -85,6 +123,10 @@ class Server
 
     std::uint16_t port() const { return boundPort; }
     exp::Engine &engine() { return eng; }
+
+    /** The cluster ring ("" nodes when standalone). */
+    const HashRing &ringView() const { return ring; }
+    const std::string &selfAddress() const { return selfAddr; }
 
   private:
     struct Conn
@@ -95,20 +137,31 @@ class Server
         std::string out;
     };
 
-    enum class JobState { Queued, Running, Done };
+    enum class JobState { Queued, Running, Done, Failed };
+
+    /** A "result"+wait request parked until its job finishes. */
+    struct Waiter
+    {
+        std::uint64_t connId = 0;
+        unsigned version = 1;  ///< the parked request's version
+    };
 
     struct JobRec
     {
         JobState state = JobState::Queued;
         RunResult result;
+        std::string error;  ///< set when state == Failed
         std::chrono::steady_clock::time_point enqueued;
-        std::vector<std::uint64_t> waiters;  ///< conn ids parked on wait
+        std::vector<Waiter> waiters;
     };
 
     struct WorkItem
     {
         std::uint64_t id = 0;
-        exp::Job job;
+        exp::Job job;       ///< local execution
+        bool remote = false;
+        Endpoint peer;      ///< owning node when remote
+        JobSpec spec;       ///< wire form re-sent when remote
     };
 
     struct Event
@@ -117,6 +170,9 @@ class Server
         std::uint64_t id = 0;
         RunResult result;
         exp::RunOutcome outcome = exp::RunOutcome::Simulated;
+        bool remote = false;
+        bool failed = false;
+        std::string error;
     };
 
     /// @name I/O-thread side
@@ -128,11 +184,15 @@ class Server
     void handleLine(Conn &conn, const std::string &line);
     JsonValue handleSubmit(const JsonValue &req);
     JsonValue handleStatus(const JsonValue &req) const;
-    void handleResult(Conn &conn, const JsonValue &req);
+    void handleResult(Conn &conn, const JsonValue &req,
+                      unsigned version);
+    JsonValue handleCompact();
     JsonValue statsJson() const;
     JsonValue doneResponse(std::uint64_t id, const JobRec &rec) const;
+    JsonValue failedResponse(std::uint64_t id,
+                             const JobRec &rec) const;
     void drainEvents();
-    void finishJob(std::uint64_t id, JobRec &rec, const RunResult &r);
+    void finishJob(std::uint64_t id, JobRec &rec, Event &ev);
     bool idle();
     /// @}
 
@@ -147,6 +207,14 @@ class Server
     unsigned workerCount;
     exp::Engine eng;
     std::shared_ptr<ResultStore> store;
+
+    /// @name Cluster state (set before run(); read-only afterwards)
+    /// @{
+    std::vector<Endpoint> nodes;  ///< ring order = ctor order
+    HashRing ring;
+    std::string selfAddr;
+    bool clustered = false;       ///< more than one ring node
+    /// @}
 
     int listenFd = -1;
     int wakePipe[2] = {-1, -1};
@@ -173,6 +241,9 @@ class Server
     /// @{
     std::uint64_t jobsSubmitted = 0;
     std::uint64_t jobsCompleted = 0;
+    std::uint64_t jobsForwarded = 0;
+    std::uint64_t forwardFailures = 0;
+    std::uint64_t notOwnerReplies = 0;
     std::uint64_t submitsRejected = 0;
     std::uint64_t badRequests = 0;
     std::uint64_t latencySumUs = 0;

@@ -18,8 +18,25 @@
  *    collision, detected via the stored key) is treated as a miss —
  *    the engine re-simulates and put() repairs the record in place.
  *
- * Safe for concurrent use from several worker threads (the directory
- * index is mutex-guarded; file operations are per-key).
+ * Lifecycle (the exp::StoreLifecycle seam, shared with the Engine's
+ * in-memory cache):
+ *  - every record carries a last-access stamp (seeded from file
+ *    mtimes at open, bumped in memory on get/put), and evictTo()
+ *    removes least-recently-used records until the store fits a byte
+ *    budget. setBudgetBytes() makes put() enforce the bound
+ *    automatically, so a long-lived service never grows without
+ *    limit. The record just written is never the eviction victim.
+ *  - compact() garbage-collects the directory: stale "*.tmp.*"
+ *    leftovers from interrupted writes and records that fail full
+ *    validation (header, key/filename agreement, result body) are
+ *    deleted, the index and byte accounting are rebuilt, and a
+ *    "manifest.json" summary is rewritten atomically (tmp + rename)
+ *    so external tooling can read the store's shape without a scan.
+ *    dcgserved runs one pass at startup and serves {"op":"compact"}
+ *    on demand.
+ *
+ * Safe for concurrent use from several worker threads (the index is
+ * mutex-guarded; file operations are per-key).
  */
 
 #ifndef DCG_SERVE_STORE_HH
@@ -29,7 +46,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "exp/engine.hh"
 
@@ -48,11 +65,33 @@ class ResultStore : public exp::ResultStoreBase
     bool get(const std::string &key, RunResult &out) override;
     void put(const std::string &key, const RunResult &r) override;
 
-    /** Records currently on disk (indexed at open + later puts). */
-    std::size_t size() const;
+    /// @name exp::StoreLifecycle
+    /// @{
+    std::size_t entries() const override;
+    std::uint64_t bytes() const override;
+    std::size_t evictTo(std::uint64_t budgetBytes) override;
+    std::size_t compact() override;
+    /// @}
+
+    /**
+     * Enable automatic LRU eviction: after every put() the store is
+     * trimmed back to @p budget bytes. 0 disables (the default).
+     */
+    void setBudgetBytes(std::uint64_t budget);
+    std::uint64_t budgetBytes() const;
+
+    /** Records currently on disk (alias of entries(), kept for the
+     *  original observability surface). */
+    std::size_t size() const { return entries(); }
 
     /** Corrupt/foreign records encountered by get() so far. */
     std::uint64_t corruptRecords() const { return corrupt.load(); }
+
+    /** Records removed by evictTo()/budget enforcement so far. */
+    std::uint64_t evictedRecords() const { return evicted.load(); }
+
+    /** compact() passes completed so far. */
+    std::uint64_t compactions() const { return compactPasses.load(); }
 
     const std::string &directory() const { return dir; }
 
@@ -60,10 +99,27 @@ class ResultStore : public exp::ResultStoreBase
     std::string recordPath(const std::string &key) const;
 
   private:
+    struct Rec
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Drop LRU records until totalBytes <= budget; indexMutex held.
+     *  @p keep (a record file name) is never evicted. */
+    std::size_t evictLocked(std::uint64_t budget,
+                            const std::string &keep);
+    void writeManifestLocked() const;
+
     std::string dir;
     mutable std::mutex indexMutex;
-    std::unordered_set<std::string> index;  ///< record file names
+    std::unordered_map<std::string, Rec> index;  ///< by record name
+    std::uint64_t totalBytes = 0;   ///< guarded by indexMutex
+    std::uint64_t useClock = 0;     ///< guarded by indexMutex
+    std::uint64_t budget = 0;       ///< guarded by indexMutex
     std::atomic<std::uint64_t> corrupt{0};
+    std::atomic<std::uint64_t> evicted{0};
+    std::atomic<std::uint64_t> compactPasses{0};
     std::atomic<std::uint64_t> tmpCounter{0};
 };
 

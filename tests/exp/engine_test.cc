@@ -323,3 +323,54 @@ TEST(Engine, ClearCacheForcesResimulation)
     EXPECT_EQ(engine.cacheMisses(), 2u);
     expectBitIdentical(a, b);
 }
+
+TEST(Engine, LifecycleEvictToKeepsRecentlyUsedEntries)
+{
+    Engine engine(1);
+    const Job a = makeJob(profileByName("gzip"),
+                          table1Config(GatingScheme::None), kInsts,
+                          kWarmup);
+    const Job b = makeJob(profileByName("gzip"),
+                          table1Config(GatingScheme::Dcg), kInsts,
+                          kWarmup);
+    const Job c = makeJob(profileByName("mcf"),
+                          table1Config(GatingScheme::Dcg), kInsts,
+                          kWarmup);
+    engine.runOne(a);
+    engine.runOne(b);
+    engine.runOne(c);
+    ASSERT_EQ(engine.entries(), 3u);
+    const std::uint64_t full = engine.bytes();
+    ASSERT_GT(full, 0u);
+
+    // Touch 'a' so 'b' becomes the least recently used slot.
+    engine.runOne(a);
+
+    EXPECT_EQ(engine.evictTo(full - 1), 1u);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+    EXPECT_LT(engine.bytes(), full);
+    RunResult out;
+    EXPECT_TRUE(engine.tryCached(a, out));
+    EXPECT_TRUE(engine.tryCached(c, out));
+    EXPECT_FALSE(engine.tryCached(b, out));
+
+    // Evicting everything empties the accounting too.
+    EXPECT_EQ(engine.evictTo(0), 2u);
+    EXPECT_EQ(engine.bytes(), 0u);
+    EXPECT_EQ(engine.cacheSize(), 0u);
+
+    // The in-memory cache has nothing to compact.
+    EXPECT_EQ(engine.compact(), 0u);
+}
+
+TEST(Engine, ClearCacheResetsByteAccounting)
+{
+    Engine engine(1);
+    const Job job = makeJob(profileByName("gzip"),
+                            table1Config(GatingScheme::None), kInsts,
+                            kWarmup);
+    engine.runOne(job);
+    EXPECT_GT(engine.bytes(), 0u);
+    engine.clearCache();
+    EXPECT_EQ(engine.bytes(), 0u);
+}

@@ -1,0 +1,110 @@
+/**
+ * Tests for the shared --server/--peers endpoint-list parser: the one
+ * canonical parse both dcgsim's client fan-out and dcgserved's ring
+ * configuration run through.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/endpoint.hh"
+
+using namespace dcg::serve;
+
+TEST(Endpoint, ParsesHostPort)
+{
+    Endpoint ep;
+    std::string err;
+    ASSERT_TRUE(parseEndpoint("127.0.0.1:7878", ep, err)) << err;
+    EXPECT_EQ(ep.host, "127.0.0.1");
+    EXPECT_EQ(ep.port, 7878);
+    EXPECT_EQ(ep.str(), "127.0.0.1:7878");
+}
+
+TEST(Endpoint, PortBoundsAreEnforced)
+{
+    Endpoint ep;
+    std::string err;
+    ASSERT_TRUE(parseEndpoint("h:1", ep, err));
+    EXPECT_EQ(ep.port, 1);
+    ASSERT_TRUE(parseEndpoint("h:65535", ep, err));
+    EXPECT_EQ(ep.port, 65535);
+    EXPECT_FALSE(parseEndpoint("h:0", ep, err));
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+    EXPECT_FALSE(parseEndpoint("h:65536", ep, err));
+    EXPECT_FALSE(parseEndpoint("h:-1", ep, err));
+}
+
+TEST(Endpoint, RejectsMalformedSingles)
+{
+    Endpoint ep;
+    std::string err;
+    EXPECT_FALSE(parseEndpoint("nocolon", ep, err));
+    EXPECT_NE(err.find("expected HOST:PORT"), std::string::npos);
+    EXPECT_FALSE(parseEndpoint(":7878", ep, err));
+    EXPECT_NE(err.find("empty host"), std::string::npos);
+    EXPECT_FALSE(parseEndpoint("h:", ep, err));
+    EXPECT_NE(err.find("not a number"), std::string::npos);
+    EXPECT_FALSE(parseEndpoint("h:googol", ep, err));
+}
+
+TEST(Endpoint, ParsesCommaSeparatedList)
+{
+    std::vector<Endpoint> eps;
+    std::string err;
+    ASSERT_TRUE(
+        parseEndpoints("127.0.0.1:7878,127.0.0.1:7879,10.0.0.2:80",
+                       eps, err))
+        << err;
+    ASSERT_EQ(eps.size(), 3u);
+    EXPECT_EQ(eps[0].str(), "127.0.0.1:7878");
+    EXPECT_EQ(eps[1].str(), "127.0.0.1:7879");
+    EXPECT_EQ(eps[2].str(), "10.0.0.2:80");
+    EXPECT_EQ(endpointStrings(eps).size(), 3u);
+    EXPECT_EQ(endpointStrings(eps)[2], "10.0.0.2:80");
+}
+
+TEST(Endpoint, SingleElementListWorks)
+{
+    std::vector<Endpoint> eps;
+    std::string err;
+    ASSERT_TRUE(parseEndpoints("localhost:7878", eps, err)) << err;
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_EQ(eps[0].host, "localhost");
+}
+
+TEST(Endpoint, RejectsMalformedLists)
+{
+    std::vector<Endpoint> eps;
+    std::string err;
+
+    EXPECT_FALSE(parseEndpoints("", eps, err));
+    EXPECT_NE(err.find("empty server list"), std::string::npos);
+
+    // Trailing comma.
+    EXPECT_FALSE(parseEndpoints("h:1,", eps, err));
+    EXPECT_NE(err.find("stray comma"), std::string::npos);
+
+    // Leading comma and double comma.
+    EXPECT_FALSE(parseEndpoints(",h:1", eps, err));
+    EXPECT_FALSE(parseEndpoints("h:1,,h:2", eps, err));
+
+    // A bad element anywhere poisons the list.
+    EXPECT_FALSE(parseEndpoints("h:1,:2", eps, err));
+    EXPECT_NE(err.find("empty host"), std::string::npos);
+    EXPECT_FALSE(parseEndpoints("h:1,h:bad", eps, err));
+
+    // Duplicates would double-weight a ring node.
+    EXPECT_FALSE(parseEndpoints("h:1,h:2,h:1", eps, err));
+    EXPECT_NE(err.find("duplicate"), std::string::npos);
+}
+
+TEST(Endpoint, FailedParseLeavesOutputUntouched)
+{
+    std::vector<Endpoint> eps;
+    std::string err;
+    ASSERT_TRUE(parseEndpoints("h:1", eps, err));
+    ASSERT_EQ(eps.size(), 1u);
+    EXPECT_FALSE(parseEndpoints("h:1,", eps, err));
+    EXPECT_EQ(eps.size(), 1u);  // previous contents survive
+    EXPECT_EQ(eps[0].str(), "h:1");
+}

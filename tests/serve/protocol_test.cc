@@ -183,3 +183,57 @@ TEST(Protocol, ResponseHelpers)
     EXPECT_EQ(err.get("error").asString(), "busy");
     EXPECT_EQ(err.get("detail").asString(), "queue full");
 }
+
+TEST(Protocol, RequestVersionDefaultsToLegacyV1)
+{
+    std::string err;
+    unsigned v = 0;
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("stats"));
+    ASSERT_TRUE(requestVersion(req, v, err)) << err;
+    EXPECT_EQ(v, 1u);
+
+    req.set("version", JsonValue::integer(std::uint64_t{2}));
+    ASSERT_TRUE(requestVersion(req, v, err)) << err;
+    EXPECT_EQ(v, 2u);
+
+    // A future version still parses; rejection is a separate,
+    // structured step so the client learns the supported maximum.
+    req.set("version", JsonValue::integer(std::uint64_t{7}));
+    ASSERT_TRUE(requestVersion(req, v, err));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(Protocol, RequestVersionRejectsGarbage)
+{
+    std::string err;
+    unsigned v = 0;
+    JsonValue req = JsonValue::object();
+    req.set("version", JsonValue::string("two"));
+    EXPECT_FALSE(requestVersion(req, v, err));
+    EXPECT_FALSE(err.empty());
+
+    req.set("version", JsonValue::integer(std::int64_t{0}));
+    EXPECT_FALSE(requestVersion(req, v, err));
+    req.set("version", JsonValue::integer(std::int64_t{-3}));
+    EXPECT_FALSE(requestVersion(req, v, err));
+}
+
+TEST(Protocol, VersionedEnvelopeHelpers)
+{
+    JsonValue resp = okResponse();
+    stampVersion(resp, 2);
+    EXPECT_EQ(resp.get("version").asU64(0), 2u);
+    stampVersion(resp, 1);  // restamp replaces
+    EXPECT_EQ(resp.get("version").asU64(0), 1u);
+
+    const JsonValue rej = unsupportedVersionResponse(9);
+    EXPECT_FALSE(rej.get("ok").asBool(true));
+    EXPECT_EQ(rej.get("error").asString(), "unsupported_version");
+    EXPECT_EQ(rej.get("supported").asU64(0), kProtocolVersion);
+
+    const JsonValue no = notOwnerResponse("10.0.0.2:7878");
+    EXPECT_FALSE(no.get("ok").asBool(true));
+    EXPECT_EQ(no.get("error").asString(), "not_owner");
+    EXPECT_EQ(no.get("redirect").asString(), "10.0.0.2:7878");
+}

@@ -1,0 +1,135 @@
+/**
+ * Tests for the consistent-hash ring behind the dcgserved cluster:
+ * determinism, order-independence (the agreement property client and
+ * servers rely on), distribution balance across 2-4 nodes, and the
+ * bounded-remapping property on node addition/removal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/ring.hh"
+
+using namespace dcg::serve;
+
+namespace {
+
+std::vector<std::string>
+syntheticKeys(std::size_t n)
+{
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys.push_back("bench=b" + std::to_string(i % 26) +
+                       ";seed=" + std::to_string(i));
+    return keys;
+}
+
+} // namespace
+
+TEST(HashRing, OwnerIsDeterministic)
+{
+    const HashRing a({"n1:1", "n2:2", "n3:3"});
+    const HashRing b({"n1:1", "n2:2", "n3:3"});
+    for (const std::string &k : syntheticKeys(200))
+        EXPECT_EQ(a.owner(k), b.owner(k));
+}
+
+TEST(HashRing, OwnerIsOrderIndependent)
+{
+    // The agreement property: a client building the ring from a
+    // --server list and a server building it from --peers must name
+    // the same owner regardless of list order.
+    const HashRing a({"n1:1", "n2:2", "n3:3", "n4:4"});
+    const HashRing b({"n4:4", "n2:2", "n1:1", "n3:3"});
+    for (const std::string &k : syntheticKeys(500))
+        EXPECT_EQ(a.owner(k), b.owner(k));
+}
+
+TEST(HashRing, OwnerIndexAgreesWithOwner)
+{
+    const HashRing ring({"n1:1", "n2:2", "n3:3"});
+    for (const std::string &k : syntheticKeys(100))
+        EXPECT_EQ(ring.nodeNames()[ring.ownerIndex(k)], ring.owner(k));
+}
+
+TEST(HashRing, DistributionIsRoughlyBalanced)
+{
+    // With 64 virtual points per node, no node should end up with a
+    // grossly lopsided share. Bound loosely (half to double the fair
+    // share) — the point is "spread", not perfection.
+    const auto keys = syntheticKeys(3000);
+    for (std::size_t n = 2; n <= 4; ++n) {
+        std::vector<std::string> names;
+        for (std::size_t i = 0; i < n; ++i)
+            names.push_back("node" + std::to_string(i) + ":7878");
+        const HashRing ring(names);
+        std::map<std::string, std::size_t> counts;
+        for (const std::string &k : keys)
+            ++counts[ring.owner(k)];
+        EXPECT_EQ(counts.size(), n) << "some node owns nothing";
+        const double fair =
+            static_cast<double>(keys.size()) / static_cast<double>(n);
+        for (const auto &[name, c] : counts) {
+            EXPECT_GT(static_cast<double>(c), fair * 0.5)
+                << name << " at N=" << n;
+            EXPECT_LT(static_cast<double>(c), fair * 2.0)
+                << name << " at N=" << n;
+        }
+    }
+}
+
+TEST(HashRing, AddingANodeOnlyRemapsToTheNewNode)
+{
+    // The stability property: growing the ring must never shuffle a
+    // key between two old nodes — everything that moves, moves to the
+    // newcomer. (This is what keeps existing shards' stores warm.)
+    const HashRing before({"a:1", "b:2", "c:3"});
+    const HashRing after({"a:1", "b:2", "c:3", "d:4"});
+    const auto keys = syntheticKeys(2000);
+    std::size_t moved = 0;
+    for (const std::string &k : keys) {
+        const std::string &o = before.owner(k);
+        const std::string &n = after.owner(k);
+        if (o != n) {
+            EXPECT_EQ(n, "d:4") << "key moved between old nodes";
+            ++moved;
+        }
+    }
+    // Roughly 1/4 of the space moves; allow generous slack.
+    EXPECT_GT(moved, keys.size() / 10);
+    EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(HashRing, RemovingANodeOnlyRemapsItsKeys)
+{
+    const HashRing before({"a:1", "b:2", "c:3"});
+    const HashRing after({"a:1", "c:3"});
+    for (const std::string &k : syntheticKeys(1000)) {
+        if (before.owner(k) != "b:2")
+            EXPECT_EQ(after.owner(k), before.owner(k));
+    }
+}
+
+TEST(HashRing, SingleNodeOwnsEverything)
+{
+    const HashRing ring({"only:1"});
+    for (const std::string &k : syntheticKeys(50)) {
+        EXPECT_EQ(ring.owner(k), "only:1");
+        EXPECT_EQ(ring.ownerIndex(k), 0u);
+    }
+}
+
+TEST(HashRing, HashIsStable)
+{
+    // Pin the exact hash function (FNV-1a + avalanche finisher):
+    // silently changing it would strand every record on the wrong
+    // shard of an existing deployment.
+    EXPECT_EQ(HashRing::hash(""), 0xefd01f60ba992926ULL);
+    EXPECT_EQ(HashRing::hash("a"), 0x82a2a958a9bece5bULL);
+    EXPECT_EQ(HashRing::hash("dcg"), HashRing::hash("dcg"));
+    EXPECT_NE(HashRing::hash("dcg"), HashRing::hash("dcf"));
+}

@@ -238,3 +238,139 @@ TEST(ResultStore, EngineServesWarmStoreWithoutSimulating)
 
     std::filesystem::remove_all(dir);
 }
+
+TEST(ResultStore, EvictToDropsLeastRecentlyUsedFirst)
+{
+    const std::string dir = freshDir("lru");
+    ResultStore store(dir);
+
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job c = smallJob("mcf", GatingScheme::Dcg);
+    Engine engine(1);
+    store.put(jobKey(a), engine.runOne(a));
+    store.put(jobKey(b), engine.runOne(b));
+    store.put(jobKey(c), engine.runOne(c));
+    ASSERT_EQ(store.entries(), 3u);
+    const std::uint64_t full = store.bytes();
+    ASSERT_GT(full, 0u);
+
+    // Freshen 'a': the eviction victim must now be 'b', the LRU.
+    RunResult out;
+    ASSERT_TRUE(store.get(jobKey(a), out));
+
+    EXPECT_EQ(store.evictTo(full - 1), 1u);
+    EXPECT_EQ(store.entries(), 2u);
+    EXPECT_EQ(store.evictedRecords(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(store.recordPath(jobKey(b))));
+    EXPECT_TRUE(store.get(jobKey(a), out));
+    EXPECT_TRUE(store.get(jobKey(c), out));
+    EXPECT_FALSE(store.get(jobKey(b), out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, PutEnforcesBudgetButNeverEvictsTheNewRecord)
+{
+    const std::string dir = freshDir("budget");
+    ResultStore store(dir);
+
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    Engine engine(1);
+    const RunResult ra = engine.runOne(a);
+    const RunResult rb = engine.runOne(b);
+
+    store.put(jobKey(a), ra);
+    ASSERT_EQ(store.entries(), 1u);
+    // Budget fits exactly one record: the next put must evict the old
+    // record, not the one it just wrote.
+    store.setBudgetBytes(store.bytes());
+    EXPECT_EQ(store.budgetBytes(), store.bytes());
+    store.put(jobKey(b), rb);
+
+    EXPECT_EQ(store.entries(), 1u);
+    RunResult out;
+    EXPECT_TRUE(store.get(jobKey(b), out));
+    EXPECT_FALSE(store.get(jobKey(a), out));
+    EXPECT_GE(store.evictedRecords(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, CompactRemovesTmpLeftoversAndInvalidRecords)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = freshDir("compact");
+    ResultStore store(dir);
+
+    const Job a = smallJob("gzip", GatingScheme::None);
+    Engine engine(1);
+    store.put(jobKey(a), engine.runOne(a));
+    ASSERT_EQ(store.entries(), 1u);
+
+    // Plant an interrupted-write leftover and a record-shaped file
+    // whose content does not validate.
+    {
+        std::ofstream tmp(fs::path(dir) /
+                          "00112233445566778899aabbccddeeff.json.tmp.7");
+        tmp << "half a reco";
+    }
+    {
+        std::ofstream bogus(fs::path(dir) /
+                            "ffeeddccbbaa99887766554433221100.json");
+        bogus << "{\"dcg_store\": 1, \"key\": \"nonsense\"}\n[]\n";
+    }
+
+    const std::size_t removed = store.compact();
+    EXPECT_EQ(removed, 2u);
+    EXPECT_EQ(store.compactions(), 1u);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_FALSE(fs::exists(
+        fs::path(dir) /
+        "00112233445566778899aabbccddeeff.json.tmp.7"));
+    EXPECT_FALSE(fs::exists(
+        fs::path(dir) / "ffeeddccbbaa99887766554433221100.json"));
+
+    // The valid record survives and still round-trips.
+    RunResult out;
+    EXPECT_TRUE(store.get(jobKey(a), out));
+
+    // The manifest summary was rewritten atomically.
+    ASSERT_TRUE(fs::exists(fs::path(dir) / "manifest.json"));
+    std::ifstream m(fs::path(dir) / "manifest.json");
+    std::string manifest((std::istreambuf_iterator<char>(m)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(manifest.find("\"records\": 1"), std::string::npos)
+        << manifest;
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, RestartSeedsEvictionOrderFromFileAges)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = freshDir("mtime");
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    Engine engine(1);
+    {
+        ResultStore store(dir);
+        store.put(jobKey(a), engine.runOne(a));
+        store.put(jobKey(b), engine.runOne(b));
+    }
+    // Make 'a' unambiguously the older record.
+    ResultStore probe(dir);
+    fs::last_write_time(probe.recordPath(jobKey(a)),
+                        fs::last_write_time(probe.recordPath(jobKey(b))) -
+                            std::chrono::hours(1));
+
+    ResultStore restarted(dir);
+    ASSERT_EQ(restarted.entries(), 2u);
+    EXPECT_EQ(restarted.evictTo(restarted.bytes() - 1), 1u);
+    RunResult out;
+    EXPECT_FALSE(restarted.get(jobKey(a), out));  // older: evicted
+    EXPECT_TRUE(restarted.get(jobKey(b), out));
+
+    std::filesystem::remove_all(dir);
+}

@@ -8,9 +8,17 @@
  * result in an on-disk store so a restarted server answers previously
  * seen jobs without simulating at all.
  *
+ * With --peers the process becomes one shard of a cluster: every node
+ * names the same full ring (its own address included), job keys are
+ * assigned by consistent hashing, and a submit for a peer-owned key is
+ * transparently forwarded — so any node can serve any client while
+ * each result is stored on exactly the shard the ring designates.
+ *
  * Examples:
  *   dcgserved --port=7878 --store=/var/tmp/dcg-results
  *   dcgserved --port=0 --jobs=8 --queue-cap=64   # ephemeral port
+ *   dcgserved --port=7878 --store=s1 \
+ *             --peers=127.0.0.1:7878,127.0.0.1:7879   # shard 1 of 2
  *
  * SIGINT/SIGTERM triggers a graceful drain: queued and running jobs
  * finish, responses flush, then the process exits 0.
@@ -95,7 +103,8 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv,
                  {"host", "port", "jobs", "queue-cap", "store",
-                  "retry-after-ms", "drain-grace-ms", "help"});
+                  "store-budget-bytes", "cache-budget-bytes", "peers",
+                  "self", "retry-after-ms", "drain-grace-ms", "help"});
 
     if (opts.has("help")) {
         std::cout <<
@@ -105,6 +114,16 @@ main(int argc, char **argv)
             "          [--queue-cap=N (bounded job queue; default"
             " 256)]\n"
             "          [--store=DIR (persistent result store)]\n"
+            "          [--store-budget-bytes=N (LRU-evict the store"
+            " past N bytes)]\n"
+            "          [--cache-budget-bytes=N (LRU-evict the in-memory"
+            " cache)]\n"
+            "          [--peers=HOST:PORT[,HOST:PORT...] (the full"
+            " cluster ring,\n"
+            "           this node included; enables sharding)]\n"
+            "          [--self=HOST:PORT (this node's ring address;"
+            " default\n"
+            "           --host:--port)]\n"
             "          [--retry-after-ms=N] [--drain-grace-ms=N]\n";
         return 0;
     }
@@ -118,10 +137,36 @@ main(int argc, char **argv)
     cfg.queueCapacity = static_cast<std::size_t>(
         checkedCount(opts, "queue-cap", 256, 1));
     cfg.storeDir = opts.getString("store", "");
+    cfg.storeBudgetBytes = static_cast<std::uint64_t>(
+        checkedCount(opts, "store-budget-bytes", 0, 0));
+    cfg.cacheBudgetBytes = static_cast<std::uint64_t>(
+        checkedCount(opts, "cache-budget-bytes", 0, 0));
     cfg.retryAfterMs = static_cast<unsigned>(
         checkedCount(opts, "retry-after-ms", 250, 1));
     cfg.drainGraceMs = static_cast<unsigned>(
         checkedCount(opts, "drain-grace-ms", 5000, 0));
+
+    if (opts.has("peers")) {
+        std::string err;
+        if (!serve::parseEndpoints(opts.getString("peers", ""),
+                                   cfg.peers, err))
+            fatal("invalid --peers list: ", err);
+        if (opts.has("self")) {
+            serve::Endpoint self;
+            if (!serve::parseEndpoint(opts.getString("self", ""), self,
+                                      err))
+                fatal("invalid --self: ", err);
+            cfg.self = self.str();
+        } else if (cfg.port != 0) {
+            cfg.self = cfg.host + ":" + std::to_string(cfg.port);
+        } else {
+            fatal("cluster mode with --port=0 needs an explicit"
+                  " --self=HOST:PORT (peers cannot name an ephemeral"
+                  " port)");
+        }
+    } else if (opts.has("self")) {
+        fatal("--self only makes sense together with --peers");
+    }
 
     serve::Server server(cfg);
     gServer.store(&server, std::memory_order_release);
@@ -132,6 +177,9 @@ main(int argc, char **argv)
     if (!cfg.storeDir.empty())
         std::cout << "dcgserved: result store at " << cfg.storeDir
                   << std::endl;
+    if (!cfg.peers.empty())
+        std::cout << "dcgserved: cluster shard " << cfg.self << " of "
+                  << cfg.peers.size() << " node(s)" << std::endl;
 
     server.run();
 

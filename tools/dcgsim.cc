@@ -8,8 +8,10 @@
  *
  * Runs go through the exp::Engine, so --bench=all executes the
  * benchmarks in parallel (--jobs / DCG_JOBS, default all cores) with
- * bit-identical results to a serial run. With --server=HOST:PORT the
- * same jobs are executed by a dcgserved instance instead — output is
+ * bit-identical results to a serial run. With
+ * --server=HOST:PORT[,HOST:PORT...] the same jobs are executed by one
+ * dcgserved instance — or fanned out across a sharded cluster, each
+ * job routed to the consistent-hash owner of its key — and output is
  * byte-identical either way (the request is expanded through the same
  * presets path on the server, and results round-trip bit-exactly).
  *
@@ -22,6 +24,7 @@
  *   dcgsim --bench=all --scheme=plb-ext --insts=300000 --csv=out.csv
  *   dcgsim --bench=all --scheme=dcg --jobs=8 --json=out.json
  *   dcgsim --bench=all --scheme=dcg --server=127.0.0.1:7878
+ *   dcgsim --bench=all --server=127.0.0.1:7878,127.0.0.1:7879
  *   dcgsim --server=127.0.0.1:7878 --server-stats
  */
 
@@ -81,8 +84,22 @@ printSummary(std::size_t jobs, const exp::Engine &engine)
     std::cerr << o.dump() << '\n';
 }
 
+/**
+ * Build the client for --server: one endpoint gives the classic
+ * single-connection behaviour, several give ring-routed fan-out.
+ */
+serve::ClusterClient
+makeServerClient(const Options &opts)
+{
+    std::vector<serve::Endpoint> eps;
+    std::string err;
+    if (!serve::parseEndpoints(opts.getString("server", ""), eps, err))
+        fatal("invalid --server list: ", err);
+    return serve::ClusterClient(std::move(eps));
+}
+
 void
-printServerSummary(std::size_t jobs, serve::Client &client)
+printServerSummary(std::size_t jobs, serve::ClientBase &client)
 {
     serve::JsonValue stats = client.stats();
     serve::JsonValue s = serve::JsonValue::object();
@@ -118,8 +135,9 @@ main(int argc, char **argv)
             "       [--dump-stats] [--csv=path] [--json=path]\n"
             "       [--jobs=N (parallel workers; default DCG_JOBS or"
             " all cores)]\n"
-            "       [--server=HOST:PORT (run jobs on a dcgserved"
-            " instance)]\n"
+            "       [--server=HOST:PORT[,HOST:PORT...] (run jobs on a"
+            " dcgserved\n"
+            "        instance or a sharded cluster of them)]\n"
             "       [--server-stats (print the server's stats JSON and"
             " exit)]\n"
             "       [--schema (print the JSON result schema and"
@@ -134,8 +152,8 @@ main(int argc, char **argv)
 
     if (opts.getBool("server-stats", false)) {
         if (!opts.has("server"))
-            fatal("--server-stats requires --server=HOST:PORT");
-        serve::Client client(opts.getString("server", ""));
+            fatal("--server-stats requires --server=HOST:PORT[,...]");
+        serve::ClusterClient client = makeServerClient(opts);
         std::cout << client.stats().dump() << '\n';
         return 0;
     }
@@ -198,7 +216,8 @@ main(int argc, char **argv)
             sim.dumpStats(std::cout);
         }
     } else if (opts.has("server")) {
-        serve::Client client(opts.getString("server", ""));
+        serve::ClusterClient client = makeServerClient(opts);
+        client.connect();
         results = client.runJobs(specs);
         printServerSummary(specs.size(), client);
     } else {
