@@ -1,7 +1,10 @@
 #include "serve/client.hh"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -36,6 +39,20 @@ sleepRetryHint(const JsonValue &resp)
         std::chrono::milliseconds(delay_ms ? delay_ms : 250));
 }
 
+/**
+ * A response whose failure is the *node's* fault, not the request's:
+ * worth retrying on another replica candidate. "draining" is a node on
+ * its way out; "forward_failed" is a node that could not reach the
+ * key's owner; "unknown_id" is a node that restarted and lost the job
+ * table between our submit and our wait.
+ */
+bool
+failedOverable(const std::string &code)
+{
+    return code == "draining" || code == "forward_failed" ||
+           code == "unknown_id";
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- //
@@ -58,7 +75,8 @@ Connection::shut()
 }
 
 bool
-Connection::open(const Endpoint &ep, std::string &err)
+Connection::open(const Endpoint &ep, std::string &err,
+                 unsigned timeoutMs)
 {
     shut();
     peer = ep.str();
@@ -82,9 +100,54 @@ Connection::open(const Endpoint &ep, std::string &err)
             last_errno = errno;
             continue;
         }
-        if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        if (timeoutMs == 0) {
+            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+                break;
+            last_errno = errno;
+            close(fd);
+            fd = -1;
+            continue;
+        }
+
+        // Bounded connect: flip to non-blocking, poll for the
+        // three-way handshake, then restore blocking mode (recv/send
+        // are bounded separately via SO_RCVTIMEO/SO_SNDTIMEO below).
+        bool connected = false;
+        const int flags = fcntl(fd, F_GETFL, 0);
+        if (flags >= 0 &&
+            fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0) {
+            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+                connected = true;
+            } else if (errno == EINPROGRESS) {
+                pollfd pfd{};
+                pfd.fd = fd;
+                pfd.events = POLLOUT;
+                const int pr =
+                    poll(&pfd, 1, static_cast<int>(timeoutMs));
+                if (pr == 1) {
+                    int soerr = 0;
+                    socklen_t len = sizeof(soerr);
+                    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr,
+                                   &len) == 0 &&
+                        soerr == 0)
+                        connected = true;
+                    else
+                        last_errno = soerr ? soerr : errno;
+                } else {
+                    last_errno = pr == 0 ? ETIMEDOUT : errno;
+                }
+            } else {
+                last_errno = errno;
+            }
+            if (connected && fcntl(fd, F_SETFL, flags) != 0) {
+                last_errno = errno;
+                connected = false;
+            }
+        } else {
+            last_errno = errno;
+        }
+        if (connected)
             break;
-        last_errno = errno;
         close(fd);
         fd = -1;
     }
@@ -93,6 +156,21 @@ Connection::open(const Endpoint &ep, std::string &err)
         err = "cannot connect to " + peer + ": " +
               std::strerror(last_errno);
         return false;
+    }
+
+    if (timeoutMs) {
+        timeval tv{};
+        tv.tv_sec = timeoutMs / 1000;
+        tv.tv_usec = static_cast<long>(timeoutMs % 1000) * 1000;
+        if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                       sizeof(tv)) != 0 ||
+            setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                       sizeof(tv)) != 0) {
+            err = "cannot arm timeout on " + peer + ": " +
+                  std::strerror(errno);
+            shut();
+            return false;
+        }
     }
     return true;
 }
@@ -110,6 +188,10 @@ Connection::sendAll(const std::string &line, std::string &err)
         }
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            err = "timeout sending request to " + peer;
+            return false;
+        }
         err = "cannot send request to " + peer + ": " +
               std::strerror(errno);
         return false;
@@ -135,6 +217,10 @@ Connection::recvLine(std::string &line, std::string &err)
         }
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            err = "timeout awaiting a response from " + peer;
+            return false;
+        }
         err = "connection to " + peer +
               (n == 0 ? " closed" : " failed") +
               " while awaiting a response";
@@ -175,16 +261,19 @@ Connection::roundTrip(const JsonValue &req, JsonValue &resp,
 
 bool
 forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
-                 RunResult &out, std::string &err)
+                 bool asReplica, unsigned timeoutMs, RunResult &out,
+                 std::string &err)
 {
     Connection conn;
-    if (!conn.open(peer, err))
+    if (!conn.open(peer, err, timeoutMs))
         return false;
 
     JsonValue submit = JsonValue::object();
     submit.set("op", JsonValue::string("submit"));
     submit.set("job", spec.toJson());
     submit.set("forwarded", JsonValue::boolean(true));
+    if (asReplica)
+        submit.set("replica", JsonValue::boolean(true));
     stampVersion(submit, kProtocolVersion);
 
     std::uint64_t id = 0;
@@ -239,6 +328,19 @@ forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
 // ClientBase                                                       //
 // ---------------------------------------------------------------- //
 
+JsonValue
+ClientBase::roundTrip(const JsonValue &req, const std::string &routeKey)
+{
+    for (;;) {
+        JsonValue resp;
+        std::string err;
+        if (tryRoundTrip(req, routeKey, resp, err))
+            return resp;
+        if (!advanceRoute(routeKey))
+            fatal(err);
+    }
+}
+
 std::uint64_t
 ClientBase::submitWithRetry(const JobSpec &spec,
                             const std::string &routeKey)
@@ -247,18 +349,31 @@ ClientBase::submitWithRetry(const JobSpec &spec,
     req.set("op", JsonValue::string("submit"));
     req.set("job", spec.toJson());
 
-    for (unsigned attempt = 0; attempt < kMaxBusyRetries; ++attempt) {
-        const JsonValue resp = roundTrip(req, routeKey);
+    unsigned busy = 0;
+    for (;;) {
+        JsonValue resp;
+        std::string err;
+        if (!tryRoundTrip(req, routeKey, resp, err)) {
+            if (advanceRoute(routeKey))
+                continue;
+            fatal(err);
+        }
         if (resp.get("ok").asBool(false))
             return resp.get("id").asU64(0);
         const std::string code = resp.get("error").asString();
-        if (code != "busy")
-            fatal("server rejected job (", code, "): ",
-                  resp.get("detail").asString());
-        // Backpressure: honour the server's retry-after hint.
-        sleepRetryHint(resp);
+        if (code == "busy") {
+            if (++busy >= kMaxBusyRetries)
+                fatal("server stayed busy after ", kMaxBusyRetries,
+                      " retries");
+            // Backpressure: honour the server's retry-after hint.
+            sleepRetryHint(resp);
+            continue;
+        }
+        if (failedOverable(code) && advanceRoute(routeKey))
+            continue;
+        fatal("server rejected job (", code, "): ",
+              resp.get("detail").asString());
     }
-    fatal("server stayed busy after ", kMaxBusyRetries, " retries");
 }
 
 std::vector<RunResult>
@@ -279,21 +394,39 @@ ClientBase::runJobs(const std::vector<JobSpec> &specs)
     std::vector<RunResult> results;
     results.reserve(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
-        JsonValue req = JsonValue::object();
-        req.set("op", JsonValue::string("result"));
-        req.set("id", JsonValue::integer(ids[i]));
-        req.set("wait", JsonValue::boolean(true));
-        const JsonValue resp = roundTrip(req, keys[i]);
-        if (!resp.get("ok").asBool(false))
-            fatal("server failed job ", ids[i], " (",
-                  resp.get("error").asString(), "): ",
-                  resp.get("detail").asString());
-        std::vector<RunResult> one;
-        std::string err;
-        if (!resultsFromJson(resp.get("result"), one, err) ||
-            one.size() != 1)
-            fatal("malformed result for job ", ids[i], ": ", err);
-        results.push_back(std::move(one.front()));
+        std::uint64_t id = ids[i];
+        for (;;) {
+            JsonValue req = JsonValue::object();
+            req.set("op", JsonValue::string("result"));
+            req.set("id", JsonValue::integer(id));
+            req.set("wait", JsonValue::boolean(true));
+            JsonValue resp;
+            std::string err;
+            const bool sent = tryRoundTrip(req, keys[i], resp, err);
+            if (sent && resp.get("ok").asBool(false)) {
+                std::vector<RunResult> one;
+                if (!resultsFromJson(resp.get("result"), one, err) ||
+                    one.size() != 1)
+                    fatal("malformed result for job ", id, ": ", err);
+                onResultServed(keys[i], resp);
+                results.push_back(std::move(one.front()));
+                break;
+            }
+            const std::string code =
+                sent ? resp.get("error").asString() : "";
+            if (sent && !failedOverable(code))
+                fatal("server failed job ", id, " (", code, "): ",
+                      resp.get("detail").asString());
+            // The routed node died (or is dying) with our job: move
+            // this key to its next replica candidate and resubmit —
+            // job ids are per-node and mean nothing elsewhere.
+            if (!advanceRoute(keys[i]))
+                fatal(sent ? "server failed job " +
+                                 std::to_string(id) + " (" + code +
+                                 "): " + resp.get("detail").asString()
+                           : err);
+            id = submitWithRetry(specs[i], keys[i]);
+        }
     }
     return results;
 }
@@ -302,8 +435,10 @@ ClientBase::runJobs(const std::vector<JobSpec> &specs)
 // ClusterClient                                                    //
 // ---------------------------------------------------------------- //
 
-ClusterClient::ClusterClient(std::vector<Endpoint> endpoints)
-    : eps(std::move(endpoints))
+ClusterClient::ClusterClient(std::vector<Endpoint> endpoints,
+                             unsigned replicaCount, unsigned timeout)
+    : eps(std::move(endpoints)), replicas(replicaCount),
+      timeoutMs(timeout)
 {
     if (eps.empty())
         fatal("client: empty server endpoint list");
@@ -316,23 +451,85 @@ ClusterClient::ClusterClient(std::vector<Endpoint> endpoints)
 void
 ClusterClient::connect()
 {
+    std::size_t up = 0;
     for (std::size_t i = 0; i < eps.size(); ++i) {
         std::string err;
-        if (!conns[i]->isOpen() && !conns[i]->open(eps[i], err))
+        if (conns[i]->isOpen() || conns[i]->open(eps[i], err,
+                                                 timeoutMs)) {
+            ++up;
+            continue;
+        }
+        // With failover available a down node is survivable — the
+        // ring still names live candidates for every key.
+        if (replicas > 1 && eps.size() > 1)
+            warn("client: ", err, " (will fail over)");
+        else
             fatal(err);
     }
+    if (up == 0)
+        fatal("client: no server endpoint is reachable");
 }
 
-JsonValue
-ClusterClient::exchange(std::size_t idx, const JsonValue &req)
+std::size_t
+ClusterClient::nodeFor(const std::string &key) const
 {
+    if (key.empty() || eps.size() == 1)
+        return 0;
+    const auto it = routePos.find(key);
+    const std::size_t pos = it == routePos.end() ? 0 : it->second;
+    if (pos == 0)
+        return ring.ownerIndex(key);
+    return ring.ownerIndices(key, eps.size())[pos];
+}
+
+bool
+ClusterClient::advanceRoute(const std::string &routeKey)
+{
+    if (replicas <= 1 || routeKey.empty() || eps.size() <= 1)
+        return false;
+    std::size_t &pos = routePos[routeKey];
+    if (pos + 1 >= eps.size())
+        return false;
+    ++pos;
+    ++failoverCount;
+    return true;
+}
+
+void
+ClusterClient::onResultServed(const std::string &routeKey,
+                              const JsonValue &resp)
+{
+    if (replicas <= 1 || routeKey.empty())
+        return;
+    const auto it = routePos.find(routeKey);
+    if (it == routePos.end() || it->second == 0)
+        return;
+
+    // A failover candidate served a key its primary could not:
+    // best-effort push the record back to the primary (client-driven
+    // read-repair). The result tokens are forwarded verbatim, so the
+    // repaired record is byte-identical to the one served.
+    JsonValue push = JsonValue::object();
+    push.set("op", JsonValue::string("replicate"));
+    push.set("key", JsonValue::string(routeKey));
+    push.set("result", resp.get("result"));
+    stampVersion(push, kProtocolVersion);
+    JsonValue r;
     std::string err;
+    if (tryExchange(ring.ownerIndex(routeKey), push, r, err) &&
+        r.get("ok").asBool(false))
+        ++readRepairCount;
+}
+
+bool
+ClusterClient::tryExchange(std::size_t idx, const JsonValue &req,
+                           JsonValue &resp, std::string &err)
+{
     Connection &conn = *conns[idx];
-    if (!conn.isOpen() && !conn.open(eps[idx], err))
-        fatal(err);
-    JsonValue resp;
+    if (!conn.isOpen() && !conn.open(eps[idx], err, timeoutMs))
+        return false;
     if (!conn.roundTrip(req, resp, err))
-        fatal(err);
+        return false;
     if (!resp.get("ok").asBool(false)) {
         const std::string code = resp.get("error").asString();
         if (code == "unsupported_version")
@@ -348,32 +545,37 @@ ClusterClient::exchange(std::size_t idx, const JsonValue &req)
                 if (i == idx || eps[i].str() != target)
                     continue;
                 Connection &rconn = *conns[i];
-                if (!rconn.isOpen() && !rconn.open(eps[i], err))
-                    fatal(err);
-                JsonValue redirected;
-                if (!rconn.roundTrip(req, redirected, err))
-                    fatal(err);
-                return redirected;
+                if (!rconn.isOpen() &&
+                    !rconn.open(eps[i], err, timeoutMs))
+                    return false;
+                return rconn.roundTrip(req, resp, err);
             }
             fatal("server ", eps[idx].str(),
                   " redirected to unknown node '", target, "'");
         }
     }
-    return resp;
+    return true;
 }
 
 JsonValue
-ClusterClient::roundTrip(const JsonValue &req,
-                         const std::string &routeKey)
+ClusterClient::exchange(std::size_t idx, const JsonValue &req)
 {
-    const std::size_t idx =
-        routeKey.empty() || eps.size() == 1
-            ? 0
-            : ring.ownerIndex(routeKey);
+    JsonValue resp;
+    std::string err;
+    if (!tryExchange(idx, req, resp, err))
+        fatal(err);
+    return resp;
+}
+
+bool
+ClusterClient::tryRoundTrip(const JsonValue &req,
+                            const std::string &routeKey,
+                            JsonValue &resp, std::string &err)
+{
     JsonValue vreq = req;
     if (!vreq.has("version"))
         stampVersion(vreq, kProtocolVersion);
-    return exchange(idx, vreq);
+    return tryExchange(nodeFor(routeKey), vreq, resp, err);
 }
 
 JsonValue

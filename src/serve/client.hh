@@ -3,27 +3,39 @@
  * Client stack for the dcgserved protocol — the engine room behind
  * `dcgsim --server HOST:PORT[,HOST:PORT...]`.
  *
- * Three layers, redesigned for the sharded cluster:
+ * Three layers, redesigned for the sharded, replicated cluster:
  *
  *  - Connection: one blocking TCP connection speaking the
  *    newline-JSON protocol. Every failure is reported (bool + error
  *    string), never fatal — this is the transport the *server* also
  *    uses when forwarding a job to the peer that owns its key, and a
- *    peer outage must not kill the forwarding node.
+ *    peer outage must not kill the forwarding node. An optional
+ *    timeout bounds connect() and every recv/send, so a partitioned
+ *    (blackholed, not merely dead) peer fails the exchange instead of
+ *    hanging it.
  *
  *  - ClientBase: the transport-agnostic client API. Subclasses
- *    provide connect() and roundTrip(request, routeKey); the base
- *    implements the submit/wait/backpressure dance of runJobs() on
- *    top, routing every request by the job's content-addressed key so
- *    an implementation can pick the owning node. CLI semantics:
- *    transport errors and protocol violations are fatal() here.
+ *    provide tryRoundTrip(request, routeKey) — one non-fatal exchange
+ *    with the node currently routed for a key — plus the failover
+ *    hooks advanceRoute()/onResultServed(); the base implements the
+ *    submit/wait/backpressure/failover dance of runJobs() on top.
+ *    When a node dies mid-grid the base advances the key's route to
+ *    the next replica candidate and *resubmits* (job ids are
+ *    per-node), so a grid survives any single-node loss as long as a
+ *    replica can answer. CLI semantics: an error with no remaining
+ *    candidate is fatal() here.
  *
  *  - ClusterClient: ClientBase over a consistent-hash ring of
  *    endpoints. Each job is submitted directly to the node the ring
  *    designates (client-side fan-out — no double hop), and the
  *    matching result request goes back to the same node. Speaks
- *    protocol version 2; follows one `not_owner` redirect as a safety
- *    net when client and server disagree about the ring.
+ *    protocol version 3; follows one `not_owner` redirect as a safety
+ *    net when client and server disagree about the ring. With
+ *    replicas > 1 it fails over along the key's ring-successor
+ *    candidates on connect failure, timeout, draining or
+ *    forward_failed — and when a failover candidate serves a result
+ *    the primary has lost, it best-effort pushes the record back to
+ *    the primary (`replicate` op): client-driven read-repair.
  *
  *  - Client: thin compatibility wrapper — the original single-socket
  *    "HOST:PORT" constructor and request() surface, now a one-node
@@ -32,13 +44,15 @@
  * runJobs() returns exactly what a local Engine::run() would have —
  * bit-identical, since RunResult doubles travel as max_digits10
  * tokens and are re-parsed by the same reader — regardless of how
- * many nodes the grid was scattered across.
+ * many nodes the grid was scattered across or how many failovers it
+ * took to collect them.
  */
 
 #ifndef DCG_SERVE_CLIENT_HH
 #define DCG_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,8 +77,13 @@ class Connection
     Connection(const Connection &) = delete;
     Connection &operator=(const Connection &) = delete;
 
-    /** Connect to @p ep (closing any previous socket first). */
-    bool open(const Endpoint &ep, std::string &err);
+    /**
+     * Connect to @p ep (closing any previous socket first).
+     * @p timeoutMs > 0 bounds the connect itself and every later
+     * send/recv on the socket; 0 never times out.
+     */
+    bool open(const Endpoint &ep, std::string &err,
+              unsigned timeoutMs = 0);
     bool isOpen() const { return fd >= 0; }
     void shut();
 
@@ -73,8 +92,8 @@ class Connection
 
     /**
      * Send one request line, receive one response line, parse it.
-     * On any failure the connection is closed and false is returned
-     * with @p err describing the failure.
+     * On any failure (including a timeout) the connection is closed
+     * and false is returned with @p err describing the failure.
      */
     bool roundTrip(const JsonValue &req, JsonValue &resp,
                    std::string &err);
@@ -92,9 +111,13 @@ class Connection
  * Server-side forwarding: run @p spec on @p peer (submit with bounded
  * busy retries, then wait for the result). Marks the submit
  * "forwarded" so a ring disagreement surfaces as `not_owner` instead
- * of a forwarding loop. Non-fatal: false + @p err on any failure.
+ * of a forwarding loop; @p asReplica additionally marks it "replica"
+ * — the target is a replica holder asked to serve a key whose primary
+ * is unreachable. @p timeoutMs bounds each socket operation (0 =
+ * none). Non-fatal: false + @p err on any failure.
  */
 bool forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
+                      bool asReplica, unsigned timeoutMs,
                       RunResult &out, std::string &err);
 
 /** Transport-agnostic client API (CLI semantics: errors are fatal). */
@@ -107,50 +130,116 @@ class ClientBase
     virtual void connect() = 0;
 
     /**
-     * One request/response exchange with the node that owns
-     * @p routeKey (a jobKey(); "" = the default/first node).
+     * One non-fatal request/response exchange with the node currently
+     * routed for @p routeKey (a jobKey(); "" = the default/first
+     * node). False + @p err on a transport failure; protocol-level
+     * errors come back as a parsed {"ok":false,...} response.
      */
-    virtual JsonValue roundTrip(const JsonValue &req,
-                                const std::string &routeKey) = 0;
+    virtual bool tryRoundTrip(const JsonValue &req,
+                              const std::string &routeKey,
+                              JsonValue &resp, std::string &err) = 0;
+
+    /**
+     * Advance @p routeKey to its next replica candidate after a
+     * failure. False (the default) means there is nowhere to fail
+     * over to — the caller escalates to fatal().
+     */
+    virtual bool advanceRoute(const std::string &routeKey)
+    {
+        (void)routeKey;
+        return false;
+    }
+
+    /** Hook: @p resp served a done result for @p routeKey. */
+    virtual void onResultServed(const std::string &routeKey,
+                                const JsonValue &resp)
+    {
+        (void)routeKey;
+        (void)resp;
+    }
+
+    /**
+     * One exchange with the @p routeKey node, failing over along the
+     * key's candidates on transport errors; fatal() when no candidate
+     * is reachable. Protocol-level errors are returned, not judged.
+     */
+    JsonValue roundTrip(const JsonValue &req,
+                        const std::string &routeKey);
 
     /** The server stats surface (aggregated for multi-node setups). */
     virtual JsonValue stats() = 0;
 
     /**
      * Run @p specs remotely: submit each to its owning node (retrying
-     * on backpressure), then wait for every result. Results come back
-     * in request order.
+     * on backpressure, failing over and resubmitting on node loss),
+     * then wait for every result. Results come back in request order.
      */
     std::vector<RunResult> runJobs(const std::vector<JobSpec> &specs);
 
+    /** Failovers performed while routing requests (0 without them). */
+    std::uint64_t failovers() const { return failoverCount; }
+
+    /** Read-repair pushes that reached the primary (subclass hook). */
+    std::uint64_t readRepairs() const { return readRepairCount; }
+
   protected:
+    /**
+     * Submit @p spec to the key's routed node; busy-retries, fails
+     * over on transport errors / draining / forward_failed. fatal()
+     * when every candidate is exhausted.
+     */
     std::uint64_t submitWithRetry(const JobSpec &spec,
                                   const std::string &routeKey);
+
+    std::uint64_t failoverCount = 0;
+    std::uint64_t readRepairCount = 0;
 };
 
 /** ClientBase over a consistent-hash ring of server endpoints. */
 class ClusterClient : public ClientBase
 {
   public:
-    /** fatal() on an empty endpoint list. Connects lazily. */
-    explicit ClusterClient(std::vector<Endpoint> endpoints);
+    /**
+     * fatal() on an empty endpoint list. Connects lazily.
+     * @p replicas > 1 enables failover along each key's ring
+     * successors (match the servers' --replicas); @p timeoutMs bounds
+     * every socket operation (0 = none).
+     */
+    explicit ClusterClient(std::vector<Endpoint> endpoints,
+                           unsigned replicas = 1,
+                           unsigned timeoutMs = 0);
 
     void connect() override;
-    JsonValue roundTrip(const JsonValue &req,
-                        const std::string &routeKey) override;
+    bool tryRoundTrip(const JsonValue &req,
+                      const std::string &routeKey, JsonValue &resp,
+                      std::string &err) override;
+    bool advanceRoute(const std::string &routeKey) override;
+    void onResultServed(const std::string &routeKey,
+                        const JsonValue &resp) override;
     JsonValue stats() override;
 
     std::size_t nodeCount() const { return eps.size(); }
     const HashRing &ringView() const { return ring; }
 
   private:
-    /** Exchange with node @p idx, opening it on first use; follows
-     *  one not_owner redirect; fatal() on failure. */
+    /** Node index currently routed for @p key (candidate chain). */
+    std::size_t nodeFor(const std::string &key) const;
+
+    /** Non-fatal exchange with node @p idx, opening it on first use;
+     *  follows one not_owner redirect. */
+    bool tryExchange(std::size_t idx, const JsonValue &req,
+                     JsonValue &resp, std::string &err);
+
+    /** Fatal variant for surfaces with no failover story (stats). */
     JsonValue exchange(std::size_t idx, const JsonValue &req);
 
     std::vector<Endpoint> eps;
     HashRing ring;
+    unsigned replicas;
+    unsigned timeoutMs;
     std::vector<std::unique_ptr<Connection>> conns;  ///< per endpoint
+    /** Failover state: key -> position in its candidate chain. */
+    std::map<std::string, std::size_t> routePos;
 };
 
 /** Compatibility wrapper: the original single-socket client API. */

@@ -304,4 +304,25 @@ notOwnerResponse(const std::string &ownerAddress)
     return o;
 }
 
+JsonValue
+replicateRequest(const std::string &key, const RunResult &r)
+{
+    JsonValue o = JsonValue::object();
+    o.set("op", JsonValue::string("replicate"));
+    o.set("key", JsonValue::string(key));
+    o.set("result", resultsToJson({r}));
+    stampVersion(o, kProtocolVersion);
+    return o;
+}
+
+JsonValue
+fetchRequest(const std::string &key)
+{
+    JsonValue o = JsonValue::object();
+    o.set("op", JsonValue::string("fetch"));
+    o.set("key", JsonValue::string(key));
+    stampVersion(o, kProtocolVersion);
+    return o;
+}
+
 } // namespace dcg::serve

@@ -36,6 +36,20 @@
  * submit is never re-forwarded (ring disagreement yields "not_owner"
  * instead of a forwarding loop).
  *
+ * Replication (version 3): with --replicas=k every key lives on the k
+ * distinct ring successors HashRing::owners() names. Two ops carry
+ * replica records between holders:
+ *   {"op":"replicate", "key": K, "result": [RunResult]}
+ *       -> {"ok":true}            (receiver stores a replica record)
+ *   {"op":"fetch", "key": K}
+ *       -> {"ok":true, "result": [...]} or {"ok":false,
+ *           "error":"not_found"}  (local store only — never recursive)
+ * A forwarded submit additionally marked "replica": true asks a
+ * *follower* to serve a key whose primary is unreachable; the
+ * follower answers from its replica store (or simulates) instead of
+ * bouncing not_owner. Unversioned/v1 and v2 clients are still served
+ * byte-identically — the new members only appear on v3 exchanges.
+ *
  * Error responses: {"ok":false, "error": "<code>", "detail": "..."};
  * a full queue answers code "busy" plus "retry_after_ms". Done results
  * carry "result": [<RunResult>] — the exact writeResultsJson() array
@@ -57,9 +71,11 @@ namespace dcg::serve {
 /**
  * Highest protocol version this build speaks. Version 1 is the
  * original single-server protocol; version 2 adds the version field
- * itself, `not_owner`/`redirect` and forwarded submits.
+ * itself, `not_owner`/`redirect` and forwarded submits; version 3
+ * adds replication (`replicate`/`fetch` ops and replica-marked
+ * forwarded submits).
  */
-constexpr unsigned kProtocolVersion = 2;
+constexpr unsigned kProtocolVersion = 3;
 
 /**
  * Extract a request's protocol version: absent = 1 (legacy client).
@@ -147,6 +163,12 @@ JsonValue unsupportedVersionResponse(unsigned requested);
 
 /** "not_owner" error carrying the owning node as "redirect". */
 JsonValue notOwnerResponse(const std::string &ownerAddress);
+
+/** v3 "replicate" push: hand @p result for @p key to a follower. */
+JsonValue replicateRequest(const std::string &key, const RunResult &r);
+
+/** v3 "fetch" pull: ask a holder for its local record of @p key. */
+JsonValue fetchRequest(const std::string &key);
 /// @}
 
 } // namespace dcg::serve

@@ -1,0 +1,160 @@
+#include "serve/replication.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+
+namespace dcg::serve {
+
+ReplicatedStore::ReplicatedStore(std::shared_ptr<ResultStore> localStore,
+                                 std::vector<Endpoint> nodeList,
+                                 std::size_t selfIndex,
+                                 unsigned replicaCount,
+                                 unsigned peerTimeoutMs)
+    : local(std::move(localStore)), nodes(std::move(nodeList)),
+      selfIdx(selfIndex), timeoutMs(peerTimeoutMs)
+{
+    if (!local)
+        fatal("replication: no local store to decorate");
+    if (nodes.empty() || selfIdx >= nodes.size())
+        fatal("replication: self index ", selfIdx,
+              " outside a cluster of ", nodes.size(), " node(s)");
+    k = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(replicaCount, 1u), nodes.size()));
+    ring = HashRing(endpointStrings(nodes));
+    replicator = std::thread([this] { replicatorLoop(); });
+}
+
+ReplicatedStore::~ReplicatedStore()
+{
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        stopping = true;
+    }
+    qCv.notify_all();
+    if (replicator.joinable())
+        replicator.join();
+}
+
+std::vector<std::size_t>
+ReplicatedStore::holdersFor(const std::string &key) const
+{
+    return ring.ownerIndices(key, k);
+}
+
+bool
+ReplicatedStore::get(const std::string &key, RunResult &out)
+{
+    if (local->get(key, out))
+        return true;
+    if (k <= 1)
+        return false;
+
+    // Local miss: if we are one of the key's holders, a sibling may
+    // still have the record — pull it and repair our copy.
+    const std::vector<std::size_t> holders = holdersFor(key);
+    if (std::find(holders.begin(), holders.end(), selfIdx) ==
+        holders.end())
+        return false;
+
+    const JsonValue req = fetchRequest(key);
+    for (std::size_t idx : holders) {
+        if (idx == selfIdx)
+            continue;
+        Connection conn;
+        JsonValue resp;
+        std::string err;
+        if (!conn.open(nodes[idx], err, timeoutMs) ||
+            !conn.roundTrip(req, resp, err))
+            continue;
+        if (!resp.get("ok").asBool(false))
+            continue;
+        std::vector<RunResult> one;
+        if (!resultsFromJson(resp.get("result"), one, err) ||
+            one.size() != 1)
+            continue;
+        out = std::move(one.front());
+        local->putReplica(key, out);
+        ++repaired;
+        return true;
+    }
+    ++misses;
+    return false;
+}
+
+void
+ReplicatedStore::put(const std::string &key, const RunResult &r)
+{
+    local->put(key, r);
+    if (k <= 1)
+        return;
+
+    Task t;
+    t.key = key;
+    t.result = r;
+    for (std::size_t idx : holdersFor(key))
+        if (idx != selfIdx)
+            t.targets.push_back(idx);
+    if (t.targets.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        if (stopping)
+            return;
+        queue.push_back(std::move(t));
+    }
+    qCv.notify_all();
+}
+
+void
+ReplicatedStore::flush()
+{
+    std::unique_lock<std::mutex> lk(qMutex);
+    qCv.wait(lk, [this] { return queue.empty() && !busy; });
+}
+
+void
+ReplicatedStore::replicatorLoop()
+{
+    std::unique_lock<std::mutex> lk(qMutex);
+    for (;;) {
+        qCv.wait(lk, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+            // stopping with nothing left to push
+            qCv.notify_all();
+            return;
+        }
+        Task t = std::move(queue.front());
+        queue.pop_front();
+        busy = true;
+        lk.unlock();
+        pushOne(t);
+        lk.lock();
+        busy = false;
+        if (queue.empty())
+            qCv.notify_all();  // wake flush()ers
+    }
+}
+
+void
+ReplicatedStore::pushOne(const Task &t)
+{
+    const JsonValue req = replicateRequest(t.key, t.result);
+    for (std::size_t idx : t.targets) {
+        Connection conn;
+        JsonValue resp;
+        std::string err;
+        if (conn.open(nodes[idx], err, timeoutMs) &&
+            conn.roundTrip(req, resp, err) &&
+            resp.get("ok").asBool(false)) {
+            ++pushed;
+        } else {
+            ++pushFailed;
+        }
+    }
+}
+
+} // namespace dcg::serve

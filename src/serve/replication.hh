@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ReplicatedStore: the replication layer of a --replicas=k cluster,
+ * slotted between the Engine and the node's local ResultStore as a
+ * decorator — the Engine keeps calling plain get()/put() and never
+ * learns that records now live on k ring successors.
+ *
+ * Write path (put): the record lands in the local store first,
+ * synchronously — the caller's durability is never held hostage to a
+ * peer — then a fan-out task is queued for the replicator thread,
+ * which pushes a `replicate` op to each *other* holder
+ * HashRing::owners() names for the key. Pushes are asynchronous and
+ * best-effort: a dead follower costs a counter tick, not latency on
+ * the submit path. Any holder that stores a freshly computed result
+ * fans out (not just the primary); results are deterministic and
+ * byte-identical, so concurrent fan-outs of the same key are
+ * harmless last-write-wins of identical bytes.
+ *
+ * Read path (get): local store first. On a local miss — a cold
+ * restart, an evicted record, a corrupt file — and only when this
+ * node is one of the key's holders, the other holders are asked via
+ * the `fetch` op; the first hit is written back locally as a replica
+ * record (read-repair) and served. The Engine counts that as a
+ * DiskHit, which is precisely what makes a node restarted with an
+ * empty disk serve its keys with zero re-simulations as long as one
+ * replica survives.
+ *
+ * Lifecycle calls (entries/bytes/evictTo/compact) pass straight
+ * through to the local store: replica records are ordinary records
+ * there, budgeted and compacted exactly once.
+ *
+ * Thread safety: get()/put() may be called from any worker thread;
+ * the queue is mutex-guarded and the replicator thread owns all peer
+ * sockets for pushes (fetches open short-lived connections on the
+ * calling thread). flush() blocks until queued pushes have drained —
+ * used by graceful drain and by tests that assert on follower state.
+ */
+
+#ifndef DCG_SERVE_REPLICATION_HH
+#define DCG_SERVE_REPLICATION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/endpoint.hh"
+#include "serve/ring.hh"
+#include "serve/store.hh"
+
+namespace dcg::serve {
+
+class ReplicatedStore : public exp::ResultStoreBase
+{
+  public:
+    /**
+     * @param local      the node's own ResultStore (must outlive this)
+     * @param nodes      the cluster's canonical node list (ring order
+     *                   is derived from it, as the server does)
+     * @param selfIndex  this node's position in @p nodes
+     * @param replicaCount  k; effective factor is min(k, nodes.size())
+     * @param peerTimeoutMs bound on each push/fetch socket operation
+     *                      (0 = unbounded)
+     */
+    ReplicatedStore(std::shared_ptr<ResultStore> local,
+                    std::vector<Endpoint> nodes, std::size_t selfIndex,
+                    unsigned replicaCount, unsigned peerTimeoutMs);
+    ~ReplicatedStore() override;
+
+    ReplicatedStore(const ReplicatedStore &) = delete;
+    ReplicatedStore &operator=(const ReplicatedStore &) = delete;
+
+    bool get(const std::string &key, RunResult &out) override;
+    void put(const std::string &key, const RunResult &r) override;
+
+    /// @name exp::StoreLifecycle (pass-through to the local store)
+    /// @{
+    std::size_t entries() const override { return local->entries(); }
+    std::uint64_t bytes() const override { return local->bytes(); }
+    std::size_t evictTo(std::uint64_t budgetBytes) override
+    {
+        return local->evictTo(budgetBytes);
+    }
+    std::size_t compact() override { return local->compact(); }
+    /// @}
+
+    /** Block until every queued fan-out push has been attempted. */
+    void flush();
+
+    /** Effective replication factor (clamped to the cluster size). */
+    unsigned factor() const { return k; }
+
+    /** Successful `replicate` pushes to followers. */
+    std::uint64_t pushes() const { return pushed.load(); }
+
+    /** Fan-out pushes that failed (follower down/unreachable). */
+    std::uint64_t pushFailures() const { return pushFailed.load(); }
+
+    /** Local misses repaired by fetching a peer's replica. */
+    std::uint64_t readRepairs() const { return repaired.load(); }
+
+    /** Local misses no replica holder could serve either. */
+    std::uint64_t replicaMisses() const { return misses.load(); }
+
+  private:
+    struct Task
+    {
+        std::string key;
+        RunResult result;
+        std::vector<std::size_t> targets;  ///< indices into nodes
+    };
+
+    /** The key's holder indices (ring successor order, primary first). */
+    std::vector<std::size_t> holdersFor(const std::string &key) const;
+
+    void replicatorLoop();
+    void pushOne(const Task &t);
+
+    std::shared_ptr<ResultStore> local;
+    std::vector<Endpoint> nodes;
+    std::size_t selfIdx;
+    unsigned k;
+    unsigned timeoutMs;
+    HashRing ring;
+
+    std::mutex qMutex;
+    std::condition_variable qCv;       ///< work available / drained
+    std::deque<Task> queue;            ///< guarded by qMutex
+    bool busy = false;                 ///< a task is being pushed
+    bool stopping = false;             ///< guarded by qMutex
+    std::thread replicator;
+
+    std::atomic<std::uint64_t> pushed{0};
+    std::atomic<std::uint64_t> pushFailed{0};
+    std::atomic<std::uint64_t> repaired{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_REPLICATION_HH

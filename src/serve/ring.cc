@@ -65,6 +65,51 @@ HashRing::ownerIndex(const std::string &key) const
     return it->second;
 }
 
+std::vector<std::size_t>
+HashRing::ownerIndices(const std::string &key, std::size_t k) const
+{
+    if (points.empty())
+        fatal("hash ring: owner lookup on an empty ring");
+    if (k == 0)
+        fatal("hash ring: replica lookup with k == 0");
+    const std::size_t want = std::min(k, names.size());
+    const std::uint64_t h = hash(key);
+    auto it = std::lower_bound(
+        points.begin(), points.end(), h,
+        [](const std::pair<std::uint64_t, std::uint32_t> &p,
+           std::uint64_t v) { return p.first < v; });
+    std::size_t pos =
+        it == points.end()
+            ? 0
+            : static_cast<std::size_t>(it - points.begin());
+
+    // Successor walk: collect the first `want` distinct nodes. Each
+    // node contributes many virtual points, so `seen` keeps the walk
+    // from double-counting one; a full lap visits every node.
+    std::vector<std::size_t> out;
+    out.reserve(want);
+    std::vector<bool> seen(names.size(), false);
+    for (std::size_t step = 0;
+         step < points.size() && out.size() < want; ++step) {
+        const std::size_t n =
+            points[(pos + step) % points.size()].second;
+        if (!seen[n]) {
+            seen[n] = true;
+            out.push_back(n);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+HashRing::owners(const std::string &key, std::size_t k) const
+{
+    std::vector<std::string> out;
+    for (const std::size_t idx : ownerIndices(key, k))
+        out.push_back(names[idx]);
+    return out;
+}
+
 const std::string &
 HashRing::owner(const std::string &key) const
 {

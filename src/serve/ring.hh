@@ -57,6 +57,23 @@ class HashRing
     /** Index into nodeNames() of owner(key). */
     std::size_t ownerIndex(const std::string &key) const;
 
+    /**
+     * The first min(k, nodeCount()) *distinct* nodes encountered
+     * walking the ring from the key's point: owners(key, k)[0] is the
+     * primary owner(key), the rest are the replica followers, in
+     * deterministic successor order. k >= nodeCount() returns every
+     * node exactly once (the whole cluster holds the key). Like the
+     * single-owner lookup this is a pure function of the name set, so
+     * clients and servers always agree on a key's replica set.
+     * fatal() on an empty ring or k == 0.
+     */
+    std::vector<std::size_t> ownerIndices(const std::string &key,
+                                          std::size_t k) const;
+
+    /** Names form of ownerIndices(key, k). */
+    std::vector<std::string> owners(const std::string &key,
+                                    std::size_t k) const;
+
     /** 64-bit FNV-1a + avalanche finisher (exposed for tests). */
     static std::uint64_t hash(const std::string &s);
 

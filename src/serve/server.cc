@@ -128,18 +128,48 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
     if (allNodes.empty())
         fatal("dcgserved: cluster needs at least one node");
     bool found = false;
-    for (const Endpoint &ep : allNodes)
-        found = found || ep.str() == self;
+    std::size_t self_idx = 0;
+    for (std::size_t i = 0; i < allNodes.size(); ++i) {
+        if (allNodes[i].str() == self) {
+            found = true;
+            self_idx = i;
+        }
+    }
     if (!found)
         fatal("dcgserved: own address '", self,
               "' is not in the cluster node list");
     nodes = allNodes;
     ring = HashRing(endpointStrings(nodes));
     selfAddr = self;
+    selfIdx = self_idx;
     clustered = nodes.size() > 1;
+
+    replFactor = 1;
+    repl.reset();
+    if (cfg.replicas > 1 && clustered) {
+        if (!store)
+            fatal("dcgserved: replication needs a persistent store "
+                  "(--replicas without --store)");
+        replFactor = static_cast<unsigned>(
+            std::min<std::size_t>(cfg.replicas, nodes.size()));
+        if (replFactor < cfg.replicas)
+            warn("dcgserved: --replicas=", cfg.replicas,
+                 " clamped to the cluster size (", replFactor, ")");
+        repl = std::make_shared<ReplicatedStore>(
+            store, nodes, selfIdx, replFactor, cfg.peerTimeoutMs);
+        eng.attachStore(repl);
+    } else if (cfg.replicas > 1) {
+        warn("dcgserved: --replicas=", cfg.replicas,
+             " ignored on a single-node cluster");
+    }
+
     if (clustered)
         inform("dcgserved: cluster of ", nodes.size(),
-               " node(s); this shard is ", selfAddr);
+               " node(s); this shard is ", selfAddr,
+               replFactor > 1
+                   ? " (replication factor " +
+                         std::to_string(replFactor) + ")"
+                   : "");
 }
 
 Server::~Server()
@@ -207,8 +237,11 @@ Server::workerLoop()
             // observe "queue empty, nobody busy" mid-handoff.
             busyWorkers.fetch_add(1, std::memory_order_acq_rel);
         }
-        pushEvent({Event::Kind::Started, item.id, {},
-                   exp::RunOutcome::Simulated, item.remote, false, {}});
+        Event started;
+        started.kind = Event::Kind::Started;
+        started.id = item.id;
+        started.remote = item.remote;
+        pushEvent(std::move(started));
         wake();
 
         Event done;
@@ -218,13 +251,39 @@ Server::workerLoop()
         if (item.remote) {
             // Peer-owned job: the worker blocks on the peer so the
             // event loop never does. The result is NOT stored locally
-            // — it lives on the shard the ring designated.
-            std::string err;
-            if (!forwardJobToPeer(item.peer, item.spec, done.result,
-                                  err)) {
+            // — it lives on the shard(s) the ring designated. The
+            // holder list is walked in ring order: the primary gets a
+            // plain forward, any later attempt is a replica-marked
+            // failover; hitting our own index means this node holds a
+            // replica and serves the job itself.
+            std::string errs;
+            bool served = false;
+            for (std::size_t i = 0; i < item.holderIdx.size(); ++i) {
+                const std::size_t idx = item.holderIdx[i];
+                if (i > 0)
+                    ++done.failovers;
+                if (idx == selfIdx) {
+                    done.result = eng.runOne(item.job, &done.outcome);
+                    if (cfg.cacheBudgetBytes)
+                        eng.evictTo(cfg.cacheBudgetBytes);
+                    done.remote = false;  // served here after all
+                    served = true;
+                    break;
+                }
+                std::string err;
+                if (forwardJobToPeer(nodes[idx], item.spec, i > 0,
+                                     cfg.peerTimeoutMs, done.result,
+                                     err)) {
+                    served = true;
+                    break;
+                }
+                if (!errs.empty())
+                    errs += "; ";
+                errs += nodes[idx].str() + ": " + err;
+            }
+            if (!served) {
                 done.failed = true;
-                done.error = "forward to " + item.peer.str() +
-                             " failed: " + err;
+                done.error = "forward failed on every holder: " + errs;
             }
         } else {
             done.result = eng.runOne(item.job, &done.outcome);
@@ -376,6 +435,11 @@ Server::run()
     for (std::thread &t : workerThreads)
         t.join();
     workerThreads.clear();
+
+    // Workers are gone, so no new fan-out tasks can appear: give the
+    // replicator a chance to land every queued replica before exit.
+    if (repl)
+        repl->flush();
 }
 
 void
@@ -518,6 +582,12 @@ Server::handleLine(Conn &conn, const std::string &line)
                    : handleSubmit(req);
     } else if (op == "status") {
         resp = handleStatus(req);
+    } else if (op == "replicate") {
+        // Accepted even while draining: a late replica or read-repair
+        // write is a harmless local put that helps the cluster heal.
+        resp = handleReplicate(req);
+    } else if (op == "fetch") {
+        resp = handleFetch(req);
     } else if (op == "stats") {
         resp = okResponse();
         resp.set("stats", statsJson());
@@ -585,6 +655,7 @@ Server::handleSubmit(const JsonValue &req)
     // asked to route itself ("redirect": true, single job) gets the
     // owner's address back instead of transparent forwarding.
     const bool forwarded = req.get("forwarded").asBool(false);
+    const bool asReplica = req.get("replica").asBool(false);
     const bool wantRedirect = req.get("redirect").asBool(false);
 
     struct Admit
@@ -593,7 +664,7 @@ Server::handleSubmit(const JsonValue &req)
         bool cached = false;
         RunResult result;
         bool remote = false;
-        std::size_t ownerIdx = 0;
+        std::vector<std::size_t> holders;
         JobSpec spec;
     };
     std::vector<Admit> admits;
@@ -604,13 +675,22 @@ Server::handleSubmit(const JsonValue &req)
         a.job = s.toJob();
         if (clustered) {
             const std::string key = exp::jobKey(a.job);
-            a.ownerIdx = ring.ownerIndex(key);
-            a.remote = nodes[a.ownerIdx].str() != selfAddr;
+            a.holders = ring.ownerIndices(key, replFactor);
+            a.remote = a.holders.front() != selfIdx;
+            // A replica-marked forward is a failover: a peer could
+            // not reach the key's primary and asks us — one of the
+            // key's holders — to serve it. Treat it as local (our
+            // store has the replica, or we recompute); a non-holder
+            // still bounces not_owner so a bad ring cannot loop.
+            if (a.remote && forwarded && asReplica &&
+                std::find(a.holders.begin(), a.holders.end(),
+                          selfIdx) != a.holders.end())
+                a.remote = false;
         }
         if (a.remote) {
             if (forwarded || (wantRedirect && specs.size() == 1)) {
                 ++notOwnerReplies;
-                return notOwnerResponse(nodes[a.ownerIdx].str());
+                return notOwnerResponse(nodes[a.holders.front()].str());
             }
             a.spec = std::move(s);
             ++need_slots;
@@ -663,11 +743,12 @@ Server::handleSubmit(const JsonValue &req)
             item.id = id;
             item.remote = a.remote;
             if (a.remote) {
-                item.peer = nodes[a.ownerIdx];
+                item.holderIdx = std::move(a.holders);
                 item.spec = std::move(a.spec);
-            } else {
-                item.job = std::move(a.job);
             }
+            // The expanded job always travels along: a remote item
+            // needs it too when this node is a fallback holder.
+            item.job = std::move(a.job);
             std::lock_guard<std::mutex> lk(qMutex);
             pending.push_back(std::move(item));
             ++enqueued;
@@ -680,6 +761,53 @@ Server::handleSubmit(const JsonValue &req)
     if (ids.items().size() == 1)
         resp.set("id", ids.items().front());
     resp.set("ids", std::move(ids));
+    return resp;
+}
+
+JsonValue
+Server::handleReplicate(const JsonValue &req)
+{
+    if (!store)
+        return errorResponse("no_store",
+                             "server runs without a persistent store");
+    const std::string key = req.get("key").asString();
+    if (key.empty()) {
+        ++badRequests;
+        return errorResponse("bad_request", "replicate needs a key");
+    }
+    std::vector<RunResult> one;
+    std::string err;
+    if (!resultsFromJson(req.get("result"), one, err) ||
+        one.size() != 1) {
+        ++badRequests;
+        return errorResponse("bad_request",
+                             "replicate needs exactly one result" +
+                                 (err.empty() ? "" : ": " + err));
+    }
+    // Into the plain local store, bypassing the replication layer —
+    // accepting a replica must never trigger another fan-out.
+    store->putReplica(key, one.front());
+    ++replicateOps;
+    return okResponse();
+}
+
+JsonValue
+Server::handleFetch(const JsonValue &req)
+{
+    const std::string key = req.get("key").asString();
+    if (key.empty()) {
+        ++badRequests;
+        return errorResponse("bad_request", "fetch needs a key");
+    }
+    RunResult r;
+    // Local store only — never the replication layer — so a fetch
+    // cannot cascade into fetches of fetches across the cluster.
+    if (!store || !store->get(key, r))
+        return errorResponse("not_found", "no record for this key");
+    ++fetchesServed;
+    JsonValue resp = okResponse();
+    resp.set("key", JsonValue::string(key));
+    resp.set("result", resultsToJson({r}));
     return resp;
 }
 
@@ -785,6 +913,7 @@ Server::drainEvents()
 void
 Server::finishJob(std::uint64_t id, JobRec &rec, Event &ev)
 {
+    failoverCount += ev.failovers;
     if (ev.failed) {
         rec.state = JobState::Failed;
         rec.error = std::move(ev.error);
@@ -863,6 +992,8 @@ Server::statsJson() const
               JsonValue::integer(store->evictedRecords()));
         s.set("store_compactions",
               JsonValue::integer(store->compactions()));
+        s.set("replicas_stored",
+              JsonValue::integer(store->replicaRecords()));
         s.set("store_dir", JsonValue::string(store->directory()));
     }
     s.set("latency_mean_us",
@@ -877,6 +1008,19 @@ Server::statsJson() const
         s.set("cluster_self", JsonValue::string(selfAddr));
         s.set("cluster_nodes",
               JsonValue::integer(std::uint64_t{nodes.size()}));
+        s.set("failovers", JsonValue::integer(failoverCount));
+        s.set("replicate_ops", JsonValue::integer(replicateOps));
+        s.set("fetches_served", JsonValue::integer(fetchesServed));
+    }
+    if (repl) {
+        s.set("replication_factor",
+              JsonValue::integer(std::uint64_t{repl->factor()}));
+        s.set("replicas_written", JsonValue::integer(repl->pushes()));
+        s.set("replica_push_failures",
+              JsonValue::integer(repl->pushFailures()));
+        s.set("replica_misses",
+              JsonValue::integer(repl->replicaMisses()));
+        s.set("read_repairs", JsonValue::integer(repl->readRepairs()));
     }
     s.set("draining",
           JsonValue::boolean(stopFlag.load(std::memory_order_acquire)));

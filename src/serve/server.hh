@@ -26,8 +26,22 @@
  * "redirect": true (answered with not_owner + the owner's address) or
  * the submit is itself a forward (answered with not_owner, never
  * re-forwarded, so ring disagreement cannot loop). Forwarded results
- * are NOT persisted locally: every record lives on exactly the shard
- * the ring designates.
+ * are NOT persisted locally: every record lives on exactly the
+ * shard(s) the ring designates.
+ *
+ * Replication: with ServerConfig::replicas = k > 1 (and a persistent
+ * store) every key lives on the k distinct ring successors
+ * HashRing::owners() names. The node's store is wrapped in a
+ * ReplicatedStore, so each locally computed result is written
+ * locally first and then fanned out asynchronously to the other
+ * holders ("replicate" op), and a local miss on a held key is
+ * repaired by pulling a sibling's record ("fetch" op). Forwarding
+ * becomes failover-aware: when the key's primary is unreachable the
+ * worker walks the remaining holders in ring order — serving locally
+ * when this node is itself one of them — before reporting
+ * forward_failed. A forwarded submit marked "replica": true is such
+ * a failover: a holder receiving one serves it instead of bouncing
+ * not_owner.
  *
  * Warm resubmissions never occupy a worker: admission first peeks the
  * engine's in-memory cache (Engine::tryCached) and completes such jobs
@@ -63,6 +77,7 @@
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
 #include "serve/protocol.hh"
+#include "serve/replication.hh"
 #include "serve/ring.hh"
 #include "serve/store.hh"
 
@@ -82,6 +97,8 @@ struct ServerConfig
     /// @{
     std::vector<Endpoint> peers;   ///< every ring node, self included
     std::string self;              ///< this node's canonical host:port
+    unsigned replicas = 1;         ///< copies per key (1 = no replication)
+    unsigned peerTimeoutMs = 0;    ///< bound on peer ops (0 = none)
     /// @}
 
     /// @name Lifecycle budgets (0 = unbounded)
@@ -128,6 +145,10 @@ class Server
     const HashRing &ringView() const { return ring; }
     const std::string &selfAddress() const { return selfAddr; }
 
+    /** The replication layer (null unless replicas > 1 in a cluster).
+     *  Exposed so tests and tools can flush()/inspect fan-out state. */
+    ReplicatedStore *replication() { return repl.get(); }
+
   private:
     struct Conn
     {
@@ -158,9 +179,13 @@ class Server
     struct WorkItem
     {
         std::uint64_t id = 0;
-        exp::Job job;       ///< local execution
+        exp::Job job;       ///< local execution (and holder fallback)
         bool remote = false;
-        Endpoint peer;      ///< owning node when remote
+        /** Holder node indices when remote: primary first, then the
+         *  replica followers in ring order. The worker walks them
+         *  until one serves the job; selfIdx in the list means "run
+         *  it here, we hold a replica". */
+        std::vector<std::size_t> holderIdx;
         JobSpec spec;       ///< wire form re-sent when remote
     };
 
@@ -172,6 +197,7 @@ class Server
         exp::RunOutcome outcome = exp::RunOutcome::Simulated;
         bool remote = false;
         bool failed = false;
+        unsigned failovers = 0;  ///< holder attempts after the first
         std::string error;
     };
 
@@ -183,6 +209,8 @@ class Server
     void closeConn(Conn &conn);
     void handleLine(Conn &conn, const std::string &line);
     JsonValue handleSubmit(const JsonValue &req);
+    JsonValue handleReplicate(const JsonValue &req);
+    JsonValue handleFetch(const JsonValue &req);
     JsonValue handleStatus(const JsonValue &req) const;
     void handleResult(Conn &conn, const JsonValue &req,
                       unsigned version);
@@ -207,13 +235,16 @@ class Server
     unsigned workerCount;
     exp::Engine eng;
     std::shared_ptr<ResultStore> store;
+    std::shared_ptr<ReplicatedStore> repl;  ///< set when replicating
 
     /// @name Cluster state (set before run(); read-only afterwards)
     /// @{
     std::vector<Endpoint> nodes;  ///< ring order = ctor order
     HashRing ring;
     std::string selfAddr;
+    std::size_t selfIdx = 0;      ///< this node's index in nodes
     bool clustered = false;       ///< more than one ring node
+    unsigned replFactor = 1;      ///< effective copies per key
     /// @}
 
     int listenFd = -1;
@@ -243,6 +274,9 @@ class Server
     std::uint64_t jobsCompleted = 0;
     std::uint64_t jobsForwarded = 0;
     std::uint64_t forwardFailures = 0;
+    std::uint64_t failoverCount = 0;
+    std::uint64_t replicateOps = 0;
+    std::uint64_t fetchesServed = 0;
     std::uint64_t notOwnerReplies = 0;
     std::uint64_t submitsRejected = 0;
     std::uint64_t badRequests = 0;

@@ -212,6 +212,33 @@ ResultStore::get(const std::string &key, RunResult &out)
 void
 ResultStore::put(const std::string &key, const RunResult &r)
 {
+    putRecord(key, r, false);
+}
+
+void
+ResultStore::putReplica(const std::string &key, const RunResult &r)
+{
+    ++replicas;
+    putRecord(key, r, true);
+}
+
+bool
+ResultStore::recordIsReplica(const std::string &key) const
+{
+    std::ifstream is(recordPath(key));
+    std::string header;
+    if (!is || !std::getline(is, header))
+        return false;
+    JsonValue h;
+    std::string err;
+    return JsonValue::parse(header, h, err) && h.isObject() &&
+           h.get("replica").asBool(false);
+}
+
+void
+ResultStore::putRecord(const std::string &key, const RunResult &r,
+                       bool replica)
+{
     const std::string name = recordName(key);
     const fs::path final_path = fs::path(dir) / name;
     const fs::path tmp_path =
@@ -229,6 +256,8 @@ ResultStore::put(const std::string &key, const RunResult &r)
         header.set("dcg_store", JsonValue::integer(
             static_cast<std::int64_t>(kStoreFormatVersion)));
         header.set("key", JsonValue::string(key));
+        if (replica)
+            header.set("replica", JsonValue::boolean(true));
         os << header.dump() << '\n';
         writeResultsJson({r}, os);
         os.flush();

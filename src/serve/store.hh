@@ -65,6 +65,25 @@ class ResultStore : public exp::ResultStoreBase
     bool get(const std::string &key, RunResult &out) override;
     void put(const std::string &key, const RunResult &r) override;
 
+    /**
+     * Persist a record on behalf of a peer (the owner fanning a
+     * result out, or a read-repair pull). Identical bytes to put()
+     * except the header is marked "replica": true, so tooling can
+     * tell locally-computed records from replicated ones; the record
+     * is a first-class index entry either way — LRU budgets and
+     * compaction count it exactly once, like any other record.
+     */
+    void putReplica(const std::string &key, const RunResult &r);
+
+    /**
+     * True when the record for @p key exists and its header carries
+     * the replica marker (exposed for tests/tools).
+     */
+    bool recordIsReplica(const std::string &key) const;
+
+    /** Replica-marked records written by this process so far. */
+    std::uint64_t replicaRecords() const { return replicas.load(); }
+
     /// @name exp::StoreLifecycle
     /// @{
     std::size_t entries() const override;
@@ -110,6 +129,8 @@ class ResultStore : public exp::ResultStoreBase
     std::size_t evictLocked(std::uint64_t budget,
                             const std::string &keep);
     void writeManifestLocked() const;
+    void putRecord(const std::string &key, const RunResult &r,
+                   bool replica);
 
     std::string dir;
     mutable std::mutex indexMutex;
@@ -118,6 +139,7 @@ class ResultStore : public exp::ResultStoreBase
     std::uint64_t useClock = 0;     ///< guarded by indexMutex
     std::uint64_t budget = 0;       ///< guarded by indexMutex
     std::atomic<std::uint64_t> corrupt{0};
+    std::atomic<std::uint64_t> replicas{0};
     std::atomic<std::uint64_t> evicted{0};
     std::atomic<std::uint64_t> compactPasses{0};
     std::atomic<std::uint64_t> tmpCounter{0};

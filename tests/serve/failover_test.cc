@@ -1,0 +1,300 @@
+/**
+ * Failover tests: a replicated cluster keeps serving byte-identical
+ * grids — with zero re-simulations for already-replicated keys —
+ * when a node dies, whether the client is ring-aware (client-side
+ * failover + read-repair) or legacy single-socket (server-side
+ * holder walking); an unreplicated cluster still surfaces the
+ * structured forward_failed error; and a blackholed (partitioned,
+ * not dead) follower link only costs bounded timeouts and push
+ * failures, never the grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "exp/engine.hh"
+#include "exp/job.hh"
+#include "serve/client.hh"
+#include "serve/faultnet.hh"
+#include "serve/replica_cluster.hh"
+#include "sim/report.hh"
+
+using namespace dcg;
+using namespace dcg::serve;
+using namespace dcg::serve::testing;
+
+namespace {
+
+constexpr std::uint64_t kInsts = 2000;
+constexpr std::uint64_t kWarmup = 500;
+
+std::vector<JobSpec>
+smallGridSpecs()
+{
+    std::vector<JobSpec> specs;
+    for (const char *bench : {"gzip", "mcf", "twolf", "art"}) {
+        for (const char *scheme : {"base", "dcg"}) {
+            JobSpec s;
+            s.bench = bench;
+            s.scheme = scheme;
+            s.insts = kInsts;
+            s.warmup = kWarmup;
+            specs.push_back(s);
+        }
+    }
+    return specs;
+}
+
+std::string
+asJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(results, os);
+    return os.str();
+}
+
+std::string
+localGridJson()
+{
+    exp::Engine local(2);
+    std::vector<exp::Job> jobs;
+    for (const JobSpec &s : smallGridSpecs())
+        jobs.push_back(s.toJob());
+    return asJson(local.run(jobs));
+}
+
+/**
+ * The node to kill so a failover actually happens: the primary owner
+ * of the first grid key. The ring hashes ephemeral "host:port" names,
+ * so which node owns what differs per run — the victim must be looked
+ * up, never hard-coded.
+ */
+std::size_t
+victimNode(const HashRing &ring)
+{
+    return ring.ownerIndex(exp::jobKey(smallGridSpecs()[0].toJob()));
+}
+
+/** Sum of a stats counter over every node except @p dead. */
+std::uint64_t
+survivorStat(dcg::serve::testing::ReplicaCluster &fx,
+             std::size_t dead, const std::string &name)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < fx.size(); ++i)
+        if (i != dead && fx.alive(i))
+            total += fx.nodeStats(i).get(name).asU64(0);
+    return total;
+}
+
+} // namespace
+
+TEST(Failover, RingAwareClientFailsOverWhenANodeDies)
+{
+    const std::string expected = localGridJson();
+    ReplicaCluster fx(3, 2, "clientfo");
+    fx.start();
+    const std::size_t victim = victimNode(fx.node(0).ringView());
+
+    std::vector<Endpoint> eps = fx.boundEndpoints();
+    {
+        ClusterClient warm(eps, 2);
+        EXPECT_EQ(asJson(warm.runJobs(smallGridSpecs())), expected);
+    }
+    fx.flushReplication();
+    const std::uint64_t liveSimsBefore =
+        survivorStat(fx, victim, "simulations");
+
+    fx.killNode(victim);
+
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(client.runJobs(smallGridSpecs())), expected);
+    EXPECT_GT(client.failovers(), 0u);
+
+    // The survivors answered every re-routed key from their replica
+    // records: not a single new simulation anywhere.
+    EXPECT_EQ(survivorStat(fx, victim, "simulations"),
+              liveSimsBefore);
+}
+
+TEST(Failover, LegacyClientIsServedThroughServerSideFailover)
+{
+    const std::string expected = localGridJson();
+    ReplicaCluster fx(3, 2, "serverfo");
+    fx.start();
+    const std::size_t victim = victimNode(fx.node(0).ringView());
+    const std::size_t entry = victim == 0 ? 1 : 0;
+
+    {
+        Client warm(fx.address(entry));
+        EXPECT_EQ(asJson(warm.runJobs(smallGridSpecs())), expected);
+    }
+    fx.flushReplication();
+    const std::uint64_t liveSimsBefore =
+        survivorStat(fx, victim, "simulations");
+
+    fx.killNode(victim);
+
+    // A pre-replication, single-socket client through a live entry
+    // node: the *server* walks each dead key's holders and serves
+    // from a replica — the client never learns anything happened.
+    Client legacy(fx.address(entry));
+    EXPECT_EQ(asJson(legacy.runJobs(smallGridSpecs())), expected);
+    EXPECT_EQ(legacy.failovers(), 0u);
+    EXPECT_GT(fx.nodeStats(entry).get("failovers").asU64(0), 0u);
+
+    EXPECT_EQ(survivorStat(fx, victim, "simulations"),
+              liveSimsBefore);
+}
+
+TEST(Failover, UnreplicatedClusterSurfacesForwardFailed)
+{
+    ReplicaCluster fx(2, 1, "");
+    fx.start();
+    const HashRing &ring = fx.node(0).ringView();
+
+    JobSpec spec = smallGridSpecs()[0];
+    const std::size_t owner =
+        ring.ownerIndex(exp::jobKey(spec.toJob()));
+    const std::size_t entry = owner == 0 ? 1 : 0;
+
+    fx.killNode(owner);
+
+    // Protocol-level (the CLI client would rightly fatal): with one
+    // copy per key there is nowhere to fail over to, and the job
+    // fails with the structured forward_failed error.
+    Connection conn;
+    std::string err;
+    ASSERT_TRUE(conn.open(fx.endpoint(entry), err)) << err;
+    JsonValue submit = JsonValue::object();
+    submit.set("op", JsonValue::string("submit"));
+    submit.set("job", spec.toJson());
+    stampVersion(submit, kProtocolVersion);
+    JsonValue resp;
+    ASSERT_TRUE(conn.roundTrip(submit, resp, err)) << err;
+    ASSERT_TRUE(resp.get("ok").asBool(false))
+        << resp.get("detail").asString();
+
+    JsonValue wait = JsonValue::object();
+    wait.set("op", JsonValue::string("result"));
+    wait.set("id", resp.get("id"));
+    wait.set("wait", JsonValue::boolean(true));
+    stampVersion(wait, kProtocolVersion);
+    ASSERT_TRUE(conn.roundTrip(wait, resp, err)) << err;
+    EXPECT_FALSE(resp.get("ok").asBool(true));
+    EXPECT_EQ(resp.get("error").asString(), "forward_failed");
+    EXPECT_EQ(resp.get("status").asString(), "failed");
+}
+
+TEST(Failover, SurvivingClientReadRepairsTheRevivedPrimary)
+{
+    const std::string expected = localGridJson();
+    ReplicaCluster fx(3, 2, "readrepair");
+    fx.start();
+    // Take a full ring snapshot up front: the victim's own ringView
+    // dies with it.
+    const HashRing ring = fx.node(0).ringView();
+    const std::size_t victim = victimNode(ring);
+
+    std::vector<Endpoint> eps = fx.boundEndpoints();
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(client.runJobs(smallGridSpecs())), expected);
+    fx.flushReplication();
+
+    // Lose the victim; the same client keeps working and learns (via
+    // its per-key route state) which keys now live on followers.
+    fx.killNode(victim);
+    EXPECT_EQ(asJson(client.runJobs(smallGridSpecs())), expected);
+    EXPECT_GT(client.failovers(), 0u);
+
+    // The victim comes back empty. The client still routes its keys
+    // to the followers — and pushes each served result back to the
+    // primary it knows has been failed over: client-driven
+    // read-repair refills the revived node without a simulation.
+    fx.restartNode(victim, /*wipeStore=*/true);
+    EXPECT_EQ(asJson(client.runJobs(smallGridSpecs())), expected);
+    EXPECT_GT(client.readRepairs(), 0u);
+    EXPECT_EQ(fx.nodeStats(victim).get("simulations").asU64(99), 0u);
+
+    fx.flushReplication();
+    ResultStore probe(fx.storeDir(victim));
+    std::size_t repaired = 0;
+    for (const JobSpec &s : smallGridSpecs()) {
+        const std::string key = exp::jobKey(s.toJob());
+        RunResult r;
+        if (ring.ownerIndex(key) == victim && probe.get(key, r))
+            ++repaired;
+    }
+    EXPECT_GT(repaired, 0u);
+}
+
+TEST(Failover, MidGridNodeLossStillYieldsAByteIdenticalGrid)
+{
+    const std::string expected = localGridJson();
+    ReplicaCluster fx(3, 2, "midgrid");
+    fx.start();
+
+    // Cold cluster, node killed while the grid is in flight: however
+    // the timing lands — jobs drained on the dying node, failed over
+    // by the client, re-run on a follower — determinism means the
+    // collected grid must be byte-identical. (No failover-count
+    // assertion here: the race is real and either outcome is legal.)
+    std::vector<Endpoint> eps = fx.boundEndpoints();
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    std::string got;
+    std::thread grid([&] {
+        got = asJson(client.runJobs(smallGridSpecs()));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fx.killNode(0);
+    grid.join();
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Failover, BlackholedFollowerCostsPushFailuresNotTheGrid)
+{
+    const std::string expected = localGridJson();
+    // Ring identity = proxy addresses, so *every* link — client to
+    // node and node to node — runs through faultnet.
+    ReplicaCluster fx(2, 2, "bhole", /*peerTimeoutMs=*/300);
+    FaultProxy p0(fx.endpoint(0));
+    FaultProxy p1(fx.endpoint(1));
+    fx.start({p0.address(), p1.address()});
+
+    // Partition the node owning the first grid key (so at least one
+    // submit must fail over): connections still reach its proxy — so
+    // nothing fails fast — and then hang; only timeouts make
+    // progress.
+    const std::size_t dark = victimNode(fx.node(0).ringView());
+    const std::size_t lit = dark == 0 ? 1 : 0;
+    FaultProxy &darkProxy = dark == 0 ? p0 : p1;
+    darkProxy.setMode(FaultProxy::Mode::Blackhole);
+
+    std::vector<Endpoint> eps{p0.address(), p1.address()};
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(client.runJobs(smallGridSpecs())), expected);
+    EXPECT_GT(client.failovers(), 0u);
+
+    fx.flushReplication();
+    const JsonValue litStats = fx.nodeStats(lit);
+    // The lit node absorbed the whole grid: its own keys plus every
+    // failed-over key of the partitioned node, whose fan-out pushes
+    // all timed out.
+    EXPECT_EQ(litStats.get("simulations").asU64(0),
+              smallGridSpecs().size());
+    EXPECT_GT(litStats.get("replica_push_failures").asU64(0), 0u);
+    EXPECT_GT(litStats.get("failovers").asU64(0), 0u);
+
+    // Heal the partition: the dark node refills from the lit node's
+    // records via fetch read-repair — still zero simulations there.
+    darkProxy.setMode(FaultProxy::Mode::Pass);
+    ClusterClient healed(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(healed.runJobs(smallGridSpecs())), expected);
+    const JsonValue darkStats = fx.nodeStats(dark);
+    EXPECT_EQ(darkStats.get("simulations").asU64(99), 0u);
+    EXPECT_GT(darkStats.get("read_repairs").asU64(0), 0u);
+}

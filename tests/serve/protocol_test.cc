@@ -237,3 +237,40 @@ TEST(Protocol, VersionedEnvelopeHelpers)
     EXPECT_EQ(no.get("error").asString(), "not_owner");
     EXPECT_EQ(no.get("redirect").asString(), "10.0.0.2:7878");
 }
+
+TEST(Protocol, ReplicateRequestCarriesTheExactResultBytes)
+{
+    exp::Engine engine(1);
+    const JobSpec spec = sampleSpec();
+    const RunResult r = engine.run({spec.toJob()})[0];
+    const std::string key = exp::jobKey(spec.toJob());
+
+    const JsonValue req = replicateRequest(key, r);
+    EXPECT_EQ(req.get("op").asString(), "replicate");
+    EXPECT_EQ(req.get("key").asString(), key);
+    EXPECT_EQ(req.get("version").asU64(0), kProtocolVersion);
+
+    // The payload is the canonical one-result array, token-for-token
+    // — what makes a replica record byte-identical to the original.
+    std::vector<RunResult> one{r};
+    EXPECT_EQ(req.get("result").dump(), resultsToJson(one).dump());
+    std::vector<RunResult> back;
+    std::string err;
+    ASSERT_TRUE(resultsFromJson(req.get("result"), back, err)) << err;
+    ASSERT_EQ(back.size(), 1u);
+    std::ostringstream expect, got;
+    writeResultsJson(one, expect);
+    writeResultsJson(back, got);
+    EXPECT_EQ(got.str(), expect.str());
+}
+
+TEST(Protocol, FetchRequestNamesTheKeyUnderV3)
+{
+    const JsonValue req = fetchRequest("some-content-key");
+    EXPECT_EQ(req.get("op").asString(), "fetch");
+    EXPECT_EQ(req.get("key").asString(), "some-content-key");
+    EXPECT_EQ(req.get("version").asU64(0), kProtocolVersion);
+    // Protocol v3 is the replication protocol: these ops must never
+    // be emitted with an older (or missing) version stamp.
+    EXPECT_GE(kProtocolVersion, 3u);
+}

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -109,8 +111,9 @@ TEST(HashRing, RemovingANodeOnlyRemapsItsKeys)
     const HashRing before({"a:1", "b:2", "c:3"});
     const HashRing after({"a:1", "c:3"});
     for (const std::string &k : syntheticKeys(1000)) {
-        if (before.owner(k) != "b:2")
+        if (before.owner(k) != "b:2") {
             EXPECT_EQ(after.owner(k), before.owner(k));
+        }
     }
 }
 
@@ -132,4 +135,104 @@ TEST(HashRing, HashIsStable)
     EXPECT_EQ(HashRing::hash("a"), 0x82a2a958a9bece5bULL);
     EXPECT_EQ(HashRing::hash("dcg"), HashRing::hash("dcg"));
     EXPECT_NE(HashRing::hash("dcg"), HashRing::hash("dcf"));
+}
+
+TEST(HashRing, OwnersArePinned)
+{
+    // Pin full replica sets, not just the hash: the successor walk
+    // (dedup order, wrap-around) is part of the on-disk contract too
+    // — a silent change would move every replica of an existing
+    // deployment.
+    const HashRing ring({"a:1", "b:2", "c:3", "d:4"});
+    using V = std::vector<std::string>;
+    EXPECT_EQ(ring.owners("bench=gzip;scheme=dcg", 3),
+              (V{"b:2", "a:1", "d:4"}));
+    EXPECT_EQ(ring.owners("bench=mcf;scheme=base", 3),
+              (V{"c:3", "a:1", "b:2"}));
+    EXPECT_EQ(ring.owners("bench=art;scheme=dcg", 3),
+              (V{"a:1", "d:4", "c:3"}));
+}
+
+TEST(HashRing, OwnersPrefixIsTheSingleOwner)
+{
+    const HashRing ring({"n1:1", "n2:2", "n3:3", "n4:4"});
+    for (const std::string &k : syntheticKeys(500)) {
+        const auto two = ring.ownerIndices(k, 2);
+        ASSERT_EQ(two.size(), 2u);
+        EXPECT_EQ(two[0], ring.ownerIndex(k));
+        EXPECT_EQ(ring.owners(k, 1),
+                  std::vector<std::string>{ring.owner(k)});
+    }
+}
+
+TEST(HashRing, OwnersBeyondClusterSizeNameEveryNodeOnce)
+{
+    // k >= nodeCount() means "the whole cluster holds the key":
+    // every node exactly once, primary first, for any oversized k.
+    const HashRing ring({"n1:1", "n2:2", "n3:3"});
+    for (const std::string &k : syntheticKeys(200)) {
+        for (std::size_t kk : {std::size_t{3}, std::size_t{99}}) {
+            const auto idx = ring.ownerIndices(k, kk);
+            ASSERT_EQ(idx.size(), 3u) << "k=" << kk;
+            std::set<std::size_t> seen(idx.begin(), idx.end());
+            EXPECT_EQ(seen.size(), 3u) << "duplicate holder for " << k;
+            EXPECT_EQ(idx[0], ring.ownerIndex(k));
+        }
+    }
+}
+
+TEST(HashRing, ReplicaSetsAreDistinctAcrossClusterSizes)
+{
+    // Property sweep: 10k random-ish keys on every cluster size the
+    // service plausibly runs (1-6 nodes) — replica sets are always
+    // min(k, N) *distinct* in-range nodes, led by the primary.
+    const auto keys = syntheticKeys(10000);
+    for (std::size_t n = 1; n <= 6; ++n) {
+        std::vector<std::string> names;
+        for (std::size_t i = 0; i < n; ++i)
+            names.push_back("node" + std::to_string(i) + ":7878");
+        const HashRing ring(names);
+        const std::size_t k = n < 2 ? 1 : 2;
+        for (const std::string &key : keys) {
+            const auto idx = ring.ownerIndices(key, k);
+            ASSERT_EQ(idx.size(), std::min(k, n));
+            EXPECT_EQ(idx[0], ring.ownerIndex(key));
+            std::set<std::size_t> seen(idx.begin(), idx.end());
+            EXPECT_EQ(seen.size(), idx.size())
+                << "duplicate holder at N=" << n;
+            for (std::size_t i : idx)
+                EXPECT_LT(i, n);
+        }
+    }
+}
+
+TEST(HashRing, ReplicaSetsArePermutationStable)
+{
+    // The agreement property extended to replica sets: clients and
+    // servers build the ring from differently-ordered lists and must
+    // still agree on every key's full holder set, in order.
+    const HashRing a({"n1:1", "n2:2", "n3:3", "n4:4", "n5:5"});
+    const HashRing b({"n4:4", "n1:1", "n5:5", "n3:3", "n2:2"});
+    for (const std::string &k : syntheticKeys(2000))
+        EXPECT_EQ(a.owners(k, 3), b.owners(k, 3));
+}
+
+TEST(HashRing, AddingANodeMovesABoundedShareOfPrimaries)
+{
+    // Quantified stability: growing N=4 -> 5 remaps about 1/5 of all
+    // primaries (the newcomer's fair share) and not more — allow
+    // 2x slack for vnode placement variance over 10k keys.
+    const HashRing before({"a:1", "b:2", "c:3", "d:4"});
+    const HashRing after({"a:1", "b:2", "c:3", "d:4", "e:5"});
+    const auto keys = syntheticKeys(10000);
+    std::size_t moved = 0;
+    for (const std::string &k : keys) {
+        if (before.owner(k) != after.owner(k)) {
+            EXPECT_EQ(after.owner(k), "e:5");
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(static_cast<double>(moved),
+              static_cast<double>(keys.size()) / 5.0 * 2.0);
 }

@@ -374,3 +374,135 @@ TEST(ResultStore, RestartSeedsEvictionOrderFromFileAges)
 
     std::filesystem::remove_all(dir);
 }
+
+TEST(ResultStore, ReplicaRecordRoundTripsAndIsMarked)
+{
+    const std::string dir = freshDir("replica");
+    ResultStore store(dir);
+
+    Engine engine(1);
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const RunResult ra = engine.runOne(a);
+    const RunResult rb = engine.runOne(b);
+
+    // A replica-marked record serves the exact bytes that were
+    // pushed, and only replica records carry the marker.
+    store.putReplica(jobKey(a), ra);
+    store.put(jobKey(b), rb);
+    EXPECT_EQ(store.entries(), 2u);
+    EXPECT_EQ(store.replicaRecords(), 1u);
+    EXPECT_TRUE(store.recordIsReplica(jobKey(a)));
+    EXPECT_FALSE(store.recordIsReplica(jobKey(b)));
+    EXPECT_FALSE(store.recordIsReplica("never-stored"));
+
+    RunResult out;
+    ASSERT_TRUE(store.get(jobKey(a), out));
+    EXPECT_EQ(asJson(ra), asJson(out));
+    EXPECT_EQ(store.corruptRecords(), 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ReplicaMarkerSurvivesRestart)
+{
+    const std::string dir = freshDir("replica_restart");
+    Engine engine(1);
+    const Job a = smallJob("mcf", GatingScheme::Dcg);
+    const RunResult ra = engine.runOne(a);
+    {
+        ResultStore store(dir);
+        store.putReplica(jobKey(a), ra);
+    }
+
+    // A cold process reads the same record: still valid (the extra
+    // header member is tolerated), still replica-marked.
+    ResultStore restarted(dir);
+    ASSERT_EQ(restarted.entries(), 1u);
+    EXPECT_TRUE(restarted.recordIsReplica(jobKey(a)));
+    RunResult out;
+    ASSERT_TRUE(restarted.get(jobKey(a), out));
+    EXPECT_EQ(asJson(ra), asJson(out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, PutOverwritesTheReplicaMarker)
+{
+    const std::string dir = freshDir("replica_overwrite");
+    ResultStore store(dir);
+    Engine engine(1);
+    const Job a = smallJob("twolf", GatingScheme::Dcg);
+    const RunResult ra = engine.runOne(a);
+
+    // Replica then locally computed: the local write wins the marker
+    // (last-write-wins of identical bytes, like concurrent fan-outs).
+    store.putReplica(jobKey(a), ra);
+    EXPECT_TRUE(store.recordIsReplica(jobKey(a)));
+    store.put(jobKey(a), ra);
+    EXPECT_FALSE(store.recordIsReplica(jobKey(a)));
+    EXPECT_EQ(store.entries(), 1u);
+
+    // And back: a later replica push re-marks it.
+    store.putReplica(jobKey(a), ra);
+    EXPECT_TRUE(store.recordIsReplica(jobKey(a)));
+    EXPECT_EQ(store.entries(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, ReplicaRecordsAreFirstClassForEviction)
+{
+    const std::string dir = freshDir("replica_lru");
+    ResultStore store(dir);
+    Engine engine(1);
+    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job c = smallJob("mcf", GatingScheme::Dcg);
+
+    // Replica and local records share one index, one byte count and
+    // one LRU order — a replica is never double-counted or immune.
+    store.put(jobKey(a), engine.runOne(a));
+    store.putReplica(jobKey(b), engine.runOne(b));
+    store.put(jobKey(c), engine.runOne(c));
+    ASSERT_EQ(store.entries(), 3u);
+    const std::uint64_t full = store.bytes();
+
+    // Freshen 'a': the LRU victim is the replica record 'b'.
+    RunResult out;
+    ASSERT_TRUE(store.get(jobKey(a), out));
+    EXPECT_EQ(store.evictTo(full - 1), 1u);
+    EXPECT_EQ(store.entries(), 2u);
+    EXPECT_FALSE(store.get(jobKey(b), out));
+    EXPECT_TRUE(store.get(jobKey(a), out));
+    EXPECT_TRUE(store.get(jobKey(c), out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, CompactKeepsValidReplicaRecordsOnly)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = freshDir("replica_compact");
+    ResultStore store(dir);
+    Engine engine(1);
+    const Job a = smallJob("art", GatingScheme::Dcg);
+    store.putReplica(jobKey(a), engine.runOne(a));
+    ASSERT_EQ(store.entries(), 1u);
+
+    // A corrupted replica record is garbage like any other: compact
+    // deletes it; the valid replica record survives with its marker.
+    {
+        std::ofstream bogus(
+            fs::path(dir) / "ffeeddccbbaa99887766554433221100.json");
+        bogus << "{\"dcg_store\": 1, \"key\": \"x\", \"replica\":"
+                 " true}\n[]\n";
+    }
+    EXPECT_EQ(store.compact(), 1u);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_TRUE(store.recordIsReplica(jobKey(a)));
+    RunResult out;
+    EXPECT_TRUE(store.get(jobKey(a), out));
+
+    std::filesystem::remove_all(dir);
+}

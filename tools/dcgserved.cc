@@ -13,12 +13,19 @@
  * assigned by consistent hashing, and a submit for a peer-owned key is
  * transparently forwarded — so any node can serve any client while
  * each result is stored on exactly the shard the ring designates.
+ * --replicas=K additionally keeps each record on K distinct ring
+ * successors: results fan out to the follower holders in the
+ * background, a key whose primary is down is served by a surviving
+ * holder (failover), and a holder that lost its copy pulls it back
+ * from a sibling (read-repair).
  *
  * Examples:
  *   dcgserved --port=7878 --store=/var/tmp/dcg-results
  *   dcgserved --port=0 --jobs=8 --queue-cap=64   # ephemeral port
  *   dcgserved --port=7878 --store=s1 \
  *             --peers=127.0.0.1:7878,127.0.0.1:7879   # shard 1 of 2
+ *   dcgserved --port=7878 --store=s1 --replicas=2 \
+ *             --peers=127.0.0.1:7878,127.0.0.1:7879,127.0.0.1:7880
  *
  * SIGINT/SIGTERM triggers a graceful drain: queued and running jobs
  * finish, responses flush, then the process exits 0.
@@ -104,7 +111,8 @@ main(int argc, char **argv)
     Options opts(argc, argv,
                  {"host", "port", "jobs", "queue-cap", "store",
                   "store-budget-bytes", "cache-budget-bytes", "peers",
-                  "self", "retry-after-ms", "drain-grace-ms", "help"});
+                  "self", "replicas", "peer-timeout-ms",
+                  "retry-after-ms", "drain-grace-ms", "help"});
 
     if (opts.has("help")) {
         std::cout <<
@@ -124,6 +132,12 @@ main(int argc, char **argv)
             "          [--self=HOST:PORT (this node's ring address;"
             " default\n"
             "           --host:--port)]\n"
+            "          [--replicas=K (copies per key across the ring;"
+            " needs\n"
+            "           --peers and --store; default 1)]\n"
+            "          [--peer-timeout-ms=N (bound forward/replicate/"
+            "fetch\n"
+            "           socket ops; default 0 = none)]\n"
             "          [--retry-after-ms=N] [--drain-grace-ms=N]\n";
         return 0;
     }
@@ -145,6 +159,19 @@ main(int argc, char **argv)
         checkedCount(opts, "retry-after-ms", 250, 1));
     cfg.drainGraceMs = static_cast<unsigned>(
         checkedCount(opts, "drain-grace-ms", 5000, 0));
+    cfg.replicas = static_cast<unsigned>(
+        checkedCount(opts, "replicas", 1, 1));
+    cfg.peerTimeoutMs = static_cast<unsigned>(
+        checkedCount(opts, "peer-timeout-ms", 0, 0));
+
+    if (cfg.replicas > 1) {
+        if (!opts.has("peers"))
+            fatal("--replicas needs --peers (a cluster to replicate"
+                  " across)");
+        if (cfg.storeDir.empty())
+            fatal("--replicas needs --store (replicas are persistent"
+                  " records)");
+    }
 
     if (opts.has("peers")) {
         std::string err;
@@ -177,9 +204,13 @@ main(int argc, char **argv)
     if (!cfg.storeDir.empty())
         std::cout << "dcgserved: result store at " << cfg.storeDir
                   << std::endl;
-    if (!cfg.peers.empty())
+    if (!cfg.peers.empty()) {
         std::cout << "dcgserved: cluster shard " << cfg.self << " of "
-                  << cfg.peers.size() << " node(s)" << std::endl;
+                  << cfg.peers.size() << " node(s)";
+        if (cfg.replicas > 1)
+            std::cout << ", replicas=" << cfg.replicas;
+        std::cout << std::endl;
+    }
 
     server.run();
 

@@ -95,7 +95,11 @@ makeServerClient(const Options &opts)
     std::string err;
     if (!serve::parseEndpoints(opts.getString("server", ""), eps, err))
         fatal("invalid --server list: ", err);
-    return serve::ClusterClient(std::move(eps));
+    const auto replicas = static_cast<unsigned>(
+        opts.getInt("replicas", 1));
+    const auto timeout_ms = static_cast<unsigned>(
+        opts.getInt("server-timeout-ms", 0));
+    return serve::ClusterClient(std::move(eps), replicas, timeout_ms);
 }
 
 void
@@ -109,6 +113,12 @@ printServerSummary(std::size_t jobs, serve::ClientBase &client)
     s.set("cache_size", stats.get("cache_entries"));
     s.set("disk_hits", stats.get("disk_hits"));
     s.set("simulations", stats.get("simulations"));
+    if (client.failovers() || client.readRepairs()) {
+        s.set("client_failovers",
+              serve::JsonValue::integer(client.failovers()));
+        s.set("client_read_repairs",
+              serve::JsonValue::integer(client.readRepairs()));
+    }
     s.set("source", serve::JsonValue::string("server"));
     serve::JsonValue o = serve::JsonValue::object();
     o.set("dcgsim_summary", std::move(s));
@@ -124,7 +134,8 @@ main(int argc, char **argv)
                  {"bench", "scheme", "insts", "warmup", "depth", "seed",
                   "gate-iq", "store-delay", "round-robin", "dump-stats",
                   "csv", "json", "jobs", "schema", "server",
-                  "server-stats", "help"});
+                  "server-stats", "replicas", "server-timeout-ms",
+                  "help"});
 
     if (opts.has("help")) {
         std::cout <<
@@ -138,6 +149,11 @@ main(int argc, char **argv)
             "       [--server=HOST:PORT[,HOST:PORT...] (run jobs on a"
             " dcgserved\n"
             "        instance or a sharded cluster of them)]\n"
+            "       [--replicas=K (match the cluster's --replicas;"
+            " enables\n"
+            "        client-side failover across each key's holders)]\n"
+            "       [--server-timeout-ms=N (bound every server socket"
+            " op)]\n"
             "       [--server-stats (print the server's stats JSON and"
             " exit)]\n"
             "       [--schema (print the JSON result schema and"
