@@ -28,6 +28,12 @@
  *    tools/ must consume its return value (assignment, comparison,
  *    condition, or explicit (void) discard). close() is allowlisted.
  *
+ *  - net-io: the raw socket I/O calls (read/write/recv/send/poll/
+ *    accept/connect) may not be used in src/serve/ or tools/ outside
+ *    src/serve/netio.hh — every call site goes through the EINTR-safe
+ *    net::*Retry wrappers declared there, so signal handling and
+ *    partial-write semantics cannot regress one call site at a time.
+ *
  *  - naked-new: no `new` / `delete` expressions anywhere in src/ or
  *    tools/ (ownership goes through make_unique/make_shared or
  *    containers); deleted special member functions (= delete) are not
@@ -73,6 +79,7 @@ const std::vector<std::string> &checkNames();
 std::vector<Diagnostic> checkActivityCounters(const LintOptions &opts);
 std::vector<Diagnostic> checkStatsReported(const LintOptions &opts);
 std::vector<Diagnostic> checkSyscallReturns(const LintOptions &opts);
+std::vector<Diagnostic> checkNetIo(const LintOptions &opts);
 std::vector<Diagnostic> checkNakedNew(const LintOptions &opts);
 /// @}
 

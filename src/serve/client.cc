@@ -11,11 +11,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
 #include <thread>
 
 #include "common/log.hh"
 #include "exp/job.hh"
+#include "serve/netio.hh"
 
 namespace dcg::serve {
 
@@ -23,6 +26,9 @@ namespace {
 
 /** Give up on a persistently "busy" server after this many retries. */
 constexpr unsigned kMaxBusyRetries = 600;
+
+/** Jobs in flight at once during a pipelined runJobs() fan-out. */
+constexpr std::size_t kPipelineWindow = 128;
 
 /** Route key for a validated spec: the engine's content address. */
 std::string
@@ -101,7 +107,8 @@ Connection::open(const Endpoint &ep, std::string &err,
             continue;
         }
         if (timeoutMs == 0) {
-            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            if (net::connectRetry(fd, ai->ai_addr,
+                                  ai->ai_addrlen) == 0)
                 break;
             last_errno = errno;
             close(fd);
@@ -116,14 +123,15 @@ Connection::open(const Endpoint &ep, std::string &err,
         const int flags = fcntl(fd, F_GETFL, 0);
         if (flags >= 0 &&
             fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0) {
-            if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            if (net::connectRetry(fd, ai->ai_addr,
+                                  ai->ai_addrlen) == 0) {
                 connected = true;
             } else if (errno == EINPROGRESS) {
                 pollfd pfd{};
                 pfd.fd = fd;
                 pfd.events = POLLOUT;
-                const int pr =
-                    poll(&pfd, 1, static_cast<int>(timeoutMs));
+                const int pr = net::pollRetry(
+                    &pfd, 1, static_cast<int>(timeoutMs));
                 if (pr == 1) {
                     int soerr = 0;
                     socklen_t len = sizeof(soerr);
@@ -178,25 +186,17 @@ Connection::open(const Endpoint &ep, std::string &err,
 bool
 Connection::sendAll(const std::string &line, std::string &err)
 {
-    std::size_t off = 0;
-    while (off < line.size()) {
-        const ssize_t n = send(fd, line.data() + off,
-                               line.size() - off, MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<std::size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            err = "timeout sending request to " + peer;
-            return false;
-        }
-        err = "cannot send request to " + peer + ": " +
-              std::strerror(errno);
+    const std::size_t sent =
+        net::sendAllRetry(fd, line.data(), line.size());
+    if (sent == line.size())
+        return true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        err = "timeout sending request to " + peer;
         return false;
     }
-    return true;
+    err = "cannot send request to " + peer + ": " +
+          std::strerror(errno);
+    return false;
 }
 
 bool
@@ -210,13 +210,11 @@ Connection::recvLine(std::string &line, std::string &err)
             return true;
         }
         char buf[4096];
-        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        const ssize_t n = net::recvRetry(fd, buf, sizeof(buf), 0);
         if (n > 0) {
             inBuf.append(buf, static_cast<std::size_t>(n));
             continue;
         }
-        if (n < 0 && errno == EINTR)
-            continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             err = "timeout awaiting a response from " + peer;
             return false;
@@ -252,75 +250,6 @@ Connection::roundTrip(const JsonValue &req, JsonValue &resp,
         shut();
         return false;
     }
-    return true;
-}
-
-// ---------------------------------------------------------------- //
-// Server-side forwarding                                           //
-// ---------------------------------------------------------------- //
-
-bool
-forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
-                 bool asReplica, unsigned timeoutMs, RunResult &out,
-                 std::string &err)
-{
-    Connection conn;
-    if (!conn.open(peer, err, timeoutMs))
-        return false;
-
-    JsonValue submit = JsonValue::object();
-    submit.set("op", JsonValue::string("submit"));
-    submit.set("job", spec.toJson());
-    submit.set("forwarded", JsonValue::boolean(true));
-    if (asReplica)
-        submit.set("replica", JsonValue::boolean(true));
-    stampVersion(submit, kProtocolVersion);
-
-    std::uint64_t id = 0;
-    for (unsigned attempt = 0;; ++attempt) {
-        JsonValue resp;
-        if (!conn.roundTrip(submit, resp, err))
-            return false;
-        if (resp.get("ok").asBool(false)) {
-            id = resp.get("id").asU64(0);
-            break;
-        }
-        const std::string code = resp.get("error").asString();
-        if (code != "busy") {
-            err = "peer " + peer.str() + " rejected forwarded job (" +
-                  code + "): " + resp.get("detail").asString();
-            return false;
-        }
-        if (attempt + 1 >= kMaxBusyRetries) {
-            err = "peer " + peer.str() + " stayed busy after " +
-                  std::to_string(kMaxBusyRetries) + " retries";
-            return false;
-        }
-        sleepRetryHint(resp);
-    }
-
-    JsonValue req = JsonValue::object();
-    req.set("op", JsonValue::string("result"));
-    req.set("id", JsonValue::integer(id));
-    req.set("wait", JsonValue::boolean(true));
-    stampVersion(req, kProtocolVersion);
-    JsonValue resp;
-    if (!conn.roundTrip(req, resp, err))
-        return false;
-    if (!resp.get("ok").asBool(false)) {
-        err = "peer " + peer.str() + " failed forwarded job (" +
-              resp.get("error").asString() + "): " +
-              resp.get("detail").asString();
-        return false;
-    }
-    std::vector<RunResult> one;
-    if (!resultsFromJson(resp.get("result"), one, err) ||
-        one.size() != 1) {
-        err = "malformed forwarded result from " + peer.str() + ": " +
-              err;
-        return false;
-    }
-    out = std::move(one.front());
     return true;
 }
 
@@ -443,19 +372,32 @@ ClusterClient::ClusterClient(std::vector<Endpoint> endpoints,
     if (eps.empty())
         fatal("client: empty server endpoint list");
     ring = HashRing(endpointStrings(eps));
-    conns.reserve(eps.size());
-    for (std::size_t i = 0; i < eps.size(); ++i)
-        conns.push_back(std::make_unique<Connection>());
+}
+
+ClusterClient::~ClusterClient()
+{
+    if (links)
+        links->stop();
+}
+
+PeerPool &
+ClusterClient::pool()
+{
+    if (!links)
+        links = std::make_unique<LinkLoop>(eps, timeoutMs);
+    if (!links->started())
+        links->start();
+    return links->pool();
 }
 
 void
 ClusterClient::connect()
 {
+    PeerPool &p = pool();
     std::size_t up = 0;
     for (std::size_t i = 0; i < eps.size(); ++i) {
         std::string err;
-        if (conns[i]->isOpen() || conns[i]->open(eps[i], err,
-                                                 timeoutMs)) {
+        if (p.connectSync(i, err)) {
             ++up;
             continue;
         }
@@ -471,7 +413,7 @@ ClusterClient::connect()
 }
 
 std::size_t
-ClusterClient::nodeFor(const std::string &key) const
+ClusterClient::nodeForLocked(const std::string &key) const
 {
     if (key.empty() || eps.size() == 1)
         return 0;
@@ -482,8 +424,23 @@ ClusterClient::nodeFor(const std::string &key) const
     return ring.ownerIndices(key, eps.size())[pos];
 }
 
+std::size_t
+ClusterClient::nodeFor(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(routeMutex);
+    return nodeForLocked(key);
+}
+
+std::size_t
+ClusterClient::routePosOf(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(routeMutex);
+    const auto it = routePos.find(key);
+    return it == routePos.end() ? 0 : it->second;
+}
+
 bool
-ClusterClient::advanceRoute(const std::string &routeKey)
+ClusterClient::advanceRouteLocked(const std::string &routeKey)
 {
     if (replicas <= 1 || routeKey.empty() || eps.size() <= 1)
         return false;
@@ -495,14 +452,20 @@ ClusterClient::advanceRoute(const std::string &routeKey)
     return true;
 }
 
+bool
+ClusterClient::advanceRoute(const std::string &routeKey)
+{
+    std::lock_guard<std::mutex> lock(routeMutex);
+    return advanceRouteLocked(routeKey);
+}
+
 void
 ClusterClient::onResultServed(const std::string &routeKey,
                               const JsonValue &resp)
 {
     if (replicas <= 1 || routeKey.empty())
         return;
-    const auto it = routePos.find(routeKey);
-    if (it == routePos.end() || it->second == 0)
+    if (routePosOf(routeKey) == 0)
         return;
 
     // A failover candidate served a key its primary could not:
@@ -513,22 +476,21 @@ ClusterClient::onResultServed(const std::string &routeKey,
     push.set("op", JsonValue::string("replicate"));
     push.set("key", JsonValue::string(routeKey));
     push.set("result", resp.get("result"));
-    stampVersion(push, kProtocolVersion);
     JsonValue r;
     std::string err;
     if (tryExchange(ring.ownerIndex(routeKey), push, r, err) &&
-        r.get("ok").asBool(false))
+        r.get("ok").asBool(false)) {
+        std::lock_guard<std::mutex> lock(routeMutex);
         ++readRepairCount;
+    }
 }
 
 bool
 ClusterClient::tryExchange(std::size_t idx, const JsonValue &req,
                            JsonValue &resp, std::string &err)
 {
-    Connection &conn = *conns[idx];
-    if (!conn.isOpen() && !conn.open(eps[idx], err, timeoutMs))
-        return false;
-    if (!conn.roundTrip(req, resp, err))
+    PeerPool &p = pool();
+    if (!p.callSync(idx, req, resp, err))
         return false;
     if (!resp.get("ok").asBool(false)) {
         const std::string code = resp.get("error").asString();
@@ -544,11 +506,7 @@ ClusterClient::tryExchange(std::size_t idx, const JsonValue &req,
             for (std::size_t i = 0; i < eps.size(); ++i) {
                 if (i == idx || eps[i].str() != target)
                     continue;
-                Connection &rconn = *conns[i];
-                if (!rconn.isOpen() &&
-                    !rconn.open(eps[i], err, timeoutMs))
-                    return false;
-                return rconn.roundTrip(req, resp, err);
+                return p.callSync(i, req, resp, err);
             }
             fatal("server ", eps[idx].str(),
                   " redirected to unknown node '", target, "'");
@@ -572,10 +530,242 @@ ClusterClient::tryRoundTrip(const JsonValue &req,
                             const std::string &routeKey,
                             JsonValue &resp, std::string &err)
 {
-    JsonValue vreq = req;
-    if (!vreq.has("version"))
-        stampVersion(vreq, kProtocolVersion);
-    return tryExchange(nodeFor(routeKey), vreq, resp, err);
+    // The link layer stamps the protocol version and request id.
+    return tryExchange(nodeFor(routeKey), req, resp, err);
+}
+
+std::vector<RunResult>
+ClusterClient::runJobs(const std::vector<JobSpec> &specs)
+{
+    const std::size_t n = specs.size();
+    if (n == 0)
+        return {};
+
+    /** One pipelined job's progress, guarded by Board::m. */
+    struct JobSt
+    {
+        std::string key;
+        JsonValue resp = JsonValue::null();  ///< done response
+        unsigned busy = 0;
+        unsigned redirects = 0;
+        bool hasOverride = false;  ///< one-shot not_owner redirect
+        std::size_t overrideIdx = 0;
+    };
+
+    /** The shared scoreboard the link thread and this thread meet
+     *  on. shared_ptr: completions must outlive early unwinding. */
+    struct Board
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::vector<JobSt> jobs;
+        std::size_t next = 0;     ///< first job not yet launched
+        std::size_t live = 0;     ///< launched, not yet settled
+        std::size_t repairs = 0;  ///< read-repair pushes in flight
+        bool failed = false;
+        std::string failMsg;
+    };
+
+    auto bd = std::make_shared<Board>();
+    bd->jobs.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        bd->jobs[i].key = specRouteKey(specs[i]);
+
+    PeerPool &p = pool();
+
+    // The launcher and the completion handler call each other
+    // (failover resubmits, busy retries, window refills), so the
+    // launcher lives behind a shared function object. The self-
+    // reference cycle is broken explicitly before returning.
+    auto launch = std::make_shared<std::function<void(std::size_t)>>();
+
+    *launch = [this, bd, &p, &specs, launch](std::size_t i) {
+        std::size_t idx;
+        {
+            std::lock_guard<std::mutex> lk(bd->m);
+            JobSt &job = bd->jobs[i];
+            if (bd->failed) {
+                // The grid is already doomed: settle without a
+                // result so the caller's drain can finish.
+                --bd->live;
+                bd->cv.notify_all();
+                return;
+            }
+            idx = job.hasOverride ? job.overrideIdx
+                                  : nodeFor(job.key);
+            job.hasOverride = false;
+        }
+
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::string("submit"));
+        req.set("job", specs[i].toJson());
+        req.set("wait", JsonValue::boolean(true));
+
+        p.post(idx, std::move(req),
+               [this, bd, &p, launch, i, idx](PeerReply r) {
+            std::unique_lock<std::mutex> lk(bd->m);
+            JobSt &job = bd->jobs[i];
+
+            const auto fail = [&](std::string msg) {
+                if (!bd->failed) {
+                    bd->failed = true;
+                    bd->failMsg = std::move(msg);
+                }
+                --bd->live;
+                bd->cv.notify_all();
+            };
+
+            if (bd->failed) {
+                --bd->live;
+                bd->cv.notify_all();
+                return;
+            }
+
+            if (!r.transportOk) {
+                if (advanceRoute(job.key)) {
+                    lk.unlock();
+                    (*launch)(i);
+                    return;
+                }
+                fail("job " + std::to_string(i + 1) + ": " + r.error);
+                return;
+            }
+
+            if (r.resp.get("ok").asBool(false)) {
+                job.resp = std::move(r.resp);
+
+                // Served by a failover candidate: push the record
+                // back to the primary (client-driven read-repair),
+                // awaited before runJobs() returns.
+                bool repair = false;
+                JsonValue push;
+                std::size_t primary = 0;
+                if (replicas > 1 && routePosOf(job.key) > 0) {
+                    push = JsonValue::object();
+                    push.set("op", JsonValue::string("replicate"));
+                    push.set("key", JsonValue::string(job.key));
+                    push.set("result", job.resp.get("result"));
+                    primary = ring.ownerIndex(job.key);
+                    repair = true;
+                    ++bd->repairs;
+                }
+
+                --bd->live;
+                bool hasNext = false;
+                std::size_t next = 0;
+                if (bd->next < bd->jobs.size()) {
+                    next = bd->next++;
+                    ++bd->live;
+                    hasNext = true;
+                }
+                bd->cv.notify_all();
+                lk.unlock();
+
+                if (repair)
+                    p.post(primary, std::move(push),
+                           [this, bd](PeerReply rr) {
+                        std::lock_guard<std::mutex> g(bd->m);
+                        if (rr.transportOk &&
+                            rr.resp.get("ok").asBool(false)) {
+                            std::lock_guard<std::mutex> rl(routeMutex);
+                            ++readRepairCount;
+                        }
+                        --bd->repairs;
+                        bd->cv.notify_all();
+                    });
+                if (hasNext)
+                    (*launch)(next);
+                return;
+            }
+
+            const std::string code = r.resp.get("error").asString();
+            if (code == "busy") {
+                if (++job.busy >= kMaxBusyRetries) {
+                    fail("server stayed busy after " +
+                         std::to_string(kMaxBusyRetries) +
+                         " retries");
+                    return;
+                }
+                const auto delay =
+                    r.resp.get("retry_after_ms").asU64(250);
+                lk.unlock();
+                // Completions run on the link thread, which owns the
+                // pool — the owner-thread schedule() is safe here.
+                p.schedule(
+                    static_cast<unsigned>(delay ? delay : 250),
+                    [launch, i] { (*launch)(i); });
+                return;
+            }
+            if (code == "unsupported_version") {
+                fail("server " + eps[idx].str() +
+                     " rejected the protocol version: " +
+                     r.resp.get("detail").asString());
+                return;
+            }
+            if (code == "not_owner" && r.resp.has("redirect")) {
+                // Ring disagreement safety net: follow the server's
+                // redirect exactly once per job.
+                const std::string target =
+                    r.resp.get("redirect").asString();
+                if (job.redirects++ == 0) {
+                    for (std::size_t t = 0; t < eps.size(); ++t) {
+                        if (t == idx || eps[t].str() != target)
+                            continue;
+                        job.hasOverride = true;
+                        job.overrideIdx = t;
+                        lk.unlock();
+                        (*launch)(i);
+                        return;
+                    }
+                }
+                fail("server " + eps[idx].str() +
+                     " redirected to unknown node '" + target + "'");
+                return;
+            }
+            if (failedOverable(code) && advanceRoute(job.key)) {
+                lk.unlock();
+                (*launch)(i);
+                return;
+            }
+            fail("server failed job " + std::to_string(i + 1) + " (" +
+                 code + "): " + r.resp.get("detail").asString());
+        });
+    };
+
+    // Prime the window, then let completions keep it full.
+    const std::size_t window = std::min(n, kPipelineWindow);
+    {
+        std::lock_guard<std::mutex> lk(bd->m);
+        bd->next = window;
+        bd->live = window;
+    }
+    for (std::size_t i = 0; i < window; ++i)
+        (*launch)(i);
+
+    {
+        std::unique_lock<std::mutex> lk(bd->m);
+        bd->cv.wait(lk, [&] {
+            return bd->live == 0 && bd->repairs == 0 &&
+                   (bd->failed || bd->next >= n);
+        });
+    }
+    *launch = nullptr;  // break the launcher's self-reference cycle
+
+    if (bd->failed)
+        fatal(bd->failMsg);
+
+    std::vector<RunResult> results;
+    results.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<RunResult> one;
+        std::string err;
+        if (!resultsFromJson(bd->jobs[i].resp.get("result"), one,
+                             err) ||
+            one.size() != 1)
+            fatal("malformed result for job ", i + 1, ": ", err);
+        results.push_back(std::move(one.front()));
+    }
+    return results;
 }
 
 JsonValue
@@ -586,7 +776,6 @@ ClusterClient::stats()
     for (std::size_t i = 0; i < eps.size(); ++i) {
         JsonValue req = JsonValue::object();
         req.set("op", JsonValue::string("stats"));
-        stampVersion(req, kProtocolVersion);
         const JsonValue resp = exchange(i, req);
         if (!resp.get("ok").asBool(false))
             fatal("stats request to ", eps[i].str(), " failed: ",

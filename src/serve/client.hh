@@ -3,22 +3,22 @@
  * Client stack for the dcgserved protocol — the engine room behind
  * `dcgsim --server HOST:PORT[,HOST:PORT...]`.
  *
- * Three layers, redesigned for the sharded, replicated cluster:
+ * Three layers, rebuilt on the multiplexed link layer:
  *
  *  - Connection: one blocking TCP connection speaking the
  *    newline-JSON protocol. Every failure is reported (bool + error
- *    string), never fatal — this is the transport the *server* also
- *    uses when forwarding a job to the peer that owns its key, and a
- *    peer outage must not kill the forwarding node. An optional
- *    timeout bounds connect() and every recv/send, so a partitioned
- *    (blackholed, not merely dead) peer fails the exchange instead of
- *    hanging it.
+ *    string), never fatal. An optional timeout bounds connect() and
+ *    every recv/send, so a partitioned (blackholed, not merely dead)
+ *    peer fails the exchange instead of hanging it. This is the
+ *    one-shot transport the pool's legacy fallback and the
+ *    DirectPeerTransport still use; the primary client path no longer
+ *    opens one per exchange.
  *
  *  - ClientBase: the transport-agnostic client API. Subclasses
  *    provide tryRoundTrip(request, routeKey) — one non-fatal exchange
  *    with the node currently routed for a key — plus the failover
- *    hooks advanceRoute()/onResultServed(); the base implements the
- *    submit/wait/backpressure/failover dance of runJobs() on top.
+ *    hooks advanceRoute()/onResultServed(); the base implements a
+ *    sequential submit/wait/backpressure/failover runJobs() on top.
  *    When a node dies mid-grid the base advances the key's route to
  *    the next replica candidate and *resubmits* (job ids are
  *    per-node), so a grid survives any single-node loss as long as a
@@ -26,16 +26,19 @@
  *    candidate is fatal() here.
  *
  *  - ClusterClient: ClientBase over a consistent-hash ring of
- *    endpoints. Each job is submitted directly to the node the ring
- *    designates (client-side fan-out — no double hop), and the
- *    matching result request goes back to the same node. Speaks
- *    protocol version 3; follows one `not_owner` redirect as a safety
- *    net when client and server disagree about the ring. With
- *    replicas > 1 it fails over along the key's ring-successor
- *    candidates on connect failure, timeout, draining or
- *    forward_failed — and when a failover candidate serves a result
- *    the primary has lost, it best-effort pushes the record back to
- *    the primary (`replicate` op): client-driven read-repair.
+ *    endpoints, with all traffic multiplexed over one persistent
+ *    PeerLink per node (driven by a LinkLoop thread). Speaks protocol
+ *    version 4: every frame carries a request id, so many exchanges
+ *    share a link concurrently, and runJobs() is overridden to
+ *    *pipeline* the grid — each job is a single v4 submit+wait frame
+ *    to the node the ring designates, with up to a window of jobs in
+ *    flight at once across all nodes. Busy nodes are retried on their
+ *    hint, dead or draining nodes fail the affected jobs over along
+ *    each key's ring-successor candidates (resubmitting elsewhere),
+ *    and when a failover candidate serves a result the primary has
+ *    lost, the record is pushed back to the primary (`replicate` op):
+ *    client-driven read-repair. Pre-v4 servers are handled by the
+ *    link layer's legacy fallback — the client logic never notices.
  *
  *  - Client: thin compatibility wrapper — the original single-socket
  *    "HOST:PORT" constructor and request() surface, now a one-node
@@ -44,8 +47,8 @@
  * runJobs() returns exactly what a local Engine::run() would have —
  * bit-identical, since RunResult doubles travel as max_digits10
  * tokens and are re-parsed by the same reader — regardless of how
- * many nodes the grid was scattered across or how many failovers it
- * took to collect them.
+ * many nodes the grid was scattered across, how deep the submit
+ * pipeline ran, or how many failovers it took to collect them.
  */
 
 #ifndef DCG_SERVE_CLIENT_HH
@@ -54,11 +57,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
+#include "serve/peerlink.hh"
 #include "serve/protocol.hh"
 #include "serve/ring.hh"
 
@@ -106,19 +111,6 @@ class Connection
     std::string peer;
     std::string inBuf;
 };
-
-/**
- * Server-side forwarding: run @p spec on @p peer (submit with bounded
- * busy retries, then wait for the result). Marks the submit
- * "forwarded" so a ring disagreement surfaces as `not_owner` instead
- * of a forwarding loop; @p asReplica additionally marks it "replica"
- * — the target is a replica holder asked to serve a key whose primary
- * is unreachable. @p timeoutMs bounds each socket operation (0 =
- * none). Non-fatal: false + @p err on any failure.
- */
-bool forwardJobToPeer(const Endpoint &peer, const JobSpec &spec,
-                      bool asReplica, unsigned timeoutMs,
-                      RunResult &out, std::string &err);
 
 /** Transport-agnostic client API (CLI semantics: errors are fatal). */
 class ClientBase
@@ -173,8 +165,11 @@ class ClientBase
      * Run @p specs remotely: submit each to its owning node (retrying
      * on backpressure, failing over and resubmitting on node loss),
      * then wait for every result. Results come back in request order.
+     * The base implementation is strictly sequential; ClusterClient
+     * overrides it with a pipelined fan-out.
      */
-    std::vector<RunResult> runJobs(const std::vector<JobSpec> &specs);
+    virtual std::vector<RunResult>
+    runJobs(const std::vector<JobSpec> &specs);
 
     /** Failovers performed while routing requests (0 without them). */
     std::uint64_t failovers() const { return failoverCount; }
@@ -195,19 +190,23 @@ class ClientBase
     std::uint64_t readRepairCount = 0;
 };
 
-/** ClientBase over a consistent-hash ring of server endpoints. */
+/**
+ * ClientBase over a consistent-hash ring of server endpoints,
+ * multiplexing all traffic over one persistent link per node.
+ */
 class ClusterClient : public ClientBase
 {
   public:
     /**
      * fatal() on an empty endpoint list. Connects lazily.
      * @p replicas > 1 enables failover along each key's ring
-     * successors (match the servers' --replicas); @p timeoutMs bounds
-     * every socket operation (0 = none).
+     * successors (match the servers' --replicas); @p timeoutMs is the
+     * per-request deadline on the links (0 = none).
      */
     explicit ClusterClient(std::vector<Endpoint> endpoints,
                            unsigned replicas = 1,
                            unsigned timeoutMs = 0);
+    ~ClusterClient() override;
 
     void connect() override;
     bool tryRoundTrip(const JsonValue &req,
@@ -218,15 +217,34 @@ class ClusterClient : public ClientBase
                         const JsonValue &resp) override;
     JsonValue stats() override;
 
+    /**
+     * Pipelined grid fan-out: every job is one v4 submit+wait frame
+     * on its owner's link, up to a window in flight at once.
+     * Failover, busy retries and read-repair run per job from the
+     * link thread's completions; results return in request order,
+     * bit-identical to a sequential run.
+     */
+    std::vector<RunResult>
+    runJobs(const std::vector<JobSpec> &specs) override;
+
     std::size_t nodeCount() const { return eps.size(); }
     const HashRing &ringView() const { return ring; }
 
   private:
+    /** The link pool, starting its LinkLoop on first use. */
+    PeerPool &pool();
+
     /** Node index currently routed for @p key (candidate chain). */
     std::size_t nodeFor(const std::string &key) const;
+    std::size_t nodeForLocked(const std::string &key) const;
+    bool advanceRouteLocked(const std::string &routeKey);
 
-    /** Non-fatal exchange with node @p idx, opening it on first use;
-     *  follows one not_owner redirect. */
+    /** The key's current position in its candidate chain (0 =
+     *  primary). */
+    std::size_t routePosOf(const std::string &key) const;
+
+    /** Non-fatal exchange with node @p idx over its link; follows one
+     *  not_owner redirect. */
     bool tryExchange(std::size_t idx, const JsonValue &req,
                      JsonValue &resp, std::string &err);
 
@@ -237,7 +255,14 @@ class ClusterClient : public ClientBase
     HashRing ring;
     unsigned replicas;
     unsigned timeoutMs;
-    std::vector<std::unique_ptr<Connection>> conns;  ///< per endpoint
+    std::unique_ptr<LinkLoop> links;  ///< lazily started
+
+    /**
+     * Guards routePos and the ClientBase counters: the pipelined
+     * runJobs() mutates them from the link thread's completions while
+     * the calling thread reads them.
+     */
+    mutable std::mutex routeMutex;
     /** Failover state: key -> position in its candidate chain. */
     std::map<std::string, std::size_t> routePos;
 };

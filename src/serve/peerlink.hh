@@ -1,0 +1,348 @@
+/**
+ * @file
+ * PeerLink/PeerPool: persistent multiplexed peer connections for the
+ * serving layer — the protocol-v4 link layer both dcgserved (peer
+ * forwarding, replica pushes, read-repair fetches) and the cluster
+ * client (connection pooling, pipelined grid fan-out) are built on.
+ *
+ * One PeerLink is one non-blocking TCP connection to one peer,
+ * carrying many requests in flight at once: every frame is tagged
+ * with a pool-unique request id ("rid"), responses are matched by rid
+ * in whatever order the peer finishes them, and a per-request
+ * deadline (from --peer-timeout-ms) fails a slow request without
+ * killing the link. Link death — EOF, reset, a malformed frame —
+ * fails every in-flight request (callers fail over) and arms an
+ * automatic reconnect with exponential backoff; requests issued while
+ * the link is down wait for the reconnect instead of failing
+ * immediately.
+ *
+ * Version negotiation is optimistic: frames are pipelined as v4 from
+ * the first byte. A peer that answers "unsupported_version"
+ * (supported < 4) downgrades the link to legacy mode — every pending
+ * and future request on that link is replayed by a background
+ * executor over one-shot blocking connections speaking v3, exactly
+ * the pre-mux wire behaviour — so a mixed-version cluster keeps
+ * working with no configuration.
+ *
+ * Threading: a PeerPool is owned by exactly one event loop thread
+ * (dcgserved's poll loop, or a LinkLoop's). All link state is touched
+ * only on that thread; other threads hand requests in through the
+ * mutex-guarded post()/callSync() injection path, and every
+ * completion callback runs on the owner thread. The owner drives the
+ * pool by including appendPollFds() in its poll set, then calling
+ * dispatch() and runDue() each iteration with timeoutHintMs() folded
+ * into its poll timeout.
+ */
+
+#ifndef DCG_SERVE_PEERLINK_HH
+#define DCG_SERVE_PEERLINK_HH
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/endpoint.hh"
+#include "serve/json.hh"
+
+namespace dcg::serve {
+
+/** Outcome of one multiplexed request. */
+struct PeerReply
+{
+    bool transportOk = false;  ///< a parsed response arrived
+    JsonValue resp;            ///< the response (when transportOk)
+    std::string error;         ///< transport failure otherwise
+};
+
+using PeerCompletion = std::function<void(PeerReply)>;
+
+class PeerPool
+{
+  public:
+    struct Options
+    {
+        /** Per-request deadline and per-socket-op bound for the
+         *  legacy one-shot path (0 = none). */
+        unsigned peerTimeoutMs = 0;
+        /** Bound on connection establishment. 0 derives it from
+         *  peerTimeoutMs, falling back to 10s — a blackholed peer
+         *  must never pin a request for the kernel default. */
+        unsigned connectTimeoutMs = 0;
+        /** Called (from any thread) when the owner loop must wake to
+         *  process injected work or legacy completions. */
+        std::function<void()> wake;
+    };
+
+    PeerPool(std::vector<Endpoint> peers, Options options);
+    ~PeerPool();
+
+    PeerPool(const PeerPool &) = delete;
+    PeerPool &operator=(const PeerPool &) = delete;
+
+    /// @name Owner-thread request surface
+    /// @{
+    /** Issue @p req to peer @p idx; @p cb runs on the owner thread
+     *  with the rid-matched response or a transport failure. */
+    void call(std::size_t idx, JsonValue req, PeerCompletion cb);
+
+    /** Establish (or confirm) the TCP link to @p idx without sending
+     *  a frame; @p cb gets transportOk on success. */
+    void connectAsync(std::size_t idx, PeerCompletion cb);
+
+    /** Run @p fn on the owner thread after @p delayMs. */
+    void schedule(unsigned delayMs, std::function<void()> fn);
+    /// @}
+
+    /// @name Any-thread injection surface
+    /// @{
+    /** Thread-safe call(): enqueues and wakes the owner loop. Safe
+     *  from the owner thread too (runs on the next runDue()). */
+    void post(std::size_t idx, JsonValue req, PeerCompletion cb);
+
+    /** Blocking request from a NON-owner thread: post() + wait.
+     *  False + @p err on transport failure or pool shutdown. */
+    bool callSync(std::size_t idx, const JsonValue &req,
+                  JsonValue &resp, std::string &err);
+
+    /** Blocking connect probe from a NON-owner thread. */
+    bool connectSync(std::size_t idx, std::string &err);
+    /// @}
+
+    /// @name Owner-loop driving surface
+    /// @{
+    void appendPollFds(std::vector<pollfd> &fds) const;
+    void dispatch(const pollfd *fds, std::size_t n);
+    /** Injected work, due timers, expired deadlines, reconnects,
+     *  legacy completions. Call once per loop iteration. */
+    void runDue();
+    /** ms until the next deadline/timer (-1 = nothing scheduled). */
+    int timeoutHintMs() const;
+    /** No request in flight anywhere (links, injection, legacy). */
+    bool idle() const;
+    /** Fail everything outstanding, close links, stop the legacy
+     *  executor. Further post()/callSync() fail fast. Idempotent. */
+    void shutdown();
+    /// @}
+
+    /** The owner loop is live between markRunning() and shutdown() —
+     *  callSync() from other threads requires it. */
+    void markRunning() { running_.store(true, std::memory_order_release); }
+    bool isRunning() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    std::size_t peerCount() const { return endpoints.size(); }
+
+    /// @name Counters (any thread)
+    /// @{
+    std::uint64_t requestsSent() const { return requests_.load(); }
+    std::uint64_t linkDeaths() const { return linkDeaths_.load(); }
+    std::uint64_t reconnects() const { return reconnects_.load(); }
+    std::uint64_t legacyFallbacks() const
+    {
+        return legacyFallbacks_.load();
+    }
+    /// @}
+
+  private:
+    struct Pending
+    {
+        PeerCompletion cb;
+        JsonValue req;  ///< kept for legacy replay on downgrade
+        std::chrono::steady_clock::time_point deadline{};
+        bool hasDeadline = false;
+    };
+
+    struct Link
+    {
+        enum class State { Down, Connecting, Up };
+
+        Endpoint ep;
+        int fd = -1;
+        State state = State::Down;
+        bool legacy = false;       ///< peer speaks <= v3: one-shots
+        bool v4Confirmed = false;  ///< saw a rid-echoing response
+        bool everConnected = false;
+        std::string out;  ///< bytes awaiting the socket
+        std::string in;   ///< partial response line
+        std::map<std::uint64_t, Pending> pending;  ///< rid -> request
+        /** Send order, kept until v4 is confirmed: a rid-less
+         *  response (a pre-v4 peer answering in order) matches the
+         *  oldest in-flight request. */
+        std::deque<std::uint64_t> fifo;
+        struct Queued
+        {
+            std::uint64_t rid;
+            std::string line;
+        };
+        std::deque<Queued> waitq;  ///< serialized, awaiting connect
+        std::chrono::steady_clock::time_point connectDeadline{};
+        unsigned backoffMs = 0;
+        bool retryArmed = false;
+        std::chrono::steady_clock::time_point retryAt{};
+        std::vector<PeerCompletion> connectWaiters;
+    };
+
+    struct Injected
+    {
+        std::size_t idx = 0;
+        JsonValue req;
+        PeerCompletion cb;
+        bool connectProbe = false;
+    };
+
+    struct LegacyTask
+    {
+        std::size_t idx = 0;
+        std::uint64_t rid = 0;
+        JsonValue req;
+    };
+
+    struct Timer
+    {
+        std::chrono::steady_clock::time_point when;
+        std::function<void()> fn;
+    };
+
+    void wakeOwner();
+    void maybeConnect(Link &link);
+    void startConnect(Link &link);
+    void onConnected(Link &link);
+    void failConnect(Link &link, const std::string &why);
+    void linkDeath(Link &link, const std::string &why);
+    void armBackoff(Link &link);
+    void failAllPending(Link &link, const std::string &err);
+    void flushOut(Link &link);
+    void readLink(Link &link);
+    void handleResponse(Link &link, const std::string &line);
+    void downgradeToLegacy(Link &link);
+    void toLegacy(std::size_t idx, std::uint64_t rid, JsonValue req,
+                  PeerCompletion cb);
+    void legacyLoop();
+    PeerReply runLegacy(const LegacyTask &task);
+    void deliverLegacyDone();
+    unsigned connectTimeoutMs() const;
+
+    std::vector<Endpoint> endpoints;
+    Options opts;
+    std::vector<Link> links;  ///< index-aligned with endpoints
+    std::uint64_t nextRid = 1;
+    std::vector<Timer> timers;
+
+    mutable std::mutex injectMutex;
+    std::vector<Injected> injected;  ///< guarded by injectMutex
+
+    std::mutex legacyMutex;
+    std::condition_variable legacyCv;
+    std::deque<LegacyTask> legacyQueue;   ///< guarded by legacyMutex
+    bool legacyStop = false;              ///< guarded by legacyMutex
+    std::thread legacyThread;             ///< started lazily
+    std::map<std::uint64_t, PeerCompletion> legacyPending;  ///< owner
+    mutable std::mutex legacyDoneMutex;
+    std::vector<std::pair<std::uint64_t, PeerReply>> legacyDone;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> closed_{false};
+    bool shutdownDone = false;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> linkDeaths_{0};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> legacyFallbacks_{0};
+};
+
+/**
+ * LinkLoop: a PeerPool plus the thread that drives it — the client-
+ * side arrangement, where no event loop exists to own the pool.
+ * start() spawns the loop; every pool interaction from other threads
+ * goes through post()/callSync(). stop() (and the destructor) shuts
+ * the pool down, failing anything still in flight.
+ */
+class LinkLoop
+{
+  public:
+    LinkLoop(std::vector<Endpoint> peers, unsigned peerTimeoutMs);
+    ~LinkLoop();
+
+    LinkLoop(const LinkLoop &) = delete;
+    LinkLoop &operator=(const LinkLoop &) = delete;
+
+    void start();
+    void stop();
+    bool started() const { return thread.joinable(); }
+
+    PeerPool &pool() { return *pool_; }
+
+  private:
+    void loop();
+
+    int wakePipe[2] = {-1, -1};
+    std::atomic<bool> stopFlag{false};
+    std::unique_ptr<PeerPool> pool_;
+    std::thread thread;
+};
+
+/**
+ * The peer-exchange seam ReplicatedStore talks through: one blocking
+ * request/response with peer @p idx. Lets replication ride the
+ * multiplexed links when a server event loop is running, and plain
+ * one-shot connections otherwise (unit tests, post-drain flushes).
+ */
+class PeerTransport
+{
+  public:
+    virtual ~PeerTransport() = default;
+
+    /** False + @p err on transport failure; protocol-level errors
+     *  come back as parsed {"ok":false,...} responses. */
+    virtual bool call(std::size_t idx, const JsonValue &req,
+                      JsonValue &resp, std::string &err) = 0;
+};
+
+/** One-shot blocking connections (the pre-mux wire behaviour). */
+class DirectPeerTransport : public PeerTransport
+{
+  public:
+    DirectPeerTransport(std::vector<Endpoint> peers,
+                        unsigned timeoutMs);
+    bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
+              std::string &err) override;
+
+  private:
+    std::vector<Endpoint> endpoints;
+    unsigned timeoutMs;
+};
+
+/**
+ * Multiplexed transport: callSync() through @p pool while its owner
+ * loop runs, falling back to one-shot connections before run() and
+ * after shutdown — so drain-time replica flushes still land.
+ */
+class PoolPeerTransport : public PeerTransport
+{
+  public:
+    PoolPeerTransport(PeerPool *pool, std::vector<Endpoint> peers,
+                      unsigned timeoutMs);
+    bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
+              std::string &err) override;
+
+  private:
+    PeerPool *pool;
+    DirectPeerTransport direct;
+};
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_PEERLINK_HH

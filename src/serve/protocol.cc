@@ -282,6 +282,13 @@ stampVersion(JsonValue &resp, unsigned version)
              JsonValue::integer(std::uint64_t{version}));
 }
 
+void
+echoRid(const JsonValue &req, JsonValue &resp)
+{
+    if (req.has("rid"))
+        resp.set("rid", req.get("rid"));
+}
+
 JsonValue
 unsupportedVersionResponse(unsigned requested)
 {

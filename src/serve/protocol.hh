@@ -50,6 +50,21 @@
  * bouncing not_owner. Unversioned/v1 and v2 clients are still served
  * byte-identically — the new members only appear on v3 exchanges.
  *
+ * Multiplexing (version 4): a request MAY carry "rid", an opaque
+ * request id chosen by the sender, and every response to a rid-tagged
+ * request echoes it verbatim — including responses parked behind
+ * "wait". That turns one TCP connection into a pipelined multiplexed
+ * link: many requests in flight, responses matched by rid in whatever
+ * order jobs finish (see serve/peerlink.hh for the link layer built
+ * on this). A v4 single-job submit additionally accepts "wait": true,
+ * collapsing the old submit + result-wait pair into one deferred
+ * response that carries the result (or the structured failure)
+ * directly — the op peers use to forward jobs without burning a
+ * round trip or a connection per job. Negotiation is optimistic:
+ * a sender pipelines v4 frames immediately, and a peer that answers
+ * "unsupported_version" (supported < 4) is retried over the
+ * pre-mux one-shot-connection path, so v1-v3 peers keep working.
+ *
  * Error responses: {"ok":false, "error": "<code>", "detail": "..."};
  * a full queue answers code "busy" plus "retry_after_ms". Done results
  * carry "result": [<RunResult>] — the exact writeResultsJson() array
@@ -73,9 +88,14 @@ namespace dcg::serve {
  * original single-server protocol; version 2 adds the version field
  * itself, `not_owner`/`redirect` and forwarded submits; version 3
  * adds replication (`replicate`/`fetch` ops and replica-marked
- * forwarded submits).
+ * forwarded submits); version 4 adds request-id multiplexing ("rid"
+ * echo on every response) and single-job submit+wait.
  */
-constexpr unsigned kProtocolVersion = 3;
+constexpr unsigned kProtocolVersion = 4;
+
+/** Highest version whose peers are driven over one-shot connections
+ *  (no rid multiplexing): the legacy fallback target. */
+constexpr unsigned kLastOneShotVersion = 3;
 
 /**
  * Extract a request's protocol version: absent = 1 (legacy client).
@@ -157,6 +177,14 @@ JsonValue errorResponse(const std::string &code,
 
 /** Stamp the response envelope's "version" member (insert/replace). */
 void stampVersion(JsonValue &resp, unsigned version);
+
+/**
+ * v4 rid echo: copy @p req's "rid" member (if any) onto @p resp,
+ * token-for-token. Every server response path funnels through this so
+ * a multiplexed peer can match responses to in-flight requests no
+ * matter which op — or which error branch — produced them.
+ */
+void echoRid(const JsonValue &req, JsonValue &resp);
 
 /** "unsupported_version" error naming the supported maximum. */
 JsonValue unsupportedVersionResponse(unsigned requested);

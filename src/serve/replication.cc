@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "common/log.hh"
-#include "serve/client.hh"
 #include "serve/protocol.hh"
 
 namespace dcg::serve {
@@ -13,9 +12,11 @@ ReplicatedStore::ReplicatedStore(std::shared_ptr<ResultStore> localStore,
                                  std::vector<Endpoint> nodeList,
                                  std::size_t selfIndex,
                                  unsigned replicaCount,
-                                 unsigned peerTimeoutMs)
+                                 unsigned peerTimeoutMs,
+                                 std::shared_ptr<PeerTransport> peerTx)
     : local(std::move(localStore)), nodes(std::move(nodeList)),
-      selfIdx(selfIndex), timeoutMs(peerTimeoutMs)
+      selfIdx(selfIndex), timeoutMs(peerTimeoutMs),
+      transport(std::move(peerTx))
 {
     if (!local)
         fatal("replication: no local store to decorate");
@@ -25,6 +26,9 @@ ReplicatedStore::ReplicatedStore(std::shared_ptr<ResultStore> localStore,
     k = static_cast<unsigned>(std::min<std::size_t>(
         std::max(replicaCount, 1u), nodes.size()));
     ring = HashRing(endpointStrings(nodes));
+    if (!transport)
+        transport = std::make_shared<DirectPeerTransport>(nodes,
+                                                          timeoutMs);
     replicator = std::thread([this] { replicatorLoop(); });
 }
 
@@ -64,11 +68,9 @@ ReplicatedStore::get(const std::string &key, RunResult &out)
     for (std::size_t idx : holders) {
         if (idx == selfIdx)
             continue;
-        Connection conn;
         JsonValue resp;
         std::string err;
-        if (!conn.open(nodes[idx], err, timeoutMs) ||
-            !conn.roundTrip(req, resp, err))
+        if (!transport->call(idx, req, resp, err))
             continue;
         if (!resp.get("ok").asBool(false))
             continue;
@@ -144,11 +146,9 @@ ReplicatedStore::pushOne(const Task &t)
 {
     const JsonValue req = replicateRequest(t.key, t.result);
     for (std::size_t idx : t.targets) {
-        Connection conn;
         JsonValue resp;
         std::string err;
-        if (conn.open(nodes[idx], err, timeoutMs) &&
-            conn.roundTrip(req, resp, err) &&
+        if (transport->call(idx, req, resp, err) &&
             resp.get("ok").asBool(false)) {
             ++pushed;
         } else {

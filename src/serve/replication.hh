@@ -29,11 +29,17 @@
  * through to the local store: replica records are ordinary records
  * there, budgeted and compacted exactly once.
  *
+ * Peer I/O goes through a PeerTransport seam: the server injects a
+ * PoolPeerTransport so pushes and fetches ride the event loop's
+ * multiplexed links; standalone uses (unit tests, tools) default to
+ * one-shot blocking connections.
+ *
  * Thread safety: get()/put() may be called from any worker thread;
- * the queue is mutex-guarded and the replicator thread owns all peer
- * sockets for pushes (fetches open short-lived connections on the
- * calling thread). flush() blocks until queued pushes have drained —
- * used by graceful drain and by tests that assert on follower state.
+ * the queue is mutex-guarded and the replicator thread performs all
+ * pushes (fetches run on the calling thread — the transport is
+ * thread-safe either way). flush() blocks until queued pushes have
+ * drained — used by graceful drain and by tests that assert on
+ * follower state.
  */
 
 #ifndef DCG_SERVE_REPLICATION_HH
@@ -50,6 +56,7 @@
 #include <vector>
 
 #include "serve/endpoint.hh"
+#include "serve/peerlink.hh"
 #include "serve/ring.hh"
 #include "serve/store.hh"
 
@@ -66,10 +73,13 @@ class ReplicatedStore : public exp::ResultStoreBase
      * @param replicaCount  k; effective factor is min(k, nodes.size())
      * @param peerTimeoutMs bound on each push/fetch socket operation
      *                      (0 = unbounded)
+     * @param transport  peer exchange seam; null = one-shot blocking
+     *                   connections (DirectPeerTransport)
      */
     ReplicatedStore(std::shared_ptr<ResultStore> local,
                     std::vector<Endpoint> nodes, std::size_t selfIndex,
-                    unsigned replicaCount, unsigned peerTimeoutMs);
+                    unsigned replicaCount, unsigned peerTimeoutMs,
+                    std::shared_ptr<PeerTransport> transport = nullptr);
     ~ReplicatedStore() override;
 
     ReplicatedStore(const ReplicatedStore &) = delete;
@@ -107,6 +117,13 @@ class ReplicatedStore : public exp::ResultStoreBase
     /** Local misses no replica holder could serve either. */
     std::uint64_t replicaMisses() const { return misses.load(); }
 
+    /** Fan-out tasks queued or mid-push right now. */
+    std::size_t pendingPushes() const
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        return queue.size() + (busy ? 1 : 0);
+    }
+
   private:
     struct Task
     {
@@ -127,8 +144,9 @@ class ReplicatedStore : public exp::ResultStoreBase
     unsigned k;
     unsigned timeoutMs;
     HashRing ring;
+    std::shared_ptr<PeerTransport> transport;
 
-    std::mutex qMutex;
+    mutable std::mutex qMutex;
     std::condition_variable qCv;       ///< work available / drained
     std::deque<Task> queue;            ///< guarded by qMutex
     bool busy = false;                 ///< a task is being pushed

@@ -14,7 +14,7 @@
 #include <cstring>
 
 #include "common/log.hh"
-#include "serve/client.hh"
+#include "serve/netio.hh"
 
 namespace dcg::serve {
 
@@ -22,6 +22,10 @@ namespace {
 
 /** Cap a single request line; beyond this the peer is misbehaving. */
 constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+/** How often a Forward chain re-tries one busy holder before moving
+ *  on — mirrors the client-side submit retry bound. */
+constexpr unsigned kMaxForwardBusyRetries = 600;
 
 void
 setNonBlocking(int fd)
@@ -145,7 +149,22 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
     clustered = nodes.size() > 1;
 
     replFactor = 1;
-    repl.reset();
+    if (repl) {
+        // Reconfiguring: destroy the old replication layer (joining
+        // its fan-out thread) before the pool it may call through.
+        eng.attachStore(store);
+        repl.reset();
+    }
+    pool.reset();
+    peerTransport.reset();
+    if (clustered) {
+        PeerPool::Options po;
+        po.peerTimeoutMs = cfg.peerTimeoutMs;
+        po.wake = [this] { wake(); };
+        pool = std::make_unique<PeerPool>(nodes, std::move(po));
+        peerTransport = std::make_shared<PoolPeerTransport>(
+            pool.get(), nodes, cfg.peerTimeoutMs);
+    }
     if (cfg.replicas > 1 && clustered) {
         if (!store)
             fatal("dcgserved: replication needs a persistent store "
@@ -156,7 +175,8 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
             warn("dcgserved: --replicas=", cfg.replicas,
                  " clamped to the cluster size (", replFactor, ")");
         repl = std::make_shared<ReplicatedStore>(
-            store, nodes, selfIdx, replFactor, cfg.peerTimeoutMs);
+            store, nodes, selfIdx, replFactor, cfg.peerTimeoutMs,
+            peerTransport);
         eng.attachStore(repl);
     } else if (cfg.replicas > 1) {
         warn("dcgserved: --replicas=", cfg.replicas,
@@ -174,6 +194,20 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
 
 Server::~Server()
 {
+    // Fail any outstanding peer work first so nothing (the replicator
+    // thread included) can block inside the pool, then tear down the
+    // replication layer — which joins that thread — before the pool
+    // object it calls through goes away. The engine's reference is
+    // re-pointed at the plain store so resetting repl really destroys
+    // it (and joins its thread) here, not at some later member's
+    // destruction after the pool is gone.
+    if (pool)
+        pool->shutdown();
+    if (repl) {
+        eng.attachStore(store);
+        repl.reset();
+    }
+    pool.reset();
     {
         std::lock_guard<std::mutex> lk(qMutex);
         workersStop = true;
@@ -200,7 +234,7 @@ Server::requestStop()
     // its SIGINT/SIGTERM handler.
     stopFlag.store(true, std::memory_order_release);
     const char b = 1;
-    const ssize_t n = write(wakePipe[1], &b, 1);
+    const ssize_t n = net::writeRetry(wakePipe[1], &b, 1);
     (void)n;
 }
 
@@ -208,7 +242,7 @@ void
 Server::wake()
 {
     const char b = 1;
-    const ssize_t n = write(wakePipe[1], &b, 1);
+    const ssize_t n = net::writeRetry(wakePipe[1], &b, 1);
     (void)n;
 }
 
@@ -240,56 +274,19 @@ Server::workerLoop()
         Event started;
         started.kind = Event::Kind::Started;
         started.id = item.id;
-        started.remote = item.remote;
         pushEvent(std::move(started));
         wake();
 
+        // Workers only simulate. Peer exchanges — forwards, failover
+        // walks, replica traffic — live on the I/O thread's
+        // multiplexed links (stepForward), never here.
         Event done;
         done.kind = Event::Kind::Done;
         done.id = item.id;
-        done.remote = item.remote;
-        if (item.remote) {
-            // Peer-owned job: the worker blocks on the peer so the
-            // event loop never does. The result is NOT stored locally
-            // — it lives on the shard(s) the ring designated. The
-            // holder list is walked in ring order: the primary gets a
-            // plain forward, any later attempt is a replica-marked
-            // failover; hitting our own index means this node holds a
-            // replica and serves the job itself.
-            std::string errs;
-            bool served = false;
-            for (std::size_t i = 0; i < item.holderIdx.size(); ++i) {
-                const std::size_t idx = item.holderIdx[i];
-                if (i > 0)
-                    ++done.failovers;
-                if (idx == selfIdx) {
-                    done.result = eng.runOne(item.job, &done.outcome);
-                    if (cfg.cacheBudgetBytes)
-                        eng.evictTo(cfg.cacheBudgetBytes);
-                    done.remote = false;  // served here after all
-                    served = true;
-                    break;
-                }
-                std::string err;
-                if (forwardJobToPeer(nodes[idx], item.spec, i > 0,
-                                     cfg.peerTimeoutMs, done.result,
-                                     err)) {
-                    served = true;
-                    break;
-                }
-                if (!errs.empty())
-                    errs += "; ";
-                errs += nodes[idx].str() + ": " + err;
-            }
-            if (!served) {
-                done.failed = true;
-                done.error = "forward failed on every holder: " + errs;
-            }
-        } else {
-            done.result = eng.runOne(item.job, &done.outcome);
-            if (cfg.cacheBudgetBytes)
-                eng.evictTo(cfg.cacheBudgetBytes);
-        }
+        done.failovers = item.failovers;
+        done.result = eng.runOne(item.job, &done.outcome);
+        if (cfg.cacheBudgetBytes)
+            eng.evictTo(cfg.cacheBudgetBytes);
 
         pushEvent(std::move(done));
         busyWorkers.fetch_sub(1, std::memory_order_acq_rel);
@@ -300,6 +297,8 @@ Server::workerLoop()
 bool
 Server::idle()
 {
+    if (inflightForwards != 0 || (pool && !pool->idle()))
+        return false;
     {
         std::lock_guard<std::mutex> lk(qMutex);
         if (!pending.empty() ||
@@ -323,6 +322,8 @@ Server::run()
     workerThreads.reserve(workerCount);
     for (unsigned i = 0; i < workerCount; ++i)
         workerThreads.emplace_back([this] { workerLoop(); });
+    if (pool)
+        pool->markRunning();
 
     bool drain_announced = false;
     std::chrono::steady_clock::time_point drain_start{};
@@ -341,6 +342,8 @@ Server::run()
         }
 
         drainEvents();
+        if (pool)
+            pool->runDue();
 
         if (draining) {
             if (idle())
@@ -374,23 +377,31 @@ Server::run()
             fds.push_back({c.fd, ev, 0});
             fd_conn.push_back(id);
         }
-
-        const int timeout_ms = draining ? 50 : -1;
-        const int nready =
-            poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                 timeout_ms);
-        if (nready < 0) {
-            if (errno == EINTR)
-                continue;
-            fatal("dcgserved: poll failed: ", std::strerror(errno));
+        const std::size_t ownFds = fds.size();
+        if (pool) {
+            pool->appendPollFds(fds);
+            fd_conn.resize(fds.size(), 0);
         }
 
-        for (std::size_t i = 0; i < fds.size(); ++i) {
+        int timeout_ms = draining ? 50 : -1;
+        if (pool) {
+            const int hint = pool->timeoutHintMs();
+            if (hint >= 0 && (timeout_ms < 0 || hint < timeout_ms))
+                timeout_ms = hint;
+        }
+        const int nready =
+            net::pollRetry(fds.data(), static_cast<nfds_t>(fds.size()),
+                           timeout_ms);
+        if (nready < 0)
+            fatal("dcgserved: poll failed: ", std::strerror(errno));
+
+        for (std::size_t i = 0; i < ownFds; ++i) {
             if (!fds[i].revents)
                 continue;
             if (fds[i].fd == wakePipe[0]) {
                 char buf[256];
-                while (read(wakePipe[0], buf, sizeof(buf)) > 0) {
+                while (net::readRetry(wakePipe[0], buf, sizeof(buf)) >
+                       0) {
                 }
                 continue;
             }
@@ -410,6 +421,8 @@ Server::run()
                 (fds[i].revents & (POLLERR | POLLNVAL)))
                 closeConn(conn);
         }
+        if (pool)
+            pool->dispatch(fds.data() + ownFds, fds.size() - ownFds);
 
         // Sweep connections closed during this iteration.
         for (auto it = conns.begin(); it != conns.end();) {
@@ -419,6 +432,14 @@ Server::run()
                 ++it;
         }
     }
+
+    // Fail any forwards the drain grace abandoned (their finishJob
+    // responses land in conn buffers about to close — same fate as
+    // any other undelivered output) and unblock every thread parked
+    // in a callSync before the workers are joined below.
+    if (pool)
+        pool->shutdown();
+    drainEvents();
 
     for (auto &[id, c] : conns)
         closeConn(c);
@@ -446,9 +467,9 @@ void
 Server::acceptClients()
 {
     while (true) {
-        const int fd = accept(listenFd, nullptr, nullptr);
+        const int fd = net::acceptRetry(listenFd);
         if (fd < 0)
-            return;  // EAGAIN/EWOULDBLOCK/EINTR: try next iteration
+            return;  // EAGAIN/EWOULDBLOCK: try next iteration
         setNonBlocking(fd);
         Conn c;
         c.id = nextConnId++;
@@ -471,7 +492,7 @@ Server::readConn(Conn &conn)
 {
     char buf[4096];
     while (true) {
-        const ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+        const ssize_t n = net::recvRetry(conn.fd, buf, sizeof(buf), 0);
         if (n > 0) {
             conn.in.append(buf, static_cast<std::size_t>(n));
             if (conn.in.size() > kMaxLineBytes) {
@@ -488,8 +509,6 @@ Server::readConn(Conn &conn)
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
-        if (errno == EINTR)
-            continue;
         closeConn(conn);
         return;
     }
@@ -515,16 +534,14 @@ void
 Server::writeConn(Conn &conn)
 {
     while (!conn.out.empty()) {
-        const ssize_t n = send(conn.fd, conn.out.data(),
-                               conn.out.size(), MSG_NOSIGNAL);
+        const ssize_t n = net::sendRetry(conn.fd, conn.out.data(),
+                                         conn.out.size(), MSG_NOSIGNAL);
         if (n > 0) {
             conn.out.erase(0, static_cast<std::size_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             return;
-        if (n < 0 && errno == EINTR)
-            continue;
         closeConn(conn);
         return;
     }
@@ -564,6 +581,7 @@ Server::handleLine(Conn &conn, const std::string &line)
     }
     if (rejected) {
         stampVersion(early, version);
+        echoRid(req, early);
         conn.out += early.dump();
         conn.out += '\n';
         return;
@@ -577,9 +595,12 @@ Server::handleLine(Conn &conn, const std::string &line)
 
     JsonValue resp;
     if (op == "submit") {
+        bool deferred = false;
         resp = stopFlag.load(std::memory_order_acquire)
                    ? errorResponse("draining", "server is shutting down")
-                   : handleSubmit(req);
+                   : handleSubmit(req, version, conn, deferred);
+        if (deferred)
+            return;  // a v4 submit+wait parked on the job's waiters
     } else if (op == "status") {
         resp = handleStatus(req);
     } else if (op == "replicate") {
@@ -602,13 +623,16 @@ Server::handleLine(Conn &conn, const std::string &line)
         resp = errorResponse("bad_request", "unknown op '" + op + "'");
     }
     stampVersion(resp, version);
+    echoRid(req, resp);
     conn.out += resp.dump();
     conn.out += '\n';
 }
 
 JsonValue
-Server::handleSubmit(const JsonValue &req)
+Server::handleSubmit(const JsonValue &req, unsigned version,
+                     Conn &conn, bool &deferred)
 {
+    deferred = false;
     std::vector<JobSpec> specs;
     std::string err;
     if (req.has("job")) {
@@ -705,12 +729,15 @@ Server::handleSubmit(const JsonValue &req)
     }
 
     // Bounded admission: reject the whole submit (all-or-nothing, so
-    // clients never track partial grids) when the queue cannot take it.
+    // clients never track partial grids) when the queue cannot take
+    // it. In-flight forwards hold no queue slot but count against the
+    // same capacity — peer traffic must feel backpressure too.
     std::size_t queue_len;
     {
         std::lock_guard<std::mutex> lk(qMutex);
         queue_len = pending.size();
     }
+    queue_len += static_cast<std::size_t>(inflightForwards);
     if (queue_len + need_slots > cfg.queueCapacity) {
         ++submitsRejected;
         JsonValue resp = errorResponse("busy", "job queue is full");
@@ -725,9 +752,10 @@ Server::handleSubmit(const JsonValue &req)
 
     const auto now = std::chrono::steady_clock::now();
     JsonValue ids = JsonValue::array();
-    std::size_t enqueued = 0;
+    std::uint64_t soleId = 0;
     for (Admit &a : admits) {
         const std::uint64_t id = nextJobId++;
+        soleId = id;
         JobRec rec;
         rec.enqueued = now;
         if (a.cached) {
@@ -738,30 +766,182 @@ Server::handleSubmit(const JsonValue &req)
         jobs.emplace(id, std::move(rec));
         ids.push(JsonValue::integer(id));
         ++jobsSubmitted;
-        if (!a.cached) {
+        if (a.cached)
+            continue;
+        if (a.remote) {
+            // The job leaves on the owner's multiplexed link right
+            // now; its failover walk is a continuation chain stepped
+            // by link completions on this thread.
+            auto fwd = std::make_shared<Forward>();
+            fwd->id = id;
+            fwd->spec = std::move(a.spec);
+            fwd->job = std::move(a.job);
+            fwd->holders = std::move(a.holders);
+            jobs[id].state = JobState::Running;
+            ++inflightForwards;
+            peakInflightForwards =
+                std::max(peakInflightForwards, inflightForwards);
+            stepForward(fwd);
+        } else {
             WorkItem item;
             item.id = id;
-            item.remote = a.remote;
-            if (a.remote) {
-                item.holderIdx = std::move(a.holders);
-                item.spec = std::move(a.spec);
-            }
-            // The expanded job always travels along: a remote item
-            // needs it too when this node is a fallback holder.
             item.job = std::move(a.job);
-            std::lock_guard<std::mutex> lk(qMutex);
-            pending.push_back(std::move(item));
-            ++enqueued;
+            enqueueLocal(std::move(item));
         }
     }
-    if (enqueued)
-        qCv.notify_all();
 
     JsonValue resp = okResponse();
     if (ids.items().size() == 1)
         resp.set("id", ids.items().front());
     resp.set("ids", std::move(ids));
+
+    // v4 single-job submit+wait: defer the response until the job
+    // finishes (cached jobs are already Done and answer now), parking
+    // on the same waiter list "result"+wait uses.
+    if (version >= 4 && req.get("wait").asBool(false) &&
+        admits.size() == 1) {
+        auto it = jobs.find(soleId);
+        if (it->second.state == JobState::Done)
+            return doneResponse(soleId, it->second);
+        if (it->second.state == JobState::Failed)
+            return failedResponse(soleId, it->second);
+        Waiter w;
+        w.connId = conn.id;
+        w.version = version;
+        if (req.has("rid")) {
+            w.hasRid = true;
+            w.rid = req.get("rid");
+        }
+        it->second.waiters.push_back(std::move(w));
+        deferred = true;
+    }
     return resp;
+}
+
+void
+Server::enqueueLocal(WorkItem item)
+{
+    {
+        std::lock_guard<std::mutex> lk(qMutex);
+        pending.push_back(std::move(item));
+    }
+    qCv.notify_all();
+}
+
+void
+Server::stepForward(const std::shared_ptr<Forward> &fwd)
+{
+    if (fwd->pos >= fwd->holders.size()) {
+        Event ev;
+        ev.id = fwd->id;
+        ev.remote = true;
+        ev.failed = true;
+        ev.failovers = fwd->holders.empty()
+                           ? 0
+                           : static_cast<unsigned>(
+                                 fwd->holders.size() - 1);
+        ev.error = "forward failed on every holder: " + fwd->errs;
+        deliverForward(fwd, std::move(ev));
+        return;
+    }
+
+    const std::size_t idx = fwd->holders[fwd->pos];
+    if (idx == selfIdx) {
+        // We hold a replica: serve the job here. The worker item
+        // carries the failovers burned getting to us; the forward
+        // slot converts into a queue slot.
+        WorkItem item;
+        item.id = fwd->id;
+        item.job = fwd->job;
+        item.failovers = static_cast<unsigned>(fwd->pos);
+        --inflightForwards;
+        enqueueLocal(std::move(item));
+        return;
+    }
+
+    JsonValue submit = JsonValue::object();
+    submit.set("op", JsonValue::string("submit"));
+    submit.set("job", fwd->spec.toJson());
+    submit.set("forwarded", JsonValue::boolean(true));
+    if (fwd->pos > 0)
+        submit.set("replica", JsonValue::boolean(true));
+    submit.set("wait", JsonValue::boolean(true));
+    pool->call(idx, std::move(submit),
+               [this, fwd](PeerReply reply) {
+                   forwardReply(fwd, std::move(reply));
+               });
+}
+
+void
+Server::forwardReply(const std::shared_ptr<Forward> &fwd,
+                     PeerReply reply)
+{
+    const std::size_t idx = fwd->holders[fwd->pos];
+    auto recordErr = [&](const std::string &what) {
+        if (!fwd->errs.empty())
+            fwd->errs += "; ";
+        fwd->errs += nodes[idx].str() + ": " + what;
+    };
+
+    if (!reply.transportOk) {
+        recordErr(reply.error);
+        ++fwd->pos;
+        stepForward(fwd);
+        return;
+    }
+
+    const JsonValue &resp = reply.resp;
+    if (resp.get("ok").asBool(false)) {
+        std::vector<RunResult> one;
+        std::string err;
+        if (resultsFromJson(resp.get("result"), one, err) &&
+            one.size() == 1) {
+            Event ev;
+            ev.id = fwd->id;
+            ev.remote = true;
+            ev.failovers = static_cast<unsigned>(fwd->pos);
+            ev.result = std::move(one.front());
+            deliverForward(fwd, std::move(ev));
+            return;
+        }
+        recordErr("malformed forwarded result" +
+                  (err.empty() ? "" : ": " + err));
+        ++fwd->pos;
+        stepForward(fwd);
+        return;
+    }
+
+    const std::string code = resp.get("error").asString();
+    if (code == "busy") {
+        if (++fwd->busyRetries >= kMaxForwardBusyRetries) {
+            recordErr("stayed busy after " +
+                      std::to_string(fwd->busyRetries) + " retries");
+            ++fwd->pos;
+            stepForward(fwd);
+            return;
+        }
+        const std::uint64_t hint =
+            resp.get("retry_after_ms").asU64(250);
+        pool->schedule(static_cast<unsigned>(hint ? hint : 250),
+                       [this, fwd] { stepForward(fwd); });
+        return;
+    }
+
+    recordErr("rejected forwarded job (" + code + ")" +
+              (resp.has("detail") ? ": " + resp.get("detail").asString()
+                                  : ""));
+    ++fwd->pos;
+    stepForward(fwd);
+}
+
+void
+Server::deliverForward(const std::shared_ptr<Forward> &fwd, Event ev)
+{
+    --inflightForwards;
+    auto it = jobs.find(fwd->id);
+    if (it == jobs.end())
+        return;
+    finishJob(fwd->id, it->second, ev);
 }
 
 JsonValue
@@ -840,7 +1020,14 @@ Server::handleResult(Conn &conn, const JsonValue &req,
     } else if (it->second.state == JobState::Failed) {
         resp = failedResponse(id, it->second);
     } else if (req.get("wait").asBool(false)) {
-        it->second.waiters.push_back({conn.id, version});
+        Waiter w;
+        w.connId = conn.id;
+        w.version = version;
+        if (req.has("rid")) {
+            w.hasRid = true;
+            w.rid = req.get("rid");
+        }
+        it->second.waiters.push_back(std::move(w));
         return;  // answered on completion
     } else {
         resp = okResponse();
@@ -850,6 +1037,7 @@ Server::handleResult(Conn &conn, const JsonValue &req,
                      stateName(static_cast<int>(it->second.state))));
     }
     stampVersion(resp, version);
+    echoRid(req, resp);
     conn.out += resp.dump();
     conn.out += '\n';
 }
@@ -944,6 +1132,8 @@ Server::finishJob(std::uint64_t id, JobRec &rec, Event &ev)
                              ? failedResponse(id, rec)
                              : doneResponse(id, rec);
         stampVersion(resp, w.version);
+        if (w.hasRid)
+            resp.set("rid", w.rid);
         cit->second.out += resp.dump();
         cit->second.out += '\n';
     }
@@ -1011,6 +1201,19 @@ Server::statsJson() const
         s.set("failovers", JsonValue::integer(failoverCount));
         s.set("replicate_ops", JsonValue::integer(replicateOps));
         s.set("fetches_served", JsonValue::integer(fetchesServed));
+        s.set("forwards_inflight",
+              JsonValue::integer(inflightForwards));
+        s.set("forwards_inflight_peak",
+              JsonValue::integer(peakInflightForwards));
+    }
+    if (pool) {
+        s.set("peer_requests", JsonValue::integer(pool->requestsSent()));
+        s.set("peer_link_deaths",
+              JsonValue::integer(pool->linkDeaths()));
+        s.set("peer_reconnects",
+              JsonValue::integer(pool->reconnects()));
+        s.set("peer_legacy_fallbacks",
+              JsonValue::integer(pool->legacyFallbacks()));
     }
     if (repl) {
         s.set("replication_factor",

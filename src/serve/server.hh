@@ -6,18 +6,22 @@
  * Architecture (one process, two kinds of threads):
  *
  *  - The I/O thread (run()) owns a poll()-based event loop: the
- *    non-blocking listen socket, every client connection, and a
- *    self-wake pipe. It parses newline-delimited JSON requests,
- *    admits jobs to a *bounded* queue (over-capacity submits are
- *    rejected with a retry-after hint — backpressure, not buffering),
- *    and answers status/result/stats without touching a worker.
+ *    non-blocking listen socket, every client connection, a
+ *    self-wake pipe, and — in a cluster — the PeerPool's multiplexed
+ *    peer links. It parses newline-delimited JSON requests, admits
+ *    jobs to a *bounded* queue (over-capacity submits are rejected
+ *    with a retry-after hint — backpressure, not buffering), answers
+ *    status/result/stats without touching a worker, and drives every
+ *    peer exchange asynchronously: a forwarded submit is a pipelined
+ *    v4 submit+wait frame on the owner's link, its failover walk a
+ *    continuation chain (Forward) stepped by link completions, never
+ *    a blocked thread.
  *
- *  - N worker threads pop admitted jobs. A locally-owned job runs
- *    through Engine::runOne(); a job owned by a cluster peer is
- *    forwarded over the same wire protocol (forwardJobToPeer) so the
- *    event loop never blocks on a peer. Either way results flow back
- *    to the I/O thread as events through the wake pipe, which then
- *    resolves any parked "result"+wait requests.
+ *  - N worker threads pop admitted jobs and ONLY simulate
+ *    (Engine::runOne). Results flow back to the I/O thread as events
+ *    through the wake pipe, which then resolves any parked
+ *    "result"+wait requests — and, on v4, parked single-job
+ *    submit+wait requests.
  *
  * Clustering: configureCluster() (or ServerConfig::peers/self) names
  * every node of the shared consistent-hash ring plus this node's own
@@ -27,7 +31,9 @@
  * the submit is itself a forward (answered with not_owner, never
  * re-forwarded, so ring disagreement cannot loop). Forwarded results
  * are NOT persisted locally: every record lives on exactly the
- * shard(s) the ring designates.
+ * shard(s) the ring designates. In-flight forwards count against
+ * queueCapacity, so peer traffic is backpressured like local work
+ * even though it holds no worker.
  *
  * Replication: with ServerConfig::replicas = k > 1 (and a persistent
  * store) every key lives on the k distinct ring successors
@@ -35,13 +41,16 @@
  * ReplicatedStore, so each locally computed result is written
  * locally first and then fanned out asynchronously to the other
  * holders ("replicate" op), and a local miss on a held key is
- * repaired by pulling a sibling's record ("fetch" op). Forwarding
- * becomes failover-aware: when the key's primary is unreachable the
- * worker walks the remaining holders in ring order — serving locally
- * when this node is itself one of them — before reporting
- * forward_failed. A forwarded submit marked "replica": true is such
- * a failover: a holder receiving one serves it instead of bouncing
- * not_owner.
+ * repaired by pulling a sibling's record ("fetch" op). The fan-out
+ * thread's pushes and the read-repair fetches ride the multiplexed
+ * links through a PoolPeerTransport while the event loop runs (and
+ * fall back to one-shot connections around it). Forwarding is
+ * failover-aware: when the key's primary is unreachable the Forward
+ * chain walks the remaining holders in ring order — enqueueing the
+ * job locally when this node is itself one of them — before
+ * reporting forward_failed. A forwarded submit marked
+ * "replica": true is such a failover: a holder receiving one serves
+ * it instead of bouncing not_owner.
  *
  * Warm resubmissions never occupy a worker: admission first peeks the
  * engine's in-memory cache (Engine::tryCached) and completes such jobs
@@ -76,6 +85,7 @@
 #include "exp/engine.hh"
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
+#include "serve/peerlink.hh"
 #include "serve/protocol.hh"
 #include "serve/replication.hh"
 #include "serve/ring.hh"
@@ -160,11 +170,14 @@ class Server
 
     enum class JobState { Queued, Running, Done, Failed };
 
-    /** A "result"+wait request parked until its job finishes. */
+    /** A "result"+wait (or v4 submit+wait) request parked until its
+     *  job finishes. */
     struct Waiter
     {
         std::uint64_t connId = 0;
         unsigned version = 1;  ///< the parked request's version
+        bool hasRid = false;
+        JsonValue rid;  ///< echoed verbatim on the deferred response
     };
 
     struct JobRec
@@ -176,17 +189,32 @@ class Server
         std::vector<Waiter> waiters;
     };
 
+    /** One locally-simulated job — the ONLY thing workers see. */
     struct WorkItem
     {
         std::uint64_t id = 0;
-        exp::Job job;       ///< local execution (and holder fallback)
-        bool remote = false;
-        /** Holder node indices when remote: primary first, then the
-         *  replica followers in ring order. The worker walks them
-         *  until one serves the job; selfIdx in the list means "run
-         *  it here, we hold a replica". */
-        std::vector<std::size_t> holderIdx;
-        JobSpec spec;       ///< wire form re-sent when remote
+        exp::Job job;
+        /** Holder attempts burned before this local run (a Forward
+         *  chain falling back to "we hold a replica, run it here"). */
+        unsigned failovers = 0;
+    };
+
+    /**
+     * One forwarded job's failover walk, owned by the I/O thread and
+     * stepped by PeerPool completions: holders in ring order, the
+     * current position, accumulated per-holder errors. Lives in a
+     * shared_ptr threaded through the completion callbacks until the
+     * job is served (possibly locally) or every holder has failed.
+     */
+    struct Forward
+    {
+        std::uint64_t id = 0;
+        JobSpec spec;
+        exp::Job job;      ///< for the serve-it-here fallback
+        std::vector<std::size_t> holders;
+        std::size_t pos = 0;
+        unsigned busyRetries = 0;
+        std::string errs;
     };
 
     struct Event
@@ -208,7 +236,8 @@ class Server
     void writeConn(Conn &conn);
     void closeConn(Conn &conn);
     void handleLine(Conn &conn, const std::string &line);
-    JsonValue handleSubmit(const JsonValue &req);
+    JsonValue handleSubmit(const JsonValue &req, unsigned version,
+                           Conn &conn, bool &deferred);
     JsonValue handleReplicate(const JsonValue &req);
     JsonValue handleFetch(const JsonValue &req);
     JsonValue handleStatus(const JsonValue &req) const;
@@ -222,6 +251,11 @@ class Server
     void drainEvents();
     void finishJob(std::uint64_t id, JobRec &rec, Event &ev);
     bool idle();
+    void stepForward(const std::shared_ptr<Forward> &fwd);
+    void forwardReply(const std::shared_ptr<Forward> &fwd,
+                      PeerReply reply);
+    void deliverForward(const std::shared_ptr<Forward> &fwd, Event ev);
+    void enqueueLocal(WorkItem item);
     /// @}
 
     /// @name Worker side
@@ -236,6 +270,14 @@ class Server
     exp::Engine eng;
     std::shared_ptr<ResultStore> store;
     std::shared_ptr<ReplicatedStore> repl;  ///< set when replicating
+
+    /** Multiplexed peer links (set when clustered), owned and driven
+     *  by the I/O thread's event loop. Destroyed AFTER repl is reset
+     *  (~Server orders this explicitly): the replicator thread calls
+     *  into the pool through peerTransport. */
+    std::unique_ptr<PeerPool> pool;
+    std::shared_ptr<PeerTransport> peerTransport;
+    std::uint64_t inflightForwards = 0;  ///< I/O thread only
 
     /// @name Cluster state (set before run(); read-only afterwards)
     /// @{
@@ -270,6 +312,7 @@ class Server
 
     /// @name Service counters (I/O thread only)
     /// @{
+    std::uint64_t peakInflightForwards = 0;
     std::uint64_t jobsSubmitted = 0;
     std::uint64_t jobsCompleted = 0;
     std::uint64_t jobsForwarded = 0;

@@ -1,0 +1,9 @@
+// EINTR-safe socket wrappers — the anchor the net-io check keys on.
+namespace net {
+
+inline long recvRetry(int fd, void *buf, unsigned long n, int flags);
+inline long sendRetry(int fd, const void *buf, unsigned long n,
+                      int flags);
+inline int pollRetry(void *fds, unsigned long nfds, int timeoutMs);
+
+} // namespace net

@@ -1,13 +1,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/netio.hh"
+
 int
 run(int fd)
 {
     if (listen(fd, 8) != 0)
         return -1;
     char buf[16];
-    while (recv(fd, buf, sizeof(buf), 0) > 0) {
+    while (net::recvRetry(fd, buf, sizeof(buf), 0) > 0) {
     }
     close(fd);
     return 0;

@@ -1,0 +1,33 @@
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/netio.hh"
+
+struct Sock
+{
+    // A member named like the syscall: not the libc function.
+    long read(char *buf, unsigned long n);
+};
+
+// A declaration, not a call — "poll" in a comment is fine too.
+long readAll(int fd, char *buf, unsigned long n);
+
+int
+pump(int fd, Sock &sock)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    const int pr = poll(&pfd, 1, 50);  // raw: flagged
+    if (pr <= 0)
+        return pr;
+    char buf[64];
+    long n = read(fd, buf, sizeof(buf));  // raw: flagged
+    if (n <= 0)
+        n = sock.read(buf, sizeof(buf));  // member call: fine
+    if (net::writeRetry(1, buf, static_cast<unsigned long>(n)) < 0)
+        return -1;  // wrapper call: fine
+    // raw after a statement keyword: flagged
+    return send(fd, buf, static_cast<unsigned long>(n), 0) < 0 ? -1
+                                                               : 0;
+}

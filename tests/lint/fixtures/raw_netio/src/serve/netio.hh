@@ -1,0 +1,10 @@
+// EINTR-safe socket wrappers — the anchor the net-io check keys on.
+namespace net {
+
+inline long readRetry(int fd, void *buf, unsigned long n);
+inline long writeRetry(int fd, const void *buf, unsigned long n);
+inline long sendRetry(int fd, const void *buf, unsigned long n,
+                      int flags);
+inline int pollRetry(void *fds, unsigned long nfds, int timeoutMs);
+
+} // namespace net

@@ -90,6 +90,27 @@ TEST(Dcglint, UncheckedSyscallIsCaught)
     EXPECT_EQ(runDcglint(opts, out), 1);
 }
 
+TEST(Dcglint, RawNetIoCallsAreCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("raw_netio");
+    const std::vector<Diagnostic> diags = checkNetIo(opts);
+
+    // The raw poll/read/send calls are flagged; the net::writeRetry
+    // wrapper, the member sock.read() and the declarations are not.
+    ASSERT_EQ(diags.size(), 3u);
+    EXPECT_TRUE(hasDiag(diags, "net-io", "raw poll()"));
+    EXPECT_TRUE(hasDiag(diags, "net-io", "raw read()"));
+    EXPECT_TRUE(hasDiag(diags, "net-io", "raw send()"));
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.file, "src/serve/conn.cc");
+        EXPECT_GT(d.line, 0);
+    }
+
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 1);
+}
+
 TEST(Dcglint, NakedNewAndDeleteAreCaught)
 {
     LintOptions opts;

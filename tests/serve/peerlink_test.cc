@@ -1,0 +1,431 @@
+/**
+ * Multiplexed peer-link tests: the protocol-v4 PeerPool/LinkLoop layer
+ * under fault injection. Jobs of deliberately different lengths prove
+ * rid matching (out-of-order completions must still assemble into a
+ * byte-identical in-order grid); a FaultProxy in front of the node
+ * proves one persistent connection carries the whole pipelined grid,
+ * and that Garbage / mid-frame byte-budget cuts kill the link cleanly
+ * — in-flight requests fail over, the link reconnects, and no
+ * response is ever delivered against the wrong request. A scripted
+ * v3-only peer pins the legacy one-shot fallback path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/job.hh"
+#include "serve/client.hh"
+#include "serve/faultnet.hh"
+#include "serve/peerlink.hh"
+#include "serve/protocol.hh"
+#include "serve/replica_cluster.hh"
+#include "sim/report.hh"
+
+using namespace dcg;
+using namespace dcg::serve;
+using namespace dcg::serve::testing;
+
+namespace {
+
+/**
+ * Jobs of deliberately different lengths: on a node with two workers
+ * the completions come back out of submit order, so a byte-identical
+ * in-order grid is only possible if responses are matched by rid.
+ */
+std::vector<JobSpec>
+variedSpecs()
+{
+    const std::uint64_t lens[] = {4000, 800,  2600, 1200, 3400, 600,
+                                  2000, 1600, 3000, 1000, 2800, 1400};
+    std::vector<JobSpec> specs;
+    std::size_t i = 0;
+    for (const char *bench : {"gzip", "mcf", "twolf"}) {
+        for (const char *scheme : {"base", "dcg"}) {
+            for (unsigned rep = 0; rep < 2; ++rep) {
+                JobSpec s;
+                s.bench = bench;
+                s.scheme = scheme;
+                s.insts = lens[i++ % 12];
+                s.warmup = 200;
+                s.seed = 1 + rep;
+                specs.push_back(s);
+            }
+        }
+    }
+    return specs;
+}
+
+std::string
+asJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    writeResultsJson(results, os);
+    return os.str();
+}
+
+std::string
+localJson(const std::vector<JobSpec> &specs)
+{
+    exp::Engine local(2);
+    std::vector<exp::Job> jobs;
+    for (const JobSpec &s : specs)
+        jobs.push_back(s.toJob());
+    return asJson(local.run(jobs));
+}
+
+JsonValue
+statsReq()
+{
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("stats"));
+    return req;
+}
+
+/** One plain node with a FaultProxy in front of it. */
+class ProxiedNode
+{
+  public:
+    ProxiedNode() : cluster(1, 1, "")
+    {
+        cluster.start();
+        proxy = std::make_unique<FaultProxy>(cluster.endpoint(0));
+    }
+
+    FaultProxy &fault() { return *proxy; }
+    Endpoint front() const { return proxy->address(); }
+
+  private:
+    ReplicaCluster cluster;
+    std::unique_ptr<FaultProxy> proxy;
+};
+
+/**
+ * A scripted peer that speaks protocol v3 and nothing newer: any
+ * version-4 frame is bounced with a rid-less unsupported_version
+ * naming supported=3 (exactly what a pre-mux dcgserved answers), and
+ * v3 one-shot requests get a well-formed stats response. Each
+ * connection serves one exchange, then closes — the pre-mux wire
+ * behaviour the legacy fallback executor expects.
+ */
+class FakeV3Peer
+{
+  public:
+    FakeV3Peer()
+    {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            fatal("FakeV3Peer: socket: ", std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listenFd, 8) != 0)
+            fatal("FakeV3Peer: bind/listen: ", std::strerror(errno));
+        socklen_t len = sizeof(addr);
+        if (::getsockname(listenFd,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          &len) != 0)
+            fatal("FakeV3Peer: getsockname: ", std::strerror(errno));
+        port = ntohs(addr.sin_port);
+        acceptor = std::thread([this] { serveLoop(); });
+    }
+
+    ~FakeV3Peer()
+    {
+        stopping.store(true);
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        if (acceptor.joinable())
+            acceptor.join();
+    }
+
+    Endpoint address() const { return Endpoint{"127.0.0.1", port}; }
+
+    /** v3 requests answered (the one-shot fallback exchanges). */
+    std::size_t v3Serves() const { return served.load(); }
+    /** v4 frames bounced with unsupported_version. */
+    std::size_t v4Bounces() const { return bounced.load(); }
+
+  private:
+    void serveLoop()
+    {
+        while (!stopping.load()) {
+            const int c = ::accept(listenFd, nullptr, nullptr);
+            if (c < 0) {
+                if (stopping.load())
+                    return;
+                continue;
+            }
+            handle(c);
+            ::close(c);
+        }
+    }
+
+    void handle(int c)
+    {
+        std::string line;
+        char ch = 0;
+        while (::read(c, &ch, 1) == 1 && ch != '\n')
+            line += ch;
+        JsonValue req;
+        std::string err;
+        if (!JsonValue::parse(line, req, err))
+            return;
+        const std::uint64_t version = req.get("version").asU64(1);
+
+        JsonValue resp;
+        if (version > 3) {
+            // Deliberately rid-less: a v3 server has never heard of
+            // rids, and the pool must downgrade on this shape.
+            resp = errorResponse("unsupported_version",
+                                 "this peer speaks protocol 3");
+            resp.set("supported",
+                     JsonValue::integer(std::uint64_t{3}));
+            ++bounced;
+        } else {
+            resp = okResponse();
+            JsonValue stats = JsonValue::object();
+            stats.set("simulations",
+                      JsonValue::integer(std::uint64_t{0}));
+            resp.set("stats", stats);
+            ++served;
+        }
+        stampVersion(resp, static_cast<unsigned>(version));
+
+        const std::string out = resp.dump() + "\n";
+        std::size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t w =
+                ::write(c, out.data() + off, out.size() - off);
+            if (w <= 0)
+                return;
+            off += static_cast<std::size_t>(w);
+        }
+    }
+
+    int listenFd = -1;
+    std::uint16_t port = 0;
+    std::atomic<bool> stopping{false};
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> bounced{0};
+    std::thread acceptor;
+};
+
+} // namespace
+
+TEST(PeerLink, MuxedGridIsByteIdenticalDespiteOutOfOrderCompletions)
+{
+    const std::vector<JobSpec> specs = variedSpecs();
+    const std::string expected = localJson(specs);
+
+    ReplicaCluster fx(1, 1, "");
+    fx.start();
+
+    // Twelve jobs of wildly different lengths pipelined onto one
+    // two-worker node: short jobs finish while long ones run, so the
+    // responses arrive out of submit order and only rid matching can
+    // put the grid back together in request order.
+    std::vector<Endpoint> eps{fx.endpoint(0)};
+    ClusterClient client(eps, 1);
+    EXPECT_EQ(asJson(client.runJobs(specs)), expected);
+}
+
+TEST(PeerLink, OnePersistentConnectionCarriesTheWholeGrid)
+{
+    const std::vector<JobSpec> specs = variedSpecs();
+    const std::string expected = localJson(specs);
+
+    ProxiedNode node;
+    std::vector<Endpoint> eps{node.front()};
+    ClusterClient client(eps, 1);
+    EXPECT_EQ(asJson(client.runJobs(specs)), expected);
+
+    // The whole pipelined grid — every submit and every deferred
+    // result — rode a single TCP connection. The pre-mux client paid
+    // at least one connection per node per grid; the budget here is
+    // exactly one, period.
+    EXPECT_EQ(node.fault().connectionsSeen(), 1u);
+}
+
+TEST(PeerLink, DelayedLinkStillDeliversIntactResponses)
+{
+    std::vector<JobSpec> specs = variedSpecs();
+    specs.resize(6);
+    const std::string expected = localJson(specs);
+
+    ProxiedNode node;
+    node.fault().setMode(FaultProxy::Mode::Delay);
+    node.fault().setDelayMs(100);
+
+    std::vector<Endpoint> eps{node.front()};
+    ClusterClient client(eps, 1, /*timeoutMs=*/10000);
+    const auto begin = std::chrono::steady_clock::now();
+    EXPECT_EQ(asJson(client.runJobs(specs)), expected);
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+
+    // The delay really sat on the link at least once, and slowness
+    // alone never cost the persistent connection.
+    EXPECT_GE(elapsed, std::chrono::milliseconds(100));
+    EXPECT_EQ(node.fault().connectionsSeen(), 1u);
+}
+
+TEST(PeerLink, GarbageResponseFailsTheGridOverCleanly)
+{
+    const std::vector<JobSpec> specs = variedSpecs();
+    const std::string expected = localJson(specs);
+
+    // Ring identity = proxy addresses: faultnet sits on every link.
+    ReplicaCluster fx(2, 2, "muxgarbage", /*peerTimeoutMs=*/1000);
+    FaultProxy p0(fx.endpoint(0));
+    FaultProxy p1(fx.endpoint(1));
+    fx.start({p0.address(), p1.address()});
+
+    std::vector<Endpoint> eps{p0.address(), p1.address()};
+    {
+        ClusterClient warm(eps, 2);
+        EXPECT_EQ(asJson(warm.runJobs(specs)), expected);
+    }
+    fx.flushReplication();
+    // The replica fan-out rode the multiplexed peer links.
+    EXPECT_GT(fx.sumStat("peer_requests"), 0u);
+
+    const HashRing ring = fx.node(0).ringView();
+    const std::size_t dark =
+        ring.ownerIndex(exp::jobKey(specs[0].toJob()));
+    const std::size_t lit = dark == 0 ? 1 : 0;
+    const std::uint64_t litSimsBefore =
+        fx.nodeStats(lit).get("simulations").asU64(0);
+
+    // Every new connection to the dark node now answers one line of
+    // garbage and closes: its multiplexed link dies on the first
+    // response, every pipelined in-flight request on it fails over.
+    (dark == 0 ? p0 : p1).setMode(FaultProxy::Mode::Garbage);
+
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(client.runJobs(specs)), expected);
+    EXPECT_GT(client.failovers(), 0u);
+
+    // Clean failover means replica records answered everything: the
+    // lit node never re-simulated a single job.
+    EXPECT_EQ(fx.nodeStats(lit).get("simulations").asU64(99),
+              litSimsBefore);
+}
+
+TEST(PeerLink, MidFrameLinkDeathFailsOverAndHeals)
+{
+    const std::vector<JobSpec> specs = variedSpecs();
+    const std::string expected = localJson(specs);
+
+    ReplicaCluster fx(2, 2, "muxcut", /*peerTimeoutMs=*/1000);
+    FaultProxy p0(fx.endpoint(0));
+    FaultProxy p1(fx.endpoint(1));
+    fx.start({p0.address(), p1.address()});
+
+    std::vector<Endpoint> eps{p0.address(), p1.address()};
+    {
+        ClusterClient warm(eps, 2);
+        EXPECT_EQ(asJson(warm.runJobs(specs)), expected);
+    }
+    fx.flushReplication();
+
+    const HashRing ring = fx.node(0).ringView();
+    const std::size_t dark =
+        ring.ownerIndex(exp::jobKey(specs[0].toJob()));
+    FaultProxy &darkProxy = dark == 0 ? p0 : p1;
+
+    // Cut every future connection to the dark node 40 bytes into the
+    // response stream — mid-frame, since any result line is far
+    // longer. The link dies with a partial frame buffered; nothing
+    // may leak across rids and every in-flight request fails over.
+    darkProxy.setCloseAfterBytes(40);
+
+    ClusterClient client(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(client.runJobs(specs)), expected);
+    EXPECT_GT(client.failovers(), 0u);
+
+    // Heal the link: a fresh client routes primaries again and the
+    // reconnected link serves the dark node's own records.
+    darkProxy.setCloseAfterBytes(0);
+    ClusterClient healed(eps, 2, /*timeoutMs=*/2000);
+    EXPECT_EQ(asJson(healed.runJobs(specs)), expected);
+}
+
+TEST(PeerLink, PoolCountsLinkDeathsAndReconnects)
+{
+    ProxiedNode node;
+    LinkLoop loop({node.front()}, /*peerTimeoutMs=*/2000);
+    loop.start();
+    PeerPool &pool = loop.pool();
+
+    // Healthy exchange first: the link comes up and confirms v4.
+    JsonValue resp;
+    std::string err;
+    ASSERT_TRUE(pool.callSync(0, statsReq(), resp, err)) << err;
+    EXPECT_TRUE(resp.get("ok").asBool(false));
+
+    // Cut the live connection and poison the next one mid-frame.
+    node.fault().setCloseAfterBytes(10);
+    node.fault().severActive();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_FALSE(pool.callSync(0, statsReq(), resp, err));
+    EXPECT_FALSE(err.empty());
+
+    // Heal: the pool reconnects on its own and serves again.
+    node.fault().setCloseAfterBytes(0);
+    ASSERT_TRUE(pool.callSync(0, statsReq(), resp, err)) << err;
+    EXPECT_TRUE(resp.get("ok").asBool(false));
+
+    EXPECT_GE(pool.linkDeaths(), 1u);
+    EXPECT_GE(pool.reconnects(), 1u);
+    EXPECT_EQ(pool.legacyFallbacks(), 0u);
+    loop.stop();
+}
+
+TEST(PeerLink, LegacyPeerTriggersOneShotFallback)
+{
+    FakeV3Peer peer;
+    LinkLoop loop({peer.address()}, /*peerTimeoutMs=*/2000);
+    loop.start();
+    PeerPool &pool = loop.pool();
+
+    // The first frame is pipelined optimistically as v4; the peer
+    // bounces it rid-less with supported=3 and the pool replays the
+    // request over a one-shot v3 connection — the caller just sees a
+    // successful exchange.
+    JsonValue resp;
+    std::string err;
+    ASSERT_TRUE(pool.callSync(0, statsReq(), resp, err)) << err;
+    EXPECT_TRUE(resp.get("ok").asBool(false));
+    EXPECT_TRUE(resp.has("stats"));
+    EXPECT_GE(peer.v4Bounces(), 1u);
+    EXPECT_EQ(peer.v3Serves(), 1u);
+    EXPECT_GE(pool.legacyFallbacks(), 1u);
+
+    // The downgrade is sticky: the next request goes straight to the
+    // one-shot path without another v4 probe on that link.
+    const std::size_t bouncesAfterDowngrade = peer.v4Bounces();
+    ASSERT_TRUE(pool.callSync(0, statsReq(), resp, err)) << err;
+    EXPECT_TRUE(resp.get("ok").asBool(false));
+    EXPECT_EQ(peer.v3Serves(), 2u);
+    EXPECT_EQ(peer.v4Bounces(), bouncesAfterDowngrade);
+    loop.stop();
+}

@@ -135,9 +135,13 @@ main(int argc, char **argv)
             "          [--replicas=K (copies per key across the ring;"
             " needs\n"
             "           --peers and --store; default 1)]\n"
-            "          [--peer-timeout-ms=N (bound forward/replicate/"
-            "fetch\n"
-            "           socket ops; default 0 = none)]\n"
+            "          [--peer-timeout-ms=N (per-request deadline on"
+            " the\n"
+            "           multiplexed peer links — forwards, replicate"
+            " pushes,\n"
+            "           fetches — and the bound on peer connect;"
+            " default\n"
+            "           0 = no deadline, connects capped at 10s)]\n"
             "          [--retry-after-ms=N] [--drain-grace-ms=N]\n";
         return 0;
     }

@@ -85,8 +85,9 @@ printSummary(std::size_t jobs, const exp::Engine &engine)
 }
 
 /**
- * Build the client for --server: one endpoint gives the classic
- * single-connection behaviour, several give ring-routed fan-out.
+ * Build the client for --server: jobs are pipelined over one
+ * persistent multiplexed link per endpoint — ring-routed to each
+ * key's owner when several endpoints are given.
  */
 serve::ClusterClient
 makeServerClient(const Options &opts)
@@ -146,14 +147,17 @@ main(int argc, char **argv)
             "       [--dump-stats] [--csv=path] [--json=path]\n"
             "       [--jobs=N (parallel workers; default DCG_JOBS or"
             " all cores)]\n"
-            "       [--server=HOST:PORT[,HOST:PORT...] (run jobs on a"
-            " dcgserved\n"
-            "        instance or a sharded cluster of them)]\n"
+            "       [--server=HOST:PORT[,HOST:PORT...] (pipeline jobs"
+            " over a\n"
+            "        persistent multiplexed link to a dcgserved"
+            " instance, or\n"
+            "        ring-routed across a sharded cluster of them)]\n"
             "       [--replicas=K (match the cluster's --replicas;"
             " enables\n"
             "        client-side failover across each key's holders)]\n"
-            "       [--server-timeout-ms=N (bound every server socket"
-            " op)]\n"
+            "       [--server-timeout-ms=N (per-request deadline on"
+            " the link;\n"
+            "        also bounds connect)]\n"
             "       [--server-stats (print the server's stats JSON and"
             " exit)]\n"
             "       [--schema (print the JSON result schema and"
