@@ -37,10 +37,10 @@ main()
     for (const char *name : benches) {
         const Profile p = profileByName(name);
         for (const Kind &k : kinds) {
-            SimConfig base = table1Config(GatingScheme::None);
+            SimConfig base = table1Config("base");
             base.bpred.kind = k.kind;
             SimConfig dcg = base;
-            dcg.scheme = GatingScheme::Dcg;
+            dcg.scheme = "dcg";
             jobs.push_back(exp::makeJob(p, base));
             jobs.push_back(exp::makeJob(p, dcg));
         }

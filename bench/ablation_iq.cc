@@ -24,13 +24,13 @@ main()
                 "total power saving; IQ gating adds on top of DCG");
 
     // Per benchmark: baseline, plain DCG, DCG + issue-queue gating.
-    SimConfig combo_cfg = table1Config(GatingScheme::Dcg);
+    SimConfig combo_cfg = table1Config("dcg");
     combo_cfg.dcg.gateIssueQueue = true;
 
     std::vector<exp::Job> jobs;
     for (const Profile &p : allSpecProfiles()) {
-        jobs.push_back(exp::makeJob(p, table1Config(GatingScheme::None)));
-        jobs.push_back(exp::makeJob(p, table1Config(GatingScheme::Dcg)));
+        jobs.push_back(exp::makeJob(p, table1Config("base")));
+        jobs.push_back(exp::makeJob(p, table1Config("dcg")));
         jobs.push_back(exp::makeJob(p, combo_cfg));
     }
     const auto results = runJobs(jobs);

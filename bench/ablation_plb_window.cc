@@ -29,9 +29,9 @@ main()
     std::vector<exp::Job> jobs;
     for (const char *name : benches) {
         const Profile p = profileByName(name);
-        jobs.push_back(exp::makeJob(p, table1Config(GatingScheme::None)));
+        jobs.push_back(exp::makeJob(p, table1Config("base")));
         for (unsigned w : windows) {
-            SimConfig cfg = table1Config(GatingScheme::PlbExt);
+            SimConfig cfg = table1Config("plb-ext");
             cfg.plb.windowCycles = w;
             exp::Job job = exp::makeJob(p, cfg);
             job.captureStats = {"plb.mode_transitions"};

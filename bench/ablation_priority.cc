@@ -28,13 +28,13 @@ main()
     std::vector<exp::Job> jobs;
     for (const Profile &p : allSpecProfiles()) {
         for (int mode = 0; mode < 2; ++mode) {
-            SimConfig dcg_cfg = table1Config(GatingScheme::Dcg);
+            SimConfig dcg_cfg = table1Config("dcg");
             dcg_cfg.core.sequentialPriority = mode == 0;
             exp::Job dcg_job = exp::makeJob(p, dcg_cfg);
             dcg_job.captureStats = {"dcg.toggles.IntAlu"};
             jobs.push_back(std::move(dcg_job));
 
-            SimConfig base_cfg = table1Config(GatingScheme::None);
+            SimConfig base_cfg = table1Config("base");
             base_cfg.core.sequentialPriority = mode == 0;
             jobs.push_back(exp::makeJob(p, base_cfg));
         }

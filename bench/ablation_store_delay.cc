@@ -23,7 +23,7 @@ main()
     printHeader("Ablation — store +1 cycle clock-gate setup (Sec 3.3)",
                 "performance cost of delaying store D-cache access");
 
-    SimConfig case1 = table1Config(GatingScheme::Dcg);
+    SimConfig case1 = table1Config("dcg");
     SimConfig case2 = case1;
     case2.core.delayStoresOneCycle = true;
 

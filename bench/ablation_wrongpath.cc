@@ -24,8 +24,8 @@ main()
                 "baseline power and DCG savings with/without wrong-path"
                 " fetch");
 
-    SimConfig b0 = table1Config(GatingScheme::None);
-    SimConfig d0 = table1Config(GatingScheme::Dcg);
+    SimConfig b0 = table1Config("base");
+    SimConfig d0 = table1Config("dcg");
     SimConfig b1 = b0, d1 = d0;
     b1.core.modelWrongPathFetch = true;
     d1.core.modelWrongPathFetch = true;

@@ -22,27 +22,26 @@ main()
                 "DCG vs PLB-orig vs PLB-ext, % of baseline power");
 
     GridRequest req;
-    req.wantPlbOrig = true;
-    req.wantPlbExt = true;
+    req.schemes = {"dcg", "plb-orig", "plb-ext"};
     const auto grid = runGrid(req);
 
     TextTable t({"bench", "suite", "DCG", "PLB-orig", "PLB-ext"});
     for (const auto &r : grid) {
         t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
-                  TextTable::pct(powerSaving(r.base, r.dcg)),
-                  TextTable::pct(powerSaving(r.base, r.plbOrig)),
-                  TextTable::pct(powerSaving(r.base, r.plbExt))});
+                  TextTable::pct(powerSaving(r.base(), r.dcg())),
+                  TextTable::pct(powerSaving(r.base(), r.plbOrig())),
+                  TextTable::pct(powerSaving(r.base(), r.plbExt()))});
     }
     t.print(std::cout);
 
     const auto dcg_m = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerSaving(r.base, r.dcg);
+        return powerSaving(r.base(), r.dcg());
     });
     const auto orig_m = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerSaving(r.base, r.plbOrig);
+        return powerSaving(r.base(), r.plbOrig());
     });
     const auto ext_m = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerSaving(r.base, r.plbExt);
+        return powerSaving(r.base(), r.plbExt());
     });
 
     std::cout << "\nAverages (measured vs paper):\n"

@@ -21,35 +21,34 @@ main()
                 "power x delay per instruction vs baseline");
 
     GridRequest req;
-    req.wantPlbOrig = true;
-    req.wantPlbExt = true;
+    req.schemes = {"dcg", "plb-orig", "plb-ext"};
     const auto grid = runGrid(req);
 
     TextTable t({"bench", "suite", "DCG", "PLB-orig", "PLB-ext",
                  "PLB-ext dIPC"});
     for (const auto &r : grid) {
         t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
-                  TextTable::pct(powerDelaySaving(r.base, r.dcg)),
-                  TextTable::pct(powerDelaySaving(r.base, r.plbOrig)),
-                  TextTable::pct(powerDelaySaving(r.base, r.plbExt)),
-                  TextTable::pct(1.0 - r.plbExt.ipc / r.base.ipc)});
+                  TextTable::pct(powerDelaySaving(r.base(), r.dcg())),
+                  TextTable::pct(powerDelaySaving(r.base(), r.plbOrig())),
+                  TextTable::pct(powerDelaySaving(r.base(), r.plbExt())),
+                  TextTable::pct(1.0 - r.plbExt().ipc / r.base().ipc)});
     }
     t.print(std::cout);
 
     const auto dcg_pd = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerDelaySaving(r.base, r.dcg);
+        return powerDelaySaving(r.base(), r.dcg());
     });
     const auto dcg_p = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerSaving(r.base, r.dcg);
+        return powerSaving(r.base(), r.dcg());
     });
     const auto orig_pd = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerDelaySaving(r.base, r.plbOrig);
+        return powerDelaySaving(r.base(), r.plbOrig());
     });
     const auto ext_pd = meansBySuite(grid, [](const SchemeResults &r) {
-        return powerDelaySaving(r.base, r.plbExt);
+        return powerDelaySaving(r.base(), r.plbExt());
     });
     const auto loss = meansBySuite(grid, [](const SchemeResults &r) {
-        return 1.0 - r.plbOrig.ipc / r.base.ipc;
+        return 1.0 - r.plbOrig().ipc / r.base().ipc;
     });
 
     std::cout << "\nAverages (measured vs paper):\n"

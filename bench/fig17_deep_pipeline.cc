@@ -28,8 +28,8 @@ main()
     TextTable t({"bench", "suite", "8-stage", "20-stage"});
     double sum8 = 0.0, sum20 = 0.0;
     for (std::size_t i = 0; i < grid8.size(); ++i) {
-        const double s8 = powerSaving(grid8[i].base, grid8[i].dcg);
-        const double s20 = powerSaving(grid20[i].base, grid20[i].dcg);
+        const double s8 = powerSaving(grid8[i].base(), grid8[i].dcg());
+        const double s20 = powerSaving(grid20[i].base(), grid20[i].dcg());
         sum8 += s8;
         sum20 += s20;
         t.addRow({grid8[i].profile.name,

@@ -29,11 +29,10 @@ main()
 
     // The same declarative grids the standalone figure binaries request.
     GridRequest all_schemes;
-    all_schemes.wantPlbOrig = true;
-    all_schemes.wantPlbExt = true;
+    all_schemes.schemes = {"dcg", "plb-orig", "plb-ext"};
 
     GridRequest dcg_vs_ext;
-    dcg_vs_ext.wantPlbExt = true;
+    dcg_vs_ext.schemes = {"dcg", "plb-ext"};
 
     GridRequest deep;
     deep.deepPipeline = true;

@@ -50,23 +50,23 @@ runComponentFigure(const std::string &figure, const std::string &claim,
     printHeader(figure, claim);
 
     GridRequest req;
-    req.wantPlbExt = true;
+    req.schemes = {"dcg", "plb-ext"};
     const auto grid = runGrid(req);
 
     TextTable t({"bench", "suite", "DCG", "PLB-ext"});
     for (const auto &r : grid) {
         t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
-                  TextTable::pct(componentSaving(r.base, r.dcg, pick)),
-                  TextTable::pct(componentSaving(r.base, r.plbExt,
+                  TextTable::pct(componentSaving(r.base(), r.dcg(), pick)),
+                  TextTable::pct(componentSaving(r.base(), r.plbExt(),
                                                  pick))});
     }
     t.print(std::cout);
 
     const auto dcg_m = meansBySuite(grid, [&](const SchemeResults &r) {
-        return componentSaving(r.base, r.dcg, pick);
+        return componentSaving(r.base(), r.dcg(), pick);
     });
     const auto ext_m = meansBySuite(grid, [&](const SchemeResults &r) {
-        return componentSaving(r.base, r.plbExt, pick);
+        return componentSaving(r.base(), r.plbExt(), pick);
     });
     std::cout << "\nAverages:\n"
               << "  DCG     int " << TextTable::pct(dcg_m.intMean)

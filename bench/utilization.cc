@@ -23,25 +23,25 @@ main()
                 "opportunity");
 
     GridRequest req;
-    req.wantDcg = false;
+    req.schemes.clear();  // utilisation is a property of the baseline
     const auto grid = runGrid(req);
 
     TextTable t({"bench", "suite", "IPC", "intU", "fpU", "latch",
                  "d$port", "rbus"});
     for (const auto &r : grid) {
         t.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
-                  TextTable::num(r.base.ipc, 2),
-                  TextTable::pct(r.base.intUnitUtil),
-                  TextTable::pct(r.base.fpUnitUtil),
-                  TextTable::pct(r.base.latchUtil),
-                  TextTable::pct(r.base.dcachePortUtil),
-                  TextTable::pct(r.base.resultBusUtil)});
+                  TextTable::num(r.base().ipc, 2),
+                  TextTable::pct(r.base().intUnitUtil),
+                  TextTable::pct(r.base().fpUnitUtil),
+                  TextTable::pct(r.base().latchUtil),
+                  TextTable::pct(r.base().dcachePortUtil),
+                  TextTable::pct(r.base().resultBusUtil)});
     }
     t.print(std::cout);
 
     auto mean = [&](auto pick) {
         return meansBySuite(grid, [&](const SchemeResults &r) {
-            return pick(r.base);
+            return pick(r.base());
         });
     };
     const auto iu = mean([](const RunResult &r) { return r.intUnitUtil; });

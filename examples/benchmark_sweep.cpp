@@ -32,8 +32,7 @@ main(int argc, char **argv)
     const bool breakdown = opts.getBool("breakdown", false);
 
     exp::GridRequest req;
-    req.wantPlbOrig = true;
-    req.wantPlbExt = true;
+    req.schemes = {"dcg", "plb-orig", "plb-ext"};
     req.instructions = static_cast<std::uint64_t>(
         opts.getInt("insts", static_cast<std::int64_t>(
                                  defaultBenchInstructions())));
@@ -51,8 +50,9 @@ main(int argc, char **argv)
 
     std::vector<RunResult> flat;
     for (const exp::SchemeResults &r : grid) {
-        const RunResult &base = r.base;
-        flat.insert(flat.end(), {r.base, r.dcg, r.plbOrig, r.plbExt});
+        const RunResult &base = r.base();
+        flat.insert(flat.end(),
+                    {r.base(), r.dcg(), r.plbOrig(), r.plbExt()});
 
         chars.addRow({r.profile.name, r.profile.isFp ? "fp" : "int",
                       TextTable::num(base.ipc, 2),
@@ -66,10 +66,13 @@ main(int argc, char **argv)
 
         savings.addRow({r.profile.name,
                         TextTable::num(base.avgPowerW, 1),
-                        TextTable::pct(exp::powerSaving(base, r.dcg)),
-                        TextTable::pct(exp::powerSaving(base, r.plbOrig)),
-                        TextTable::pct(exp::powerSaving(base, r.plbExt)),
-                        TextTable::pct(1.0 - r.plbExt.ipc / base.ipc)});
+                        TextTable::pct(exp::powerSaving(base, r.dcg())),
+                        TextTable::pct(
+                            exp::powerSaving(base, r.plbOrig())),
+                        TextTable::pct(
+                            exp::powerSaving(base, r.plbExt())),
+                        TextTable::pct(1.0 -
+                                       r.plbExt().ipc / base.ipc)});
 
         if (breakdown) {
             std::cout << "-- " << r.profile.name

@@ -19,6 +19,7 @@
 #include "common/options.hh"
 #include "common/table.hh"
 #include "exp/engine.hh"
+#include "gating/registry.hh"
 #include "sim/presets.hh"
 
 using namespace dcg;
@@ -62,11 +63,13 @@ main(int argc, char **argv)
     std::cout << "== custom workload 'memdb' (pointer region "
               << pointer_mb << " MB) ==\n\n";
 
-    // --- 2. Declare one job per gating scheme and run the batch on
-    //        the engine (parallel when DCG_JOBS > 1).
+    // --- 2. Declare one job per registered gating scheme and run the
+    //        batch on the engine (parallel when DCG_JOBS > 1). The
+    //        registry catalog means a newly-added scheme shows up here
+    //        with no code change ("base" sorts first, so results[0]
+    //        stays the denominator).
     std::vector<exp::Job> jobs;
-    for (GatingScheme s : {GatingScheme::None, GatingScheme::Dcg,
-                           GatingScheme::PlbOrig, GatingScheme::PlbExt})
+    for (const std::string &s : gating::schemeNames())
         jobs.push_back(exp::makeJob(db, table1Config(s), insts, warmup));
 
     exp::Engine engine;

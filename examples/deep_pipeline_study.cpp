@@ -69,10 +69,10 @@ main(int argc, char **argv)
 
     std::vector<exp::Job> jobs;
     for (unsigned stages : depths) {
-        SimConfig base = table1Config(GatingScheme::None);
+        SimConfig base = table1Config("base");
         base.core.depth = depthForStages(stages);
         SimConfig dcg = base;
-        dcg.scheme = GatingScheme::Dcg;
+        dcg.scheme = "dcg";
         jobs.push_back(exp::makeJob(profile, base, insts, warmup));
         jobs.push_back(exp::makeJob(profile, dcg, insts, warmup));
     }

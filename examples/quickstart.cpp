@@ -41,9 +41,9 @@ main(int argc, char **argv)
     // parallel when more than one worker is available).
     exp::Engine engine;
     const auto results = engine.run({
-        exp::makeJob(profile, table1Config(GatingScheme::None), insts,
+        exp::makeJob(profile, table1Config("base"), insts,
                      warmup),
-        exp::makeJob(profile, table1Config(GatingScheme::Dcg), insts,
+        exp::makeJob(profile, table1Config("dcg"), insts,
                      warmup),
     });
     const RunResult &base = results[0];

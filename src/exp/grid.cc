@@ -1,19 +1,27 @@
 #include "exp/grid.hh"
 
+#include <algorithm>
+
+#include "common/log.hh"
+#include "gating/registry.hh"
+
 namespace dcg::exp {
 
 namespace {
 
-std::vector<GatingScheme>
+/** "base" first, then the requested schemes in order, de-duplicated. */
+std::vector<std::string>
 requestedSchemes(const GridRequest &req)
 {
-    std::vector<GatingScheme> schemes{GatingScheme::None};
-    if (req.wantDcg)
-        schemes.push_back(GatingScheme::Dcg);
-    if (req.wantPlbOrig)
-        schemes.push_back(GatingScheme::PlbOrig);
-    if (req.wantPlbExt)
-        schemes.push_back(GatingScheme::PlbExt);
+    std::vector<std::string> schemes{"base"};
+    for (const std::string &s : req.schemes) {
+        if (!gating::isScheme(s))
+            fatal("grid request names unknown scheme '", s,
+                  "' (expected ", gating::schemeNamesJoined(), ")");
+        if (std::find(schemes.begin(), schemes.end(), s) ==
+            schemes.end())
+            schemes.push_back(s);
+    }
     return schemes;
 }
 
@@ -31,13 +39,34 @@ requestedProfiles(const GridRequest &req)
 
 } // namespace
 
+bool
+SchemeResults::has(const std::string &scheme) const
+{
+    for (const auto &[name, result] : results) {
+        if (name == scheme)
+            return true;
+    }
+    return false;
+}
+
+const RunResult &
+SchemeResults::scheme(const std::string &name) const
+{
+    for (const auto &[scheme_name, result] : results) {
+        if (scheme_name == name)
+            return result;
+    }
+    fatal("SchemeResults for '", profile.name, "' holds no scheme '",
+          name, "' — the grid request did not include it");
+}
+
 std::vector<Job>
 gridJobs(const GridRequest &req)
 {
     const auto schemes = requestedSchemes(req);
     std::vector<Job> jobs;
     for (const Profile &p : requestedProfiles(req)) {
-        for (GatingScheme s : schemes) {
+        for (const std::string &s : schemes) {
             const SimConfig cfg = req.deepPipeline
                 ? deepPipelineConfig(s) : table1Config(s);
             jobs.push_back(makeJob(p, cfg, req.instructions,
@@ -60,15 +89,9 @@ runGrid(Engine &engine, const GridRequest &req)
     for (const Profile &p : requestedProfiles(req)) {
         SchemeResults r;
         r.profile = p;
-        for (GatingScheme s : schemes) {
-            const RunResult &res = results[i++];
-            switch (s) {
-              case GatingScheme::None:    r.base = res; break;
-              case GatingScheme::Dcg:     r.dcg = res; break;
-              case GatingScheme::PlbOrig: r.plbOrig = res; break;
-              case GatingScheme::PlbExt:  r.plbExt = res; break;
-            }
-        }
+        r.results.reserve(schemes.size());
+        for (const std::string &s : schemes)
+            r.results.emplace_back(s, results[i++]);
         grid.push_back(std::move(r));
     }
     return grid;

@@ -2,14 +2,15 @@
  * @file
  * Declarative (benchmark x scheme) grid requests — the shape of every
  * figure in the paper's evaluation section. A driver states *which*
- * schemes (and optionally which benchmarks) it needs; expansion into
- * Jobs and execution order belong to the Engine.
+ * registered schemes (and optionally which benchmarks) it needs;
+ * expansion into Jobs and execution order belong to the Engine.
  */
 
 #ifndef DCG_EXP_GRID_HH
 #define DCG_EXP_GRID_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/engine.hh"
@@ -21,9 +22,13 @@ namespace dcg::exp {
 /** Which schemes a figure needs beyond the baseline. */
 struct GridRequest
 {
-    bool wantDcg = true;
-    bool wantPlbOrig = false;
-    bool wantPlbExt = false;
+    /**
+     * Registered scheme names to run *in addition to* "base", which
+     * every grid carries as its denominator. Order is preserved in
+     * SchemeResults; unknown names are a fatal() at expansion.
+     */
+    std::vector<std::string> schemes{"dcg"};
+
     bool deepPipeline = false;
 
     /** Benchmark subset; empty = the full SPEC2000 model set. */
@@ -34,14 +39,24 @@ struct GridRequest
     std::uint64_t warmup = 0;
 };
 
-/** One benchmark's runs across the schemes a figure needs. */
+/**
+ * One benchmark's runs across the schemes a figure requested, in
+ * request order with "base" first. Named accessors fatal() on a
+ * scheme the request did not include — a figure asking for results
+ * it never requested is a bug, not a default-constructed RunResult.
+ */
 struct SchemeResults
 {
     Profile profile;
-    RunResult base;
-    RunResult dcg;
-    RunResult plbOrig;  ///< valid only if requested
-    RunResult plbExt;   ///< valid only if requested
+    std::vector<std::pair<std::string, RunResult>> results;
+
+    bool has(const std::string &scheme) const;
+    const RunResult &scheme(const std::string &name) const;
+
+    const RunResult &base() const { return scheme("base"); }
+    const RunResult &dcg() const { return scheme("dcg"); }
+    const RunResult &plbOrig() const { return scheme("plb-orig"); }
+    const RunResult &plbExt() const { return scheme("plb-ext"); }
 };
 
 /** Expand a request into the flat job list the engine executes. */

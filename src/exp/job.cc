@@ -118,6 +118,9 @@ serialize(KeyStream &ks, const SimConfig &c)
     ks << c.plb.windowCycles << c.plb.ipcThresholdLow
        << c.plb.ipcThresholdMid << c.plb.fpIpcGuard
        << c.plb.downConfirmWindows << c.plb.extended;
+    ks << c.ddcg.gateAllPhases << c.ddcg.bitActivityFactor
+       << c.ddcg.compareOverhead;
+    ks << c.cgooo.blockSize << c.cgooo.schedOverhead;
     ks << c.seed;
 }
 

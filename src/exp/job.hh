@@ -7,14 +7,17 @@
  * Two properties make jobs safe to reorder and share:
  *  - deriveJobSeed() gives every (config seed, workload) pair its own
  *    deterministic RNG stream, independent of when or where the job
- *    runs, so a parallel sweep is bit-identical to a serial one. The
- *    derivation deliberately ignores the gating scheme: all schemes of
+ *    runs, so a parallel sweep is bit-identical to a serial one. Only
+ *    the *seed* derivation ignores the gating scheme — all schemes of
  *    one benchmark see the same instruction stream, as the paper's
  *    methodology requires.
  *  - jobKey() is a canonical serialisation of *everything* that can
- *    influence a RunResult; two jobs with equal keys are guaranteed to
- *    produce equal results, which is what lets the Engine's cache hand
- *    out one simulation to many figures.
+ *    influence a RunResult — the gating scheme and its per-scheme
+ *    configuration very much included (schemes produce different
+ *    energies over the shared stream, so keys must never collide
+ *    across schemes, cache- or store-wide); two jobs with equal keys
+ *    are guaranteed to produce equal results, which is what lets the
+ *    Engine's cache hand out one simulation to many figures.
  */
 
 #ifndef DCG_EXP_JOB_HH

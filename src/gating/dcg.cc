@@ -5,8 +5,31 @@
 #include <string>
 
 #include "common/log.hh"
+#include "gating/registry.hh"
+#include "sim/simulator.hh"
 
 namespace dcg {
+
+namespace gating {
+namespace {
+
+const bool registered = registerScheme(
+    {"dcg",
+     "deterministic clock gating (this paper, HPCA 2003): FU, latch,"
+     " D-cache decoder and result-bus gating from piped GRANT signals",
+     {{"gate-iq",
+       "also gate empty issue-queue entries after [6] (dcgsim"
+       " --gate-iq)", "off"}}},
+    [](const SimConfig &cfg, StatRegistry &stats) {
+        return std::make_unique<DcgController>(cfg.core, cfg.dcg,
+                                               stats);
+    });
+
+} // namespace
+
+void anchorDcgSchemeRegistration() { (void)registered; }
+
+} // namespace gating
 
 DcgController::DcgController(const CoreConfig &core_cfg,
                              const DcgConfig &cfg_, StatRegistry &stats)

@@ -3,8 +3,58 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "gating/registry.hh"
+#include "sim/simulator.hh"
 
 namespace dcg {
+
+namespace gating {
+namespace {
+
+const std::vector<SchemeKnob> plbKnobs = {
+    {"window-cycles", "sampling-window length", "256"},
+    {"ipc-threshold-low", "window IPC below this requests 4-wide",
+     "1.5"},
+    {"ipc-threshold-mid", "window IPC below this requests 6-wide",
+     "2.8"},
+    {"fp-ipc-guard", "FP IPC above this keeps the machine >= 6-wide",
+     "0.8"},
+    {"down-confirm-windows", "windows that must agree before narrowing",
+     "2"},
+};
+
+const bool registeredOrig = registerScheme(
+    {"plb-orig",
+     "pipeline balancing (Bahar & Manne [1]): low-power issue modes"
+     " gating disabled FUs and an issue-queue slice",
+     plbKnobs},
+    [](const SimConfig &cfg, StatRegistry &stats) {
+        PlbConfig pc = cfg.plb;
+        pc.extended = false;
+        return std::make_unique<PlbController>(cfg.core, pc, stats);
+    });
+
+const bool registeredExt = registerScheme(
+    {"plb-ext",
+     "extended pipeline balancing (paper Sec 4.3): plb-orig plus"
+     " latch, D-cache port and result-bus gating",
+     plbKnobs},
+    [](const SimConfig &cfg, StatRegistry &stats) {
+        PlbConfig pc = cfg.plb;
+        pc.extended = true;
+        return std::make_unique<PlbController>(cfg.core, pc, stats);
+    });
+
+} // namespace
+
+void
+anchorPlbSchemeRegistration()
+{
+    (void)registeredOrig;
+    (void)registeredExt;
+}
+
+} // namespace gating
 
 PlbController::PlbController(const CoreConfig &core_cfg,
                              const PlbConfig &cfg_, StatRegistry &stats)

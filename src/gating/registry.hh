@@ -1,0 +1,108 @@
+/**
+ * @file
+ * String-keyed gating-scheme registry.
+ *
+ * A scheme is one file and one registration: the scheme's translation
+ * unit self-registers a SchemeInfo (name, one-line description with
+ * paper provenance, config knobs) plus a factory that builds its
+ * GatingPolicy from a SimConfig. Everything that enumerates or selects
+ * schemes — dcgsim (--scheme validation, --list-schemes, usage text),
+ * the figure/ablation drivers, exp::Grid expansion, JobSpec/GridSpec
+ * validation on the wire, and the report layer's results schema — goes
+ * through this catalog, so adding a scheme never touches a switch
+ * statement again (mirroring how statRegistryCatalog already catalogs
+ * stats).
+ *
+ * Registration pattern (in the scheme's .cc):
+ *
+ *     namespace { const bool registered = gating::registerScheme(
+ *         {"myscheme", "what it gates (Paper et al.)",
+ *          {{"knob", "what it does", "default"}}},
+ *         [](const SimConfig &cfg, StatRegistry &stats) {
+ *             return std::make_unique<MyController>(cfg.core,
+ *                                                   cfg.myscheme, stats);
+ *         }); }
+ *     void anchorMySchemeRegistration() {}
+ *
+ * The anchor is the static-archive escape hatch: a TU whose only
+ * definitions are self-registration statics is dropped by the linker,
+ * so registry.cc calls every scheme's anchor before answering lookups
+ * (ensureBuiltins), forcing the registration objects into the binary.
+ *
+ * The factory signature takes SimConfig by forward declaration only:
+ * scheme implementations include sim/simulator.hh for the definition
+ * (a header-only back-reference; the gating library gains no link
+ * dependency on dcg_sim).
+ */
+
+#ifndef DCG_GATING_REGISTRY_HH
+#define DCG_GATING_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcg {
+
+struct SimConfig;
+class StatRegistry;
+class GatingPolicy;
+
+namespace gating {
+
+/** One scheme configuration knob, for catalogs and usage text. */
+struct SchemeKnob
+{
+    std::string name;
+    std::string description;
+    std::string defaultValue;
+};
+
+/** Everything the catalog knows about one registered scheme. */
+struct SchemeInfo
+{
+    std::string name;
+    std::string description;  ///< one line, names the source paper
+    std::vector<SchemeKnob> knobs;
+};
+
+/** Builds the scheme's policy; stats registrations happen inside. */
+using SchemeFactory = std::function<std::unique_ptr<GatingPolicy>(
+    const SimConfig &, StatRegistry &)>;
+
+/**
+ * Register a scheme. Returns true (the value exists so a namespace-
+ * scope `const bool` can run the registration at static-init time).
+ * Duplicate names are a fatal() — two files claiming one scheme is a
+ * build error, not a runtime preference.
+ */
+bool registerScheme(SchemeInfo info, SchemeFactory factory);
+
+/** All registered schemes, sorted by name. */
+std::vector<SchemeInfo> schemeCatalog();
+
+/** Registered scheme names, sorted. */
+std::vector<std::string> schemeNames();
+
+/** Names joined for error/usage text, e.g. "base|cgooo|dcg|...". */
+std::string schemeNamesJoined(char sep = '|');
+
+/** True when @p name is a registered scheme. */
+bool isScheme(const std::string &name);
+
+/** Catalog entry for @p name, or nullptr. */
+const SchemeInfo *findScheme(const std::string &name);
+
+/**
+ * Build the gating policy for @p config's scheme string; fatal() on an
+ * unregistered name (callers with non-fatal needs validate first via
+ * isScheme — JobSpec::validate does).
+ */
+std::unique_ptr<GatingPolicy> makePolicy(const SimConfig &config,
+                                         StatRegistry &stats);
+
+} // namespace gating
+} // namespace dcg
+
+#endif // DCG_GATING_REGISTRY_HH

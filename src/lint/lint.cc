@@ -180,6 +180,50 @@ collectStatRegistrations(const std::string &text, const std::string &file,
     }
 }
 
+/**
+ * Find registerScheme({"name", ... registration sites in @p text
+ * (comments stripped, strings kept). The scheme name is the first
+ * string literal of the braced SchemeInfo initializer; declarations
+ * and calls without a literal-named initializer are skipped.
+ */
+void
+collectSchemeRegistrations(const std::string &text,
+                           const std::string &file,
+                           std::vector<StatRegistration> &out)
+{
+    const std::string word = "registerScheme";
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const std::size_t start = pos;
+        pos += word.size();
+        if (start > 0 && isIdentChar(text[start - 1]))
+            continue;
+        std::size_t j = start + word.size();
+        auto skipWs = [&] {
+            while (j < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[j])))
+                ++j;
+        };
+        skipWs();
+        if (j >= text.size() || text[j] != '(')
+            continue;
+        ++j;
+        skipWs();
+        if (j >= text.size() || text[j] != '{')
+            continue;
+        ++j;
+        skipWs();
+        if (j >= text.size() || text[j] != '"')
+            continue;
+        const std::size_t name_start = j + 1;
+        const std::size_t name_end = text.find('"', name_start);
+        if (name_end == std::string::npos)
+            continue;
+        out.push_back({text.substr(name_start, name_end - name_start),
+                       file, lineOfOffset(text, start)});
+    }
+}
+
 /** Fallible POSIX calls whose results must be consumed. */
 const std::set<std::string> &
 syscallNames()
@@ -391,6 +435,7 @@ checkTable()
     static const std::vector<std::pair<std::string, CheckFn>> table = {
         {"activity-counter", &checkActivityCounters},
         {"stat-report", &checkStatsReported},
+        {"scheme-registry", &checkSchemeRegistry},
         {"syscall-return", &checkSyscallReturns},
         {"net-io", &checkNetIo},
         {"naked-new", &checkNakedNew},
@@ -523,6 +568,42 @@ checkStatsReported(const LintOptions &opts)
                                "' is registered but missing from the "
                                "catalog in src/sim/report.cc "
                                "(statRegistryCatalog)"});
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+checkSchemeRegistry(const LintOptions &opts)
+{
+    std::vector<Diagnostic> out;
+    const fs::path root = opts.root;
+    const fs::path docs_path = root / "EXPERIMENTS.md";
+    std::string docs;
+    if (!readFile(docs_path, docs)) {
+        noteMissingAnchor(opts, "EXPERIMENTS.md", "scheme-registry",
+                          out);
+        return out;
+    }
+
+    std::vector<StatRegistration> regs;
+    for (const fs::path &p : sourcesUnder(root / "src" / "gating")) {
+        std::string text;
+        if (!readFile(p, text))
+            continue;
+        collectSchemeRegistrations(stripCode(text, false),
+                                   relToRoot(p, root), regs);
+    }
+
+    for (const StatRegistration &reg : regs) {
+        // The docs table writes scheme names in backticks; requiring
+        // the backticked form keeps short names like "base" from
+        // matching prose accidentally.
+        if (docs.find('`' + reg.name + '`') == std::string::npos) {
+            out.push_back({reg.file, reg.line, "scheme-registry",
+                           "gating scheme '" + reg.name +
+                               "' is registered but missing from the "
+                               "gating-scheme table in EXPERIMENTS.md"});
         }
     }
     return out;

@@ -24,6 +24,13 @@
  *    extraStats serialization documents. A stat missing from the
  *    catalog is invisible to the result schema.
  *
+ *  - scheme-registry: every gating scheme registered in src/gating/
+ *    (registerScheme({"name", ...)) must appear — backticked — in the
+ *    gating-scheme table in EXPERIMENTS.md, so the catalog a user
+ *    reads cannot drift from the one the binary serves. Stats the
+ *    scheme registers are covered by stat-report like everyone
+ *    else's.
+ *
  *  - syscall-return: every fallible POSIX call in src/serve/ and
  *    tools/ must consume its return value (assignment, comparison,
  *    condition, or explicit (void) discard). close() is allowlisted.
@@ -78,6 +85,7 @@ const std::vector<std::string> &checkNames();
 /// @{
 std::vector<Diagnostic> checkActivityCounters(const LintOptions &opts);
 std::vector<Diagnostic> checkStatsReported(const LintOptions &opts);
+std::vector<Diagnostic> checkSchemeRegistry(const LintOptions &opts);
 std::vector<Diagnostic> checkSyscallReturns(const LintOptions &opts);
 std::vector<Diagnostic> checkNetIo(const LintOptions &opts);
 std::vector<Diagnostic> checkNakedNew(const LintOptions &opts);

@@ -30,8 +30,9 @@ struct GateState
     std::uint8_t resultBusesGated = 0;
 
     /**
-     * Fraction of the issue queue clock-gated (PLB low-power modes;
-     * DCG leaves the issue queue alone, Sec 2.2.2).
+     * Fraction of the issue queue clock-gated (PLB low-power modes,
+     * CG-OoO empty blocks; DCG leaves the issue queue alone,
+     * Sec 2.2.2).
      */
     double iqGatedFraction = 0.0;
 
@@ -41,6 +42,36 @@ struct GateState
      * overhead the paper charges against DCG's latch savings.
      */
     bool dcgControlActive = false;
+
+    /**
+     * DDCG (arXiv 1806.02271): fraction of the bits *within clocked
+     * latch slots* whose next state equals their current state, so the
+     * per-bit comparator holds their clock low. Slot-level gating
+     * (latchSlotsGated) composes with this bit-level term.
+     */
+    double latchBitGatedFraction = 0.0;
+
+    /**
+     * DDCG comparator overhead: energy of the per-bit XOR/compare
+     * network, as a fraction of latchBitCap charged for every guarded
+     * latch bit every cycle (the comparator must observe its input
+     * even when the bit's clock is gated).
+     */
+    double latchCompareOverhead = 0.0;
+
+    /**
+     * CG-OoO (arXiv 1606.01607): wakeup broadcast confined to active
+     * issue-queue blocks — scales the per-wakeup CAM energy. 1 = full
+     * broadcast (every other scheme).
+     */
+    double iqWakeupScale = 1.0;
+
+    /**
+     * CG-OoO block-scheduler overhead, as a fraction of iqClockCap
+     * charged per cycle (scaled by the active-block fraction inside
+     * the controller).
+     */
+    double iqSchedOverhead = 0.0;
 
     void reset() { *this = GateState{}; }
 };

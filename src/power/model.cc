@@ -11,6 +11,7 @@ powerComponentName(PowerComponent c)
     switch (c) {
       case PowerComponent::Latches:       return "latches";
       case PowerComponent::DcgControl:    return "dcg_control";
+      case PowerComponent::DdcgCompare:   return "ddcg_compare";
       case PowerComponent::ClockWiring:   return "clock_wiring";
       case PowerComponent::IntAlu:        return "int_alu";
       case PowerComponent::IntMulDiv:     return "int_muldiv";
@@ -22,6 +23,7 @@ powerComponentName(PowerComponent c)
       case PowerComponent::Bpred:         return "bpred";
       case PowerComponent::Rename:        return "rename";
       case PowerComponent::IssueQueue:    return "issue_queue";
+      case PowerComponent::CgoooSched:    return "cgooo_sched";
       case PowerComponent::Regfile:       return "regfile";
       case PowerComponent::Lsq:           return "lsq";
       case PowerComponent::Rob:           return "rob";
@@ -94,18 +96,40 @@ PowerModel::tick(const CycleActivity &act, const GateState &g)
                cfg.dcachePorts, "gated a busy D-cache port");
     DCG_ASSERT(g.resultBusesGated + act.resultBusUsed <=
                cfg.numResultBuses, "gated a busy result bus");
+    DCG_ASSERT(g.latchBitGatedFraction >= 0.0 &&
+               g.latchBitGatedFraction <= 1.0,
+               "bad latch bit-gated fraction");
+    DCG_ASSERT(g.latchCompareOverhead >= 0.0,
+               "negative latch compare overhead");
+    DCG_ASSERT(g.iqWakeupScale >= 0.0 && g.iqWakeupScale <= 1.0,
+               "bad IQ wakeup scale");
+    DCG_ASSERT(g.iqSchedOverhead >= 0.0,
+               "negative IQ scheduler overhead");
 
     // --- Pipeline latches: clock power for every un-gated slot, in
-    // every latch group of every phase.
+    // every latch group of every phase. DDCG's per-bit comparators
+    // additionally hold the clock low for the unchanged-bit fraction
+    // within clocked slots (latchBitGatedFraction) and charge the
+    // comparator network for every guarded bit, clocked or not.
     double latch_pj = 0.0;
+    double guarded_bits = 0.0;
     for (unsigned p = 0; p < kNumLatchPhases; ++p) {
         const unsigned groups =
             cfg.depth.groupsFor(static_cast<LatchPhase>(p));
         const unsigned clocked = cfg.issueWidth - g.latchSlotsGated[p];
         latch_pj += static_cast<double>(groups) * clocked * slotBits *
-                    tech.latchBitCap * v2;
+                    tech.latchBitCap * v2 *
+                    (1.0 - g.latchBitGatedFraction);
+        guarded_bits += static_cast<double>(groups) * cfg.issueWidth *
+                        slotBits;
     }
     addEnergy(PowerComponent::Latches, latch_pj);
+
+    if (g.latchCompareOverhead > 0.0) {
+        addEnergy(PowerComponent::DdcgCompare,
+                  g.latchCompareOverhead * guarded_bits *
+                  tech.latchBitCap * v2);
+    }
 
     if (g.dcgControlActive) {
         addEnergy(PowerComponent::DcgControl,
@@ -157,14 +181,21 @@ PowerModel::tick(const CycleActivity &act, const GateState &g)
     addEnergy(PowerComponent::Rename,
               act.renamed * tech.renameOpCap * v2);
 
-    // --- Issue queue: CAM precharge every cycle (PLB may gate slices;
-    // DCG leaves it to the scheme of [6], Sec 2.2.2).
+    // --- Issue queue: CAM precharge every cycle (PLB and CG-OoO gate
+    // slices/blocks; DCG leaves it to the scheme of [6], Sec 2.2.2).
+    // CG-OoO confines the wakeup broadcast to active blocks
+    // (iqWakeupScale) and pays its block scheduler (iqSchedOverhead,
+    // a fraction of the queue clock).
     DCG_ASSERT(g.iqGatedFraction >= 0.0 && g.iqGatedFraction <= 1.0,
                "bad IQ gated fraction");
     addEnergy(PowerComponent::IssueQueue,
               tech.iqClockCap * v2 * (1.0 - g.iqGatedFraction) +
-              act.iqWakeups * tech.iqWakeupCap * v2 +
+              act.iqWakeups * tech.iqWakeupCap * v2 * g.iqWakeupScale +
               act.issued * tech.iqSelectCap * v2);
+    if (g.iqSchedOverhead > 0.0) {
+        addEnergy(PowerComponent::CgoooSched,
+                  g.iqSchedOverhead * tech.iqClockCap * v2);
+    }
 
     addEnergy(PowerComponent::Regfile,
               act.regReads * tech.regReadCap * v2 +
@@ -225,8 +256,12 @@ PowerModel::fpUnitsEnergyPJ() const
 double
 PowerModel::latchEnergyPJ() const
 {
+    // Figure-14 semantics: the latch group carries each scheme's own
+    // latch-side control overhead (DCG's extended latches, DDCG's
+    // comparators).
     return energyPJ(PowerComponent::Latches) +
-           energyPJ(PowerComponent::DcgControl);
+           energyPJ(PowerComponent::DcgControl) +
+           energyPJ(PowerComponent::DdcgCompare);
 }
 
 double

@@ -30,6 +30,7 @@ enum class PowerComponent : std::uint8_t
 {
     Latches,        ///< pipeline latches, all phases
     DcgControl,     ///< DCG extended latches / AND gates
+    DdcgCompare,    ///< DDCG per-bit next-state comparators
     ClockWiring,    ///< global clock spine (ungateable)
     IntAlu,
     IntMulDiv,
@@ -41,6 +42,7 @@ enum class PowerComponent : std::uint8_t
     Bpred,
     Rename,
     IssueQueue,
+    CgoooSched,     ///< CG-OoO per-block scheduler overhead
     Regfile,
     Lsq,
     Rob,
@@ -97,7 +99,7 @@ class PowerModel
     /// @{
     double intUnitsEnergyPJ() const;
     double fpUnitsEnergyPJ() const;
-    /** Latches + DCG control overhead (Figure 14 semantics). */
+    /** Latches + DCG control + DDCG comparators (Figure 14). */
     double latchEnergyPJ() const;
     /** Decoder + array (Figure 15 denominators are total D-cache). */
     double dcacheEnergyPJ() const;

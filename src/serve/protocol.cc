@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "gating/registry.hh"
 #include "sim/presets.hh"
 #include "sim/report.hh"
 #include "trace/spec2000.hh"
@@ -39,28 +40,11 @@ specFieldsToJson(JsonValue &o, unsigned depth, std::uint64_t insts,
 } // namespace
 
 bool
-parseSchemeName(const std::string &name, GatingScheme &out)
-{
-    if (name == "base")
-        out = GatingScheme::None;
-    else if (name == "dcg")
-        out = GatingScheme::Dcg;
-    else if (name == "plb-orig")
-        out = GatingScheme::PlbOrig;
-    else if (name == "plb-ext")
-        out = GatingScheme::PlbExt;
-    else
-        return false;
-    return true;
-}
-
-bool
 JobSpec::validate(std::string &err) const
 {
-    GatingScheme s;
-    if (!parseSchemeName(scheme, s)) {
-        err = "unknown scheme '" + scheme +
-              "' (expected base|dcg|plb-orig|plb-ext)";
+    if (!gating::isScheme(scheme)) {
+        err = "unknown scheme '" + scheme + "' (expected " +
+              gating::schemeNamesJoined() + ")";
         return false;
     }
     if (!knownBench(bench)) {
@@ -73,13 +57,13 @@ JobSpec::validate(std::string &err) const
 exp::Job
 JobSpec::toJob() const
 {
-    GatingScheme s;
-    if (!parseSchemeName(scheme, s))
+    if (!gating::isScheme(scheme))
         fatal("JobSpec::toJob on unvalidated scheme '", scheme, "'");
 
     // Mirror dcgsim's local configuration path exactly: this is the
     // contract that makes --server output byte-identical.
-    SimConfig cfg = depth >= 20 ? deepPipelineConfig(s) : table1Config(s);
+    SimConfig cfg = depth >= 20 ? deepPipelineConfig(scheme)
+                                : table1Config(scheme);
     cfg.seed = seed;
     cfg.dcg.gateIssueQueue = gateIq;
     cfg.core.delayStoresOneCycle = storeDelay;
@@ -130,11 +114,10 @@ GridSpec::validate(std::string &err) const
             return false;
         }
     }
-    GatingScheme s;
     for (const std::string &name : schemes) {
-        if (!parseSchemeName(name, s)) {
-            err = "unknown scheme '" + name +
-                  "' (expected base|dcg|plb-orig|plb-ext)";
+        if (!gating::isScheme(name)) {
+            err = "unknown scheme '" + name + "' (expected " +
+                  gating::schemeNamesJoined() + ")";
             return false;
         }
     }

@@ -111,7 +111,7 @@ bool requestVersion(const JsonValue &req, unsigned &version,
 struct JobSpec
 {
     std::string bench = "gzip";
-    std::string scheme = "dcg";   ///< base|dcg|plb-orig|plb-ext
+    std::string scheme = "dcg";   ///< any registered gating scheme
     unsigned depth = 8;           ///< >= 20 selects the Fig-17 machine
     std::uint64_t insts = 0;      ///< 0 = receiver-side default
     std::uint64_t warmup = 0;
@@ -154,9 +154,6 @@ struct GridSpec
     static bool fromJson(const JsonValue &v, GridSpec &out,
                          std::string &err);
 };
-
-/** Non-fatal scheme-name parse (base|dcg|plb-orig|plb-ext). */
-bool parseSchemeName(const std::string &name, GatingScheme &out);
 
 /**
  * RunResults as a JSON value: the writeResultsJson() array reparsed

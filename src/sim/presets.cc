@@ -5,7 +5,7 @@
 namespace dcg {
 
 SimConfig
-table1Config(GatingScheme scheme)
+table1Config(const std::string &scheme)
 {
     SimConfig cfg;  // defaults throughout the tree ARE Table 1
     cfg.scheme = scheme;
@@ -13,7 +13,7 @@ table1Config(GatingScheme scheme)
 }
 
 SimConfig
-deepPipelineConfig(GatingScheme scheme)
+deepPipelineConfig(const std::string &scheme)
 {
     SimConfig cfg = table1Config(scheme);
     cfg.core.depth = deepPipeline();

@@ -7,15 +7,17 @@
 #ifndef DCG_SIM_PRESETS_HH
 #define DCG_SIM_PRESETS_HH
 
+#include <string>
+
 #include "sim/simulator.hh"
 
 namespace dcg {
 
-/** Table-1 machine with the requested gating scheme. */
-SimConfig table1Config(GatingScheme scheme = GatingScheme::None);
+/** Table-1 machine with the requested registered gating scheme. */
+SimConfig table1Config(const std::string &scheme = "base");
 
 /** The 20-stage machine of Figure 17. */
-SimConfig deepPipelineConfig(GatingScheme scheme = GatingScheme::None);
+SimConfig deepPipelineConfig(const std::string &scheme = "base");
 
 /** Human-readable dump of a configuration (bench/table1_config). */
 void printConfig(const SimConfig &config, std::ostream &os);

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/log.hh"
+#include "gating/registry.hh"
 #include "power/model.hh"
 
 namespace dcg {
@@ -354,8 +355,16 @@ writeResultsSchemaJson(std::ostream &os)
           "  \"fields\": [\n"
           "    {\"name\": \"benchmark\", \"type\": \"string\"},\n"
           "    {\"name\": \"scheme\", \"type\": \"string\","
-          " \"values\": [\"base\", \"dcg\", \"plb-orig\","
-          " \"plb-ext\"]},\n"
+          " \"values\": [";
+    // The scheme enumeration is the live registry catalog, so the
+    // schema can never fall behind a newly-registered scheme.
+    bool first_scheme = true;
+    for (const std::string &name : gating::schemeNames()) {
+        os << (first_scheme ? "" : ", ") << '"' << jsonEscape(name)
+           << '"';
+        first_scheme = false;
+    }
+    os << "]},\n"
           "    {\"name\": \"instructions\", \"type\": \"integer\"},\n"
           "    {\"name\": \"cycles\", \"type\": \"integer\"},\n"
           "    {\"name\": \"ipc\", \"type\": \"number\"},\n"
@@ -404,6 +413,8 @@ statRegistryCatalog()
         {"bpred.correct", "fully correct predictions"},
         {"bpred.dir_mispredicts", "wrong taken/not-taken direction"},
         {"bpred.lookups", "branch predictions made"},
+        {"cgooo.active_blocks", "issue-queue block-cycles clocked"},
+        {"cgooo.gated_blocks", "issue-queue block-cycles clock-gated"},
         {"core.commit_latency", "issue-to-commit latency (cycles)"},
         {"core.commit_wait_complete", "commits stalled on in-flight head"},
         {"core.commit_wait_issue", "commits stalled on unissued head"},
@@ -432,6 +443,8 @@ statRegistryCatalog()
         {"dcg.toggles.FpMulDiv", "FP mul/div gate-control transitions"},
         {"dcg.toggles.IntAlu", "integer-ALU gate-control transitions"},
         {"dcg.toggles.IntMulDiv", "int mul/div gate-control transitions"},
+        {"ddcg.clocked_latch_slots", "latch slot-cycles left clocked"},
+        {"ddcg.gated_latch_slots", "latch slot-cycles clock-gated"},
         {"icache.accesses", "L1I cache accesses"},
         {"icache.misses", "L1I cache misses"},
         {"icache.mshr_stalls", "L1I stalls on a full MSHR"},

@@ -4,21 +4,9 @@
 
 #include "common/log.hh"
 #include "common/options.hh"
+#include "gating/registry.hh"
 
 namespace dcg {
-
-const char *
-gatingSchemeName(GatingScheme scheme)
-{
-    switch (scheme) {
-      case GatingScheme::None:    return "base";
-      case GatingScheme::Dcg:     return "dcg";
-      case GatingScheme::PlbOrig: return "plb-orig";
-      case GatingScheme::PlbExt:  return "plb-ext";
-      default: break;
-    }
-    return "?";
-}
 
 Simulator::Simulator(const Profile &profile, const SimConfig &config)
     : cfg(config), prof(profile)
@@ -30,28 +18,7 @@ Simulator::Simulator(const Profile &profile, const SimConfig &config)
                                    statsP);
     powerP = std::make_unique<PowerModel>(cfg.core, cfg.tech, statsP,
                                           &memP->l2cache());
-
-    switch (cfg.scheme) {
-      case GatingScheme::None:
-        policyP = std::make_unique<NoGating>();
-        break;
-      case GatingScheme::Dcg:
-        policyP = std::make_unique<DcgController>(cfg.core, cfg.dcg,
-                                                  statsP);
-        break;
-      case GatingScheme::PlbOrig: {
-        PlbConfig pc = cfg.plb;
-        pc.extended = false;
-        policyP = std::make_unique<PlbController>(cfg.core, pc, statsP);
-        break;
-      }
-      case GatingScheme::PlbExt: {
-        PlbConfig pc = cfg.plb;
-        pc.extended = true;
-        policyP = std::make_unique<PlbController>(cfg.core, pc, statsP);
-        break;
-      }
-    }
+    policyP = gating::makePolicy(cfg, statsP);
 }
 
 Simulator::~Simulator() = default;

@@ -17,7 +17,9 @@
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
+#include "gating/cgooo.hh"
 #include "gating/dcg.hh"
+#include "gating/ddcg.hh"
 #include "gating/plb.hh"
 #include "gating/policy.hh"
 #include "pipeline/core.hh"
@@ -27,19 +29,27 @@
 
 namespace dcg {
 
-enum class GatingScheme { None, Dcg, PlbOrig, PlbExt };
-
-const char *gatingSchemeName(GatingScheme scheme);
-
 struct SimConfig
 {
     CoreConfig core;
     BranchPredictorConfig bpred;
     HierarchyConfig mem;
     Technology tech;
-    GatingScheme scheme = GatingScheme::None;
+
+    /**
+     * Registered gating-scheme name (see gating/registry.hh); the
+     * Simulator constructor resolves it through gating::makePolicy.
+     */
+    std::string scheme = "base";
+
+    /// @name Per-scheme configuration, keyed by the scheme string
+    /// @{
     DcgConfig dcg;
     PlbConfig plb;
+    DdcgConfig ddcg;
+    CgoooConfig cgooo;
+    /// @}
+
     std::uint64_t seed = 1;
 };
 

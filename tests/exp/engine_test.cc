@@ -31,8 +31,7 @@ smallGrid()
 {
     std::vector<Job> jobs;
     for (const char *name : {"gzip", "mcf", "equake"}) {
-        for (GatingScheme s : {GatingScheme::None, GatingScheme::Dcg,
-                               GatingScheme::PlbExt}) {
+        for (const char *s : {"base", "dcg", "plb-ext"}) {
             jobs.push_back(makeJob(profileByName(name), table1Config(s),
                                    kInsts, kWarmup));
         }
@@ -101,10 +100,10 @@ TEST(Engine, CacheReturnsSharedBaselineWithoutResimulating)
 {
     Engine engine(2);
     const Job base = makeJob(profileByName("gzip"),
-                             table1Config(GatingScheme::None), kInsts,
+                             table1Config("base"), kInsts,
                              kWarmup);
     const Job dcg = makeJob(profileByName("gzip"),
-                            table1Config(GatingScheme::Dcg), kInsts,
+                            table1Config("dcg"), kInsts,
                             kWarmup);
 
     const auto first = engine.run({base, dcg});
@@ -133,8 +132,7 @@ TEST(Engine, GridSharesBaselineAcrossRequests)
     dcg_only.warmup = kWarmup;
 
     GridRequest plb = dcg_only;
-    plb.wantDcg = false;
-    plb.wantPlbExt = true;
+    plb.schemes = {"plb-ext"};
 
     const auto grid_a = runGrid(engine, dcg_only);
     ASSERT_EQ(grid_a.size(), 2u);
@@ -144,8 +142,8 @@ TEST(Engine, GridSharesBaselineAcrossRequests)
     const auto grid_b = runGrid(engine, plb);
     EXPECT_EQ(engine.cacheMisses(), 6u);
     EXPECT_EQ(engine.cacheHits(), 2u);
-    expectBitIdentical(grid_a[0].base, grid_b[0].base);
-    expectBitIdentical(grid_a[1].base, grid_b[1].base);
+    expectBitIdentical(grid_a[0].base(), grid_b[0].base());
+    expectBitIdentical(grid_a[1].base(), grid_b[1].base());
 }
 
 TEST(Engine, ResultsComeBackInRequestOrder)
@@ -156,8 +154,7 @@ TEST(Engine, ResultsComeBackInRequestOrder)
     ASSERT_EQ(results.size(), jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         EXPECT_EQ(results[i].benchmark, jobs[i].profile.name);
-        EXPECT_EQ(results[i].scheme,
-                  gatingSchemeName(jobs[i].config.scheme));
+        EXPECT_EQ(results[i].scheme, jobs[i].config.scheme);
     }
 }
 
@@ -165,7 +162,7 @@ TEST(Engine, CapturesRequestedStats)
 {
     Engine engine(1);
     Job job = makeJob(profileByName("gzip"),
-                      table1Config(GatingScheme::PlbExt), kInsts,
+                      table1Config("plb-ext"), kInsts,
                       kWarmup);
     job.captureStats = {"plb.mode_transitions", "no.such.stat"};
     const RunResult r = engine.runOne(job);
@@ -193,7 +190,7 @@ TEST(Engine, ConcurrentDuplicateJobsSimulateExactlyOnce)
     constexpr unsigned kThreads = 16;
     Engine engine(4);
     const Job job = makeJob(profileByName("gzip"),
-                            table1Config(GatingScheme::Dcg), kInsts,
+                            table1Config("dcg"), kInsts,
                             kWarmup);
 
     std::vector<RunResult> results(kThreads);
@@ -237,7 +234,7 @@ TEST(Engine, TryCachedPeeksWithoutBlockingOrSimulating)
 {
     Engine engine(1);
     const Job job = makeJob(profileByName("gzip"),
-                            table1Config(GatingScheme::None), kInsts,
+                            table1Config("base"), kInsts,
                             kWarmup);
     RunResult peeked;
     EXPECT_FALSE(engine.tryCached(job, peeked));
@@ -314,7 +311,7 @@ TEST(Engine, ClearCacheForcesResimulation)
 {
     Engine engine(1);
     const Job job = makeJob(profileByName("gzip"),
-                            table1Config(GatingScheme::None), kInsts,
+                            table1Config("base"), kInsts,
                             kWarmup);
     const RunResult a = engine.runOne(job);
     engine.clearCache();
@@ -328,13 +325,13 @@ TEST(Engine, LifecycleEvictToKeepsRecentlyUsedEntries)
 {
     Engine engine(1);
     const Job a = makeJob(profileByName("gzip"),
-                          table1Config(GatingScheme::None), kInsts,
+                          table1Config("base"), kInsts,
                           kWarmup);
     const Job b = makeJob(profileByName("gzip"),
-                          table1Config(GatingScheme::Dcg), kInsts,
+                          table1Config("dcg"), kInsts,
                           kWarmup);
     const Job c = makeJob(profileByName("mcf"),
-                          table1Config(GatingScheme::Dcg), kInsts,
+                          table1Config("dcg"), kInsts,
                           kWarmup);
     engine.runOne(a);
     engine.runOne(b);
@@ -367,7 +364,7 @@ TEST(Engine, ClearCacheResetsByteAccounting)
 {
     Engine engine(1);
     const Job job = makeJob(profileByName("gzip"),
-                            table1Config(GatingScheme::None), kInsts,
+                            table1Config("base"), kInsts,
                             kWarmup);
     engine.runOne(job);
     EXPECT_GT(engine.bytes(), 0u);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "exp/job.hh"
+#include "gating/registry.hh"
 #include "sim/presets.hh"
 #include "trace/spec2000.hh"
 
@@ -12,7 +16,7 @@ using namespace dcg::exp;
 namespace {
 
 Job
-gzipJob(GatingScheme scheme = GatingScheme::Dcg)
+gzipJob(const std::string &scheme = "dcg")
 {
     return makeJob(profileByName("gzip"), table1Config(scheme), 2000,
                    500);
@@ -29,7 +33,7 @@ TEST(JobKey, EveryRelevantFieldSeparatesKeys)
 {
     const Job ref = gzipJob();
 
-    Job other = gzipJob(GatingScheme::PlbExt);
+    Job other = gzipJob("plb-ext");
     EXPECT_NE(jobKey(ref), jobKey(other));
 
     other = gzipJob();
@@ -58,6 +62,38 @@ TEST(JobKey, EveryRelevantFieldSeparatesKeys)
 
     other = gzipJob();
     other.captureStats = {"plb.mode_transitions"};
+    EXPECT_NE(jobKey(ref), jobKey(other));
+}
+
+TEST(JobKey, EveryRegisteredSchemeGetsItsOwnKey)
+{
+    // Regression for the src/exp/job.hh comment bug: the *seed*
+    // derivation ignores the scheme, the *key* must not — otherwise
+    // the result cache would serve one scheme's numbers for another.
+    // Checked pairwise over the whole registry so a new scheme cannot
+    // collide with an existing one either.
+    std::map<std::string, std::string> keys;
+    for (const std::string &scheme : gating::schemeNames())
+        keys[jobKey(gzipJob(scheme))] = scheme;
+    EXPECT_EQ(keys.size(), gating::schemeNames().size());
+}
+
+TEST(JobKey, SchemeConfigFieldsSeparateKeys)
+{
+    // Per-scheme knobs are part of the key: the same scheme with a
+    // different configuration is a different simulation.
+    const Job ref = gzipJob();
+
+    Job other = gzipJob();
+    other.config.ddcg.bitActivityFactor = 0.5;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.config.cgooo.blockSize = 8;
+    EXPECT_NE(jobKey(ref), jobKey(other));
+
+    other = gzipJob();
+    other.config.dcg.gateIssueQueue = true;
     EXPECT_NE(jobKey(ref), jobKey(other));
 }
 
@@ -90,8 +126,8 @@ TEST(JobSeed, DeterministicAndSchemeIndependent)
 
     // All schemes of one benchmark must replay the same instruction
     // stream (the paper compares schemes on identical traces).
-    EXPECT_EQ(deriveJobSeed(gzipJob(GatingScheme::None)),
-              deriveJobSeed(gzipJob(GatingScheme::PlbExt)));
+    EXPECT_EQ(deriveJobSeed(gzipJob("base")),
+              deriveJobSeed(gzipJob("plb-ext")));
 
     // Run length does not perturb the stream either.
     Job longer = gzipJob();

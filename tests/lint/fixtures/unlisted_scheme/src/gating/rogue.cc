@@ -1,0 +1,16 @@
+// Fixture: "demo" is documented in EXPERIMENTS.md, "rogue" is not —
+// only the latter must be flagged. The mention of rogue in this
+// comment and in the string below must not satisfy the check.
+#include "gating/registry.hh"
+
+namespace {
+
+const bool demo_ok = registerScheme(
+    {"demo", "documented fixture scheme", {}},
+    nullptr);
+
+const bool rogue_bad = registerScheme(
+    {"rogue", "undocumented fixture scheme named rogue", {}},
+    nullptr);
+
+} // namespace

@@ -137,6 +137,26 @@ TEST(Dcglint, UnlistedStatIsCaught)
               std::string::npos);
 }
 
+TEST(Dcglint, UnlistedSchemeIsCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("unlisted_scheme");
+    const std::vector<Diagnostic> diags = checkSchemeRegistry(opts);
+
+    // "rogue" is registered but absent from EXPERIMENTS.md; the
+    // documented "demo" registration in the same tree passes.
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].check, "scheme-registry");
+    EXPECT_EQ(diags[0].file, "src/gating/rogue.cc");
+    EXPECT_GT(diags[0].line, 0);
+    EXPECT_NE(diags[0].message.find("'rogue'"), std::string::npos);
+    EXPECT_NE(diags[0].message.find("EXPERIMENTS.md"),
+              std::string::npos);
+
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 1);
+}
+
 TEST(Dcglint, CheckSelectionFilters)
 {
     // The orphan_counter tree is dirty for activity-counter but clean

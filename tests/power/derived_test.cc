@@ -94,7 +94,7 @@ TEST(DerivedTech, CacheArrayGeometryMapsShape)
 
 TEST(DerivedTech, SimulatorRunsWithDerivedTechnology)
 {
-    SimConfig cfg = table1Config(GatingScheme::Dcg);
+    SimConfig cfg = table1Config("dcg");
     cfg.tech = derivedTechnology(cfg.core, cfg.mem);
     const RunResult r =
         runBenchmark(profileByName("gzip"), cfg, 15000, 8000);

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "exp/engine.hh"
+#include "gating/registry.hh"
 #include "serve/protocol.hh"
 #include "sim/presets.hh"
 #include "sim/report.hh"
@@ -88,7 +89,7 @@ TEST(Protocol, JobSpecToJobMatchesPresets)
     s.warmup = kWarmup;
     s.seed = 3;
     const exp::Job job = s.toJob();
-    SimConfig expect = table1Config(GatingScheme::Dcg);
+    SimConfig expect = table1Config("dcg");
     expect.seed = 3;
     EXPECT_EQ(exp::jobKey(job),
               exp::jobKey(exp::makeJob(profileByName("gzip"), expect,
@@ -96,7 +97,7 @@ TEST(Protocol, JobSpecToJobMatchesPresets)
 
     // depth >= 20 switches to the deep-pipeline machine.
     s.depth = 20;
-    SimConfig deep = deepPipelineConfig(GatingScheme::Dcg);
+    SimConfig deep = deepPipelineConfig("dcg");
     deep.seed = 3;
     EXPECT_EQ(exp::jobKey(s.toJob()),
               exp::jobKey(exp::makeJob(profileByName("gzip"), deep,
@@ -139,15 +140,30 @@ TEST(Protocol, GridSpecExpansionAndDefaults)
     EXPECT_EQ(back.insts, g.insts);
 }
 
-TEST(Protocol, ParseSchemeName)
+TEST(Protocol, SchemeValidationTracksRegistry)
 {
-    GatingScheme s = GatingScheme::None;
-    EXPECT_TRUE(parseSchemeName("dcg", s));
-    EXPECT_EQ(s, GatingScheme::Dcg);
-    EXPECT_TRUE(parseSchemeName("plb-orig", s));
-    EXPECT_EQ(s, GatingScheme::PlbOrig);
-    EXPECT_FALSE(parseSchemeName("DCG", s));
-    EXPECT_FALSE(parseSchemeName("", s));
+    // The wire protocol accepts exactly the registered schemes — a new
+    // scheme file is network-reachable with no protocol change.
+    for (const std::string &name : gating::schemeNames()) {
+        JobSpec s;
+        s.bench = "gzip";
+        s.scheme = name;
+        std::string err;
+        EXPECT_TRUE(s.validate(err)) << name << ": " << err;
+    }
+
+    JobSpec bad;
+    bad.bench = "gzip";
+    bad.scheme = "DCG";  // case-sensitive, like the registry
+    std::string err;
+    EXPECT_FALSE(bad.validate(err));
+    // The rejection names every valid scheme so users can self-serve.
+    EXPECT_NE(err.find("unknown scheme 'DCG'"), std::string::npos);
+    for (const std::string &name : gating::schemeNames())
+        EXPECT_NE(err.find(name), std::string::npos) << err;
+
+    bad.scheme = "";
+    EXPECT_FALSE(bad.validate(err));
 }
 
 TEST(Protocol, ResultsSurviveJsonEmbeddingBitExactly)

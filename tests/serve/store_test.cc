@@ -43,9 +43,9 @@ freshDir(const std::string &tag)
 }
 
 Job
-smallJob(const char *bench, GatingScheme s)
+smallJob(const char *bench, const std::string &scheme)
 {
-    return makeJob(profileByName(bench), table1Config(s), kInsts,
+    return makeJob(profileByName(bench), table1Config(scheme), kInsts,
                    kWarmup);
 }
 
@@ -67,7 +67,7 @@ TEST(ResultStore, PutGetRoundTripsBitExactly)
     EXPECT_EQ(store.size(), 0u);
 
     Engine engine(1);
-    const Job job = smallJob("gzip", GatingScheme::Dcg);
+    const Job job = smallJob("gzip", "dcg");
     const RunResult r = engine.runOne(job);
     const std::string key = jobKey(job);
 
@@ -86,7 +86,7 @@ TEST(ResultStore, RecordsPersistAcrossInstances)
 {
     const std::string dir = freshDir("persist");
     Engine engine(1);
-    const Job job = smallJob("mcf", GatingScheme::None);
+    const Job job = smallJob("mcf", "base");
     const RunResult r = engine.runOne(job);
     const std::string key = jobKey(job);
 
@@ -111,8 +111,8 @@ TEST(ResultStore, DistinctKeysGetDistinctRecords)
     const std::string dir = freshDir("distinct");
     ResultStore store(dir);
     Engine engine(2);
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
     ASSERT_NE(jobKey(a), jobKey(b));
     EXPECT_NE(store.recordPath(jobKey(a)), store.recordPath(jobKey(b)));
 
@@ -134,7 +134,7 @@ TEST(ResultStore, TruncatedRecordIsAMissAndGetsRepaired)
     const std::string dir = freshDir("truncated");
     ResultStore store(dir);
     Engine engine(1);
-    const Job job = smallJob("equake", GatingScheme::Dcg);
+    const Job job = smallJob("equake", "dcg");
     const RunResult r = engine.runOne(job);
     const std::string key = jobKey(job);
     store.put(key, r);
@@ -169,7 +169,7 @@ TEST(ResultStore, GarbageAndForeignRecordsAreMisses)
     const std::string dir = freshDir("garbage");
     ResultStore store(dir);
     Engine engine(1);
-    const Job job = smallJob("gzip", GatingScheme::None);
+    const Job job = smallJob("gzip", "base");
     const std::string key = jobKey(job);
 
     // Unparseable header.
@@ -199,8 +199,8 @@ TEST(ResultStore, GarbageAndForeignRecordsAreMisses)
 TEST(ResultStore, EngineServesWarmStoreWithoutSimulating)
 {
     const std::string dir = freshDir("engine");
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
 
     // Cold engine: everything simulates, and lands in the store.
     std::vector<RunResult> first;
@@ -244,9 +244,9 @@ TEST(ResultStore, EvictToDropsLeastRecentlyUsedFirst)
     const std::string dir = freshDir("lru");
     ResultStore store(dir);
 
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
-    const Job c = smallJob("mcf", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
+    const Job c = smallJob("mcf", "dcg");
     Engine engine(1);
     store.put(jobKey(a), engine.runOne(a));
     store.put(jobKey(b), engine.runOne(b));
@@ -275,8 +275,8 @@ TEST(ResultStore, PutEnforcesBudgetButNeverEvictsTheNewRecord)
     const std::string dir = freshDir("budget");
     ResultStore store(dir);
 
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
     Engine engine(1);
     const RunResult ra = engine.runOne(a);
     const RunResult rb = engine.runOne(b);
@@ -304,7 +304,7 @@ TEST(ResultStore, CompactRemovesTmpLeftoversAndInvalidRecords)
     const std::string dir = freshDir("compact");
     ResultStore store(dir);
 
-    const Job a = smallJob("gzip", GatingScheme::None);
+    const Job a = smallJob("gzip", "base");
     Engine engine(1);
     store.put(jobKey(a), engine.runOne(a));
     ASSERT_EQ(store.entries(), 1u);
@@ -351,8 +351,8 @@ TEST(ResultStore, RestartSeedsEvictionOrderFromFileAges)
 {
     namespace fs = std::filesystem;
     const std::string dir = freshDir("mtime");
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
     Engine engine(1);
     {
         ResultStore store(dir);
@@ -381,8 +381,8 @@ TEST(ResultStore, ReplicaRecordRoundTripsAndIsMarked)
     ResultStore store(dir);
 
     Engine engine(1);
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
     const RunResult ra = engine.runOne(a);
     const RunResult rb = engine.runOne(b);
 
@@ -408,7 +408,7 @@ TEST(ResultStore, ReplicaMarkerSurvivesRestart)
 {
     const std::string dir = freshDir("replica_restart");
     Engine engine(1);
-    const Job a = smallJob("mcf", GatingScheme::Dcg);
+    const Job a = smallJob("mcf", "dcg");
     const RunResult ra = engine.runOne(a);
     {
         ResultStore store(dir);
@@ -432,7 +432,7 @@ TEST(ResultStore, PutOverwritesTheReplicaMarker)
     const std::string dir = freshDir("replica_overwrite");
     ResultStore store(dir);
     Engine engine(1);
-    const Job a = smallJob("twolf", GatingScheme::Dcg);
+    const Job a = smallJob("twolf", "dcg");
     const RunResult ra = engine.runOne(a);
 
     // Replica then locally computed: the local write wins the marker
@@ -456,9 +456,9 @@ TEST(ResultStore, ReplicaRecordsAreFirstClassForEviction)
     const std::string dir = freshDir("replica_lru");
     ResultStore store(dir);
     Engine engine(1);
-    const Job a = smallJob("gzip", GatingScheme::None);
-    const Job b = smallJob("gzip", GatingScheme::Dcg);
-    const Job c = smallJob("mcf", GatingScheme::Dcg);
+    const Job a = smallJob("gzip", "base");
+    const Job b = smallJob("gzip", "dcg");
+    const Job c = smallJob("mcf", "dcg");
 
     // Replica and local records share one index, one byte count and
     // one LRU order — a replica is never double-counted or immune.
@@ -486,7 +486,7 @@ TEST(ResultStore, CompactKeepsValidReplicaRecordsOnly)
     const std::string dir = freshDir("replica_compact");
     ResultStore store(dir);
     Engine engine(1);
-    const Job a = smallJob("art", GatingScheme::Dcg);
+    const Job a = smallJob("art", "dcg");
     store.putReplica(jobKey(a), engine.runOne(a));
     ASSERT_EQ(store.entries(), 1u);
 

@@ -18,7 +18,7 @@ constexpr std::uint64_t kInsts = 60000;
 constexpr std::uint64_t kWarm = 30000;
 
 RunResult
-runScheme(const std::string &bench, GatingScheme scheme,
+runScheme(const std::string &bench, const std::string &scheme,
           bool deep = false)
 {
     const SimConfig cfg =
@@ -32,8 +32,8 @@ runScheme(const std::string &bench, GatingScheme scheme,
 TEST(Integration, DcgSavesPowerWithZeroPerformanceLoss)
 {
     for (const char *bench : {"gzip", "applu"}) {
-        const RunResult base = runScheme(bench, GatingScheme::None);
-        const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
+        const RunResult base = runScheme(bench, "base");
+        const RunResult dcg = runScheme(bench, "dcg");
         EXPECT_EQ(base.cycles, dcg.cycles) << bench;  // bit-exact timing
         const double s = 1.0 - dcg.avgPowerW / base.avgPowerW;
         EXPECT_GT(s, 0.10) << bench;
@@ -45,10 +45,10 @@ TEST(Integration, DcgSavesPowerWithZeroPerformanceLoss)
 TEST(Integration, DcgBeatsPlbOnPowerAndPerformance)
 {
     const char *bench = "twolf";
-    const RunResult base = runScheme(bench, GatingScheme::None);
-    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
-    const RunResult orig = runScheme(bench, GatingScheme::PlbOrig);
-    const RunResult ext = runScheme(bench, GatingScheme::PlbExt);
+    const RunResult base = runScheme(bench, "base");
+    const RunResult dcg = runScheme(bench, "dcg");
+    const RunResult orig = runScheme(bench, "plb-orig");
+    const RunResult ext = runScheme(bench, "plb-ext");
 
     const double s_dcg = 1.0 - dcg.avgPowerW / base.avgPowerW;
     const double s_orig = 1.0 - orig.avgPowerW / base.avgPowerW;
@@ -66,10 +66,10 @@ TEST(Integration, DcgBeatsPlbOnPowerAndPerformance)
 /** Sec 5.1: mcf and lucas are DCG's best cases (stall-heavy). */
 TEST(Integration, StallHeavyProgramsSaveMost)
 {
-    const RunResult base_mcf = runScheme("mcf", GatingScheme::None);
-    const RunResult dcg_mcf = runScheme("mcf", GatingScheme::Dcg);
-    const RunResult base_gzip = runScheme("gzip", GatingScheme::None);
-    const RunResult dcg_gzip = runScheme("gzip", GatingScheme::Dcg);
+    const RunResult base_mcf = runScheme("mcf", "base");
+    const RunResult dcg_mcf = runScheme("mcf", "dcg");
+    const RunResult base_gzip = runScheme("gzip", "base");
+    const RunResult dcg_gzip = runScheme("gzip", "dcg");
     const double s_mcf = 1.0 - dcg_mcf.avgPowerW / base_mcf.avgPowerW;
     const double s_gzip = 1.0 - dcg_gzip.avgPowerW / base_gzip.avgPowerW;
     EXPECT_GT(s_mcf, s_gzip + 0.05);
@@ -78,8 +78,8 @@ TEST(Integration, StallHeavyProgramsSaveMost)
 /** Sec 5.2/Figure 13: int programs save ~all FPU power under DCG. */
 TEST(Integration, IntCodesGateFpusAlmostEntirely)
 {
-    const RunResult base = runScheme("perlbmk", GatingScheme::None);
-    const RunResult dcg = runScheme("perlbmk", GatingScheme::Dcg);
+    const RunResult base = runScheme("perlbmk", "base");
+    const RunResult dcg = runScheme("perlbmk", "dcg");
     const double fpu_saving = 1.0 - dcg.fpUnitsPJ / base.fpUnitsPJ;
     EXPECT_GT(fpu_saving, 0.95);
 }
@@ -87,8 +87,8 @@ TEST(Integration, IntCodesGateFpusAlmostEntirely)
 /** Figure 12 shape: int-unit savings ~= 1 - utilisation. */
 TEST(Integration, IntUnitSavingsTrackIdleFraction)
 {
-    const RunResult base = runScheme("bzip2", GatingScheme::None);
-    const RunResult dcg = runScheme("bzip2", GatingScheme::Dcg);
+    const RunResult base = runScheme("bzip2", "base");
+    const RunResult dcg = runScheme("bzip2", "dcg");
     const double s = 1.0 - dcg.intUnitsPJ / base.intUnitsPJ;
     // Clock power dominates the units, so savings land near the idle
     // fraction (1 - util), modulo per-op switching energy.
@@ -98,7 +98,7 @@ TEST(Integration, IntUnitSavingsTrackIdleFraction)
 /** Figure 15 premise: decoders are a large minority of D-cache power. */
 TEST(Integration, DecoderShareOfDcachePowerNearForty)
 {
-    const RunResult base = runScheme("vortex", GatingScheme::None);
+    const RunResult base = runScheme("vortex", "base");
     const double share =
         base.componentPJ[static_cast<unsigned>(
             PowerComponent::DcacheDecoder)] / base.dcachePJ;
@@ -109,8 +109,8 @@ TEST(Integration, DecoderShareOfDcachePowerNearForty)
 /** Figure 16 shape: result-bus savings ~= idle bus fraction. */
 TEST(Integration, ResultBusSavingsTrackIdleBuses)
 {
-    const RunResult base = runScheme("parser", GatingScheme::None);
-    const RunResult dcg = runScheme("parser", GatingScheme::Dcg);
+    const RunResult base = runScheme("parser", "base");
+    const RunResult dcg = runScheme("parser", "dcg");
     const double s = 1.0 - dcg.resultBusPJ / base.resultBusPJ;
     EXPECT_NEAR(s, 1.0 - base.resultBusUtil, 0.2);
 }
@@ -119,10 +119,10 @@ TEST(Integration, ResultBusSavingsTrackIdleBuses)
 TEST(Integration, DeeperPipelineIncreasesDcgSavings)
 {
     const char *bench = "gcc";
-    const RunResult b8 = runScheme(bench, GatingScheme::None, false);
-    const RunResult d8 = runScheme(bench, GatingScheme::Dcg, false);
-    const RunResult b20 = runScheme(bench, GatingScheme::None, true);
-    const RunResult d20 = runScheme(bench, GatingScheme::Dcg, true);
+    const RunResult b8 = runScheme(bench, "base", false);
+    const RunResult d8 = runScheme(bench, "dcg", false);
+    const RunResult b20 = runScheme(bench, "base", true);
+    const RunResult d20 = runScheme(bench, "dcg", true);
     const double s8 = 1.0 - d8.avgPowerW / b8.avgPowerW;
     const double s20 = 1.0 - d20.avgPowerW / b20.avgPowerW;
     EXPECT_GT(s20, s8);
@@ -147,8 +147,8 @@ TEST(Integration, SixIntAlusAreTheSweetSpot)
  *  all, not any one, of the components"). */
 TEST(Integration, SavingsComeFromEveryComponent)
 {
-    const RunResult base = runScheme("equake", GatingScheme::None);
-    const RunResult dcg = runScheme("equake", GatingScheme::Dcg);
+    const RunResult base = runScheme("equake", "base");
+    const RunResult dcg = runScheme("equake", "dcg");
     EXPECT_LT(dcg.latchPJ, base.latchPJ);
     EXPECT_LT(dcg.intUnitsPJ, base.intUnitsPJ);
     EXPECT_LT(dcg.fpUnitsPJ, base.fpUnitsPJ);
@@ -160,9 +160,9 @@ TEST(Integration, SavingsComeFromEveryComponent)
 TEST(Integration, DcgBeatsPlbExtPerComponent)
 {
     const char *bench = "ammp";
-    const RunResult base = runScheme(bench, GatingScheme::None);
-    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
-    const RunResult ext = runScheme(bench, GatingScheme::PlbExt);
+    const RunResult base = runScheme(bench, "base");
+    const RunResult dcg = runScheme(bench, "dcg");
+    const RunResult ext = runScheme(bench, "plb-ext");
     EXPECT_LT(dcg.intUnitsPJ / base.intUnitsPJ,
               ext.intUnitsPJ / base.intUnitsPJ);
     EXPECT_LT(dcg.fpUnitsPJ / base.fpUnitsPJ,
@@ -175,9 +175,9 @@ TEST(Integration, DcgBeatsPlbExtPerComponent)
 TEST(Integration, PowerDelayOrdering)
 {
     const char *bench = "gcc";
-    const RunResult base = runScheme(bench, GatingScheme::None);
-    const RunResult dcg = runScheme(bench, GatingScheme::Dcg);
-    const RunResult orig = runScheme(bench, GatingScheme::PlbOrig);
+    const RunResult base = runScheme(bench, "base");
+    const RunResult dcg = runScheme(bench, "dcg");
+    const RunResult orig = runScheme(bench, "plb-orig");
     EXPECT_LT(dcg.energyPerInstPJ(), orig.energyPerInstPJ());
     EXPECT_LT(orig.energyPerInstPJ(), base.energyPerInstPJ());
 }
@@ -188,10 +188,10 @@ class ZeroLossSweep : public ::testing::TestWithParam<std::string> {};
 TEST_P(ZeroLossSweep, DcgTimingBitExact)
 {
     const RunResult base = runBenchmark(profileByName(GetParam()),
-                                        table1Config(GatingScheme::None),
+                                        table1Config("base"),
                                         25000, 10000);
     const RunResult dcg = runBenchmark(profileByName(GetParam()),
-                                       table1Config(GatingScheme::Dcg),
+                                       table1Config("dcg"),
                                        25000, 10000);
     EXPECT_EQ(base.cycles, dcg.cycles);
     EXPECT_LT(dcg.totalEnergyPJ, base.totalEnergyPJ);

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "gating/registry.hh"
 #include "sim/presets.hh"
 #include "sim/report.hh"
 #include "trace/spec2000.hh"
@@ -213,9 +214,7 @@ TEST(Report, StatCatalogMatchesRegisteredStats)
     // union of what the schemes actually register, so entries cannot
     // rot when a stat is renamed or removed.
     std::set<std::string> registered;
-    for (GatingScheme scheme :
-         {GatingScheme::None, GatingScheme::Dcg, GatingScheme::PlbOrig,
-          GatingScheme::PlbExt}) {
+    for (const std::string &scheme : gating::schemeNames()) {
         Simulator sim(profileByName("gzip"), table1Config(scheme));
         std::ostringstream os;
         sim.dumpStats(os);

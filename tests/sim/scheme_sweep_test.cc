@@ -1,0 +1,83 @@
+/**
+ * Registry-parameterised scheme sweep: the invariants every gating
+ * scheme must satisfy, asserted for each *registered* scheme so a new
+ * scheme file is under test the moment it registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gating/registry.hh"
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "trace/spec2000.hh"
+
+using namespace dcg;
+
+namespace {
+
+constexpr std::uint64_t kInsts = 20000;
+constexpr std::uint64_t kWarmup = 5000;
+
+class SchemeSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+RunResult
+runSchemeOnce(const std::string &scheme)
+{
+    return runBenchmark(profileByName("gzip"), table1Config(scheme),
+                        kInsts, kWarmup);
+}
+
+} // namespace
+
+TEST_P(SchemeSweep, DeterminismInvariantHolds)
+{
+    // PowerModel::tick() asserts per cycle that gated + used never
+    // exceeds capacity for any block class (the paper's "a gated block
+    // is never a used block"), in release builds too — a completed run
+    // IS the invariant check. The result must also be well-formed.
+    const RunResult r = runSchemeOnce(GetParam());
+    EXPECT_EQ(r.scheme, GetParam());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.totalEnergyPJ, 0.0);
+}
+
+TEST_P(SchemeSweep, ReportsAreByteStableAcrossRuns)
+{
+    // Same seed, same scheme: the canonical JSON report must be
+    // byte-identical across independent simulator instances (the
+    // property the result cache and the wire protocol rest on).
+    std::ostringstream a, b;
+    writeResultsJson({runSchemeOnce(GetParam())}, a);
+    writeResultsJson({runSchemeOnce(GetParam())}, b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_P(SchemeSweep, NeverCostsEnergyVersusBaseline)
+{
+    // Every gating scheme's reason to exist: on a representative small
+    // trace its total energy must not exceed the ungated baseline
+    // (overheads — DCG control, DDCG comparators, CG-OoO schedulers —
+    // included).
+    const RunResult base = runSchemeOnce("base");
+    const RunResult gated = runSchemeOnce(GetParam());
+    EXPECT_LE(gated.totalEnergyPJ, base.totalEnergyPJ) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredSchemes, SchemeSweep,
+    ::testing::ValuesIn(gating::schemeNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        // gtest names reject '-': plb-ext -> plb_ext.
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });

@@ -35,6 +35,7 @@
 #include "common/options.hh"
 #include "common/table.hh"
 #include "exp/engine.hh"
+#include "gating/registry.hh"
 #include "serve/client.hh"
 #include "sim/presets.hh"
 #include "sim/report.hh"
@@ -126,6 +127,30 @@ printServerSummary(std::size_t jobs, serve::ClientBase &client)
     std::cerr << o.dump() << '\n';
 }
 
+/**
+ * --list-schemes: the registry catalog. The bare flag prints the
+ * human-readable table (name, description, config knobs);
+ * --list-schemes=names prints one bare name per line for scripting
+ * (the CI scheme-matrix iterates it).
+ */
+void
+printSchemeCatalog(std::ostream &os, bool names_only)
+{
+    if (names_only) {
+        for (const std::string &name : gating::schemeNames())
+            os << name << '\n';
+        return;
+    }
+    for (const gating::SchemeInfo &info : gating::schemeCatalog()) {
+        os << info.name << "\n  " << info.description << '\n';
+        for (const gating::SchemeKnob &knob : info.knobs) {
+            os << "    " << knob.name << " (default "
+               << knob.defaultValue << "): " << knob.description
+               << '\n';
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -136,12 +161,14 @@ main(int argc, char **argv)
                   "gate-iq", "store-delay", "round-robin", "dump-stats",
                   "csv", "json", "jobs", "schema", "server",
                   "server-stats", "replicas", "server-timeout-ms",
-                  "help"});
+                  "list-schemes", "help"});
 
     if (opts.has("help")) {
         std::cout <<
-            "dcgsim --bench=<name|all> [--scheme=base|dcg|plb-orig|"
-            "plb-ext]\n"
+            "dcgsim --bench=<name|all> [--scheme=" +
+            gating::schemeNamesJoined() + "]\n"
+            "       [--list-schemes[=names] (print the scheme catalog"
+            " and exit)]\n"
             "       [--insts=N] [--warmup=N] [--depth=8|20] [--seed=N]\n"
             "       [--gate-iq] [--store-delay] [--round-robin]\n"
             "       [--dump-stats] [--csv=path] [--json=path]\n"
@@ -162,6 +189,13 @@ main(int argc, char **argv)
             " exit)]\n"
             "       [--schema (print the JSON result schema and"
             " exit)]\n";
+        return 0;
+    }
+
+    if (opts.has("list-schemes")) {
+        printSchemeCatalog(std::cout,
+                           opts.getString("list-schemes", "") ==
+                           "names");
         return 0;
     }
 
