@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Thread-ownership and lock annotations for the serving layer.
+ *
+ * The serve layer's concurrency contract is an *ownership* contract:
+ * a PeerPool belongs to exactly one event-loop thread, a Server's
+ * connection state belongs to the I/O thread, and the few members
+ * that cross threads are guarded by named mutexes. Before this header
+ * those rules lived in comments; these macros turn them into
+ * declarations the dcglint `thread-ownership` check (and, under
+ * Clang, the native thread-safety analysis) can verify:
+ *
+ *   - DCG_OWNER_THREAD: callable only on the thread that owns the
+ *     object (the event loop driving a PeerPool, the thread inside
+ *     Server::run()). An owner-thread method touches unsynchronized
+ *     state and must never be reached from a DCG_ANY_THREAD context.
+ *
+ *   - DCG_ANY_THREAD: safe from any thread — the method either only
+ *     touches atomics/immutable state or takes the relevant locks
+ *     itself (the injection surface, counters, requestStop()).
+ *
+ *   - DCG_GUARDED_BY(mutex): the member may only be read or written
+ *     with @p mutex held. dcglint flags any out-of-line member
+ *     function of the class that names the member but never names
+ *     the mutex.
+ *
+ *   - DCG_REQUIRES(mutex): the function is called with @p mutex
+ *     already held by the caller (the `*Locked` helper convention);
+ *     dcglint treats the mutex as visibly held for the whole body.
+ *
+ * Placement: function annotations trail the declarator (after
+ * `const`/`override`, before `;` or `{`); DCG_GUARDED_BY trails the
+ * member name. Exactly where Clang's attributes go, because that is
+ * what they expand to when the toolchain supports them:
+ *
+ *     void post(...) DCG_ANY_THREAD;
+ *     std::vector<Injected> injected DCG_GUARDED_BY(injectMutex);
+ *
+ * Native expansion is opt-in (-DDCG_THREAD_SAFETY=ON, Clang only —
+ * see the root CMakeLists): libstdc++'s std::mutex/std::lock_guard
+ * carry no capability annotations, so `-Wthread-safety` under the
+ * native expansion reports advisory findings rather than hard
+ * errors. dcglint's lexical check is the enforced layer; the native
+ * attributes are the escalation path for toolchains that can use
+ * them. With the option off every macro expands to nothing and the
+ * header costs nothing.
+ */
+
+#ifndef DCG_COMMON_THREAD_ANNOTATIONS_HH
+#define DCG_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(DCG_THREAD_SAFETY_NATIVE) && defined(__clang__) && \
+    defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DCG_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DCG_THREAD_ANNOTATION_
+#define DCG_THREAD_ANNOTATION_(x)  // no-op without native support
+#endif
+
+/** Callable only on the object's owner thread (see file comment). */
+#define DCG_OWNER_THREAD
+
+/** Safe to call from any thread (atomics, or locks internally). */
+#define DCG_ANY_THREAD
+
+/** Member readable/writable only with @p x held. */
+#define DCG_GUARDED_BY(x) DCG_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Function body runs with @p x already held by the caller. */
+#define DCG_REQUIRES(x) \
+    DCG_THREAD_ANNOTATION_(requires_capability(x))
+
+#endif // DCG_COMMON_THREAD_ANNOTATIONS_HH

@@ -1,0 +1,422 @@
+#include "lint/context.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "lint/lexer.hh"
+
+namespace fs = std::filesystem;
+
+namespace dcg::lint {
+
+namespace {
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream is(p, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+isSourceExt(const std::string &ext)
+{
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h";
+}
+
+/** Collect source files under @p dir, recursively. */
+void
+collectSources(const fs::path &dir, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() &&
+            isSourceExt(it->path().extension().string()))
+            out.push_back(it->path());
+    }
+}
+
+std::string
+relToRoot(const fs::path &p, const fs::path &root)
+{
+    const std::string rel = p.lexically_relative(root).generic_string();
+    return rel.empty() || rel.front() == '.' ? p.generic_string() : rel;
+}
+
+bool
+isKeyword(const std::string &w)
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",      "while",   "switch",  "catch",
+        "return", "sizeof",   "new",     "delete",  "throw",
+        "else",   "do",       "case",    "alignof", "decltype",
+        "static_assert",      "typeid",  "co_await", "co_return",
+        "co_yield",
+    };
+    return kw.count(w) != 0;
+}
+
+/** Offset one past the brace/paren that matches @p open's partner. */
+std::size_t
+matchDelims(const std::string &text, std::size_t open, char lhs,
+            char rhs)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == lhs)
+            ++depth;
+        else if (text[i] == rhs && --depth == 0)
+            return i + 1;
+    }
+    return text.size();
+}
+
+/** Scan a function body for called names (see FunctionDef docs). */
+void
+collectCalls(const std::string &bare, std::size_t begin,
+             std::size_t end, std::set<std::string> &unqualified,
+             std::set<std::string> &member)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        if (!isIdentChar(bare[i]) ||
+            (i > 0 && isIdentChar(bare[i - 1])))
+            continue;
+        std::size_t e = i;
+        while (e < end && isIdentChar(bare[e]))
+            ++e;
+        const std::string word = bare.substr(i, e - i);
+        std::size_t j = e;
+        while (j < end &&
+               std::isspace(static_cast<unsigned char>(bare[j])))
+            ++j;
+        if (j >= end || bare[j] != '(' || isKeyword(word)) {
+            i = e;
+            continue;
+        }
+        const bool afterDot = i > 0 && bare[i - 1] == '.';
+        const bool afterArrow =
+            i >= 2 && bare[i - 2] == '-' && bare[i - 1] == '>';
+        const bool afterColons =
+            i >= 2 && bare[i - 2] == ':' && bare[i - 1] == ':';
+        if (afterDot || afterArrow)
+            member.insert(word);
+        else if (!afterColons)
+            unqualified.insert(word);
+        i = e;
+    }
+}
+
+} // namespace
+
+bool
+FunctionDef::callsUnqualified(const std::string &n) const
+{
+    return std::binary_search(unqualifiedCalls.begin(),
+                              unqualifiedCalls.end(), n);
+}
+
+bool
+FunctionDef::callsMember(const std::string &n) const
+{
+    return std::binary_search(memberCalls.begin(), memberCalls.end(),
+                              n);
+}
+
+std::string_view
+FileRecord::body(const FunctionDef &f) const
+{
+    if (f.bodyBegin >= bare.size() || f.bodyEnd <= f.bodyBegin)
+        return {};
+    return std::string_view(bare).substr(f.bodyBegin,
+                                         f.bodyEnd - f.bodyBegin);
+}
+
+std::vector<FunctionDef>
+indexFunctions(const std::string &bare)
+{
+    std::vector<FunctionDef> defs;
+    for (std::size_t i = 0; i < bare.size(); ++i) {
+        if (!isIdentChar(bare[i]) ||
+            (i > 0 && isIdentChar(bare[i - 1])))
+            continue;
+        std::size_t e = i;
+        while (e < bare.size() && isIdentChar(bare[e]))
+            ++e;
+        std::string name = bare.substr(i, e - i);
+        if (isKeyword(name)) {
+            i = e;
+            continue;
+        }
+        // Destructor definitions keep their '~' so ~Class is
+        // distinguishable from the class name.
+        std::size_t nameStart = i;
+        if (i > 0 && bare[i - 1] == '~') {
+            nameStart = i - 1;
+            name.insert(name.begin(), '~');
+        }
+
+        std::size_t j = e;
+        while (j < bare.size() &&
+               std::isspace(static_cast<unsigned char>(bare[j])))
+            ++j;
+        if (j >= bare.size() || bare[j] != '(') {
+            i = e;
+            continue;
+        }
+        const std::size_t afterParams = matchDelims(bare, j, '(', ')');
+
+        // Trailing declarator qualifiers before the body:
+        // const/noexcept(...)/&/&&/override/final. Anything else
+        // (';', ',', '=', ':', ...) means no definition here. A ':'
+        // would be a constructor init-list — accepted.
+        std::size_t k = afterParams;
+        bool sawInitList = false;
+        while (k < bare.size()) {
+            if (std::isspace(static_cast<unsigned char>(bare[k]))) {
+                ++k;
+                continue;
+            }
+            if (bare[k] == '&') {
+                ++k;
+                continue;
+            }
+            if (bare[k] == ':' && !sawInitList &&
+                (k + 1 >= bare.size() || bare[k + 1] != ':')) {
+                // Constructor member-init list: skip to the body
+                // brace at top level (parens/braces of member
+                // initializers are balanced on the way).
+                sawInitList = true;
+                int depth = 0;
+                ++k;
+                while (k < bare.size()) {
+                    const char c = bare[k];
+                    if (c == '(' || c == '{') {
+                        // A '{' at depth 0 is the body...
+                        if (c == '{' && depth == 0)
+                            break;
+                        ++depth;
+                    } else if (c == ')' || c == '}') {
+                        --depth;
+                    } else if (c == ';') {
+                        break;  // not a definition after all
+                    }
+                    ++k;
+                }
+                continue;
+            }
+            if (isIdentChar(bare[k])) {
+                std::size_t w = k;
+                while (w < bare.size() && isIdentChar(bare[w]))
+                    ++w;
+                const std::string q = bare.substr(k, w - k);
+                if (q == "const" || q == "noexcept" ||
+                    q == "override" || q == "final" ||
+                    q == "mutable" || q == "try") {
+                    k = w;
+                    if (q == "noexcept") {
+                        std::size_t p = k;
+                        while (p < bare.size() &&
+                               std::isspace(static_cast<unsigned char>(
+                                   bare[p])))
+                            ++p;
+                        if (p < bare.size() && bare[p] == '(')
+                            k = matchDelims(bare, p, '(', ')');
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        if (k >= bare.size() || bare[k] != '{') {
+            i = e;
+            continue;
+        }
+
+        FunctionDef def;
+        def.name = name;
+        def.line = lineOfOffset(bare, nameStart);
+        def.bodyBegin = k;
+        def.bodyEnd = matchDelims(bare, k, '{', '}');
+
+        // Class qualifier: the identifier before a '::' immediately
+        // preceding the name ("PeerPool::post" -> "PeerPool";
+        // namespace chains keep only the innermost segment, which is
+        // the class for out-of-line member definitions).
+        if (nameStart >= 2 && bare[nameStart - 1] == ':' &&
+            bare[nameStart - 2] == ':') {
+            std::size_t q = nameStart - 2;
+            while (q > 0 && isIdentChar(bare[q - 1]))
+                --q;
+            def.qualifier = bare.substr(q, nameStart - 2 - q);
+        }
+
+        std::set<std::string> unqualified, member;
+        collectCalls(bare, def.bodyBegin + 1, def.bodyEnd - 1,
+                     unqualified, member);
+        def.unqualifiedCalls.assign(unqualified.begin(),
+                                    unqualified.end());
+        def.memberCalls.assign(member.begin(), member.end());
+        defs.push_back(std::move(def));
+
+        // Continue inside the body: nested lambdas rarely match the
+        // name(+params+brace) pattern, and bodies can contain local
+        // structs with methods worth indexing.
+        i = k;
+    }
+    return defs;
+}
+
+Context::Context(const LintOptions &opts) : opts_(opts), root_(opts.root)
+{
+    std::error_code ec;
+    rootOk_ = fs::is_directory(root_, ec) && !ec;
+    if (rootOk_)
+        loadAll();
+}
+
+void
+Context::loadAll()
+{
+    std::vector<fs::path> paths;
+    collectSources(root_ / "src", paths);
+    collectSources(root_ / "tools", paths);
+    std::sort(paths.begin(), paths.end());
+
+    // Markdown anchors are loaded raw (no C++ stripping or indexing).
+    std::vector<fs::path> mdPaths;
+    for (const char *md : {"EXPERIMENTS.md", "ANALYSIS.md"}) {
+        const fs::path p = root_ / md;
+        std::error_code ec;
+        if (fs::is_regular_file(p, ec))
+            mdPaths.push_back(p);
+    }
+
+    files_.resize(paths.size() + mdPaths.size());
+
+    // File-parallel preprocessing: each worker claims the next index;
+    // results land at their slot, so order stays deterministic.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        for (std::size_t i = next.fetch_add(1); i < paths.size();
+             i = next.fetch_add(1)) {
+            std::string raw;
+            if (!readFile(paths[i], raw))
+                continue;
+            auto rec = std::make_unique<FileRecord>();
+            rec->rel = relToRoot(paths[i], root_);
+            rec->raw = std::move(raw);
+            rec->code = stripCode(rec->raw, false);
+            rec->bare = stripCode(rec->raw, true);
+            rec->rawLines = toLines(rec->raw);
+            rec->functions = indexFunctions(rec->bare);
+            files_[i] = std::move(rec);
+        }
+    };
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t nThreads =
+        std::min<std::size_t>(std::max(1u, hw),
+                              std::max<std::size_t>(1, paths.size()));
+    if (nThreads <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(nThreads);
+        for (std::size_t t = 0; t < nThreads; ++t)
+            workers.emplace_back(work);
+        for (std::thread &t : workers)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < mdPaths.size(); ++i) {
+        std::string raw;
+        if (!readFile(mdPaths[i], raw))
+            continue;
+        auto rec = std::make_unique<FileRecord>();
+        rec->rel = relToRoot(mdPaths[i], root_);
+        rec->raw = std::move(raw);
+        rec->code = rec->raw;
+        rec->bare = rec->raw;
+        rec->rawLines = toLines(rec->raw);
+        files_[paths.size() + i] = std::move(rec);
+    }
+
+    for (const auto &rec : files_) {
+        if (!rec)
+            continue;  // unreadable file: skip, as v1 did
+        all_.push_back(rec.get());
+        byRel_.emplace(rec->rel, rec.get());
+    }
+}
+
+std::vector<const FileRecord *>
+Context::filesUnder(std::string_view relDir) const
+{
+    std::string prefix(relDir);
+    if (!prefix.empty() && prefix.back() != '/')
+        prefix += '/';
+    std::vector<const FileRecord *> out;
+    for (const FileRecord *rec : all_)
+        if (rec->rel.rfind(prefix, 0) == 0)
+            out.push_back(rec);
+    return out;
+}
+
+const FileRecord *
+Context::find(const std::string &rel) const
+{
+    const auto it = byRel_.find(rel);
+    return it == byRel_.end() ? nullptr : it->second;
+}
+
+bool
+Context::anchorsOk(const std::vector<std::string> &anchors,
+                   const std::string &check,
+                   std::vector<Diagnostic> &out) const
+{
+    bool ok = true;
+    for (const std::string &anchor : anchors) {
+        if (find(anchor))
+            continue;
+        ok = false;
+        if (opts_.requireAnchors) {
+            out.push_back({anchor, 0, "config",
+                           "anchor file missing: " + anchor +
+                               " (required for check '" + check +
+                               "')"});
+        }
+    }
+    return ok;
+}
+
+bool
+Context::allowMarked(const std::string &rel, int line,
+                     const std::string &check) const
+{
+    if (line <= 0)
+        return false;
+    const FileRecord *rec = find(rel);
+    if (!rec)
+        return false;
+    const std::string marker = "dcglint:allow(" + check + ")";
+    const auto marked = [&](int ln) {
+        return ln >= 1 &&
+               ln <= static_cast<int>(rec->rawLines.size()) &&
+               rec->rawLines[ln - 1].find(marker) != std::string::npos;
+    };
+    return marked(line) || marked(line - 1);
+}
+
+} // namespace dcg::lint

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared per-file analysis context for dcglint checks.
+ *
+ * v1 checks each re-walked the tree, re-read every file and
+ * re-stripped comments — six times over. The Context does that work
+ * exactly once, file-parallel, and every registered check reuses it:
+ *
+ *  - FileRecord: one loaded file with its raw text, two stripped
+ *    views (comments stripped / comments+strings stripped — both
+ *    newline-preserving, so offsets map to real line numbers), the
+ *    raw lines (for dcglint:allow(...) suppression markers), and the
+ *    lexical function/call index.
+ *
+ *  - FunctionDef: one lexically recognized function definition —
+ *    `Type Class::name(args) qualifiers { body }` — with its class
+ *    qualifier, body span (offsets into FileRecord::bare) and the
+ *    deduplicated names it calls, split into unqualified calls
+ *    (`helper(...)`) and member calls (`obj.method(...)` /
+ *    `ptr->method(...)`). This is what the thread-ownership check
+ *    walks; it is deliberately lexical (no libclang — see lexer.hh),
+ *    so inline class-body definitions carry no qualifier and
+ *    template noise is tolerated, not parsed.
+ *
+ * Construction loads .cc/.hh/.cpp/.h under src/ and tools/ plus the
+ * markdown anchors (EXPERIMENTS.md), preprocessing files in parallel
+ * across hardware threads; the file list and all results are sorted
+ * by path, so diagnostics stay deterministic regardless of thread
+ * count.
+ */
+
+#ifndef DCG_LINT_CONTEXT_HH
+#define DCG_LINT_CONTEXT_HH
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hh"
+
+namespace dcg::lint {
+
+/** One lexically recognized function definition (see file comment). */
+struct FunctionDef
+{
+    std::string qualifier;  ///< "PeerPool" for PeerPool::f; "" if none
+    std::string name;
+    int line = 0;              ///< 1-based line of the name
+    std::size_t bodyBegin = 0; ///< offset of '{' in FileRecord::bare
+    std::size_t bodyEnd = 0;   ///< offset one past the matching '}'
+    std::vector<std::string> unqualifiedCalls;  ///< sorted, deduped
+    std::vector<std::string> memberCalls;       ///< sorted, deduped
+
+    bool callsUnqualified(const std::string &n) const;
+    bool callsMember(const std::string &n) const;
+};
+
+/** One loaded and preprocessed file. */
+struct FileRecord
+{
+    std::string rel;   ///< path relative to the lint root ('/' seps)
+    std::string raw;   ///< original bytes
+    std::string code;  ///< comments stripped, strings kept
+    std::string bare;  ///< comments and strings stripped
+    std::vector<std::string> rawLines;   ///< for allow markers
+    std::vector<FunctionDef> functions;  ///< lexical definition index
+
+    /** Body text of @p f (a view into bare). */
+    std::string_view body(const FunctionDef &f) const;
+};
+
+class Context
+{
+  public:
+    /** Load and preprocess the tree named by @p opts.root. */
+    explicit Context(const LintOptions &opts);
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    const LintOptions &options() const { return opts_; }
+    const std::filesystem::path &rootPath() const { return root_; }
+
+    /** True when opts.root named a readable directory. */
+    bool rootOk() const { return rootOk_; }
+
+    /** All loaded files, sorted by rel path. */
+    const std::vector<const FileRecord *> &files() const
+    {
+        return all_;
+    }
+
+    /**
+     * Files whose rel path starts with @p relDir + '/', sorted.
+     * Pass e.g. "src/serve" or "tools".
+     */
+    std::vector<const FileRecord *>
+    filesUnder(std::string_view relDir) const;
+
+    /** The record for root-relative @p rel, or nullptr. */
+    const FileRecord *find(const std::string &rel) const;
+
+    /**
+     * True when every anchor in @p anchors resolves. Missing anchors
+     * append a "config" Diagnostic to @p out when requireAnchors is
+     * set (the driver skips the check either way — see registry.hh).
+     */
+    bool anchorsOk(const std::vector<std::string> &anchors,
+                   const std::string &check,
+                   std::vector<Diagnostic> &out) const;
+
+    /**
+     * True when the finding at @p rel:@p line is suppressed by a
+     * `dcglint:allow(check)` marker on that raw line or the one
+     * above it.
+     */
+    bool allowMarked(const std::string &rel, int line,
+                     const std::string &check) const;
+
+  private:
+    void loadAll();
+
+    LintOptions opts_;
+    std::filesystem::path root_;
+    bool rootOk_ = false;
+    std::vector<std::unique_ptr<FileRecord>> files_;
+    std::vector<const FileRecord *> all_;
+    std::map<std::string, const FileRecord *, std::less<>> byRel_;
+};
+
+/** Build the lexical function/call index for one file (exposed for
+ *  the lexer tests). @p bare is comments-and-strings-stripped text. */
+std::vector<FunctionDef> indexFunctions(const std::string &bare);
+
+} // namespace dcg::lint
+
+#endif // DCG_LINT_CONTEXT_HH

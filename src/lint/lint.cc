@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
 
-#include "lint/lexer.hh"
+#include "lint/context.hh"
+#include "lint/registry.hh"
 
 namespace fs = std::filesystem;
 
@@ -16,707 +16,138 @@ namespace dcg::lint {
 
 namespace {
 
-/** Collect .cc/.hh/.cpp/.h files under @p dir, sorted for determinism. */
-std::vector<fs::path>
-sourcesUnder(const fs::path &dir)
-{
-    std::vector<fs::path> out;
-    std::error_code ec;
-    if (!fs::is_directory(dir, ec))
-        return out;
-    for (fs::recursive_directory_iterator it(dir, ec), end;
-         !ec && it != end; it.increment(ec)) {
-        if (!it->is_regular_file())
-            continue;
-        const std::string ext = it->path().extension().string();
-        if (ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h")
-            out.push_back(it->path());
-    }
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
-bool
-readFile(const fs::path &p, std::string &out)
-{
-    std::ifstream is(p, std::ios::binary);
-    if (!is)
-        return false;
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    out = ss.str();
-    return true;
-}
-
-std::string
-relToRoot(const fs::path &p, const fs::path &root)
-{
-    const std::string rel = p.lexically_relative(root).generic_string();
-    return rel.empty() || rel.front() == '.' ? p.generic_string() : rel;
-}
-
-/** Anchor-missing handling shared by the anchored checks. */
 void
-noteMissingAnchor(const LintOptions &opts, const std::string &anchor,
-                  const std::string &check, std::vector<Diagnostic> &out)
+sortDiagnostics(std::vector<Diagnostic> &diags)
 {
-    if (opts.requireAnchors) {
-        out.push_back({anchor, 0, "config",
-                       "anchor file missing: " + anchor +
-                           " (required for check '" + check + "')"});
-    }
-}
-
-/**
- * Parse the field names of `struct CycleActivity` from the stripped
- * text of activity.hh. Returns (name -> declaration line). Tracks
- * brace depth so member-function bodies are not mistaken for fields.
- */
-std::map<std::string, int>
-parseCycleActivityFields(const std::string &stripped)
-{
-    std::map<std::string, int> fields;
-    const std::vector<std::string> lines = toLines(stripped);
-
-    std::size_t i = 0;
-    for (; i < lines.size(); ++i)
-        if (lines[i].find("struct CycleActivity") != std::string::npos)
-            break;
-    if (i == lines.size())
-        return fields;
-
-    int depth = 0;
-    bool in_body = false;
-    for (; i < lines.size(); ++i) {
-        const std::string &raw = lines[i];
-        const int depth_at_start = depth;
-        for (char c : raw) {
-            if (c == '{')
-                ++depth;
-            else if (c == '}')
-                --depth;
-        }
-        if (!in_body) {
-            if (depth > 0)
-                in_body = true;
-            continue;
-        }
-        if (depth <= 0)
-            break;  // closed the struct
-
-        const std::string line = trim(raw);
-        if (depth_at_start != 1 || line.empty() || line.back() != ';' ||
-            line.find('(') != std::string::npos)
-            continue;
-        if (line.rfind("public", 0) == 0 || line.rfind("private", 0) == 0 ||
-            line.rfind("using", 0) == 0 || line.rfind("static", 0) == 0 ||
-            line.rfind("friend", 0) == 0)
-            continue;
-
-        // Cut the declarator at the initializer ('=' or '{'), then take
-        // the trailing identifier: "std::array<u8, N> latchFlux{};"
-        // and "std::uint8_t issued = 0;" both yield the field name.
-        std::string decl = line.substr(0, line.size() - 1);
-        const std::size_t cut = decl.find_first_of("={");
-        if (cut != std::string::npos)
-            decl = decl.substr(0, cut);
-        decl = trim(decl);
-        std::size_t end = decl.size();
-        while (end > 0 && isIdentChar(decl[end - 1]))
-            --end;
-        const std::string name = decl.substr(end);
-        if (!name.empty() && !std::isdigit(static_cast<unsigned char>(
-                name.front())))
-            fields.emplace(name, static_cast<int>(i + 1));
-    }
-    return fields;
-}
-
-struct StatRegistration
-{
-    std::string name;
-    std::string file;  ///< relative to root
-    int line;
-};
-
-/**
- * Find stats.counter("name", ...) style registrations in @p text
- * (comments stripped, strings kept). Dynamic names (no literal) are
- * skipped — they cannot be checked lexically.
- */
-void
-collectStatRegistrations(const std::string &text, const std::string &file,
-                         std::vector<StatRegistration> &out)
-{
-    static const char *kMethods[] = {"counter", "scalar", "average",
-                                     "distribution", "formula"};
-    for (const char *method : kMethods) {
-        const std::string word = method;
-        std::size_t pos = 0;
-        while ((pos = text.find(word, pos)) != std::string::npos) {
-            const std::size_t start = pos;
-            pos += word.size();
-            if (start == 0 || text[start - 1] != '.')
-                continue;
-            std::size_t j = start + word.size();
-            while (j < text.size() &&
-                   std::isspace(static_cast<unsigned char>(text[j])))
-                ++j;
-            if (j >= text.size() || text[j] != '(')
-                continue;
-            ++j;
-            while (j < text.size() &&
-                   std::isspace(static_cast<unsigned char>(text[j])))
-                ++j;
-            if (j >= text.size() || text[j] != '"')
-                continue;  // dynamic name
-            const std::size_t name_start = j + 1;
-            const std::size_t name_end = text.find('"', name_start);
-            if (name_end == std::string::npos)
-                continue;
-            out.push_back({text.substr(name_start, name_end - name_start),
-                           file, lineOfOffset(text, start)});
-        }
-    }
-}
-
-/**
- * Find registerScheme({"name", ... registration sites in @p text
- * (comments stripped, strings kept). The scheme name is the first
- * string literal of the braced SchemeInfo initializer; declarations
- * and calls without a literal-named initializer are skipped.
- */
-void
-collectSchemeRegistrations(const std::string &text,
-                           const std::string &file,
-                           std::vector<StatRegistration> &out)
-{
-    const std::string word = "registerScheme";
-    std::size_t pos = 0;
-    while ((pos = text.find(word, pos)) != std::string::npos) {
-        const std::size_t start = pos;
-        pos += word.size();
-        if (start > 0 && isIdentChar(text[start - 1]))
-            continue;
-        std::size_t j = start + word.size();
-        auto skipWs = [&] {
-            while (j < text.size() &&
-                   std::isspace(static_cast<unsigned char>(text[j])))
-                ++j;
-        };
-        skipWs();
-        if (j >= text.size() || text[j] != '(')
-            continue;
-        ++j;
-        skipWs();
-        if (j >= text.size() || text[j] != '{')
-            continue;
-        ++j;
-        skipWs();
-        if (j >= text.size() || text[j] != '"')
-            continue;
-        const std::size_t name_start = j + 1;
-        const std::size_t name_end = text.find('"', name_start);
-        if (name_end == std::string::npos)
-            continue;
-        out.push_back({text.substr(name_start, name_end - name_start),
-                       file, lineOfOffset(text, start)});
-    }
-}
-
-/** Fallible POSIX calls whose results must be consumed. */
-const std::set<std::string> &
-syscallNames()
-{
-    static const std::set<std::string> names = {
-        "accept",   "bind",     "connect",     "dup",      "dup2",
-        "fcntl",    "fork",     "ftruncate",   "getaddrinfo",
-        "getsockname", "getsockopt", "kill",   "listen",   "lseek",
-        "mkdir",    "open",     "pipe",        "poll",     "read",
-        "recv",     "rename",   "select",      "send",     "setsockopt",
-        "shutdown", "sigaction", "signal",     "socket",   "unlink",
-        "write",
-    };
-    return names;
-}
-
-/** Calls whose unchecked use is accepted project-wide. */
-const std::set<std::string> &
-syscallAllowlist()
-{
-    // close() on a teardown path has no useful recovery; flagging it
-    // would only breed cargo-cult (void) casts.
-    static const std::set<std::string> names = {"close"};
-    return names;
-}
-
-/**
- * Scan stripped text for standalone-statement calls to the listed
- * syscalls, i.e. calls whose return value is discarded.
- */
-void
-scanSyscalls(const std::string &text, const std::string &file,
-             std::vector<Diagnostic> &out)
-{
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        if (!isIdentChar(text[i]) ||
-            (i > 0 && isIdentChar(text[i - 1])))
-            continue;
-        std::size_t end = i;
-        while (end < text.size() && isIdentChar(text[end]))
-            ++end;
-        const std::string word = text.substr(i, end - i);
-        if (!syscallNames().count(word) &&
-            !syscallAllowlist().count(word)) {
-            i = end;
-            continue;
-        }
-
-        // Qualified call? foo::bar( — accept std:: (same C function),
-        // skip everything else (fs::rename returns void, etc.).
-        std::string qualifier;
-        if (i >= 2 && text[i - 1] == ':' && text[i - 2] == ':') {
-            std::size_t q = i - 2;
-            while (q > 0 && isIdentChar(text[q - 1]))
-                --q;
-            qualifier = text.substr(q, i - q);
-        }
-        if (!qualifier.empty() && qualifier != "std::") {
-            i = end;
-            continue;
-        }
-        if (i > 0 && (text[i - 1] == '.' ||
-                      (text[i - 1] == '>' && i >= 2 &&
-                       text[i - 2] == '-'))) {
-            i = end;  // member call, not the libc function
-            continue;
-        }
-
-        std::size_t j = end;
-        while (j < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[j])))
-            ++j;
-        if (j >= text.size() || text[j] != '(') {
-            i = end;
-            continue;
-        }
-        if (syscallAllowlist().count(word)) {
-            i = end;
-            continue;
-        }
-
-        // Statement context: what sits between the previous ';'/'{'/'}'
-        // and the call decides whether the result is consumed.
-        std::size_t stmt = i - qualifier.size();
-        while (stmt > 0) {
-            const char c = text[stmt - 1];
-            if (c == ';' || c == '{' || c == '}')
-                break;
-            --stmt;
-        }
-        std::string before =
-            trim(text.substr(stmt, i - qualifier.size() - stmt));
-        if (before == "else" || before == "do")
-            before.clear();
-        if (before.empty()) {
-            out.push_back({file, lineOfOffset(text, i), "syscall-return",
-                           "return value of " + word +
-                               "() is ignored; check it or assign to a "
-                               "named variable"});
-        }
-        i = end;
-    }
-}
-
-/**
- * Raw socket calls that must go through the net::*Retry wrappers in
- * src/serve/netio.hh (the wrapper name is the call plus "Retry").
- */
-const std::set<std::string> &
-netIoNames()
-{
-    static const std::set<std::string> names = {
-        "accept", "connect", "poll", "read",
-        "recv",   "send",    "write",
-    };
-    return names;
-}
-
-/**
- * Scan stripped text for raw calls to the wrapped socket functions.
- * Unlike scanSyscalls this flags *every* raw call, consumed or not:
- * the point is that EINTR/partial-write handling lives in exactly one
- * place. Member calls (`conn.read(...)`), non-std qualified names and
- * declarations (`ssize_t read(...)`, preceded by a type name) are not
- * the libc functions and pass.
- */
-void
-scanNetIo(const std::string &text, const std::string &file,
-          std::vector<Diagnostic> &out)
-{
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        if (!isIdentChar(text[i]) ||
-            (i > 0 && isIdentChar(text[i - 1])))
-            continue;
-        std::size_t end = i;
-        while (end < text.size() && isIdentChar(text[end]))
-            ++end;
-        const std::string word = text.substr(i, end - i);
-        if (!netIoNames().count(word)) {
-            i = end;
-            continue;
-        }
-
-        // Qualified call? Accept std:: (same C function), skip every
-        // other namespace — net::… wrappers have distinct names, but a
-        // class-qualified Conn::read is not the syscall.
-        std::string qualifier;
-        if (i >= 2 && text[i - 1] == ':' && text[i - 2] == ':') {
-            std::size_t q = i - 2;
-            while (q > 0 && isIdentChar(text[q - 1]))
-                --q;
-            qualifier = text.substr(q, i - q);
-        }
-        if (!qualifier.empty() && qualifier != "std::") {
-            i = end;
-            continue;
-        }
-        if (i > 0 && (text[i - 1] == '.' ||
-                      (text[i - 1] == '>' && i >= 2 &&
-                       text[i - 2] == '-'))) {
-            i = end;  // member call, not the libc function
-            continue;
-        }
-
-        std::size_t j = end;
-        while (j < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[j])))
-            ++j;
-        if (j >= text.size() || text[j] != '(') {
-            i = end;
-            continue;
-        }
-
-        // An unqualified name directly preceded by another identifier
-        // is a declarator ("ssize_t read(int, ...)"), except after a
-        // statement keyword, where it is a genuine call.
-        if (qualifier.empty()) {
-            std::size_t b = i;
-            while (b > 0 && std::isspace(
-                       static_cast<unsigned char>(text[b - 1])))
-                --b;
-            if (b > 0 && isIdentChar(text[b - 1])) {
-                std::size_t w0 = b;
-                while (w0 > 0 && isIdentChar(text[w0 - 1]))
-                    --w0;
-                const std::string prev = text.substr(w0, b - w0);
-                static const std::set<std::string> kStmtKeywords = {
-                    "return", "else", "do", "case"};
-                if (!kStmtKeywords.count(prev)) {
-                    i = end;
-                    continue;
-                }
-            }
-        }
-
-        out.push_back({file, lineOfOffset(text, i), "net-io",
-                       "raw " + word + "() call; route it through "
-                           "net::" + word +
-                           "Retry() from serve/netio.hh"});
-        i = end;
-    }
-}
-
-using CheckFn = std::vector<Diagnostic> (*)(const LintOptions &);
-
-const std::vector<std::pair<std::string, CheckFn>> &
-checkTable()
-{
-    static const std::vector<std::pair<std::string, CheckFn>> table = {
-        {"activity-counter", &checkActivityCounters},
-        {"stat-report", &checkStatsReported},
-        {"scheme-registry", &checkSchemeRegistry},
-        {"syscall-return", &checkSyscallReturns},
-        {"net-io", &checkNetIo},
-        {"naked-new", &checkNakedNew},
-    };
-    return table;
-}
-
-} // namespace
-
-const std::vector<std::string> &
-checkNames()
-{
-    static const std::vector<std::string> names = [] {
-        std::vector<std::string> v;
-        for (const auto &[name, fn] : checkTable())
-            v.push_back(name);
-        return v;
-    }();
-    return names;
-}
-
-std::vector<Diagnostic>
-checkActivityCounters(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    const fs::path anchor = root / "src" / "pipeline" / "activity.hh";
-    std::string anchor_text;
-    if (!readFile(anchor, anchor_text)) {
-        noteMissingAnchor(opts, "src/pipeline/activity.hh",
-                          "activity-counter", out);
-        return out;
-    }
-    const std::string stripped = stripCode(anchor_text, true);
-    const std::map<std::string, int> fields =
-        parseCycleActivityFields(stripped);
-
-    // Producer side: any whole-word mention in src/pipeline/ outside
-    // the declaration lines themselves.
-    std::set<std::string> produced;
-    for (const fs::path &p : sourcesUnder(root / "src" / "pipeline")) {
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        const std::string code = stripCode(text, true);
-        const bool is_anchor = fs::equivalent(p, anchor);
-        const std::vector<std::string> lines = toLines(code);
-        for (const auto &[name, decl_line] : fields) {
-            if (produced.count(name))
-                continue;
-            if (!is_anchor) {
-                if (containsWord(code, name))
-                    produced.insert(name);
-                continue;
-            }
-            for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-                if (static_cast<int>(ln + 1) == decl_line)
-                    continue;
-                if (containsWord(lines[ln], name)) {
-                    produced.insert(name);
-                    break;
-                }
-            }
-        }
-    }
-
-    // Consumer side: the energy-accounting path — the power model
-    // itself, or a gating controller feeding the GateState the power
-    // model charges against.
-    std::set<std::string> consumed;
-    for (const char *sub : {"power", "gating"}) {
-        for (const fs::path &p : sourcesUnder(root / "src" / sub)) {
-            std::string text;
-            if (!readFile(p, text))
-                continue;
-            const std::string code = stripCode(text, true);
-            for (const auto &[name, decl_line] : fields)
-                if (!consumed.count(name) && containsWord(code, name))
-                    consumed.insert(name);
-        }
-    }
-
-    const std::string anchor_rel = relToRoot(anchor, root);
-    for (const auto &[name, decl_line] : fields) {
-        if (!produced.count(name)) {
-            out.push_back({anchor_rel, decl_line, "activity-counter",
-                           "activity counter '" + name +
-                               "' is never written in src/pipeline/"});
-        }
-        if (!consumed.count(name)) {
-            out.push_back({anchor_rel, decl_line, "activity-counter",
-                           "activity counter '" + name +
-                               "' is never consumed by src/power/ or "
-                               "src/gating/ (energy-accounting hole)"});
-        }
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-checkStatsReported(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    const fs::path catalog_path = root / "src" / "sim" / "report.cc";
-    std::string catalog_text;
-    if (!readFile(catalog_path, catalog_text)) {
-        noteMissingAnchor(opts, "src/sim/report.cc", "stat-report", out);
-        return out;
-    }
-    const std::string catalog = stripCode(catalog_text, false);
-
-    std::vector<StatRegistration> regs;
-    for (const fs::path &p : sourcesUnder(root / "src")) {
-        // The lint subsystem itself registers nothing; skip it so this
-        // file's own pattern strings cannot confuse the scan.
-        const std::string rel = relToRoot(p, root);
-        if (rel.rfind("src/lint/", 0) == 0)
-            continue;
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        collectStatRegistrations(stripCode(text, false), rel, regs);
-    }
-
-    for (const StatRegistration &reg : regs) {
-        if (catalog.find('"' + reg.name + '"') == std::string::npos) {
-            out.push_back({reg.file, reg.line, "stat-report",
-                           "stat '" + reg.name +
-                               "' is registered but missing from the "
-                               "catalog in src/sim/report.cc "
-                               "(statRegistryCatalog)"});
-        }
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-checkSchemeRegistry(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    const fs::path docs_path = root / "EXPERIMENTS.md";
-    std::string docs;
-    if (!readFile(docs_path, docs)) {
-        noteMissingAnchor(opts, "EXPERIMENTS.md", "scheme-registry",
-                          out);
-        return out;
-    }
-
-    std::vector<StatRegistration> regs;
-    for (const fs::path &p : sourcesUnder(root / "src" / "gating")) {
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        collectSchemeRegistrations(stripCode(text, false),
-                                   relToRoot(p, root), regs);
-    }
-
-    for (const StatRegistration &reg : regs) {
-        // The docs table writes scheme names in backticks; requiring
-        // the backticked form keeps short names like "base" from
-        // matching prose accidentally.
-        if (docs.find('`' + reg.name + '`') == std::string::npos) {
-            out.push_back({reg.file, reg.line, "scheme-registry",
-                           "gating scheme '" + reg.name +
-                               "' is registered but missing from the "
-                               "gating-scheme table in EXPERIMENTS.md"});
-        }
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-checkSyscallReturns(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    std::vector<fs::path> files = sourcesUnder(root / "src" / "serve");
-    const std::vector<fs::path> tool_files = sourcesUnder(root / "tools");
-    files.insert(files.end(), tool_files.begin(), tool_files.end());
-    for (const fs::path &p : files) {
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        scanSyscalls(stripCode(text, true), relToRoot(p, root), out);
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-checkNetIo(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    const fs::path anchor = root / "src" / "serve" / "netio.hh";
-    std::string anchor_text;
-    if (!readFile(anchor, anchor_text)) {
-        noteMissingAnchor(opts, "src/serve/netio.hh", "net-io", out);
-        return out;
-    }
-
-    std::vector<fs::path> files = sourcesUnder(root / "src" / "serve");
-    const std::vector<fs::path> tool_files = sourcesUnder(root / "tools");
-    files.insert(files.end(), tool_files.begin(), tool_files.end());
-    for (const fs::path &p : files) {
-        if (fs::equivalent(p, anchor))
-            continue;  // the wrappers themselves call the raw functions
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        scanNetIo(stripCode(text, true), relToRoot(p, root), out);
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-checkNakedNew(const LintOptions &opts)
-{
-    std::vector<Diagnostic> out;
-    const fs::path root = opts.root;
-    std::vector<fs::path> files = sourcesUnder(root / "src");
-    const std::vector<fs::path> tool_files = sourcesUnder(root / "tools");
-    files.insert(files.end(), tool_files.begin(), tool_files.end());
-
-    for (const fs::path &p : files) {
-        std::string text;
-        if (!readFile(p, text))
-            continue;
-        const std::string code = stripCode(text, true);
-        const std::string rel = relToRoot(p, root);
-        for (const char *word : {"new", "delete"}) {
-            const std::string w = word;
-            std::size_t pos = 0;
-            while ((pos = code.find(w, pos)) != std::string::npos) {
-                const std::size_t start = pos;
-                pos += w.size();
-                if (start > 0 && isIdentChar(code[start - 1]))
-                    continue;
-                if (start + w.size() < code.size() &&
-                    isIdentChar(code[start + w.size()]))
-                    continue;
-                // "= delete" / "= delete;" declares a deleted member.
-                std::size_t b = start;
-                while (b > 0 && std::isspace(
-                           static_cast<unsigned char>(code[b - 1])))
-                    --b;
-                if (b > 0 && code[b - 1] == '=')
-                    continue;
-                out.push_back(
-                    {rel, lineOfOffset(code, start), "naked-new",
-                     std::string("naked '") + word +
-                         "' expression; use make_unique/make_shared "
-                         "or a container"});
-            }
-        }
-    }
-    return out;
-}
-
-std::vector<Diagnostic>
-runChecks(const LintOptions &opts)
-{
-    std::vector<Diagnostic> all;
-    for (const auto &[name, fn] : checkTable()) {
-        if (!opts.checks.empty() &&
-            std::find(opts.checks.begin(), opts.checks.end(), name) ==
-                opts.checks.end())
-            continue;
-        std::vector<Diagnostic> d = fn(opts);
-        all.insert(all.end(), d.begin(), d.end());
-    }
-    std::sort(all.begin(), all.end(),
+    std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
                   if (a.file != b.file)
                       return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
+                  if (a.check != b.check)
+                      return a.check < b.check;
                   return a.message < b.message;
               });
+}
+
+/** JSON string-body escaping (quotes added by the caller). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Load a baseline file into the set of suppressed baselineKey()
+ * strings. '#' starts a comment; blank lines are skipped. Returns
+ * false when @p path cannot be read.
+ */
+bool
+loadBaseline(const std::string &path, std::set<std::string> &keys)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        // Trim without pulling in lexer.hh: keys are exact strings.
+        const std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        const std::size_t e = line.find_last_not_of(" \t\r");
+        keys.insert(line.substr(b, e - b + 1));
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+runChecks(const LintOptions &opts)
+{
+    std::vector<Diagnostic> all;
+
+    // Resolve the selection against the registry first: unknown names
+    // surface as config diagnostics instead of silently passing.
+    std::vector<std::string> selected;
+    if (opts.checks.empty()) {
+        selected = checkNames();
+    } else {
+        for (const std::string &name : opts.checks) {
+            if (isCheck(name)) {
+                selected.push_back(name);
+            } else {
+                all.push_back({"", 0, "config",
+                               "unknown check '" + name +
+                                   "' (known: " + checkNamesJoined() +
+                                   ")"});
+            }
+        }
+    }
+
+    const Context ctx(opts);
+    if (!ctx.rootOk()) {
+        all.push_back({opts.root, 0, "config",
+                       "root '" + opts.root +
+                           "' is not a directory"});
+        sortDiagnostics(all);
+        return all;
+    }
+
+    for (const std::string &name : selected) {
+        const CheckInfo *info = findCheck(name);
+        if (!ctx.anchorsOk(info->anchors, name, all))
+            continue;  // missing anchor: skip (config diag if required)
+        std::vector<Diagnostic> d = checkFn(name)(ctx);
+        for (Diagnostic &diag : d) {
+            if (!ctx.allowMarked(diag.file, diag.line, diag.check))
+                all.push_back(std::move(diag));
+        }
+    }
+    sortDiagnostics(all);
     return all;
+}
+
+std::vector<Diagnostic>
+runCheck(const std::string &name, const LintOptions &opts)
+{
+    LintOptions one = opts;
+    one.checks = {name};
+    return runChecks(one);
 }
 
 std::string
@@ -730,6 +161,81 @@ formatDiagnostic(const Diagnostic &d)
     return os.str();
 }
 
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return d.file + ": [" + d.check + "] " + d.message;
+}
+
+std::string
+toJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    os << "{\n  \"findings\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(d.file) << "\", \"line\": " << d.line
+           << ", \"check\": \"" << jsonEscape(d.check)
+           << "\", \"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    if (!diags.empty())
+        os << "\n  ";
+    os << "],\n  \"count\": " << diags.size() << "\n}\n";
+    return os.str();
+}
+
+std::string
+toSarif(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"dcglint\",\n"
+       << "          \"rules\": [";
+    // One rule per registered check plus the synthetic "config" rule,
+    // so every result's ruleId resolves.
+    bool first = true;
+    auto rule = [&](const std::string &id, const std::string &desc) {
+        os << (first ? "" : ",") << "\n            {\"id\": \""
+           << jsonEscape(id) << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(desc) << "\"}}";
+        first = false;
+    };
+    for (const CheckInfo &info : checkCatalog())
+        rule(info.name, info.description);
+    rule("config", "dcglint configuration error");
+    os << "\n          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        os << (i ? "," : "") << "\n        {\n"
+           << "          \"ruleId\": \"" << jsonEscape(d.check)
+           << "\",\n"
+           << "          \"level\": \"error\",\n"
+           << "          \"message\": {\"text\": \""
+           << jsonEscape(d.message) << "\"},\n"
+           << "          \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(d.file) << "\"}";
+        if (d.line > 0)
+            os << ", \"region\": {\"startLine\": " << d.line << "}";
+        os << "}}]\n        }";
+    }
+    if (!diags.empty())
+        os << "\n      ";
+    os << "]\n    }\n  ]\n}\n";
+    return os.str();
+}
+
 int
 runDcglint(const LintOptions &opts, std::ostream &out)
 {
@@ -740,28 +246,75 @@ runDcglint(const LintOptions &opts, std::ostream &out)
         return 2;
     }
     for (const std::string &name : opts.checks) {
-        if (std::find(checkNames().begin(), checkNames().end(), name) ==
-            checkNames().end()) {
-            out << "dcglint: unknown check '" << name << "'\n";
+        if (!isCheck(name)) {
+            out << "dcglint: unknown check '" << name
+                << "' (known: " << checkNamesJoined() << ")\n";
             return 2;
         }
     }
+    std::set<std::string> baseline;
+    if (!opts.baselineFile.empty() &&
+        !loadBaseline(opts.baselineFile, baseline)) {
+        out << "dcglint: cannot read baseline '" << opts.baselineFile
+            << "'\n";
+        return 2;
+    }
 
-    const std::vector<Diagnostic> diags = runChecks(opts);
+    std::vector<Diagnostic> diags = runChecks(opts);
+
+    // Report filters: config errors always survive them — a broken
+    // configuration must not be maskable by a baseline entry or a
+    // changed-files list.
+    std::size_t suppressed = 0;
+    std::vector<Diagnostic> kept;
+    for (Diagnostic &d : diags) {
+        if (d.check != "config") {
+            if (baseline.count(baselineKey(d))) {
+                ++suppressed;
+                continue;
+            }
+            if (!opts.onlyFiles.empty() &&
+                std::find(opts.onlyFiles.begin(), opts.onlyFiles.end(),
+                          d.file) == opts.onlyFiles.end())
+                continue;
+        }
+        kept.push_back(std::move(d));
+    }
+
     bool config_error = false;
-    for (const Diagnostic &d : diags) {
-        out << formatDiagnostic(d) << '\n';
+    for (const Diagnostic &d : kept)
         if (d.check == "config")
             config_error = true;
+
+    switch (opts.format) {
+      case OutputFormat::Json:
+        out << toJson(kept);
+        break;
+      case OutputFormat::Sarif:
+        out << toSarif(kept);
+        break;
+      case OutputFormat::Text:
+        for (const Diagnostic &d : kept)
+            out << formatDiagnostic(d) << '\n';
+        if (config_error) {
+            // fall through to the return below; no summary line
+        } else if (!kept.empty()) {
+            out << "dcglint: " << kept.size() << " finding(s)";
+            if (suppressed)
+                out << " (" << suppressed << " baselined)";
+            out << '\n';
+        } else {
+            out << "dcglint: clean";
+            if (suppressed)
+                out << " (" << suppressed << " baselined)";
+            out << '\n';
+        }
+        break;
     }
+
     if (config_error)
         return 2;
-    if (!diags.empty()) {
-        out << "dcglint: " << diags.size() << " finding(s)\n";
-        return 1;
-    }
-    out << "dcglint: clean\n";
-    return 0;
+    return kept.empty() ? 0 : 1;
 }
 
 } // namespace dcg::lint

@@ -1,56 +1,35 @@
 /**
  * @file
- * dcglint: project-specific static checks for the gating/energy
- * accounting invariants the simulator's correctness argument rests on.
+ * dcglint: project-specific static checks for the invariants the
+ * simulator's correctness argument rests on.
  *
  * The deterministic-clock-gating claim (19.9 % power saving at ~0 %
  * IPC loss) is only as good as the wiring between the activity
  * counters the pipeline records, the power model that converts them
- * into energy, and the reporting layer that serializes them. These
- * checks make that wiring a build-time invariant instead of a code
- * review convention:
+ * into energy, the reporting layer that serializes them — and, now
+ * that the replayable core serves traffic as a replicated cluster,
+ * the concurrency and determinism conventions that keep replay
+ * byte-identical. These checks make that wiring a build-time
+ * invariant instead of a code-review convention.
  *
- *  - activity-counter: every field of CycleActivity declared in
- *    src/pipeline/activity.hh must be written by the pipeline
- *    (src/pipeline/) and consumed by the energy-accounting side
- *    (src/power/ or src/gating/ — gating controllers feed the
- *    GateState the power model charges against). An orphaned counter
- *    means recorded activity that silently never reaches the power
- *    model, i.e. an energy-accounting hole.
+ * v2 architecture: checks live in a self-registering registry
+ * (lint/registry.hh — one translation unit per check under
+ * src/lint/checks/), share one preprocessed per-file analysis
+ * Context (lint/context.hh: stripped text, raw lines, a lexical
+ * function/call index, built once and file-parallel), and are all
+ * lexical (see lexer.hh) — no libclang dependency, so dcglint builds
+ * anywhere the simulator builds and stays usable on a tree that does
+ * not compile. `dcglint --list-checks` enumerates the registered
+ * catalog; the per-check invariants are documented in ANALYSIS.md.
  *
- *  - stat-report: every statistic registered on a StatRegistry
- *    (stats.counter("name", ...) and friends) must be listed in the
- *    stat catalog in src/sim/report.cc, which is what --capture /
- *    extraStats serialization documents. A stat missing from the
- *    catalog is invisible to the result schema.
- *
- *  - scheme-registry: every gating scheme registered in src/gating/
- *    (registerScheme({"name", ...)) must appear — backticked — in the
- *    gating-scheme table in EXPERIMENTS.md, so the catalog a user
- *    reads cannot drift from the one the binary serves. Stats the
- *    scheme registers are covered by stat-report like everyone
- *    else's.
- *
- *  - syscall-return: every fallible POSIX call in src/serve/ and
- *    tools/ must consume its return value (assignment, comparison,
- *    condition, or explicit (void) discard). close() is allowlisted.
- *
- *  - net-io: the raw socket I/O calls (read/write/recv/send/poll/
- *    accept/connect) may not be used in src/serve/ or tools/ outside
- *    src/serve/netio.hh — every call site goes through the EINTR-safe
- *    net::*Retry wrappers declared there, so signal handling and
- *    partial-write semantics cannot regress one call site at a time.
- *
- *  - naked-new: no `new` / `delete` expressions anywhere in src/ or
- *    tools/ (ownership goes through make_unique/make_shared or
- *    containers); deleted special member functions (= delete) are not
- *    flagged.
- *
- * All checks are lexical (see lexer.hh) — no libclang dependency —
- * and anchored on real paths in the tree; a check whose anchor is
- * missing reports nothing unless LintOptions::requireAnchors is set
- * (the mode CI and the repo ctest use), in which case it is a
- * configuration error.
+ * Suppression layers, strict by default:
+ *  - a `dcglint:allow(check-name)` comment on (or immediately above)
+ *    the offending line waives one finding at the source, visibly;
+ *  - a baseline file (--baseline=FILE; one `file: [check] message`
+ *    entry per line, '#' comments) waives known findings centrally,
+ *    so a new check can land strict while its backlog is burned
+ *    down. Line numbers are not part of the match, so baselines
+ *    survive unrelated edits.
  */
 
 #ifndef DCG_LINT_LINT_HH
@@ -70,38 +49,60 @@ struct Diagnostic
     std::string message;
 };
 
+/** Machine-readable output selection for runDcglint(). */
+enum class OutputFormat
+{
+    Text,   ///< "file:line: [check] message" lines + summary
+    Json,   ///< {"findings": [...], "count": N}
+    Sarif,  ///< SARIF 2.1.0 (one run, one rule per check)
+};
+
 struct LintOptions
 {
     std::string root = ".";      ///< project root to lint
     bool requireAnchors = false; ///< missing anchor file = config error
-    /** Empty = all checks; else names from checkNames(). */
+    /** Empty = all checks; else names from registry checkNames(). */
     std::vector<std::string> checks;
+    /** Empty = report everything; else only findings in these
+     *  root-relative files (config errors always surface). The
+     *  analysis itself stays tree-wide — cross-file invariants need
+     *  the whole tree — only the report is filtered. */
+    std::vector<std::string> onlyFiles;
+    std::string baselineFile;    ///< empty = no baseline
+    OutputFormat format = OutputFormat::Text;
 };
 
-/** Registered check names, in execution order. */
-const std::vector<std::string> &checkNames();
-
-/// @name Individual checks (exposed for tests)
-/// @{
-std::vector<Diagnostic> checkActivityCounters(const LintOptions &opts);
-std::vector<Diagnostic> checkStatsReported(const LintOptions &opts);
-std::vector<Diagnostic> checkSchemeRegistry(const LintOptions &opts);
-std::vector<Diagnostic> checkSyscallReturns(const LintOptions &opts);
-std::vector<Diagnostic> checkNetIo(const LintOptions &opts);
-std::vector<Diagnostic> checkNakedNew(const LintOptions &opts);
-/// @}
-
-/** Run the selected checks; diagnostics sorted by (file, line). */
+/**
+ * Run the selected checks over @p opts.root; diagnostics sorted by
+ * (file, line, message). Unknown check names come back as "config"
+ * diagnostics. dcglint:allow markers are already applied; the
+ * baseline and onlyFiles filters are the driver's job (runDcglint).
+ */
 std::vector<Diagnostic> runChecks(const LintOptions &opts);
+
+/** Convenience for tests: runChecks restricted to one check. */
+std::vector<Diagnostic> runCheck(const std::string &name,
+                                 const LintOptions &opts);
 
 /** "file:line: [check] message" (line omitted when 0). */
 std::string formatDiagnostic(const Diagnostic &d);
 
+/** The line-number-free form baseline files match against. */
+std::string baselineKey(const Diagnostic &d);
+
+/** Serialize diagnostics as the --format=json document. */
+std::string toJson(const std::vector<Diagnostic> &diags);
+
+/** Serialize diagnostics as the --format=sarif document. */
+std::string toSarif(const std::vector<Diagnostic> &diags);
+
 /**
  * CLI driver shared by tools/dcglint.cc and the tests: runs checks,
- * prints diagnostics to @p out. Returns the process exit code:
- * 0 = clean, 1 = findings, 2 = configuration error (bad root, unknown
- * check name, or — with requireAnchors — a missing anchor file).
+ * applies the baseline and file filters, prints diagnostics to
+ * @p out in opts.format. Returns the process exit code: 0 = clean,
+ * 1 = findings, 2 = configuration error (bad root, unknown or empty
+ * check name, unreadable baseline, or — with requireAnchors — a
+ * missing anchor file).
  */
 int runDcglint(const LintOptions &opts, std::ostream &out);
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * String-keyed lint-check registry.
+ *
+ * A check is one translation unit and one registration: the check's
+ * .cc self-registers a CheckInfo (name, one-line description, the
+ * anchor files it keys on) plus the function that produces its
+ * diagnostics from a shared analysis Context. Everything that
+ * enumerates or selects checks — dcglint (--check validation,
+ * --list-checks, usage text), runChecks(), the registry ctest, the
+ * SARIF rule table and the ANALYSIS.md check table — goes through
+ * this catalog, so adding a check never touches a hard-wired list
+ * again (the same pattern src/gating/registry.hh proved out for
+ * gating schemes).
+ *
+ * Registration pattern (in the check's .cc under src/lint/checks/):
+ *
+ *     namespace { const bool registered = lint::registerCheck(
+ *         {"my-check", "what invariant it enforces",
+ *          {"src/path/anchor.hh"}},
+ *         &checkMyInvariant); }
+ *     void anchorMyCheckRegistration() {}
+ *
+ * The anchor function is the static-archive escape hatch: a TU whose
+ * only definitions are self-registration statics is dropped by the
+ * linker, so registry.cc calls every check's anchor before answering
+ * lookups (ensureBuiltins), forcing the registration objects into
+ * the binary.
+ *
+ * CheckInfo::anchors lists the real files the check's invariant is
+ * keyed on. The driver resolves them before running the check: a
+ * missing anchor silently skips the check (fixture trees stay
+ * small), unless LintOptions::requireAnchors is set — the mode CI
+ * and the repo ctest use — in which case it is a configuration
+ * error. Checks can therefore assume their anchors exist.
+ */
+
+#ifndef DCG_LINT_REGISTRY_HH
+#define DCG_LINT_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dcg::lint {
+
+class Context;
+struct Diagnostic;
+
+/** Everything the catalog knows about one registered check. */
+struct CheckInfo
+{
+    std::string name;
+    std::string description;  ///< one line, for --list-checks/SARIF
+    /** Root-relative files the invariant is keyed on (may be empty:
+     *  path-scope-only checks like naked-new need no anchor). */
+    std::vector<std::string> anchors;
+};
+
+/** Produces the check's diagnostics from the shared Context. */
+using CheckFn =
+    std::function<std::vector<Diagnostic>(const Context &)>;
+
+/**
+ * Register a check. Returns true (the value exists so a namespace-
+ * scope `const bool` can run the registration at static-init time).
+ * Duplicate or empty names abort — two files claiming one check is a
+ * build error, not a runtime preference.
+ */
+bool registerCheck(CheckInfo info, CheckFn fn);
+
+/** All registered checks, sorted by name. */
+std::vector<CheckInfo> checkCatalog();
+
+/** Registered check names, sorted. */
+std::vector<std::string> checkNames();
+
+/** Names joined for error/usage text, e.g. "activity-counter|...". */
+std::string checkNamesJoined(char sep = '|');
+
+/** True when @p name is a registered check. */
+bool isCheck(const std::string &name);
+
+/** Catalog entry for @p name, or nullptr. */
+const CheckInfo *findCheck(const std::string &name);
+
+/** The check function for @p name, or an empty function. */
+CheckFn checkFn(const std::string &name);
+
+} // namespace dcg::lint
+
+#endif // DCG_LINT_REGISTRY_HH

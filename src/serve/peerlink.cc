@@ -908,20 +908,23 @@ LinkLoop::start()
     if (thread.joinable())
         return;
     pool_->markRunning();
-    thread = std::thread([this] { loop(); });
+    // Ownership handoff: the spawned thread IS the pool's owner.
+    thread = std::thread([this] { loop(); });  // dcglint:allow(thread-ownership)
 }
 
 void
 LinkLoop::stop()
 {
     if (!thread.joinable()) {
-        pool_->shutdown();
+        // Never started: the caller still owns the pool.
+        pool_->shutdown();  // dcglint:allow(thread-ownership)
         return;
     }
     stopFlag.store(true, std::memory_order_release);
     const char b = 1;
     (void)net::writeRetry(wakePipe[1], &b, 1);
     thread.join();
+    // Owner thread joined: ownership reverts to the stopping thread.
     pool_->shutdown();
 }
 

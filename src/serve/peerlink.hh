@@ -52,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
 
@@ -94,63 +95,83 @@ class PeerPool
     /// @{
     /** Issue @p req to peer @p idx; @p cb runs on the owner thread
      *  with the rid-matched response or a transport failure. */
-    void call(std::size_t idx, JsonValue req, PeerCompletion cb);
+    void call(std::size_t idx, JsonValue req, PeerCompletion cb)
+        DCG_OWNER_THREAD;
 
     /** Establish (or confirm) the TCP link to @p idx without sending
      *  a frame; @p cb gets transportOk on success. */
-    void connectAsync(std::size_t idx, PeerCompletion cb);
+    void connectAsync(std::size_t idx, PeerCompletion cb)
+        DCG_OWNER_THREAD;
 
     /** Run @p fn on the owner thread after @p delayMs. */
-    void schedule(unsigned delayMs, std::function<void()> fn);
+    void schedule(unsigned delayMs, std::function<void()> fn)
+        DCG_OWNER_THREAD;
     /// @}
 
     /// @name Any-thread injection surface
     /// @{
     /** Thread-safe call(): enqueues and wakes the owner loop. Safe
      *  from the owner thread too (runs on the next runDue()). */
-    void post(std::size_t idx, JsonValue req, PeerCompletion cb);
+    void post(std::size_t idx, JsonValue req, PeerCompletion cb)
+        DCG_ANY_THREAD;
 
     /** Blocking request from a NON-owner thread: post() + wait.
      *  False + @p err on transport failure or pool shutdown. */
     bool callSync(std::size_t idx, const JsonValue &req,
-                  JsonValue &resp, std::string &err);
+                  JsonValue &resp, std::string &err) DCG_ANY_THREAD;
 
     /** Blocking connect probe from a NON-owner thread. */
-    bool connectSync(std::size_t idx, std::string &err);
+    bool connectSync(std::size_t idx, std::string &err) DCG_ANY_THREAD;
     /// @}
 
     /// @name Owner-loop driving surface
     /// @{
-    void appendPollFds(std::vector<pollfd> &fds) const;
-    void dispatch(const pollfd *fds, std::size_t n);
+    void appendPollFds(std::vector<pollfd> &fds) const
+        DCG_OWNER_THREAD;
+    void dispatch(const pollfd *fds, std::size_t n) DCG_OWNER_THREAD;
     /** Injected work, due timers, expired deadlines, reconnects,
      *  legacy completions. Call once per loop iteration. */
-    void runDue();
+    void runDue() DCG_OWNER_THREAD;
     /** ms until the next deadline/timer (-1 = nothing scheduled). */
-    int timeoutHintMs() const;
+    int timeoutHintMs() const DCG_OWNER_THREAD;
     /** No request in flight anywhere (links, injection, legacy). */
-    bool idle() const;
+    bool idle() const DCG_OWNER_THREAD;
     /** Fail everything outstanding, close links, stop the legacy
      *  executor. Further post()/callSync() fail fast. Idempotent. */
-    void shutdown();
+    void shutdown() DCG_OWNER_THREAD;
     /// @}
 
     /** The owner loop is live between markRunning() and shutdown() —
      *  callSync() from other threads requires it. */
-    void markRunning() { running_.store(true, std::memory_order_release); }
-    bool isRunning() const
+    void markRunning() DCG_ANY_THREAD
+    {
+        running_.store(true, std::memory_order_release);
+    }
+    bool isRunning() const DCG_ANY_THREAD
     {
         return running_.load(std::memory_order_acquire);
     }
 
-    std::size_t peerCount() const { return endpoints.size(); }
+    std::size_t peerCount() const DCG_ANY_THREAD
+    {
+        return endpoints.size();
+    }
 
     /// @name Counters (any thread)
     /// @{
-    std::uint64_t requestsSent() const { return requests_.load(); }
-    std::uint64_t linkDeaths() const { return linkDeaths_.load(); }
-    std::uint64_t reconnects() const { return reconnects_.load(); }
-    std::uint64_t legacyFallbacks() const
+    std::uint64_t requestsSent() const DCG_ANY_THREAD
+    {
+        return requests_.load();
+    }
+    std::uint64_t linkDeaths() const DCG_ANY_THREAD
+    {
+        return linkDeaths_.load();
+    }
+    std::uint64_t reconnects() const DCG_ANY_THREAD
+    {
+        return reconnects_.load();
+    }
+    std::uint64_t legacyFallbacks() const DCG_ANY_THREAD
     {
         return legacyFallbacks_.load();
     }
@@ -242,16 +263,17 @@ class PeerPool
     std::vector<Timer> timers;
 
     mutable std::mutex injectMutex;
-    std::vector<Injected> injected;  ///< guarded by injectMutex
+    std::vector<Injected> injected DCG_GUARDED_BY(injectMutex);
 
     std::mutex legacyMutex;
     std::condition_variable legacyCv;
-    std::deque<LegacyTask> legacyQueue;   ///< guarded by legacyMutex
-    bool legacyStop = false;              ///< guarded by legacyMutex
+    std::deque<LegacyTask> legacyQueue DCG_GUARDED_BY(legacyMutex);
+    bool legacyStop DCG_GUARDED_BY(legacyMutex) = false;
     std::thread legacyThread;             ///< started lazily
     std::map<std::uint64_t, PeerCompletion> legacyPending;  ///< owner
     mutable std::mutex legacyDoneMutex;
-    std::vector<std::pair<std::uint64_t, PeerReply>> legacyDone;
+    std::vector<std::pair<std::uint64_t, PeerReply>> legacyDone
+        DCG_GUARDED_BY(legacyDoneMutex);
 
     std::atomic<bool> running_{false};
     std::atomic<bool> closed_{false};
@@ -279,14 +301,14 @@ class LinkLoop
     LinkLoop(const LinkLoop &) = delete;
     LinkLoop &operator=(const LinkLoop &) = delete;
 
-    void start();
-    void stop();
-    bool started() const { return thread.joinable(); }
+    void start() DCG_ANY_THREAD;
+    void stop() DCG_ANY_THREAD;
+    bool started() const DCG_ANY_THREAD { return thread.joinable(); }
 
-    PeerPool &pool() { return *pool_; }
+    PeerPool &pool() DCG_ANY_THREAD { return *pool_; }
 
   private:
-    void loop();
+    void loop() DCG_OWNER_THREAD;
 
     int wakePipe[2] = {-1, -1};
     std::atomic<bool> stopFlag{false};
@@ -308,7 +330,8 @@ class PeerTransport
     /** False + @p err on transport failure; protocol-level errors
      *  come back as parsed {"ok":false,...} responses. */
     virtual bool call(std::size_t idx, const JsonValue &req,
-                      JsonValue &resp, std::string &err) = 0;
+                      JsonValue &resp, std::string &err)
+        DCG_ANY_THREAD = 0;
 };
 
 /** One-shot blocking connections (the pre-mux wire behaviour). */
@@ -318,7 +341,7 @@ class DirectPeerTransport : public PeerTransport
     DirectPeerTransport(std::vector<Endpoint> peers,
                         unsigned timeoutMs);
     bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
-              std::string &err) override;
+              std::string &err) override DCG_ANY_THREAD;
 
   private:
     std::vector<Endpoint> endpoints;
@@ -336,7 +359,7 @@ class PoolPeerTransport : public PeerTransport
     PoolPeerTransport(PeerPool *pool, std::vector<Endpoint> peers,
                       unsigned timeoutMs);
     bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
-              std::string &err) override;
+              std::string &err) override DCG_ANY_THREAD;
 
   private:
     PeerPool *pool;

@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "serve/endpoint.hh"
 #include "serve/peerlink.hh"
 #include "serve/ring.hh"
@@ -85,40 +86,64 @@ class ReplicatedStore : public exp::ResultStoreBase
     ReplicatedStore(const ReplicatedStore &) = delete;
     ReplicatedStore &operator=(const ReplicatedStore &) = delete;
 
-    bool get(const std::string &key, RunResult &out) override;
-    void put(const std::string &key, const RunResult &r) override;
+    bool get(const std::string &key, RunResult &out)
+        override DCG_ANY_THREAD;
+    void put(const std::string &key, const RunResult &r)
+        override DCG_ANY_THREAD;
 
     /// @name exp::StoreLifecycle (pass-through to the local store)
     /// @{
-    std::size_t entries() const override { return local->entries(); }
-    std::uint64_t bytes() const override { return local->bytes(); }
-    std::size_t evictTo(std::uint64_t budgetBytes) override
+    std::size_t entries() const override DCG_ANY_THREAD
+    {
+        return local->entries();
+    }
+    std::uint64_t bytes() const override DCG_ANY_THREAD
+    {
+        return local->bytes();
+    }
+    std::size_t evictTo(std::uint64_t budgetBytes)
+        override DCG_ANY_THREAD
     {
         return local->evictTo(budgetBytes);
     }
-    std::size_t compact() override { return local->compact(); }
+    std::size_t compact() override DCG_ANY_THREAD
+    {
+        return local->compact();
+    }
     /// @}
 
     /** Block until every queued fan-out push has been attempted. */
-    void flush();
+    void flush() DCG_ANY_THREAD;
 
     /** Effective replication factor (clamped to the cluster size). */
-    unsigned factor() const { return k; }
+    unsigned factor() const DCG_ANY_THREAD { return k; }
 
     /** Successful `replicate` pushes to followers. */
-    std::uint64_t pushes() const { return pushed.load(); }
+    std::uint64_t pushes() const DCG_ANY_THREAD
+    {
+        return pushed.load();
+    }
 
     /** Fan-out pushes that failed (follower down/unreachable). */
-    std::uint64_t pushFailures() const { return pushFailed.load(); }
+    std::uint64_t pushFailures() const DCG_ANY_THREAD
+    {
+        return pushFailed.load();
+    }
 
     /** Local misses repaired by fetching a peer's replica. */
-    std::uint64_t readRepairs() const { return repaired.load(); }
+    std::uint64_t readRepairs() const DCG_ANY_THREAD
+    {
+        return repaired.load();
+    }
 
     /** Local misses no replica holder could serve either. */
-    std::uint64_t replicaMisses() const { return misses.load(); }
+    std::uint64_t replicaMisses() const DCG_ANY_THREAD
+    {
+        return misses.load();
+    }
 
     /** Fan-out tasks queued or mid-push right now. */
-    std::size_t pendingPushes() const
+    std::size_t pendingPushes() const DCG_ANY_THREAD
     {
         std::lock_guard<std::mutex> lk(qMutex);
         return queue.size() + (busy ? 1 : 0);
@@ -148,9 +173,9 @@ class ReplicatedStore : public exp::ResultStoreBase
 
     mutable std::mutex qMutex;
     std::condition_variable qCv;       ///< work available / drained
-    std::deque<Task> queue;            ///< guarded by qMutex
-    bool busy = false;                 ///< a task is being pushed
-    bool stopping = false;             ///< guarded by qMutex
+    std::deque<Task> queue DCG_GUARDED_BY(qMutex);
+    bool busy DCG_GUARDED_BY(qMutex) = false;  ///< task mid-push
+    bool stopping DCG_GUARDED_BY(qMutex) = false;
     std::thread replicator;
 
     std::atomic<std::uint64_t> pushed{0};

@@ -82,6 +82,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "exp/engine.hh"
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
@@ -140,24 +141,27 @@ class Server
      * fatal() otherwise or on a malformed ring.
      */
     void configureCluster(const std::vector<Endpoint> &allNodes,
-                          const std::string &self);
+                          const std::string &self) DCG_OWNER_THREAD;
 
     /** Event loop; blocks until requestStop() and the drain finish. */
-    void run();
+    void run() DCG_OWNER_THREAD;
 
     /** Begin graceful drain. Async-signal-safe. */
-    void requestStop();
+    void requestStop() DCG_ANY_THREAD;
 
-    std::uint16_t port() const { return boundPort; }
-    exp::Engine &engine() { return eng; }
+    std::uint16_t port() const DCG_ANY_THREAD { return boundPort; }
+    exp::Engine &engine() DCG_ANY_THREAD { return eng; }
 
     /** The cluster ring ("" nodes when standalone). */
-    const HashRing &ringView() const { return ring; }
-    const std::string &selfAddress() const { return selfAddr; }
+    const HashRing &ringView() const DCG_ANY_THREAD { return ring; }
+    const std::string &selfAddress() const DCG_ANY_THREAD
+    {
+        return selfAddr;
+    }
 
     /** The replication layer (null unless replicas > 1 in a cluster).
      *  Exposed so tests and tools can flush()/inspect fan-out state. */
-    ReplicatedStore *replication() { return repl.get(); }
+    ReplicatedStore *replication() DCG_ANY_THREAD { return repl.get(); }
 
   private:
     struct Conn
@@ -302,13 +306,13 @@ class Server
 
     mutable std::mutex qMutex;
     std::condition_variable qCv;
-    std::deque<WorkItem> pending;
-    bool workersStop = false;
+    std::deque<WorkItem> pending DCG_GUARDED_BY(qMutex);
+    bool workersStop DCG_GUARDED_BY(qMutex) = false;
     std::vector<std::thread> workerThreads;
     std::atomic<unsigned> busyWorkers{0};
 
     mutable std::mutex evMutex;
-    std::deque<Event> events;
+    std::deque<Event> events DCG_GUARDED_BY(evMutex);
 
     /// @name Service counters (I/O thread only)
     /// @{

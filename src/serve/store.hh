@@ -48,6 +48,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.hh"
 #include "exp/engine.hh"
 
 namespace dcg::serve {
@@ -62,8 +63,10 @@ class ResultStore : public exp::ResultStoreBase
      */
     explicit ResultStore(const std::string &directory);
 
-    bool get(const std::string &key, RunResult &out) override;
-    void put(const std::string &key, const RunResult &r) override;
+    bool get(const std::string &key, RunResult &out)
+        override DCG_ANY_THREAD;
+    void put(const std::string &key, const RunResult &r)
+        override DCG_ANY_THREAD;
 
     /**
      * Persist a record on behalf of a peer (the owner fanning a
@@ -73,49 +76,67 @@ class ResultStore : public exp::ResultStoreBase
      * is a first-class index entry either way — LRU budgets and
      * compaction count it exactly once, like any other record.
      */
-    void putReplica(const std::string &key, const RunResult &r);
+    void putReplica(const std::string &key, const RunResult &r)
+        DCG_ANY_THREAD;
 
     /**
      * True when the record for @p key exists and its header carries
      * the replica marker (exposed for tests/tools).
      */
-    bool recordIsReplica(const std::string &key) const;
+    bool recordIsReplica(const std::string &key) const DCG_ANY_THREAD;
 
     /** Replica-marked records written by this process so far. */
-    std::uint64_t replicaRecords() const { return replicas.load(); }
+    std::uint64_t replicaRecords() const DCG_ANY_THREAD
+    {
+        return replicas.load();
+    }
 
     /// @name exp::StoreLifecycle
     /// @{
-    std::size_t entries() const override;
-    std::uint64_t bytes() const override;
-    std::size_t evictTo(std::uint64_t budgetBytes) override;
-    std::size_t compact() override;
+    std::size_t entries() const override DCG_ANY_THREAD;
+    std::uint64_t bytes() const override DCG_ANY_THREAD;
+    std::size_t evictTo(std::uint64_t budgetBytes)
+        override DCG_ANY_THREAD;
+    std::size_t compact() override DCG_ANY_THREAD;
     /// @}
 
     /**
      * Enable automatic LRU eviction: after every put() the store is
      * trimmed back to @p budget bytes. 0 disables (the default).
      */
-    void setBudgetBytes(std::uint64_t budget);
-    std::uint64_t budgetBytes() const;
+    void setBudgetBytes(std::uint64_t budget) DCG_ANY_THREAD;
+    std::uint64_t budgetBytes() const DCG_ANY_THREAD;
 
     /** Records currently on disk (alias of entries(), kept for the
      *  original observability surface). */
-    std::size_t size() const { return entries(); }
+    std::size_t size() const DCG_ANY_THREAD { return entries(); }
 
     /** Corrupt/foreign records encountered by get() so far. */
-    std::uint64_t corruptRecords() const { return corrupt.load(); }
+    std::uint64_t corruptRecords() const DCG_ANY_THREAD
+    {
+        return corrupt.load();
+    }
 
     /** Records removed by evictTo()/budget enforcement so far. */
-    std::uint64_t evictedRecords() const { return evicted.load(); }
+    std::uint64_t evictedRecords() const DCG_ANY_THREAD
+    {
+        return evicted.load();
+    }
 
     /** compact() passes completed so far. */
-    std::uint64_t compactions() const { return compactPasses.load(); }
+    std::uint64_t compactions() const DCG_ANY_THREAD
+    {
+        return compactPasses.load();
+    }
 
-    const std::string &directory() const { return dir; }
+    const std::string &directory() const DCG_ANY_THREAD
+    {
+        return dir;
+    }
 
     /** Absolute record path for @p key (exposed for tests/tools). */
-    std::string recordPath(const std::string &key) const;
+    std::string recordPath(const std::string &key) const
+        DCG_ANY_THREAD;
 
   private:
     struct Rec
@@ -127,17 +148,19 @@ class ResultStore : public exp::ResultStoreBase
     /** Drop LRU records until totalBytes <= budget; indexMutex held.
      *  @p keep (a record file name) is never evicted. */
     std::size_t evictLocked(std::uint64_t budget,
-                            const std::string &keep);
-    void writeManifestLocked() const;
+                            const std::string &keep)
+        DCG_REQUIRES(indexMutex);
+    void writeManifestLocked() const DCG_REQUIRES(indexMutex);
     void putRecord(const std::string &key, const RunResult &r,
                    bool replica);
 
     std::string dir;
     mutable std::mutex indexMutex;
-    std::unordered_map<std::string, Rec> index;  ///< by record name
-    std::uint64_t totalBytes = 0;   ///< guarded by indexMutex
-    std::uint64_t useClock = 0;     ///< guarded by indexMutex
-    std::uint64_t budget = 0;       ///< guarded by indexMutex
+    std::unordered_map<std::string, Rec> index
+        DCG_GUARDED_BY(indexMutex);  ///< by record name
+    std::uint64_t totalBytes DCG_GUARDED_BY(indexMutex) = 0;
+    std::uint64_t useClock DCG_GUARDED_BY(indexMutex) = 0;
+    std::uint64_t budget DCG_GUARDED_BY(indexMutex) = 0;
     std::atomic<std::uint64_t> corrupt{0};
     std::atomic<std::uint64_t> replicas{0};
     std::atomic<std::uint64_t> evicted{0};

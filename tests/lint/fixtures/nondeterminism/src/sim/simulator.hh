@@ -1,0 +1,5 @@
+// Fixture stub of src/sim/simulator.hh — the determinism check's
+// anchor file. Fixtures are lexical inputs, not compiled code.
+#ifndef FIX_SIM_SIMULATOR_HH
+#define FIX_SIM_SIMULATOR_HH
+#endif

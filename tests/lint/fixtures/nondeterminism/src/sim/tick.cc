@@ -1,0 +1,29 @@
+// Every class of determinism hazard the check bans, plus the shapes
+// that must NOT be flagged (member calls, declarators, the allow
+// marker). Deliberately include-free: fixtures are lexical inputs.
+#include "sim/simulator.hh"
+
+namespace fix {
+
+struct Clock
+{
+    long time() const { return 0; }  // member named like the libc call
+};
+
+long declaredNotCalled(long time);  // "time" as a parameter name
+
+long
+tick(Clock &c)
+{
+    long t = c.time();       // member call: fine
+    t += time(nullptr);      // BUG: wall clock
+    t += std::rand();        // BUG: ambient randomness
+    std::srand(7);           // waived  // dcglint:allow(determinism)
+
+    std::unordered_map<int, int> histo;  // BUG: iteration order
+    std::random_device rd;   // BUG: nondeterministic seed
+    return t + static_cast<long>(histo.size()) +
+           static_cast<long>(rd());
+}
+
+} // namespace fix

@@ -1,0 +1,43 @@
+#include "serve/widget.hh"
+
+namespace fix {
+
+Widget::Widget() { inbox = 0; }  // ctor: not yet shared, exempt
+
+Widget::~Widget() { inbox = 0; }  // dtor: no longer shared, exempt
+
+void
+Widget::step()
+{
+    acquire(mu);
+    inbox += 1;
+    flushLocked();
+}
+
+void
+Widget::post(int v)
+{
+    acquire(mu);
+    inbox += v;
+}
+
+int
+Widget::drained() const
+{
+    return done;
+}
+
+void
+Widget::poke()
+{
+    acquire(mu);
+    inbox += 1;
+}
+
+void
+Widget::flushLocked()
+{
+    inbox = 0;  // DCG_REQUIRES(mu): the caller holds the lock
+}
+
+} // namespace fix

@@ -1,0 +1,11 @@
+// Fixture stub of src/common/thread_annotations.hh: the lint check is
+// lexical, so no-op macros are all the fixture needs.
+#ifndef FIX_COMMON_THREAD_ANNOTATIONS_HH
+#define FIX_COMMON_THREAD_ANNOTATIONS_HH
+
+#define DCG_OWNER_THREAD
+#define DCG_ANY_THREAD
+#define DCG_GUARDED_BY(x)
+#define DCG_REQUIRES(x)
+
+#endif

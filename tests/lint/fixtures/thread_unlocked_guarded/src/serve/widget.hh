@@ -1,0 +1,25 @@
+// A correctly annotated class: owner-thread stepping, any-thread
+// injection under a lock, a *Locked helper with DCG_REQUIRES.
+#include "common/thread_annotations.hh"
+
+namespace fix {
+
+class Widget
+{
+  public:
+    Widget();
+    ~Widget();
+
+    void step() DCG_OWNER_THREAD;
+    void post(int v) DCG_ANY_THREAD;
+    int drained() const DCG_ANY_THREAD;
+
+  private:
+    void flushLocked() DCG_REQUIRES(mu);
+
+    int mu = 0;  // stand-in for a mutex; the check is lexical
+    int inbox DCG_GUARDED_BY(mu) = 0;
+    int done = 0;
+};
+
+} // namespace fix

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Fast pre-push lint: run dcglint and clang-tidy over only the files
+# that changed relative to a base ref, instead of the whole tree.
+#
+#   tools/lint-changed.sh [BASE] [BUILD_DIR]
+#
+#   BASE       git ref to diff against (default: origin/main, falling
+#              back to main, then HEAD~1 on a fresh clone)
+#   BUILD_DIR  build tree with compile_commands.json (default: build)
+#
+# dcglint always analyses the WHOLE tree — cross-file checks like
+# activity-counter and thread-ownership are meaningless on a partial
+# view — but `--only` restricts the *report* to the changed files, so
+# you see the findings your diff is responsible for. clang-tidy, which
+# is genuinely per-file, runs on just the changed translation units.
+#
+# Exit codes: 0 clean, 1 findings, 2 setup error.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${2:-$ROOT/build}"
+cd "$ROOT"
+
+BASE="${1:-}"
+if [ -z "$BASE" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE=origin/main
+    elif git rev-parse --verify -q main >/dev/null; then
+        BASE=main
+    else
+        BASE=HEAD~1
+    fi
+fi
+MERGE_BASE=$(git merge-base "$BASE" HEAD 2>/dev/null)
+if [ -z "$MERGE_BASE" ]; then
+    echo "lint-changed: cannot resolve merge base with '$BASE'" >&2
+    exit 2
+fi
+
+# Changed (added/modified, still existing) files vs the merge base,
+# plus uncommitted changes in the working tree.
+CHANGED=$( (git diff --name-only --diff-filter=d "$MERGE_BASE" HEAD;
+            git diff --name-only --diff-filter=d HEAD) | sort -u)
+if [ -z "$CHANGED" ]; then
+    echo "lint-changed: no changes vs $BASE"
+    exit 0
+fi
+
+FAIL=0
+
+# --- dcglint: whole-tree analysis, report filtered to changed files --
+LINT_FILES=$(echo "$CHANGED" | grep -E '^(src|tools)/.*\.(cc|cpp|hh|h)$' || true)
+DCGLINT="$BUILD_DIR/tools/dcglint"
+if [ -n "$LINT_FILES" ]; then
+    if [ ! -x "$DCGLINT" ]; then
+        echo "lint-changed: $DCGLINT missing; build it first" \
+             "(cmake --build $BUILD_DIR --target dcglint)" >&2
+        exit 2
+    fi
+    ONLY=$(echo "$LINT_FILES" | paste -sd, -)
+    echo "lint-changed: dcglint --only=$ONLY"
+    "$DCGLINT" --root="$ROOT" --require-anchors \
+               --baseline="$ROOT/ci/dcglint-baseline.txt" \
+               --only="$ONLY"
+    RC=$?
+    [ "$RC" -eq 2 ] && exit 2
+    [ "$RC" -ne 0 ] && FAIL=1
+else
+    echo "lint-changed: no src/tools sources changed; skipping dcglint"
+fi
+
+# --- clang-tidy: per-file, changed translation units only ------------
+TIDY_FILES=$(echo "$CHANGED" | \
+             grep -E '^(src|tools|bench|examples)/.*\.(cc|cpp)$' || true)
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if [ -z "$TIDY_FILES" ]; then
+    echo "lint-changed: no translation units changed; skipping clang-tidy"
+elif ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "lint-changed: $TIDY not found; skipping (install clang-tidy to run locally)"
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint-changed: $BUILD_DIR/compile_commands.json missing;" \
+         "configure with cmake first" >&2
+    exit 2
+else
+    # shellcheck disable=SC2086
+    "$TIDY" -p "$BUILD_DIR" --quiet $TIDY_FILES 2>/dev/null \
+        | grep -E ': (warning|error): ' | sort -u > /tmp/lint-changed.$$ || true
+    if [ -s /tmp/lint-changed.$$ ]; then
+        cat /tmp/lint-changed.$$
+        echo "lint-changed: clang-tidy diagnostics on changed files" >&2
+        FAIL=1
+    fi
+    rm -f /tmp/lint-changed.$$
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+    echo "lint-changed: findings on changed files" >&2
+    exit 1
+fi
+echo "lint-changed: clean"
+exit 0
