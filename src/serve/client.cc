@@ -534,6 +534,36 @@ ClusterClient::tryRoundTrip(const JsonValue &req,
     return tryExchange(nodeFor(routeKey), req, resp, err);
 }
 
+JsonValue
+ClusterClient::admin(const std::string &verb, const JsonValue &args)
+{
+    JsonValue req = args.isObject() ? args : JsonValue::object();
+    req.set("op", JsonValue::string(verb));
+    return exchange(0, req);
+}
+
+JsonValue
+ClusterClient::join(const std::string &node)
+{
+    JsonValue args = JsonValue::object();
+    args.set("node", JsonValue::string(node));
+    return admin("join", args);
+}
+
+JsonValue
+ClusterClient::leave(const std::string &node)
+{
+    JsonValue args = JsonValue::object();
+    args.set("node", JsonValue::string(node));
+    return admin("leave", args);
+}
+
+JsonValue
+ClusterClient::ringInfo()
+{
+    return admin("ring");
+}
+
 std::vector<RunResult>
 ClusterClient::runJobs(const std::vector<JobSpec> &specs)
 {

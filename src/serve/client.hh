@@ -230,6 +230,30 @@ class ClusterClient : public ClientBase
     std::size_t nodeCount() const { return eps.size(); }
     const HashRing &ringView() const { return ring; }
 
+    /// @name Typed admin surface (protocol v5 membership verbs)
+    ///
+    /// Admin verbs address one specific node — the first endpoint
+    /// this client was built with (the coordinator of the change) —
+    /// never ring-routed. Transport failures are fatal() (CLI
+    /// semantics); protocol-level rejections (already_member,
+    /// change_in_progress, ...) come back as the parsed
+    /// {"ok":false,...} response for the caller to judge.
+    /// @{
+
+    /** Send admin @p verb with the fields of @p args on the envelope. */
+    JsonValue admin(const std::string &verb,
+                    const JsonValue &args = JsonValue::object());
+
+    /** Ask the coordinator to add @p node ("host:port") to the ring. */
+    JsonValue join(const std::string &node);
+
+    /** Ask the coordinator to remove @p node from the ring. */
+    JsonValue leave(const std::string &node);
+
+    /** The coordinator's epoch, members and rebalance counters. */
+    JsonValue ringInfo();
+    /// @}
+
   private:
     /** The link pool, starting its LinkLoop on first use. */
     PeerPool &pool();

@@ -55,10 +55,18 @@ parseEndpoints(const std::string &list, std::vector<Endpoint> &out,
             return false;
         }
         Endpoint ep;
-        if (!parseEndpoint(item, ep, err))
+        std::string eerr;
+        if (!parseEndpoint(item, ep, eerr)) {
+            // Name the position as well as the element: in a long
+            // --peers list "port is not a number" alone sends the
+            // user hunting.
+            err = "element " + std::to_string(eps.size() + 1) +
+                  " of '" + list + "': " + eerr;
             return false;
+        }
         if (std::find(eps.begin(), eps.end(), ep) != eps.end()) {
-            err = "duplicate endpoint '" + ep.str() + "' in list";
+            err = "duplicate endpoint '" + ep.str() + "' in list '" +
+                  list + "'";
             return false;
         }
         eps.push_back(std::move(ep));

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * String-keyed op-handler registry for the dcgserved wire protocol.
+ *
+ * Every protocol verb ("submit", "stats", "join", ...) is one OpInfo
+ * plus a handler, registered from server.cc exactly the way gating
+ * schemes (src/gating/registry.hh) and lint checks
+ * (src/lint/registry.hh) self-register: the server's dispatch loop
+ * looks the verb up here instead of walking an `op ==` if/else chain,
+ * an unknown verb gets a structured error naming the whole catalog
+ * (the same UX as `--scheme`/`--check`), and the catalog itself is a
+ * first-class part of the protocol surface — the `stats` response
+ * lists it so clients can discover what a server speaks.
+ *
+ * An OpInfo carries the verb's minimum protocol version and whether
+ * it is an *admin* verb (operator surface — mutates the service
+ * rather than submitting work). minVersion is enforced on the wire
+ * only for verbs introduced after v4: requests never carried a
+ * version gate before this registry existed, so gating the historic
+ * verbs would break the very v1-v4 clients the envelope promises to
+ * keep serving. For the historic verbs the field is catalog
+ * documentation.
+ *
+ * Handlers run on the server's I/O thread with private access to the
+ * Server (registration happens inside server.cc). A handler either
+ * fills OpCall::resp — the dispatch loop stamps version, echoes the
+ * rid and writes it — or sets OpCall::deferred after parking the
+ * response (submit+wait, result+wait, epoch/join/leave quiesce acks).
+ */
+
+#ifndef DCG_SERVE_OPS_HH
+#define DCG_SERVE_OPS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/json.hh"
+
+namespace dcg::serve {
+
+class Server;
+
+/** Everything the catalog knows about one protocol verb. */
+struct OpInfo
+{
+    std::string name;
+    unsigned minVersion = 1;  ///< enforced on the wire when > 4
+    bool adminOnly = false;   ///< operator verb, not a work submission
+    std::string description;  ///< one line, for catalogs and docs
+};
+
+/** One request mid-dispatch; see the file comment for the contract. */
+struct OpCall
+{
+    const JsonValue &req;     ///< the parsed request line
+    unsigned version;         ///< the request's envelope version
+    std::uint64_t connId;     ///< originating connection (for parking)
+    JsonValue resp;           ///< the response, unless deferred
+    bool deferred = false;    ///< response parked; write nothing now
+};
+
+using OpHandler = std::function<void(Server &, OpCall &)>;
+
+/**
+ * Register a verb. Returns true (so a namespace-scope `const bool`
+ * can run the registration). Duplicate names are fatal(): two
+ * handlers claiming one verb is a build error, not a preference.
+ */
+bool registerOp(OpInfo info, OpHandler handler);
+
+/** All registered verbs, sorted by name. */
+std::vector<OpInfo> opCatalog();
+
+/** Registered verb names, sorted. */
+std::vector<std::string> opNames();
+
+/** Names joined for error text, e.g. "compact|fetch|join|...". */
+std::string opNamesJoined(char sep = '|');
+
+/** True when @p name is a registered verb. */
+bool isOp(const std::string &name);
+
+/** Catalog entry for @p name, or nullptr. */
+const OpInfo *findOp(const std::string &name);
+
+/** Handler for @p name, or nullptr. */
+const OpHandler *findOpHandler(const std::string &name);
+
+/** The catalog as a JSON array (name/min_version/admin/description)
+ *  — the `ops` member of the stats response. */
+JsonValue opCatalogJson();
+
+} // namespace dcg::serve
+
+#endif // DCG_SERVE_OPS_HH

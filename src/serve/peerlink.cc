@@ -53,8 +53,23 @@ PeerPool::PeerPool(std::vector<Endpoint> peers, Options options)
     : endpoints(std::move(peers)), opts(std::move(options))
 {
     links.resize(endpoints.size());
-    for (std::size_t i = 0; i < endpoints.size(); ++i)
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
         links[i].ep = endpoints[i];
+        links[i].idx = i;
+    }
+}
+
+std::size_t
+PeerPool::addPeer(const Endpoint &ep)
+{
+    for (std::size_t i = 0; i < endpoints.size(); ++i)
+        if (endpoints[i] == ep)
+            return i;
+    endpoints.push_back(ep);
+    links.emplace_back();
+    links.back().ep = ep;
+    links.back().idx = links.size() - 1;
+    return links.size() - 1;
 }
 
 PeerPool::~PeerPool()
@@ -507,8 +522,7 @@ PeerPool::downgradeToLegacy(Link &link)
     legacyFallbacks_.fetch_add(1, std::memory_order_relaxed);
     link.legacy = true;
 
-    const std::size_t idx =
-        static_cast<std::size_t>(&link - links.data());
+    const std::size_t idx = link.idx;
 
     // The peer rejected (never executed) every pipelined frame, so
     // replaying them one-shot is safe. Queued-but-unsent frames ride
@@ -539,7 +553,8 @@ PeerPool::toLegacy(std::size_t idx, std::uint64_t rid, JsonValue req,
     legacyPending.emplace(rid, std::move(cb));
     {
         std::lock_guard<std::mutex> lock(legacyMutex);
-        legacyQueue.push_back(LegacyTask{idx, rid, std::move(req)});
+        legacyQueue.push_back(
+            LegacyTask{endpoints[idx], rid, std::move(req)});
         if (!legacyThread.joinable())
             legacyThread = std::thread([this] { legacyLoop(); });
     }
@@ -594,7 +609,7 @@ PeerPool::runLegacy(const LegacyTask &task)
     PeerReply reply;
     Connection conn;
     std::string err;
-    if (!conn.open(endpoints[task.idx], err, opts.peerTimeoutMs)) {
+    if (!conn.open(task.ep, err, opts.peerTimeoutMs)) {
         reply.error = err;
         return reply;
     }
@@ -739,7 +754,11 @@ PeerPool::runDue()
             fn();
     }
 
-    for (Link &link : links) {
+    // Index-based: the failure callbacks below may addPeer(), growing
+    // the table mid-sweep (new links are idle, so visiting or missing
+    // them this pass is equally correct).
+    for (std::size_t li = 0; li < links.size(); ++li) {
+        Link &link = links[li];
         if (link.state == Link::State::Connecting &&
             now >= link.connectDeadline) {
             failConnect(link, "connect timed out");
@@ -846,7 +865,8 @@ PeerPool::shutdown()
     }
 
     timers.clear();
-    for (Link &link : links) {
+    for (std::size_t li = 0; li < links.size(); ++li) {
+        Link &link = links[li];
         std::vector<PeerCompletion> waiters;
         waiters.swap(link.connectWaiters);
         failAllPending(link, "peer pool is shut down");
@@ -965,14 +985,29 @@ bool
 DirectPeerTransport::call(std::size_t idx, const JsonValue &req,
                           JsonValue &resp, std::string &err)
 {
-    if (idx >= endpoints.size()) {
-        err = "peer index out of range";
-        return false;
+    Endpoint ep;
+    {
+        std::lock_guard<std::mutex> lock(epMutex);
+        if (idx >= endpoints.size()) {
+            err = "peer index out of range";
+            return false;
+        }
+        ep = endpoints[idx];
     }
     Connection conn;
-    if (!conn.open(endpoints[idx], err, timeoutMs))
+    if (!conn.open(ep, err, timeoutMs))
         return false;
     return conn.roundTrip(req, resp, err);
+}
+
+void
+DirectPeerTransport::addPeer(const Endpoint &ep)
+{
+    std::lock_guard<std::mutex> lock(epMutex);
+    for (const Endpoint &existing : endpoints)
+        if (existing == ep)
+            return;
+    endpoints.push_back(ep);
 }
 
 PoolPeerTransport::PoolPeerTransport(PeerPool *pool,
@@ -980,6 +1015,12 @@ PoolPeerTransport::PoolPeerTransport(PeerPool *pool,
                                      unsigned timeoutMs)
     : pool(pool), direct(std::move(peers), timeoutMs)
 {
+}
+
+void
+PoolPeerTransport::addPeer(const Endpoint &ep)
+{
+    direct.addPeer(ep);
 }
 
 bool

@@ -98,6 +98,16 @@ class PeerPool
     void call(std::size_t idx, JsonValue req, PeerCompletion cb)
         DCG_OWNER_THREAD;
 
+    /**
+     * Append a peer (elastic membership: a node joining the ring gets
+     * a link slot without rebuilding the pool — in-flight requests
+     * and their completions are untouched). Returns the peer's index;
+     * an endpoint already present returns its existing index. The
+     * link table is a deque and every loop over it is index-based, so
+     * growing it from a completion callback is safe.
+     */
+    std::size_t addPeer(const Endpoint &ep) DCG_OWNER_THREAD;
+
     /** Establish (or confirm) the TCP link to @p idx without sending
      *  a frame; @p cb gets transportOk on success. */
     void connectAsync(std::size_t idx, PeerCompletion cb)
@@ -152,7 +162,8 @@ class PeerPool
         return running_.load(std::memory_order_acquire);
     }
 
-    std::size_t peerCount() const DCG_ANY_THREAD
+    /** Owner-thread: addPeer() can grow the table concurrently. */
+    std::size_t peerCount() const DCG_OWNER_THREAD
     {
         return endpoints.size();
     }
@@ -191,6 +202,7 @@ class PeerPool
         enum class State { Down, Connecting, Up };
 
         Endpoint ep;
+        std::size_t idx = 0;  ///< position in links/endpoints
         int fd = -1;
         State state = State::Down;
         bool legacy = false;       ///< peer speaks <= v3: one-shots
@@ -226,7 +238,9 @@ class PeerPool
 
     struct LegacyTask
     {
-        std::size_t idx = 0;
+        /** Captured at enqueue: the legacy thread must not read the
+         *  endpoint table the owner thread may be growing. */
+        Endpoint ep;
         std::uint64_t rid = 0;
         JsonValue req;
     };
@@ -258,7 +272,9 @@ class PeerPool
 
     std::vector<Endpoint> endpoints;
     Options opts;
-    std::vector<Link> links;  ///< index-aligned with endpoints
+    /** Index-aligned with endpoints. A deque so addPeer() growth
+     *  never invalidates a Link reference held across a callback. */
+    std::deque<Link> links;
     std::uint64_t nextRid = 1;
     std::vector<Timer> timers;
 
@@ -332,6 +348,13 @@ class PeerTransport
     virtual bool call(std::size_t idx, const JsonValue &req,
                       JsonValue &resp, std::string &err)
         DCG_ANY_THREAD = 0;
+
+    /** Elastic membership: extend the index space with a new peer.
+     *  Default no-op so transport fakes in tests stay two-liners. */
+    virtual void addPeer(const Endpoint &ep) DCG_ANY_THREAD
+    {
+        (void)ep;
+    }
 };
 
 /** One-shot blocking connections (the pre-mux wire behaviour). */
@@ -342,9 +365,11 @@ class DirectPeerTransport : public PeerTransport
                         unsigned timeoutMs);
     bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
               std::string &err) override DCG_ANY_THREAD;
+    void addPeer(const Endpoint &ep) override DCG_ANY_THREAD;
 
   private:
-    std::vector<Endpoint> endpoints;
+    mutable std::mutex epMutex;  ///< addPeer() races call()
+    std::vector<Endpoint> endpoints DCG_GUARDED_BY(epMutex);
     unsigned timeoutMs;
 };
 
@@ -360,6 +385,11 @@ class PoolPeerTransport : public PeerTransport
                       unsigned timeoutMs);
     bool call(std::size_t idx, const JsonValue &req, JsonValue &resp,
               std::string &err) override DCG_ANY_THREAD;
+
+    /** Extends only the one-shot fallback: the pool itself is grown
+     *  by its owner thread (Server::installEpoch → PeerPool::addPeer),
+     *  never through this any-thread seam. */
+    void addPeer(const Endpoint &ep) override DCG_ANY_THREAD;
 
   private:
     PeerPool *pool;

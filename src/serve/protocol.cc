@@ -315,4 +315,57 @@ fetchRequest(const std::string &key)
     return o;
 }
 
+namespace {
+
+JsonValue
+memberArray(const std::vector<std::string> &members)
+{
+    JsonValue arr = JsonValue::array();
+    for (const std::string &m : members)
+        arr.push(JsonValue::string(m));
+    return arr;
+}
+
+} // namespace
+
+JsonValue
+epochRequest(std::uint64_t epoch,
+             const std::vector<std::string> &members,
+             std::uint64_t prevEpoch,
+             const std::vector<std::string> &prevMembers,
+             unsigned replicas)
+{
+    JsonValue o = JsonValue::object();
+    o.set("op", JsonValue::string("epoch"));
+    o.set("epoch", JsonValue::integer(epoch));
+    o.set("members", memberArray(members));
+    o.set("prev_epoch", JsonValue::integer(prevEpoch));
+    o.set("prev_members", memberArray(prevMembers));
+    o.set("replicas", JsonValue::integer(std::uint64_t{replicas}));
+    stampVersion(o, kProtocolVersion);
+    return o;
+}
+
+JsonValue
+staleEpochResponse(std::uint64_t epoch,
+                   const std::vector<std::string> &members)
+{
+    JsonValue o = errorResponse(
+        "stale_epoch", "this node is already on a newer ring epoch");
+    o.set("epoch", JsonValue::integer(epoch));
+    o.set("members", memberArray(members));
+    return o;
+}
+
+JsonValue
+versionTooLowResponse(const std::string &op, unsigned minVersion)
+{
+    JsonValue o = errorResponse(
+        "version_too_low", "op '" + op + "' needs protocol version " +
+                               std::to_string(minVersion) + " or newer");
+    o.set("min_version",
+          JsonValue::integer(std::uint64_t{minVersion}));
+    return o;
+}
+
 } // namespace dcg::serve

@@ -65,10 +65,34 @@
  * "unsupported_version" (supported < 4) is retried over the
  * pre-mux one-shot-connection path, so v1-v3 peers keep working.
  *
+ * Cluster membership (version 5): the ring is no longer frozen at
+ * startup. Three admin verbs ride the same envelope:
+ *   {"op":"join",  "node":"HOST:PORT"}  -> add a running node
+ *   {"op":"leave", "node":"HOST:PORT"}  -> remove a member
+ *   {"op":"ring"}                       -> epoch, members, rebalance
+ * plus the peer-to-peer verb the coordinator confirms a change with:
+ *   {"op":"epoch", "epoch":N, "members":[...], "prev_epoch":M,
+ *    "prev_members":[...], "replicas":k}
+ * Membership is a *versioned ring epoch*: a monotonically increasing
+ * epoch id plus the member list. A node receiving an epoch newer than
+ * its own installs it (keeping the previous view for dual-epoch
+ * routing), rebalances by pushing only the remapped ~1/N arcs to
+ * their new owners over the v3 `replicate` verb, and acks the epoch
+ * only once that push queue drains — so a join/leave response means
+ * the whole cluster has quiesced. An epoch older than the receiver's
+ * is rejected with "stale_epoch" carrying the higher epoch and its
+ * member list, which is how disagreeing peers resolve to the highest
+ * epoch. Until handoff completes, previous-epoch holders keep serving
+ * (`fetch` falls back to them), so no request ever misses. v1-v4
+ * clients keep working unchanged; the admin verbs themselves require
+ * a v5 envelope ("version_too_low" otherwise).
+ *
  * Error responses: {"ok":false, "error": "<code>", "detail": "..."};
  * a full queue answers code "busy" plus "retry_after_ms". Done results
  * carry "result": [<RunResult>] — the exact writeResultsJson() array
- * flattened onto one line, numbers forwarded token-for-token.
+ * flattened onto one line, numbers forwarded token-for-token. The
+ * full verb catalog lives in the op registry (serve/ops.hh) and is
+ * echoed on every stats response as "ops".
  */
 
 #ifndef DCG_SERVE_PROTOCOL_HH
@@ -89,9 +113,11 @@ namespace dcg::serve {
  * itself, `not_owner`/`redirect` and forwarded submits; version 3
  * adds replication (`replicate`/`fetch` ops and replica-marked
  * forwarded submits); version 4 adds request-id multiplexing ("rid"
- * echo on every response) and single-job submit+wait.
+ * echo on every response) and single-job submit+wait; version 5 adds
+ * elastic membership (`join`/`leave`/`ring` admin verbs and the
+ * peer-to-peer `epoch` confirmation).
  */
-constexpr unsigned kProtocolVersion = 4;
+constexpr unsigned kProtocolVersion = 5;
 
 /** Highest version whose peers are driven over one-shot connections
  *  (no rid multiplexing): the legacy fallback target. */
@@ -194,6 +220,28 @@ JsonValue replicateRequest(const std::string &key, const RunResult &r);
 
 /** v3 "fetch" pull: ask a holder for its local record of @p key. */
 JsonValue fetchRequest(const std::string &key);
+
+/**
+ * v5 "epoch" confirmation: install ring epoch @p epoch with member
+ * list @p members, superseding (@p prevEpoch, @p prevMembers).
+ * @p replicas carries the coordinator's configured factor so a
+ * freshly joined node replicates with the cluster's k, not its own.
+ */
+JsonValue epochRequest(std::uint64_t epoch,
+                       const std::vector<std::string> &members,
+                       std::uint64_t prevEpoch,
+                       const std::vector<std::string> &prevMembers,
+                       unsigned replicas);
+
+/** "stale_epoch" error carrying the higher epoch and its members —
+ *  how peers that disagree resolve to the highest epoch. */
+JsonValue staleEpochResponse(std::uint64_t epoch,
+                             const std::vector<std::string> &members);
+
+/** "version_too_low" error: @p op needs envelope version
+ *  >= @p minVersion. */
+JsonValue versionTooLowResponse(const std::string &op,
+                                unsigned minVersion);
 /// @}
 
 } // namespace dcg::serve

@@ -46,7 +46,43 @@ ReplicatedStore::~ReplicatedStore()
 std::vector<std::size_t>
 ReplicatedStore::holdersFor(const std::string &key) const
 {
-    return ring.ownerIndices(key, k);
+    return ring.ownerIndices(key, k.load());
+}
+
+void
+ReplicatedStore::setEpochViews(const EpochView &cur,
+                               const EpochView &prev, unsigned replicas)
+{
+    if (!cur.valid())
+        fatal("replication: cannot install an empty current epoch");
+    {
+        std::lock_guard<std::mutex> lk(viewMutex);
+        useViews = true;
+        curView = cur;
+        prevView = prev;
+        viewReps = std::max(replicas, 1u);
+        k = static_cast<unsigned>(std::min<std::size_t>(
+            viewReps, cur.members.size()));
+    }
+}
+
+bool
+ReplicatedStore::fetchFrom(std::size_t idx, const JsonValue &req,
+                           const std::string &key, RunResult &out)
+{
+    JsonValue resp;
+    std::string err;
+    if (!transport->call(idx, req, resp, err))
+        return false;
+    if (!resp.get("ok").asBool(false))
+        return false;
+    std::vector<RunResult> one;
+    if (!resultsFromJson(resp.get("result"), one, err) ||
+        one.size() != 1)
+        return false;
+    out = std::move(one.front());
+    local->putReplica(key, out);
+    return true;
 }
 
 bool
@@ -54,34 +90,69 @@ ReplicatedStore::get(const std::string &key, RunResult &out)
 {
     if (local->get(key, out))
         return true;
-    if (k <= 1)
-        return false;
 
-    // Local miss: if we are one of the key's holders, a sibling may
-    // still have the record — pull it and repair our copy.
-    const std::vector<std::size_t> holders = holdersFor(key);
-    if (std::find(holders.begin(), holders.end(), selfIdx) ==
-        holders.end())
+    // Snapshot the routing state: either the installed epoch views or
+    // the fixed construction-time ring (pre-v5 behaviour).
+    bool views;
+    EpochView cur, prev;
+    unsigned reps;
+    {
+        std::lock_guard<std::mutex> lk(viewMutex);
+        views = useViews;
+        if (views) {
+            cur = curView;
+            prev = prevView;
+        }
+        reps = viewReps;
+    }
+
+    std::vector<std::size_t> curHolders, prevHolders;
+    if (views) {
+        curHolders = cur.holders(
+            key, std::min<std::size_t>(reps, cur.members.size()));
+        if (prev.valid())
+            prevHolders = prev.holders(
+                key, std::min<std::size_t>(reps, prev.members.size()));
+    } else {
+        if (k.load() <= 1)
+            return false;
+        curHolders = holdersFor(key);
+    }
+
+    // Only a holder (under either epoch) pulls from peers; everyone
+    // else misses locally and lets the owner do the work.
+    const bool selfInCur = std::find(curHolders.begin(),
+                                     curHolders.end(),
+                                     selfIdx) != curHolders.end();
+    const bool selfInPrev = std::find(prevHolders.begin(),
+                                      prevHolders.end(),
+                                      selfIdx) != prevHolders.end();
+    if (!selfInCur && !selfInPrev)
         return false;
 
     const JsonValue req = fetchRequest(key);
-    for (std::size_t idx : holders) {
+
+    // Current-epoch siblings first: ordinary read-repair.
+    for (std::size_t idx : curHolders) {
         if (idx == selfIdx)
             continue;
-        JsonValue resp;
-        std::string err;
-        if (!transport->call(idx, req, resp, err))
+        if (fetchFrom(idx, req, key, out)) {
+            ++repaired;
+            return true;
+        }
+    }
+
+    // Then the previous epoch's holders: the handoff leg. The record
+    // may still live only where the old ring placed it.
+    for (std::size_t idx : prevHolders) {
+        if (idx == selfIdx ||
+            std::find(curHolders.begin(), curHolders.end(), idx) !=
+                curHolders.end())
             continue;
-        if (!resp.get("ok").asBool(false))
-            continue;
-        std::vector<RunResult> one;
-        if (!resultsFromJson(resp.get("result"), one, err) ||
-            one.size() != 1)
-            continue;
-        out = std::move(one.front());
-        local->putReplica(key, out);
-        ++repaired;
-        return true;
+        if (fetchFrom(idx, req, key, out)) {
+            ++handoffs;
+            return true;
+        }
     }
     ++misses;
     return false;
@@ -91,15 +162,37 @@ void
 ReplicatedStore::put(const std::string &key, const RunResult &r)
 {
     local->put(key, r);
-    if (k <= 1)
-        return;
+
+    bool views;
+    EpochView cur;
+    unsigned reps;
+    {
+        std::lock_guard<std::mutex> lk(viewMutex);
+        views = useViews;
+        if (views)
+            cur = curView;
+        reps = viewReps;
+    }
 
     Task t;
     t.key = key;
+    if (views) {
+        // Fan out to the current epoch's holders — including the new
+        // owner of a key this node only serves under the previous
+        // epoch, which doubles as an eager handoff of fresh results.
+        const auto holders = cur.holders(
+            key, std::min<std::size_t>(reps, cur.members.size()));
+        for (std::size_t idx : holders)
+            if (idx != selfIdx)
+                t.targets.push_back(idx);
+    } else {
+        if (k.load() <= 1)
+            return;
+        for (std::size_t idx : holdersFor(key))
+            if (idx != selfIdx)
+                t.targets.push_back(idx);
+    }
     t.result = r;
-    for (std::size_t idx : holdersFor(key))
-        if (idx != selfIdx)
-            t.targets.push_back(idx);
     if (t.targets.empty())
         return;
     {

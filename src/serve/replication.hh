@@ -29,6 +29,17 @@
  * through to the local store: replica records are ordinary records
  * there, budgeted and compacted exactly once.
  *
+ * Elastic membership (protocol v5): once the server installs epoch
+ * views via setEpochViews(), routing switches from the fixed
+ * construction-time ring to the current EpochView, and the read path
+ * gains a *handoff* leg — on a local miss, after the current epoch's
+ * sibling holders, the *previous* epoch's holders are asked too
+ * (counted separately as handoff fetches). That leg is what lets a
+ * node serve an arc it just inherited before the background rebalance
+ * push has landed the record, which in turn is what makes a live
+ * join/leave lose zero work. Holder indices in a view are node-table
+ * indices — the same index space the transport is addressed by.
+ *
  * Peer I/O goes through a PeerTransport seam: the server injects a
  * PoolPeerTransport so pushes and fetches ride the event loop's
  * multiplexed links; standalone uses (unit tests, tools) default to
@@ -115,8 +126,19 @@ class ReplicatedStore : public exp::ResultStoreBase
     /** Block until every queued fan-out push has been attempted. */
     void flush() DCG_ANY_THREAD;
 
+    /**
+     * Install the epoch views that route replication from now on:
+     * @p cur decides a key's holders, @p prev (invalid() when there is
+     * no previous epoch or its handoff completed) adds the handoff
+     * read leg. @p replicas is the cluster's configured k; the
+     * effective factor is clamped per view to its member count. May
+     * be called repeatedly as epochs advance.
+     */
+    void setEpochViews(const EpochView &cur, const EpochView &prev,
+                       unsigned replicas) DCG_ANY_THREAD;
+
     /** Effective replication factor (clamped to the cluster size). */
-    unsigned factor() const DCG_ANY_THREAD { return k; }
+    unsigned factor() const DCG_ANY_THREAD { return k.load(); }
 
     /** Successful `replicate` pushes to followers. */
     std::uint64_t pushes() const DCG_ANY_THREAD
@@ -142,6 +164,12 @@ class ReplicatedStore : public exp::ResultStoreBase
         return misses.load();
     }
 
+    /** Local misses served by a *previous-epoch* holder (handoff). */
+    std::uint64_t handoffFetches() const DCG_ANY_THREAD
+    {
+        return handoffs.load();
+    }
+
     /** Fan-out tasks queued or mid-push right now. */
     std::size_t pendingPushes() const DCG_ANY_THREAD
     {
@@ -160,16 +188,26 @@ class ReplicatedStore : public exp::ResultStoreBase
     /** The key's holder indices (ring successor order, primary first). */
     std::vector<std::size_t> holdersFor(const std::string &key) const;
 
+    /** Fetch @p key from @p idx; on success repair locally and serve. */
+    bool fetchFrom(std::size_t idx, const JsonValue &req,
+                   const std::string &key, RunResult &out);
+
     void replicatorLoop();
     void pushOne(const Task &t);
 
     std::shared_ptr<ResultStore> local;
     std::vector<Endpoint> nodes;
     std::size_t selfIdx;
-    unsigned k;
+    std::atomic<unsigned> k{1};
     unsigned timeoutMs;
     HashRing ring;
     std::shared_ptr<PeerTransport> transport;
+
+    mutable std::mutex viewMutex;
+    bool useViews DCG_GUARDED_BY(viewMutex) = false;
+    EpochView curView DCG_GUARDED_BY(viewMutex);
+    EpochView prevView DCG_GUARDED_BY(viewMutex);
+    unsigned viewReps DCG_GUARDED_BY(viewMutex) = 1;
 
     mutable std::mutex qMutex;
     std::condition_variable qCv;       ///< work available / drained
@@ -182,6 +220,7 @@ class ReplicatedStore : public exp::ResultStoreBase
     std::atomic<std::uint64_t> pushFailed{0};
     std::atomic<std::uint64_t> repaired{0};
     std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> handoffs{0};
 };
 
 } // namespace dcg::serve

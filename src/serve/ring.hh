@@ -83,6 +83,59 @@ class HashRing
     std::vector<std::pair<std::uint64_t, std::uint32_t>> points;
 };
 
+/**
+ * EpochView: one versioned ring epoch — the unit of elastic cluster
+ * membership (protocol v5). A monotonically increasing epoch id, the
+ * member list it was agreed for, the ring built over those members,
+ * and the mapping from each member's ring ordinal to its index in the
+ * process-local append-only node table (which is what peer links and
+ * transports are addressed by — nodes keep their table slot across
+ * epochs, so in-flight peer work survives a membership change).
+ *
+ * A server holds two: the current epoch routes new work, while the
+ * previous one keeps answering for records whose handoff has not
+ * landed yet (dual-epoch routing). Plain value type; the thread
+ * owning it decides the locking.
+ */
+struct EpochView
+{
+    std::uint64_t epoch = 0;
+    std::vector<std::string> members;   ///< canonical "host:port"s
+    std::vector<std::size_t> nodeIdx;   ///< member ordinal -> node table
+    HashRing ring;                      ///< built over members
+
+    /** An epoch with no members is "no view" (e.g. no previous). */
+    bool valid() const { return !members.empty(); }
+
+    bool hasMember(const std::string &addr) const
+    {
+        for (const std::string &m : members)
+            if (m == addr)
+                return true;
+        return false;
+    }
+
+    /** The key's holder *node-table* indices, primary first. */
+    std::vector<std::size_t> holders(const std::string &key,
+                                     std::size_t k) const
+    {
+        std::vector<std::size_t> out;
+        for (std::size_t ord : ring.ownerIndices(key, k))
+            out.push_back(nodeIdx[ord]);
+        return out;
+    }
+
+    /** True when @p node (a node-table index) holds @p key. */
+    bool holds(const std::string &key, std::size_t k,
+               std::size_t node) const
+    {
+        for (std::size_t idx : holders(key, k))
+            if (idx == node)
+                return true;
+        return false;
+    }
+};
+
 } // namespace dcg::serve
 
 #endif // DCG_SERVE_RING_HH

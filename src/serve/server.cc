@@ -27,6 +27,25 @@ constexpr std::size_t kMaxLineBytes = 1 << 20;
  *  on — mirrors the client-side submit retry bound. */
 constexpr unsigned kMaxForwardBusyRetries = 600;
 
+/** Replicate pushes a rebalance keeps on the wire at once — enough to
+ *  pipeline the links, small enough not to starve forwarded work. */
+constexpr std::size_t kMaxRebalanceInflight = 4;
+
+/** During a membership transition a holder may answer not_owner
+ *  because it has not installed the new epoch yet; the Forward chain
+ *  re-asks the same holder instead of burning it. */
+constexpr unsigned kMaxForwardOwnerRetries = 200;
+constexpr unsigned kOwnerRetryDelayMs = 50;
+
+JsonValue
+memberListJson(const std::vector<std::string> &members)
+{
+    JsonValue arr = JsonValue::array();
+    for (const std::string &m : members)
+        arr.push(JsonValue::string(m));
+    return arr;
+}
+
 void
 setNonBlocking(int fd)
 {
@@ -121,6 +140,39 @@ Server::Server(const ServerConfig &config)
                     &blen) == 0)
         boundPort = ntohs(bound.sin_port);
 
+    // This node's canonical identity and the epoch-0 standalone view:
+    // a one-member ring a live `join` can grow from.
+    selfAddr = !cfg.self.empty()
+                   ? cfg.self
+                   : cfg.host + ":" + std::to_string(boundPort);
+    {
+        Endpoint self_ep;
+        std::string eerr;
+        if (!parseEndpoint(selfAddr, self_ep, eerr))
+            fatal("dcgserved: bad self address '", selfAddr, "': ",
+                  eerr);
+        nodes = {self_ep};
+    }
+    selfIdx = 0;
+    curEp.epoch = 0;
+    curEp.members = {selfAddr};
+    curEp.nodeIdx = {0};
+    curEp.ring = HashRing(curEp.members);
+    epochReps = std::max(cfg.replicas, 1u);
+
+    if (store) {
+        // Decorate with the replication layer even standalone (k=1,
+        // pass-through): a later live join needs its handoff read
+        // path, and the Engine's store pointer cannot be swapped
+        // safely once workers run.
+        peerTransport = std::make_shared<DirectPeerTransport>(
+            nodes, cfg.peerTimeoutMs);
+        repl = std::make_shared<ReplicatedStore>(
+            store, nodes, selfIdx, 1, cfg.peerTimeoutMs, peerTransport);
+        repl->setEpochViews(curEp, prevEp, epochReps);
+        eng.attachStore(repl);
+    }
+
     if (!cfg.peers.empty())
         configureCluster(cfg.peers, cfg.self);
 }
@@ -148,6 +200,18 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
     selfIdx = self_idx;
     clustered = nodes.size() > 1;
 
+    // Epoch 0: the statically configured member list; live joins and
+    // leaves advance from here. The node table and the member list
+    // coincide until the first membership change.
+    curEp = EpochView{};
+    curEp.epoch = 0;
+    curEp.members = endpointStrings(nodes);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        curEp.nodeIdx.push_back(i);
+    curEp.ring = ring;
+    prevEp = EpochView{};
+    epochReps = std::max(cfg.replicas, 1u);
+
     replFactor = 1;
     if (repl) {
         // Reconfiguring: destroy the old replication layer (joining
@@ -174,13 +238,22 @@ Server::configureCluster(const std::vector<Endpoint> &allNodes,
         if (replFactor < cfg.replicas)
             warn("dcgserved: --replicas=", cfg.replicas,
                  " clamped to the cluster size (", replFactor, ")");
-        repl = std::make_shared<ReplicatedStore>(
-            store, nodes, selfIdx, replFactor, cfg.peerTimeoutMs,
-            peerTransport);
-        eng.attachStore(repl);
     } else if (cfg.replicas > 1) {
         warn("dcgserved: --replicas=", cfg.replicas,
              " ignored on a single-node cluster");
+    }
+    if (store) {
+        // The replication layer wraps every store-backed node (k=1 is
+        // a pass-through): it carries the epoch views the handoff
+        // read path needs when the ring resizes live.
+        if (!peerTransport)
+            peerTransport = std::make_shared<DirectPeerTransport>(
+                nodes, cfg.peerTimeoutMs);
+        repl = std::make_shared<ReplicatedStore>(
+            store, nodes, selfIdx, std::max(replFactor, 1u),
+            cfg.peerTimeoutMs, peerTransport);
+        repl->setEpochViews(curEp, prevEp, epochReps);
+        eng.attachStore(repl);
     }
 
     if (clustered)
@@ -299,6 +372,8 @@ Server::idle()
 {
     if (inflightForwards != 0 || (pool && !pool->idle()))
         return false;
+    if (rebal.active || adm.active)
+        return false;
     {
         std::lock_guard<std::mutex> lk(qMutex);
         if (!pending.empty() ||
@@ -322,6 +397,7 @@ Server::run()
     workerThreads.reserve(workerCount);
     for (unsigned i = 0; i < workerCount; ++i)
         workerThreads.emplace_back([this] { workerLoop(); });
+    loopRunning = true;
     if (pool)
         pool->markRunning();
 
@@ -437,6 +513,7 @@ Server::run()
     // responses land in conn buffers about to close — same fate as
     // any other undelivered output) and unblock every thread parked
     // in a callSync before the workers are joined below.
+    loopRunning = false;
     if (pool)
         pool->shutdown();
     drainEvents();
@@ -587,50 +664,118 @@ Server::handleLine(Conn &conn, const std::string &line)
         return;
     }
 
+    // Registry dispatch: every verb — built-in or future — resolves
+    // through the op catalog (serve/ops.hh); there is no verb chain.
     const std::string op = req.get("op").asString();
-    if (op == "result") {
-        handleResult(conn, req, version);  // may park the response
+    const OpInfo *info = findOp(op);
+    if (!info) {
+        ++badRequests;
+        JsonValue resp = errorResponse(
+            "bad_request",
+            "unknown op '" + op + "' (expected " + opNamesJoined() +
+                ")");
+        stampVersion(resp, version);
+        echoRid(req, resp);
+        conn.out += resp.dump();
+        conn.out += '\n';
+        return;
+    }
+    // minVersion is enforced only for verbs newer than v4 — the
+    // historic verbs predate versioned requests (see ops.hh).
+    if (info->minVersion > 4 && version < info->minVersion) {
+        ++badRequests;
+        JsonValue resp = versionTooLowResponse(op, info->minVersion);
+        stampVersion(resp, version);
+        echoRid(req, resp);
+        conn.out += resp.dump();
+        conn.out += '\n';
         return;
     }
 
-    JsonValue resp;
-    if (op == "submit") {
-        bool deferred = false;
-        resp = stopFlag.load(std::memory_order_acquire)
-                   ? errorResponse("draining", "server is shutting down")
-                   : handleSubmit(req, version, conn, deferred);
-        if (deferred)
-            return;  // a v4 submit+wait parked on the job's waiters
-    } else if (op == "status") {
-        resp = handleStatus(req);
-    } else if (op == "replicate") {
+    OpCall call{req, version, conn.id, JsonValue(), false};
+    (*findOpHandler(op))(*this, call);
+    if (call.deferred)
+        return;  // the response is parked; written on completion
+    stampVersion(call.resp, version);
+    echoRid(req, call.resp);
+    conn.out += call.resp.dump();
+    conn.out += '\n';
+}
+
+void
+registerServerOps()
+{
+    static const bool once = [] {
+        registerOp({"submit", 1, false,
+                    "run or fetch simulation jobs (job/jobs/grid)"},
+                   [](Server &s, OpCall &c) {
+                       c.resp =
+                           s.stopFlag.load(std::memory_order_acquire)
+                               ? errorResponse(
+                                     "draining",
+                                     "server is shutting down")
+                               : s.handleSubmit(c.req, c.version,
+                                                c.connId, c.deferred);
+                   });
+        registerOp({"status", 1, false, "poll one job's state"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = s.handleStatus(c.req);
+                   });
+        registerOp({"result", 1, false,
+                    "fetch (or wait for) one job's result"},
+                   [](Server &s, OpCall &c) { s.handleResult(c); });
+        registerOp({"stats", 1, false,
+                    "service counters and the op catalog"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = okResponse();
+                       c.resp.set("stats", s.statsJson());
+                   });
+        registerOp({"shutdown", 1, true, "begin graceful drain"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = okResponse();
+                       c.resp.set("status",
+                                  JsonValue::string("draining"));
+                       s.requestStop();
+                   });
+        registerOp({"compact", 2, true,
+                    "garbage-collect the result store"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = s.handleCompact();
+                   });
         // Accepted even while draining: a late replica or read-repair
         // write is a harmless local put that helps the cluster heal.
-        resp = handleReplicate(req);
-    } else if (op == "fetch") {
-        resp = handleFetch(req);
-    } else if (op == "stats") {
-        resp = okResponse();
-        resp.set("stats", statsJson());
-    } else if (op == "compact") {
-        resp = handleCompact();
-    } else if (op == "shutdown") {
-        resp = okResponse();
-        resp.set("status", JsonValue::string("draining"));
-        requestStop();
-    } else {
-        ++badRequests;
-        resp = errorResponse("bad_request", "unknown op '" + op + "'");
-    }
-    stampVersion(resp, version);
-    echoRid(req, resp);
-    conn.out += resp.dump();
-    conn.out += '\n';
+        registerOp({"replicate", 3, false,
+                    "store a replica record (peer-to-peer)"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = s.handleReplicate(c.req);
+                   });
+        registerOp({"fetch", 3, false,
+                    "serve a stored record to a peer"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = s.handleFetch(c.req);
+                   });
+        registerOp({"join", 5, true,
+                    "add a node to the ring (advances the epoch)"},
+                   [](Server &s, OpCall &c) { s.handleJoin(c); });
+        registerOp({"leave", 5, true,
+                    "remove a node from the ring (advances the epoch)"},
+                   [](Server &s, OpCall &c) { s.handleLeave(c); });
+        registerOp({"ring", 5, true,
+                    "current epoch, members and rebalance state"},
+                   [](Server &s, OpCall &c) {
+                       c.resp = s.handleRing();
+                   });
+        registerOp({"epoch", 5, false,
+                    "peer-to-peer epoch announcement"},
+                   [](Server &s, OpCall &c) { s.handleEpoch(c); });
+        return true;
+    }();
+    (void)once;
 }
 
 JsonValue
 Server::handleSubmit(const JsonValue &req, unsigned version,
-                     Conn &conn, bool &deferred)
+                     std::uint64_t connId, bool &deferred)
 {
     deferred = false;
     std::vector<JobSpec> specs;
@@ -679,7 +824,6 @@ Server::handleSubmit(const JsonValue &req, unsigned version,
     // asked to route itself ("redirect": true, single job) gets the
     // owner's address back instead of transparent forwarding.
     const bool forwarded = req.get("forwarded").asBool(false);
-    const bool asReplica = req.get("replica").asBool(false);
     const bool wantRedirect = req.get("redirect").asBool(false);
 
     struct Admit
@@ -699,17 +843,33 @@ Server::handleSubmit(const JsonValue &req, unsigned version,
         a.job = s.toJob();
         if (clustered) {
             const std::string key = exp::jobKey(a.job);
-            a.holders = ring.ownerIndices(key, replFactor);
+            a.holders = curEp.holders(
+                key, std::min<std::size_t>(replFactor,
+                                           curEp.members.size()));
             a.remote = a.holders.front() != selfIdx;
-            // A replica-marked forward is a failover: a peer could
-            // not reach the key's primary and asks us — one of the
-            // key's holders — to serve it. Treat it as local (our
-            // store has the replica, or we recompute); a non-holder
-            // still bounces not_owner so a bad ring cannot loop.
-            if (a.remote && forwarded && asReplica &&
-                std::find(a.holders.begin(), a.holders.end(),
-                          selfIdx) != a.holders.end())
-                a.remote = false;
+            // A forwarded submit is served here whenever this node
+            // holds the key under the *current or previous* epoch:
+            // a replica-marked forward is a failover onto a holder,
+            // and during a membership transition the sender's ring
+            // may lawfully disagree with ours — dual-epoch routing
+            // means no request misses mid-rebalance. A node that
+            // holds under neither epoch still bounces not_owner, so
+            // a genuinely bad ring cannot loop.
+            if (a.remote && forwarded) {
+                bool serve_here =
+                    std::find(a.holders.begin(), a.holders.end(),
+                              selfIdx) != a.holders.end();
+                if (!serve_here && prevEp.valid()) {
+                    const auto ph = prevEp.holders(
+                        key,
+                        std::min<std::size_t>(replFactor,
+                                              prevEp.members.size()));
+                    serve_here = std::find(ph.begin(), ph.end(),
+                                           selfIdx) != ph.end();
+                }
+                if (serve_here)
+                    a.remote = false;
+            }
         }
         if (a.remote) {
             if (forwarded || (wantRedirect && specs.size() == 1)) {
@@ -777,6 +937,7 @@ Server::handleSubmit(const JsonValue &req, unsigned version,
             fwd->spec = std::move(a.spec);
             fwd->job = std::move(a.job);
             fwd->holders = std::move(a.holders);
+            fwd->epoch = curEp.epoch;
             jobs[id].state = JobState::Running;
             ++inflightForwards;
             peakInflightForwards =
@@ -806,7 +967,7 @@ Server::handleSubmit(const JsonValue &req, unsigned version,
         if (it->second.state == JobState::Failed)
             return failedResponse(soleId, it->second);
         Waiter w;
-        w.connId = conn.id;
+        w.connId = connId;
         w.version = version;
         if (req.has("rid")) {
             w.hasRid = true;
@@ -927,6 +1088,35 @@ Server::forwardReply(const std::shared_ptr<Forward> &fwd,
         return;
     }
 
+    // During a membership transition (only then: epochs advance past
+    // 0) a holder may bounce not_owner because the new epoch has not
+    // reached it yet. If our own epoch moved since the walk was
+    // computed, recompute the holders against the new ring; otherwise
+    // re-ask the same holder shortly — it converges once the epoch
+    // lands there. A static cluster (epoch 0) keeps the original
+    // walk-on semantics.
+    if ((code == "not_owner" || code == "stale_epoch") &&
+        curEp.epoch > 0) {
+        if (fwd->epoch != curEp.epoch && fwd->reroutes < 2) {
+            ++fwd->reroutes;
+            fwd->epoch = curEp.epoch;
+            fwd->busyRetries = 0;
+            fwd->ownerRetries = 0;
+            fwd->holders = curEp.holders(
+                exp::jobKey(fwd->job),
+                std::min<std::size_t>(replFactor,
+                                      curEp.members.size()));
+            fwd->pos = 0;
+            stepForward(fwd);
+            return;
+        }
+        if (++fwd->ownerRetries < kMaxForwardOwnerRetries) {
+            pool->schedule(kOwnerRetryDelayMs,
+                           [this, fwd] { stepForward(fwd); });
+            return;
+        }
+    }
+
     recordErr("rejected forwarded job (" + code + ")" +
               (resp.has("detail") ? ": " + resp.get("detail").asString()
                                   : ""));
@@ -1007,39 +1197,33 @@ Server::handleStatus(const JsonValue &req) const
 }
 
 void
-Server::handleResult(Conn &conn, const JsonValue &req,
-                     unsigned version)
+Server::handleResult(OpCall &c)
 {
-    const std::uint64_t id = req.get("id").asU64(0);
+    const std::uint64_t id = c.req.get("id").asU64(0);
     auto it = jobs.find(id);
-    JsonValue resp;
     if (it == jobs.end()) {
-        resp = errorResponse("unknown_id", "no such job id");
+        c.resp = errorResponse("unknown_id", "no such job id");
     } else if (it->second.state == JobState::Done) {
-        resp = doneResponse(id, it->second);
+        c.resp = doneResponse(id, it->second);
     } else if (it->second.state == JobState::Failed) {
-        resp = failedResponse(id, it->second);
-    } else if (req.get("wait").asBool(false)) {
+        c.resp = failedResponse(id, it->second);
+    } else if (c.req.get("wait").asBool(false)) {
         Waiter w;
-        w.connId = conn.id;
-        w.version = version;
-        if (req.has("rid")) {
+        w.connId = c.connId;
+        w.version = c.version;
+        if (c.req.has("rid")) {
             w.hasRid = true;
-            w.rid = req.get("rid");
+            w.rid = c.req.get("rid");
         }
         it->second.waiters.push_back(std::move(w));
-        return;  // answered on completion
+        c.deferred = true;  // answered on completion
     } else {
-        resp = okResponse();
-        resp.set("id", JsonValue::integer(id));
-        resp.set("status",
-                 JsonValue::string(
-                     stateName(static_cast<int>(it->second.state))));
+        c.resp = okResponse();
+        c.resp.set("id", JsonValue::integer(id));
+        c.resp.set("status",
+                   JsonValue::string(
+                       stateName(static_cast<int>(it->second.state))));
     }
-    stampVersion(resp, version);
-    echoRid(req, resp);
-    conn.out += resp.dump();
-    conn.out += '\n';
 }
 
 JsonValue
@@ -1054,6 +1238,591 @@ Server::handleCompact()
     resp.set("records",
              JsonValue::integer(std::uint64_t{store->entries()}));
     resp.set("bytes", JsonValue::integer(store->bytes()));
+    return resp;
+}
+
+std::size_t
+Server::nodeIndexOf(const Endpoint &ep)
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (nodes[i] == ep)
+            return i;
+    // Append-only: a node keeps its table slot for the life of the
+    // process, so in-flight Forward walks and pool links never see
+    // their indices shift underneath them.
+    nodes.push_back(ep);
+    if (pool)
+        pool->addPeer(ep);
+    if (peerTransport)
+        peerTransport->addPeer(ep);
+    return nodes.size() - 1;
+}
+
+void
+Server::ensurePeerInfra()
+{
+    if (pool)
+        return;
+    PeerPool::Options po;
+    po.peerTimeoutMs = cfg.peerTimeoutMs;
+    po.wake = [this] { wake(); };
+    pool = std::make_unique<PeerPool>(nodes, std::move(po));
+    if (loopRunning)
+        pool->markRunning();
+    if (!peerTransport)
+        peerTransport = std::make_shared<PoolPeerTransport>(
+            pool.get(), nodes, cfg.peerTimeoutMs);
+}
+
+void
+Server::installEpoch(std::uint64_t epoch,
+                     const std::vector<std::string> &members,
+                     unsigned reps, const EpochView *announcedPrev)
+{
+    // Callers canonicalize and de-duplicate member lists before they
+    // get here; a violation is a bug, not bad input.
+    EpochView next;
+    next.epoch = epoch;
+    next.members = members;
+    for (const std::string &m : members) {
+        Endpoint ep;
+        std::string err;
+        if (!parseEndpoint(m, ep, err))
+            fatal("dcgserved: epoch ", epoch,
+                  " carries unparseable member '", m, "': ", err);
+        next.nodeIdx.push_back(nodeIndexOf(ep));
+    }
+    next.ring = HashRing(members);
+
+    EpochView ownPrev = std::move(curEp);
+    curEp = std::move(next);
+    prevEp = announcedPrev && announcedPrev->valid() ? *announcedPrev
+                                                     : ownPrev;
+    ring = curEp.ring;
+    epochReps = std::max(reps, 1u);
+    clustered = !(curEp.members.size() == 1 &&
+                  curEp.members.front() == selfAddr);
+    replFactor = static_cast<unsigned>(
+        std::min<std::size_t>(epochReps, curEp.members.size()));
+    if (clustered)
+        ensurePeerInfra();
+    if (repl)
+        repl->setEpochViews(curEp, prevEp, epochReps);
+    inform("dcgserved: epoch ", curEp.epoch, " installed (",
+           curEp.members.size(), " member(s), replication factor ",
+           replFactor, ")");
+    startRebalance(ownPrev);
+}
+
+void
+Server::startRebalance(const EpochView &ownPrev)
+{
+    // A newer epoch supersedes an unfinished rebalance: release its
+    // parked epoch acks (the handoff read path covers whatever the
+    // aborted push skipped) and rescan under the new view pair.
+    if (rebal.active) {
+        for (const ParkedResp &p : rebal.acks) {
+            JsonValue resp = okResponse();
+            resp.set("epoch", JsonValue::integer(rebal.epoch));
+            respondParked(p, std::move(resp));
+        }
+        rebal.acks.clear();
+    }
+    rebal.queue.clear();
+    rebal.epoch = curEp.epoch;
+
+    // Only a node that held arcs under its own previous view has
+    // records to push, and only a key's old primary pushes — one
+    // pusher per key keeps the move at ~1/N of the store, not k/N.
+    if (store && pool && ownPrev.valid() &&
+        ownPrev.hasMember(selfAddr)) {
+        const std::size_t kPrev = std::min<std::size_t>(
+            epochReps, ownPrev.members.size());
+        const std::size_t kCur = std::min<std::size_t>(
+            epochReps, curEp.members.size());
+        for (const std::string &key : store->keys()) {
+            const auto ph = ownPrev.holders(key, kPrev);
+            if (ph.empty() || ph.front() != selfIdx)
+                continue;
+            const auto ch = curEp.holders(key, kCur);
+            Rebalance::Item item;
+            item.key = key;
+            for (std::size_t t : ch)
+                if (std::find(ph.begin(), ph.end(), t) == ph.end())
+                    item.targets.push_back(t);
+            if (item.targets.empty())
+                continue;  // this arc did not move
+            ++rebalArcsMoved;
+            rebal.queue.push_back(std::move(item));
+        }
+    }
+
+    rebal.active = !rebal.queue.empty() || rebal.inflight > 0;
+    if (rebal.active)
+        stepRebalance();
+}
+
+void
+Server::stepRebalance()
+{
+    if (!rebal.active)
+        return;
+    while (rebal.inflight < kMaxRebalanceInflight &&
+           !rebal.queue.empty()) {
+        Rebalance::Item item = std::move(rebal.queue.front());
+        rebal.queue.pop_front();
+        RunResult r;
+        if (!store->get(item.key, r))
+            continue;  // evicted since the scan; handoff covers it
+        const JsonValue req = replicateRequest(item.key, r);
+        const std::size_t sz = req.dump().size();
+        // Count the whole item in flight before issuing anything: a
+        // completion that fires synchronously must not see the count
+        // drain to zero while later targets are still unposted.
+        rebal.inflight += item.targets.size();
+        for (std::size_t t : item.targets) {
+            rebalBytes += sz;
+            pool->call(t, JsonValue(req), [this](PeerReply reply) {
+                --rebal.inflight;
+                if (!reply.transportOk ||
+                    !reply.resp.get("ok").asBool(false))
+                    ++rebalPushFailures;
+                stepRebalance();
+            });
+        }
+    }
+    if (rebal.queue.empty() && rebal.inflight == 0)
+        finishRebalance();
+}
+
+void
+Server::finishRebalance()
+{
+    if (!rebal.active)
+        return;
+    rebal.active = false;
+    for (const ParkedResp &p : rebal.acks) {
+        JsonValue resp = okResponse();
+        resp.set("epoch", JsonValue::integer(rebal.epoch));
+        respondParked(p, std::move(resp));
+    }
+    rebal.acks.clear();
+    if (adm.active && adm.epoch == rebal.epoch) {
+        adm.localDone = true;
+        maybeFinishAdmin();
+    }
+}
+
+void
+Server::respondParked(const ParkedResp &p, JsonValue resp)
+{
+    auto it = conns.find(p.connId);
+    if (it == conns.end() || it->second.fd < 0)
+        return;  // client went away; nothing to deliver
+    stampVersion(resp, p.version);
+    if (p.hasRid)
+        resp.set("rid", p.rid);
+    it->second.out += resp.dump();
+    it->second.out += '\n';
+}
+
+void
+Server::handleEpoch(OpCall &c)
+{
+    const std::uint64_t e = c.req.get("epoch").asU64(0);
+    const JsonValue &mj = c.req.get("members");
+    if (e == 0 || !mj.isArray() || mj.items().empty()) {
+        c.resp = errorResponse("bad_request",
+                               "epoch needs a nonzero 'epoch' and a "
+                               "nonempty 'members' array");
+        return;
+    }
+    std::vector<std::string> members;
+    for (const JsonValue &mv : mj.items()) {
+        const std::string m = mv.asString();
+        Endpoint ep;
+        std::string err;
+        if (!parseEndpoint(m, ep, err)) {
+            c.resp = errorResponse("bad_request",
+                                   "bad member '" + m + "': " + err);
+            return;
+        }
+        members.push_back(ep.str());
+    }
+    // The ring treats duplicate names as a fatal construction error;
+    // wire input must never reach it unchecked.
+    std::vector<std::string> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+        sorted.end()) {
+        c.resp = errorResponse(
+            "bad_request", "duplicate member in epoch announcement");
+        return;
+    }
+    const unsigned reps = static_cast<unsigned>(
+        c.req.get("replicas").asU64(epochReps));
+
+    if (e < curEp.epoch) {
+        c.resp = staleEpochResponse(curEp.epoch, curEp.members);
+        return;
+    }
+    if (e == curEp.epoch) {
+        // Idempotent re-announcement.
+        c.resp = okResponse();
+        c.resp.set("epoch", JsonValue::integer(curEp.epoch));
+        return;
+    }
+    if (std::find(members.begin(), members.end(), selfAddr) ==
+            members.end() &&
+        !curEp.hasMember(selfAddr)) {
+        c.resp = errorResponse("not_member",
+                               "this node is in neither the announced "
+                               "nor its current member list");
+        return;
+    }
+
+    // The announced previous view tells a node that was not in it —
+    // the joiner, above all — where the cluster kept records until
+    // now; the handoff read leg routes by it. Unusable prev fields
+    // just mean "no announced view", never a rejection.
+    EpochView announcedPrev;
+    announcedPrev.epoch = c.req.get("prev_epoch").asU64(0);
+    const JsonValue &pj = c.req.get("prev_members");
+    if (pj.isArray()) {
+        bool parsed = true;
+        for (const JsonValue &pv : pj.items()) {
+            Endpoint pep;
+            std::string perr;
+            if (!parseEndpoint(pv.asString(), pep, perr)) {
+                parsed = false;
+                break;
+            }
+            announcedPrev.members.push_back(pep.str());
+        }
+        std::vector<std::string> ps = announcedPrev.members;
+        std::sort(ps.begin(), ps.end());
+        if (!parsed || announcedPrev.members.empty() ||
+            std::adjacent_find(ps.begin(), ps.end()) != ps.end()) {
+            announcedPrev.members.clear();
+        } else {
+            for (const std::string &m : announcedPrev.members) {
+                Endpoint pep;
+                std::string perr;
+                parseEndpoint(m, pep, perr);  // re-parse: canonical
+                announcedPrev.nodeIdx.push_back(nodeIndexOf(pep));
+            }
+            announcedPrev.ring = HashRing(announcedPrev.members);
+        }
+    }
+
+    installEpoch(e, members, reps,
+                 announcedPrev.valid() ? &announcedPrev : nullptr);
+    if (rebal.active) {
+        // The ack doubles as the quiesce signal: the coordinator's
+        // admin response only completes once every member (this one
+        // included) has drained its rebalance push queue.
+        ParkedResp p;
+        p.connId = c.connId;
+        p.version = c.version;
+        if (c.req.has("rid")) {
+            p.hasRid = true;
+            p.rid = c.req.get("rid");
+        }
+        rebal.acks.push_back(std::move(p));
+        c.deferred = true;
+        return;
+    }
+    c.resp = okResponse();
+    c.resp.set("epoch", JsonValue::integer(curEp.epoch));
+}
+
+void
+Server::handleJoin(OpCall &c)
+{
+    const std::string node = c.req.get("node").asString();
+    Endpoint ep;
+    std::string err;
+    if (!parseEndpoint(node, ep, err)) {
+        c.resp = errorResponse("bad_request",
+                               "bad node '" + node + "': " + err);
+        return;
+    }
+    if (adm.active) {
+        c.resp = errorResponse("change_in_progress",
+                               "membership change in flight: " +
+                                   adm.verb + " " + adm.node);
+        return;
+    }
+    const std::string addr = ep.str();
+    if (addr == selfAddr || curEp.hasMember(addr)) {
+        c.resp = errorResponse(
+            "already_member",
+            "'" + addr + "' is already a cluster member");
+        return;
+    }
+
+    const std::uint64_t e = curEp.epoch + 1;
+    adm = AdminChange{};
+    adm.active = true;
+    adm.verb = "join";
+    adm.node = addr;
+    adm.epoch = e;
+    adm.resp.connId = c.connId;
+    adm.resp.version = c.version;
+    if (c.req.has("rid")) {
+        adm.resp.hasRid = true;
+        adm.resp.rid = c.req.get("rid");
+    }
+    c.deferred = true;
+
+    std::vector<std::string> newMembers = curEp.members;
+    newMembers.push_back(addr);
+
+    ensurePeerInfra();
+    const std::size_t jidx = nodeIndexOf(ep);
+    // Tell the joiner FIRST: by the time anything routes a request to
+    // it, it must know the ring. Its ack doubles as a liveness probe —
+    // an unreachable joiner fails the join with no epoch change
+    // anywhere.
+    pool->call(
+        jidx,
+        epochRequest(e, newMembers, curEp.epoch, curEp.members,
+                     epochReps),
+        [this, e, newMembers](PeerReply reply) {
+            if (!adm.active || adm.epoch != e)
+                return;  // superseded
+            if (!reply.transportOk) {
+                adm.failed = true;
+                adm.errs = "joiner unreachable: " + reply.error;
+                adm.localDone = true;
+                maybeFinishAdmin();
+                return;
+            }
+            if (!reply.resp.get("ok").asBool(false)) {
+                adm.failed = true;
+                adm.errs = "joiner rejected the epoch (" +
+                           reply.resp.get("error").asString() + ")";
+                adm.localDone = true;
+                maybeFinishAdmin();
+                return;
+            }
+            // The old members hear about the epoch only after the
+            // joiner acknowledged it — capture them before the install
+            // replaces the view.
+            std::vector<std::string> others;
+            for (const std::string &m : curEp.members)
+                if (m != selfAddr)
+                    others.push_back(m);
+            installEpoch(e, newMembers, epochReps);
+            adm.localDone = !rebal.active;
+            broadcastEpoch(others);
+            maybeFinishAdmin();
+        });
+}
+
+void
+Server::handleLeave(OpCall &c)
+{
+    const std::string node = c.req.get("node").asString();
+    Endpoint ep;
+    std::string err;
+    if (!parseEndpoint(node, ep, err)) {
+        c.resp = errorResponse("bad_request",
+                               "bad node '" + node + "': " + err);
+        return;
+    }
+    if (adm.active) {
+        c.resp = errorResponse("change_in_progress",
+                               "membership change in flight: " +
+                                   adm.verb + " " + adm.node);
+        return;
+    }
+    const std::string addr = ep.str();
+    if (!curEp.hasMember(addr)) {
+        c.resp = errorResponse(
+            "not_member", "'" + addr + "' is not a cluster member");
+        return;
+    }
+    if (curEp.members.size() <= 1) {
+        c.resp = errorResponse("bad_request",
+                               "cannot remove the last member");
+        return;
+    }
+
+    const std::uint64_t e = curEp.epoch + 1;
+    adm = AdminChange{};
+    adm.active = true;
+    adm.verb = "leave";
+    adm.node = addr;
+    adm.epoch = e;
+    adm.resp.connId = c.connId;
+    adm.resp.version = c.version;
+    if (c.req.has("rid")) {
+        adm.resp.hasRid = true;
+        adm.resp.rid = c.req.get("rid");
+    }
+    c.deferred = true;
+
+    // Everyone on the OLD list hears the new epoch — the leaver
+    // included, so a live leaver stops owning arcs; a dead one merely
+    // fails its notification, which a leave tolerates.
+    std::vector<std::string> targets;
+    for (const std::string &m : curEp.members)
+        if (m != selfAddr)
+            targets.push_back(m);
+    std::vector<std::string> newMembers;
+    for (const std::string &m : curEp.members)
+        if (m != addr)
+            newMembers.push_back(m);
+
+    ensurePeerInfra();
+    installEpoch(e, newMembers, epochReps);
+    adm.localDone = !rebal.active;
+    broadcastEpoch(targets);
+    maybeFinishAdmin();
+}
+
+void
+Server::broadcastEpoch(const std::vector<std::string> &targets)
+{
+    adm.pendingAcks = targets.size();
+    const std::uint64_t e = adm.epoch;
+    for (const std::string &m : targets) {
+        Endpoint ep;
+        std::string err;
+        if (!parseEndpoint(m, ep, err)) {
+            // Members are canonicalized before entering any view.
+            --adm.pendingAcks;
+            continue;
+        }
+        const std::size_t idx = nodeIndexOf(ep);
+        pool->call(
+            idx,
+            epochRequest(e, curEp.members, prevEp.epoch,
+                         prevEp.members, epochReps),
+            [this, e, m](PeerReply reply) {
+                if (!adm.active || adm.epoch != e)
+                    return;  // superseded
+                --adm.pendingAcks;
+                const bool leaver =
+                    adm.verb == "leave" && m == adm.node;
+                if (!reply.transportOk) {
+                    if (leaver) {
+                        // A dead node is exactly what a leave removes.
+                        warn("dcgserved: leaving node ", m,
+                             " unreachable (", reply.error,
+                             "); removed anyway");
+                    } else {
+                        adm.failed = true;
+                        if (!adm.errs.empty())
+                            adm.errs += "; ";
+                        adm.errs += m + " unreachable: " + reply.error;
+                    }
+                } else if (!reply.resp.get("ok").asBool(false)) {
+                    const std::string code =
+                        reply.resp.get("error").asString();
+                    if (code == "stale_epoch") {
+                        // The peer is ahead of us. Fail this change
+                        // and adopt its epoch once the response is
+                        // delivered — highest epoch wins.
+                        adm.failed = true;
+                        if (!adm.errs.empty())
+                            adm.errs += "; ";
+                        adm.errs +=
+                            m + " is on higher epoch " +
+                            std::to_string(
+                                reply.resp.get("epoch").asU64(0));
+                        const std::uint64_t he =
+                            reply.resp.get("epoch").asU64(0);
+                        const JsonValue &hm =
+                            reply.resp.get("members");
+                        if (he > adm.higherEpoch && hm.isArray()) {
+                            std::vector<std::string> hms;
+                            bool parsed = true;
+                            for (const JsonValue &hv :
+                                 hm.items()) {
+                                Endpoint hep;
+                                std::string herr;
+                                if (!parseEndpoint(hv.asString(), hep,
+                                                   herr)) {
+                                    parsed = false;
+                                    break;
+                                }
+                                hms.push_back(hep.str());
+                            }
+                            std::vector<std::string> s2 = hms;
+                            std::sort(s2.begin(), s2.end());
+                            if (parsed && !hms.empty() &&
+                                std::adjacent_find(s2.begin(),
+                                                   s2.end()) ==
+                                    s2.end()) {
+                                adm.higherEpoch = he;
+                                adm.higherMembers = std::move(hms);
+                            }
+                        }
+                    } else if (leaver) {
+                        warn("dcgserved: leaving node ", m,
+                             " rejected the epoch (", code,
+                             "); removed anyway");
+                    } else {
+                        adm.failed = true;
+                        if (!adm.errs.empty())
+                            adm.errs += "; ";
+                        adm.errs +=
+                            m + " rejected the epoch (" + code + ")";
+                    }
+                }
+                maybeFinishAdmin();
+            });
+    }
+}
+
+void
+Server::maybeFinishAdmin()
+{
+    if (!adm.active || adm.pendingAcks > 0 || !adm.localDone)
+        return;
+    JsonValue resp;
+    if (adm.failed) {
+        resp = errorResponse(adm.verb + "_failed", adm.errs);
+    } else {
+        resp = okResponse();
+        resp.set("members", memberListJson(curEp.members));
+        resp.set("rebalance_arcs_moved",
+                 JsonValue::integer(rebalArcsMoved));
+        resp.set("rebalance_bytes", JsonValue::integer(rebalBytes));
+    }
+    resp.set("epoch", JsonValue::integer(curEp.epoch));
+    respondParked(adm.resp, std::move(resp));
+    // Clear the change before any follow-up install: a peer that
+    // reported a higher epoch wins, and installing it re-enters the
+    // rebalance machinery.
+    const std::uint64_t he = adm.higherEpoch;
+    std::vector<std::string> hm = std::move(adm.higherMembers);
+    adm = AdminChange{};
+    if (he > curEp.epoch && !hm.empty())
+        installEpoch(he, hm, epochReps);
+}
+
+JsonValue
+Server::handleRing() const
+{
+    JsonValue resp = okResponse();
+    resp.set("epoch", JsonValue::integer(curEp.epoch));
+    resp.set("members", memberListJson(curEp.members));
+    resp.set("self", JsonValue::string(selfAddr));
+    resp.set("replicas",
+             JsonValue::integer(std::uint64_t{replFactor}));
+    resp.set("rebalance_arcs_moved",
+             JsonValue::integer(rebalArcsMoved));
+    resp.set("rebalance_bytes", JsonValue::integer(rebalBytes));
+    resp.set("rebalance_pending",
+             JsonValue::integer(std::uint64_t{rebal.queue.size() +
+                                              rebal.inflight}));
+    resp.set("handoff_fetches",
+             JsonValue::integer(repl ? repl->handoffFetches()
+                                     : std::uint64_t{0}));
+    resp.set("change_in_progress", JsonValue::boolean(adm.active));
     return resp;
 }
 
@@ -1194,10 +1963,13 @@ Server::statsJson() const
     s.set("latency_max_us", JsonValue::integer(latencyMaxUs));
     s.set("protocol_version",
           JsonValue::integer(std::uint64_t{kProtocolVersion}));
+    s.set("epoch", JsonValue::integer(curEp.epoch));
+    s.set("ops", opCatalogJson());
     if (clustered) {
         s.set("cluster_self", JsonValue::string(selfAddr));
         s.set("cluster_nodes",
-              JsonValue::integer(std::uint64_t{nodes.size()}));
+              JsonValue::integer(std::uint64_t{curEp.members.size()}));
+        s.set("cluster_members", memberListJson(curEp.members));
         s.set("failovers", JsonValue::integer(failoverCount));
         s.set("replicate_ops", JsonValue::integer(replicateOps));
         s.set("fetches_served", JsonValue::integer(fetchesServed));
@@ -1205,6 +1977,14 @@ Server::statsJson() const
               JsonValue::integer(inflightForwards));
         s.set("forwards_inflight_peak",
               JsonValue::integer(peakInflightForwards));
+        s.set("rebalance_arcs_moved",
+              JsonValue::integer(rebalArcsMoved));
+        s.set("rebalance_bytes", JsonValue::integer(rebalBytes));
+        s.set("rebalance_pending",
+              JsonValue::integer(std::uint64_t{rebal.queue.size() +
+                                               rebal.inflight}));
+        s.set("rebalance_push_failures",
+              JsonValue::integer(rebalPushFailures));
     }
     if (pool) {
         s.set("peer_requests", JsonValue::integer(pool->requestsSent()));
@@ -1224,6 +2004,8 @@ Server::statsJson() const
         s.set("replica_misses",
               JsonValue::integer(repl->replicaMisses()));
         s.set("read_repairs", JsonValue::integer(repl->readRepairs()));
+        s.set("handoff_fetches",
+              JsonValue::integer(repl->handoffFetches()));
     }
     s.set("draining",
           JsonValue::boolean(stopFlag.load(std::memory_order_acquire)));

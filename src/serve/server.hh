@@ -61,6 +61,31 @@
  * LRU bounds on the persistent store and the in-memory cache, and the
  * store is compacted once at startup and on {"op":"compact"}.
  *
+ * Elastic membership (protocol v5): the cluster's member list is a
+ * *versioned ring epoch* — a monotonically increasing epoch id plus
+ * the member list it was agreed for (EpochView). The admin verbs
+ * `join` and `leave` advance it at runtime: the node serving the verb
+ * coordinates — a joiner is told the new epoch first (so it can serve
+ * from its first forwarded request), then the coordinator installs it
+ * locally and broadcasts `epoch` to every other member over the
+ * multiplexed links. Each receiver installs any newer epoch, keeps
+ * the previous one for dual-epoch routing (a forwarded submit is
+ * served if this node holds the key under *either* epoch, so no
+ * request ever misses mid-transition), pushes the remapped ~1/N of
+ * its stored records to their new holders via the v3 `replicate`
+ * verb, and only acks the `epoch` once that push queue drains —
+ * which makes a completed join/leave response mean "the whole
+ * cluster has rebalanced". Gaps (a push raced an eviction, a node
+ * was down) are healed lazily: the ReplicatedStore's read path also
+ * asks the previous epoch's holders (handoff fetches). One membership
+ * change runs at a time; a node on a newer epoch answers stale_epoch
+ * with its view, and the lower side catches up.
+ *
+ * Dispatch: every protocol verb is registered in the op-handler
+ * registry (serve/ops.hh) by registerServerOps(); handleLine() looks
+ * verbs up there — there is no if/else verb chain — and the catalog
+ * is echoed on every stats response.
+ *
  * Shutdown: requestStop() (async-signal-safe; wired to SIGINT/SIGTERM
  * by dcgserved) stops accepting and admitting, drains queued and
  * running jobs, flushes responses, then returns from run(). A drain
@@ -86,6 +111,7 @@
 #include "exp/engine.hh"
 #include "serve/endpoint.hh"
 #include "serve/json.hh"
+#include "serve/ops.hh"
 #include "serve/peerlink.hh"
 #include "serve/protocol.hh"
 #include "serve/replication.hh"
@@ -93,6 +119,12 @@
 #include "serve/store.hh"
 
 namespace dcg::serve {
+
+/** Registers every built-in protocol verb with the op registry (see
+ *  serve/ops.hh). Idempotent; called by the registry's first lookup
+ *  and doubling as the static-archive anchor. Defined in server.cc —
+ *  the handlers need private Server access. */
+void registerServerOps();
 
 struct ServerConfig
 {
@@ -159,11 +191,15 @@ class Server
         return selfAddr;
     }
 
-    /** The replication layer (null unless replicas > 1 in a cluster).
+    /** The replication layer (null when no persistent store).
      *  Exposed so tests and tools can flush()/inspect fan-out state. */
     ReplicatedStore *replication() DCG_ANY_THREAD { return repl.get(); }
 
+    /** The current ring epoch id (0 until the first live change). */
+    std::uint64_t epoch() const DCG_ANY_THREAD { return curEp.epoch; }
+
   private:
+    friend void registerServerOps();
     struct Conn
     {
         std::uint64_t id = 0;
@@ -215,9 +251,16 @@ class Server
         std::uint64_t id = 0;
         JobSpec spec;
         exp::Job job;      ///< for the serve-it-here fallback
-        std::vector<std::size_t> holders;
+        std::vector<std::size_t> holders;  ///< node-table indices
         std::size_t pos = 0;
         unsigned busyRetries = 0;
+        /** Epoch the holder walk was computed under. A not_owner from
+         *  a holder during a membership transition is retried (the
+         *  peer has not installed the epoch yet) or — if our own
+         *  epoch moved — rerouted against the new ring. */
+        std::uint64_t epoch = 0;
+        unsigned ownerRetries = 0;
+        unsigned reroutes = 0;
         std::string errs;
     };
 
@@ -233,6 +276,49 @@ class Server
         std::string error;
     };
 
+    /** One peer's deferred `epoch` ack, or the parked admin verb
+     *  response — written out once the local rebalance drains. */
+    struct ParkedResp
+    {
+        std::uint64_t connId = 0;
+        unsigned version = 1;
+        bool hasRid = false;
+        JsonValue rid;
+    };
+
+    /** The one in-flight membership change this node coordinates. */
+    struct AdminChange
+    {
+        bool active = false;
+        std::string verb;       ///< "join" or "leave"
+        std::string node;       ///< endpoint being added/removed
+        std::uint64_t epoch = 0;
+        ParkedResp resp;        ///< the admin client, answered at end
+        std::size_t pendingAcks = 0;
+        bool localDone = false; ///< own rebalance push has drained
+        bool failed = false;
+        std::string errs;
+        /** A broadcast target answered stale_epoch: its (higher)
+         *  view, installed once this change resolves. */
+        std::uint64_t higherEpoch = 0;
+        std::vector<std::string> higherMembers;
+    };
+
+    /** The push queue moving remapped arcs after an epoch install. */
+    struct Rebalance
+    {
+        bool active = false;
+        std::uint64_t epoch = 0;
+        struct Item
+        {
+            std::string key;
+            std::vector<std::size_t> targets;  ///< node-table indices
+        };
+        std::deque<Item> queue;
+        std::size_t inflight = 0;   ///< replicate pushes on the wire
+        std::vector<ParkedResp> acks;  ///< deferred peer `epoch` acks
+    };
+
     /// @name I/O-thread side
     /// @{
     void acceptClients();
@@ -241,13 +327,43 @@ class Server
     void closeConn(Conn &conn);
     void handleLine(Conn &conn, const std::string &line);
     JsonValue handleSubmit(const JsonValue &req, unsigned version,
-                           Conn &conn, bool &deferred);
+                           std::uint64_t connId, bool &deferred);
     JsonValue handleReplicate(const JsonValue &req);
     JsonValue handleFetch(const JsonValue &req);
     JsonValue handleStatus(const JsonValue &req) const;
-    void handleResult(Conn &conn, const JsonValue &req,
-                      unsigned version);
+    void handleResult(OpCall &c);
     JsonValue handleCompact();
+    void handleJoin(OpCall &c);
+    void handleLeave(OpCall &c);
+    JsonValue handleRing() const;
+    void handleEpoch(OpCall &c);
+    /** Node-table index for @p ep, appending (and growing the pool
+     *  and transports) when unknown. */
+    std::size_t nodeIndexOf(const Endpoint &ep);
+    /** Create the pool/transport lazily (a standalone node joining a
+     *  cluster mid-run has neither). */
+    void ensurePeerInfra();
+    /** Make {epoch, members} the current view: grow the node table,
+     *  shift cur -> prev, rewire replication, start the rebalance
+     *  push. The heart of a membership change. @p announcedPrev, when
+     *  valid, becomes the previous view instead of this node's own
+     *  superseded one — a joiner's own view ("just me") says nothing
+     *  about where the cluster kept records, but the announced one
+     *  does, and the handoff read leg depends on it. The rebalance
+     *  push scan always uses the node's OWN old view: what *I* used
+     *  to hold primary is what *I* push. */
+    void installEpoch(std::uint64_t epoch,
+                      const std::vector<std::string> &members,
+                      unsigned reps,
+                      const EpochView *announcedPrev = nullptr);
+    void startRebalance(const EpochView &ownPrev);
+    void stepRebalance();
+    void finishRebalance();
+    /** Send `epoch` to every @p targets member; acks feed adm. */
+    void broadcastEpoch(const std::vector<std::string> &targets);
+    void maybeFinishAdmin();
+    /** Write a deferred response to its (possibly gone) connection. */
+    void respondParked(const ParkedResp &p, JsonValue resp);
     JsonValue statsJson() const;
     JsonValue doneResponse(std::uint64_t id, const JobRec &rec) const;
     JsonValue failedResponse(std::uint64_t id,
@@ -283,14 +399,26 @@ class Server
     std::shared_ptr<PeerTransport> peerTransport;
     std::uint64_t inflightForwards = 0;  ///< I/O thread only
 
-    /// @name Cluster state (set before run(); read-only afterwards)
+    /// @name Cluster state (owner/I/O thread; epochs mutate it live)
     /// @{
-    std::vector<Endpoint> nodes;  ///< ring order = ctor order
-    HashRing ring;
+    /** Append-only node table: the index space peer links, transports
+     *  and Forward walks share. Members keep their slot across
+     *  epochs; a left node's slot simply stops being routed to. */
+    std::vector<Endpoint> nodes;
+    HashRing ring;                ///< mirror of curEp.ring (ringView)
     std::string selfAddr;
     std::size_t selfIdx = 0;      ///< this node's index in nodes
-    bool clustered = false;       ///< more than one ring node
+    bool clustered = false;       ///< routing consults the ring
     unsigned replFactor = 1;      ///< effective copies per key
+    EpochView curEp;              ///< routes new work
+    EpochView prevEp;             ///< dual-epoch routing + handoff
+    unsigned epochReps = 1;       ///< configured k carried by epochs
+    bool loopRunning = false;     ///< run() is live (pool lazy-init)
+    AdminChange adm;
+    Rebalance rebal;
+    std::uint64_t rebalArcsMoved = 0;  ///< keys whose arc remapped
+    std::uint64_t rebalBytes = 0;      ///< replicate payload pushed
+    std::uint64_t rebalPushFailures = 0;
     /// @}
 
     int listenFd = -1;

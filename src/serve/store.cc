@@ -292,6 +292,36 @@ ResultStore::putRecord(const std::string &key, const RunResult &r,
         evictLocked(budget, name);
 }
 
+std::vector<std::string>
+ResultStore::keys() const
+{
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lk(indexMutex);
+        names.reserve(index.size());
+        for (const auto &[name, rec] : index)
+            names.push_back(name);
+    }
+
+    std::vector<std::string> out;
+    out.reserve(names.size());
+    for (const std::string &name : names) {
+        std::ifstream is(fs::path(dir) / name);
+        std::string header;
+        if (!is || !std::getline(is, header))
+            continue;  // evicted/compacted away mid-scan
+        JsonValue h;
+        std::string err;
+        if (!JsonValue::parse(header, h, err) || !h.isObject() ||
+            h.get("dcg_store").asI64(-1) != kStoreFormatVersion)
+            continue;
+        std::string key = h.get("key").asString();
+        if (!key.empty())
+            out.push_back(std::move(key));
+    }
+    return out;
+}
+
 std::size_t
 ResultStore::evictLocked(std::uint64_t target, const std::string &keep)
 {

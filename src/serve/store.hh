@@ -47,6 +47,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/thread_annotations.hh"
 #include "exp/engine.hh"
@@ -137,6 +138,16 @@ class ResultStore : public exp::ResultStoreBase
     /** Absolute record path for @p key (exposed for tests/tools). */
     std::string recordPath(const std::string &key) const
         DCG_ANY_THREAD;
+
+    /**
+     * Every stored record's full job key, recovered from the record
+     * headers (file names are hashes; the keys live inside). The
+     * index is snapshotted under the lock, the headers are read
+     * without it — records vanishing mid-scan are simply skipped.
+     * This is the rebalance scan of an epoch change: the server walks
+     * it to find the keys whose ring arc moved.
+     */
+    std::vector<std::string> keys() const DCG_ANY_THREAD;
 
   private:
     struct Rec

@@ -98,6 +98,31 @@ TEST(Endpoint, RejectsMalformedLists)
     EXPECT_NE(err.find("duplicate"), std::string::npos);
 }
 
+TEST(Endpoint, ListErrorsNameTheOffendingElement)
+{
+    std::vector<Endpoint> eps;
+    std::string err;
+
+    // The error points at WHICH element of WHICH list failed — in a
+    // long --peers flag "port is not a number" alone is useless.
+    EXPECT_FALSE(parseEndpoints("h:1,h:2,h:bad,h:4", eps, err));
+    EXPECT_NE(err.find("element 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("h:1,h:2,h:bad,h:4"), std::string::npos) << err;
+    EXPECT_NE(err.find("'h:bad': port is not a number"),
+              std::string::npos)
+        << err;
+
+    EXPECT_FALSE(parseEndpoints("nocolon", eps, err));
+    EXPECT_NE(err.find("element 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("expected HOST:PORT"), std::string::npos) << err;
+
+    // Duplicate reports name the full list too.
+    EXPECT_FALSE(parseEndpoints("h:1,h:2,h:1", eps, err));
+    EXPECT_NE(err.find("'h:1'"), std::string::npos) << err;
+    EXPECT_NE(err.find("in list 'h:1,h:2,h:1'"), std::string::npos)
+        << err;
+}
+
 TEST(Endpoint, FailedParseLeavesOutputUntouched)
 {
     std::vector<Endpoint> eps;

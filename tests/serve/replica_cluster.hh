@@ -158,6 +158,46 @@ class ReplicaCluster
         launch(i);
     }
 
+    /**
+     * Bind and start one NEW standalone node — its own epoch-0 ring
+     * of itself, the kind of process a live `join` turns into a
+     * member. Returns its index. Empty @p storeTag = no store.
+     */
+    std::size_t addStandaloneNode(const std::string &storeTag = "")
+    {
+        const std::size_t i = servers.size();
+        ServerConfig cfg = baseConfig(i, storeTag);
+        servers.push_back(std::make_unique<Server>(cfg));
+        ports.push_back(servers.back()->port());
+        ring.push_back(Endpoint{"127.0.0.1", ports.back()});
+        threads.emplace_back([&srv = *servers.back()] { srv.run(); });
+        return i;
+    }
+
+    /**
+     * One raw admin exchange with node @p i on the current protocol
+     * version; @p nodeArg rides as the "node" field when non-empty.
+     * Returns the parsed response — rejections included, for tests
+     * that assert on structured errors.
+     */
+    JsonValue adminOp(std::size_t i, const std::string &op,
+                      const std::string &nodeArg = "")
+    {
+        Connection conn;
+        std::string err;
+        if (!conn.open(endpoint(i), err))
+            fatal("adminOp: ", err);
+        JsonValue req = JsonValue::object();
+        req.set("op", JsonValue::string(op));
+        if (!nodeArg.empty())
+            req.set("node", JsonValue::string(nodeArg));
+        stampVersion(req, kProtocolVersion);
+        JsonValue resp;
+        if (!conn.roundTrip(req, resp, err))
+            fatal("adminOp: ", err);
+        return resp;
+    }
+
     /** One node's raw stats object (op:"stats" over the wire). */
     JsonValue nodeStats(std::size_t i)
     {

@@ -19,6 +19,13 @@
  * holder (failover), and a holder that lost its copy pulls it back
  * from a sibling (read-repair).
  *
+ * Membership is elastic (protocol v5): the ring is versioned by
+ * epochs, and the admin verbs `join`/`leave` (see `dcgsim --join`)
+ * add or remove a node at runtime — only the remapped ~1/N of arcs
+ * move, and requests keep being answered throughout via dual-epoch
+ * routing. A standalone node started with --self is join-able by that
+ * canonical address.
+ *
  * Examples:
  *   dcgserved --port=7878 --store=/var/tmp/dcg-results
  *   dcgserved --port=0 --jobs=8 --queue-cap=64   # ephemeral port
@@ -131,7 +138,10 @@ main(int argc, char **argv)
             "           this node included; enables sharding)]\n"
             "          [--self=HOST:PORT (this node's ring address;"
             " default\n"
-            "           --host:--port)]\n"
+            "           --host:--port; usable without --peers to make"
+            " a\n"
+            "           standalone node join-able by its canonical"
+            " name)]\n"
             "          [--replicas=K (copies per key across the ring;"
             " needs\n"
             "           --peers and --store; default 1)]\n"
@@ -177,26 +187,29 @@ main(int argc, char **argv)
                   " records)");
     }
 
+    // --self stands on its own now: a standalone node launched with a
+    // canonical address is what a live `join` adds to a ring.
+    if (opts.has("self")) {
+        serve::Endpoint self;
+        std::string serr;
+        if (!serve::parseEndpoint(opts.getString("self", ""), self,
+                                  serr))
+            fatal("invalid --self: ", serr);
+        cfg.self = self.str();
+    }
     if (opts.has("peers")) {
         std::string err;
         if (!serve::parseEndpoints(opts.getString("peers", ""),
                                    cfg.peers, err))
             fatal("invalid --peers list: ", err);
-        if (opts.has("self")) {
-            serve::Endpoint self;
-            if (!serve::parseEndpoint(opts.getString("self", ""), self,
-                                      err))
-                fatal("invalid --self: ", err);
-            cfg.self = self.str();
-        } else if (cfg.port != 0) {
-            cfg.self = cfg.host + ":" + std::to_string(cfg.port);
-        } else {
-            fatal("cluster mode with --port=0 needs an explicit"
-                  " --self=HOST:PORT (peers cannot name an ephemeral"
-                  " port)");
+        if (cfg.self.empty()) {
+            if (cfg.port != 0)
+                cfg.self = cfg.host + ":" + std::to_string(cfg.port);
+            else
+                fatal("cluster mode with --port=0 needs an explicit"
+                      " --self=HOST:PORT (peers cannot name an"
+                      " ephemeral port)");
         }
-    } else if (opts.has("self")) {
-        fatal("--self only makes sense together with --peers");
     }
 
     serve::Server server(cfg);

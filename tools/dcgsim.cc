@@ -26,6 +26,8 @@
  *   dcgsim --bench=all --scheme=dcg --server=127.0.0.1:7878
  *   dcgsim --bench=all --server=127.0.0.1:7878,127.0.0.1:7879
  *   dcgsim --server=127.0.0.1:7878 --server-stats
+ *   dcgsim --server=127.0.0.1:7878 --join=127.0.0.1:7880
+ *   dcgsim --server=127.0.0.1:7878 --ring
  */
 
 #include <iostream>
@@ -161,7 +163,7 @@ main(int argc, char **argv)
                   "gate-iq", "store-delay", "round-robin", "dump-stats",
                   "csv", "json", "jobs", "schema", "server",
                   "server-stats", "replicas", "server-timeout-ms",
-                  "list-schemes", "help"});
+                  "list-schemes", "join", "leave", "ring", "help"});
 
     if (opts.has("help")) {
         std::cout <<
@@ -187,6 +189,17 @@ main(int argc, char **argv)
             "        also bounds connect)]\n"
             "       [--server-stats (print the server's stats JSON and"
             " exit)]\n"
+            "       [--join=HOST:PORT (ask the first --server node to"
+            " add a\n"
+            "        node to the ring; prints the response and"
+            " exits)]\n"
+            "       [--leave=HOST:PORT (ask the first --server node to"
+            " remove\n"
+            "        a node from the ring; prints the response and"
+            " exits)]\n"
+            "       [--ring (print the first --server node's epoch,"
+            " members\n"
+            "        and rebalance counters and exit)]\n"
             "       [--schema (print the JSON result schema and"
             " exit)]\n";
         return 0;
@@ -210,6 +223,27 @@ main(int argc, char **argv)
         serve::ClusterClient client = makeServerClient(opts);
         std::cout << client.stats().dump() << '\n';
         return 0;
+    }
+
+    // Admin modes: one membership verb against the first --server
+    // node, response printed verbatim. Exit status reflects the
+    // server's verdict so scripts can gate on it.
+    if (opts.has("join") || opts.has("leave") ||
+        opts.getBool("ring", false)) {
+        if (!opts.has("server"))
+            fatal("--join/--leave/--ring require"
+                  " --server=HOST:PORT[,...] (the node coordinating"
+                  " the change)");
+        serve::ClusterClient client = makeServerClient(opts);
+        serve::JsonValue resp;
+        if (opts.has("join"))
+            resp = client.join(opts.getString("join", ""));
+        else if (opts.has("leave"))
+            resp = client.leave(opts.getString("leave", ""));
+        else
+            resp = client.ringInfo();
+        std::cout << resp.dump() << '\n';
+        return resp.get("ok").asBool(false) ? 0 : 1;
     }
 
     const std::string bench = opts.getString("bench", "gzip");
