@@ -93,12 +93,15 @@ Cache::access(Addr addr, bool is_write, Cycle now)
             l.lastUse = ++useClock;
             l.dirty |= is_write;
             // A hit on a line whose fill is still in flight waits for
-            // the fill (MSHR merge).
-            if (auto it = inflight.find(lineAddr(addr));
-                it != inflight.end()) {
-                if (it->second > now)
-                    return geom.hitLatency + (it->second - now);
-                inflight.erase(it);
+            // the fill (MSHR merge). Once every scheduled fill has
+            // landed the lookup can't change the latency, so skip it.
+            if (lastFillDone > now) {
+                if (auto it = inflight.find(lineAddr(addr));
+                    it != inflight.end()) {
+                    if (it->second > now)
+                        return geom.hitLatency + (it->second - now);
+                    inflight.erase(it);
+                }
             }
             return geom.hitLatency;
         }
@@ -124,6 +127,7 @@ Cache::access(Addr addr, bool is_write, Cycle now)
 
     const Cycle total = geom.hitLatency + queue + fill;
     inflight[lineAddr(addr)] = now + total;
+    lastFillDone = std::max(lastFillDone, now + total);
     if (inflight.size() > 4096) {
         // Opportunistic cleanup of completed fills.
         for (auto it = inflight.begin(); it != inflight.end();) {
@@ -196,6 +200,7 @@ Cache::installLine(Addr addr, bool dirty, Cycle ready_at)
     // leave quickly; a demand hit will promote them.
     victim->lastUse = ++useClock;
     inflight[lineAddr(addr)] = ready_at;
+    lastFillDone = std::max(lastFillDone, ready_at);
 }
 
 Cycle

@@ -130,6 +130,14 @@ class Cache : public MemLevel
     /** Outstanding fills: line address -> cycle the data arrives. */
     std::unordered_map<Addr, Cycle> inflight;
 
+    /**
+     * Latest scheduled fill-arrival cycle: once `now` passes it, no
+     * fill is pending and the hit path can skip the inflight lookup
+     * (the map may still hold completed entries, but a hit on one
+     * returns plain hitLatency either way).
+     */
+    Cycle lastFillDone = 0;
+
     Counter &accesses;
     Counter &misses;
     Counter &writebacks;

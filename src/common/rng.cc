@@ -18,12 +18,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -32,48 +26,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &word : s)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const std::uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-    return result;
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 high bits -> [0, 1) with full double precision.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    DCG_ASSERT(bound > 0, "nextBounded(0)");
-    // Lemire's multiply-shift mapping; the tiny modulo bias is
-    // irrelevant for workload synthesis.
-    const std::uint64_t x = next();
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(x) * bound) >> 64);
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 unsigned
@@ -110,17 +62,6 @@ DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
     for (double &c : cumulative)
         c /= total;
     cumulative.back() = 1.0;
-}
-
-unsigned
-DiscreteSampler::sample(Rng &rng) const
-{
-    const double u = rng.nextDouble();
-    for (unsigned i = 0; i < cumulative.size(); ++i) {
-        if (u < cumulative[i])
-            return i;
-    }
-    return static_cast<unsigned>(cumulative.size() - 1);
 }
 
 double

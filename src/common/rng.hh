@@ -22,17 +22,54 @@ class Rng
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    // The draw primitives are inline: the trace generator makes
+    // several draws per micro-op, which makes call overhead visible
+    // in whole-simulator profiles.
+
     /** Uniform 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        // 53 high bits -> [0, 1) with full double precision.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform integer in [0, bound) using rejection-free mapping. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift mapping; the tiny modulo bias is
+        // irrelevant for workload synthesis.
+        const std::uint64_t x = next();
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * bound) >> 64);
+    }
 
     /** Bernoulli trial with probability @p p of returning true. */
-    bool bernoulli(double p);
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Geometric number of failures before first success,
@@ -44,6 +81,12 @@ class Rng
     std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s[4];
 };
 
@@ -60,8 +103,17 @@ class DiscreteSampler
     /** @param weights non-negative weights; need not sum to one. */
     explicit DiscreteSampler(const std::vector<double> &weights);
 
-    /** Draw an index in [0, size). */
-    unsigned sample(Rng &rng) const;
+    /** Draw an index in [0, size). Inline: one draw per micro-op. */
+    unsigned
+    sample(Rng &rng) const
+    {
+        const double u = rng.nextDouble();
+        for (unsigned i = 0; i < cumulative.size(); ++i) {
+            if (u < cumulative[i])
+                return i;
+        }
+        return static_cast<unsigned>(cumulative.size() - 1);
+    }
 
     /** Normalised probability of index @p i. */
     double probability(unsigned i) const;

@@ -27,6 +27,8 @@ class Counter
     void operator++() { ++val; }
     void operator++(int) { ++val; }
     void operator+=(std::uint64_t n) { val += n; }
+    /** Fold-back hook: overwrite with an externally accumulated count. */
+    void set(std::uint64_t n) { val = n; }
     std::uint64_t value() const { return val; }
     void reset() { val = 0; }
 
@@ -52,6 +54,8 @@ class Average
 {
   public:
     void sample(double x) { sum += x; ++count; }
+    /** Fold-back hook: overwrite with an externally accumulated sum. */
+    void set(double s, std::uint64_t n) { sum = s; count = n; }
     double mean() const { return count ? sum / count : 0.0; }
     std::uint64_t samples() const { return count; }
     void reset() { sum = 0.0; count = 0; }

@@ -55,6 +55,27 @@ CgoooController::gates(const CycleActivity &act)
     return g;
 }
 
+void
+CgoooController::skipIdle(Core &core, std::uint64_t cycles,
+                          IdleSink &sink)
+{
+    (void)core;
+    // Idle occupancy is zero, so the same rename-width reserve of
+    // blocks stays clocked every skipped cycle; multiply the per-cycle
+    // block counters instead of looping.
+    const CycleActivity idle{};
+    const GateState g = gates(idle);
+    if (cycles > 1) {
+        const unsigned reserved = std::min<unsigned>(
+            coreCfg.renameWidth, coreCfg.windowSize);
+        const unsigned active =
+            (reserved + cfg.blockSize - 1) / cfg.blockSize;
+        activeBlocks += std::uint64_t{active} * (cycles - 1);
+        gatedBlocks += std::uint64_t{numBlocks - active} * (cycles - 1);
+    }
+    sink.chargeIdle(g, cycles);
+}
+
 namespace gating {
 namespace {
 

@@ -60,6 +60,9 @@ class CgoooController : public GatingPolicy
 
     GateState gates(const CycleActivity &act) override;
 
+    void skipIdle(Core &core, std::uint64_t cycles,
+                  IdleSink &sink) override;
+
     const char *name() const override { return "cgooo"; }
 
   private:

@@ -122,4 +122,37 @@ DcgController::gates(const CycleActivity &act)
     return g;
 }
 
+void
+DcgController::skipIdle(Core &core, std::uint64_t cycles, IdleSink &sink)
+{
+    (void)core;
+    // One real gates() call settles the toggle accounting (the mask
+    // may transition into all-gated) and charges the first cycle's
+    // counters; the remaining cycles repeat the identical all-idle
+    // decision with zero toggles, so their counters are a multiply.
+    const CycleActivity idle{};
+    const GateState g = gates(idle);
+    if (cycles > 1) {
+        const std::uint64_t rest = cycles - 1;
+        if (cfg.gateExecUnits) {
+            std::uint64_t per = 0;
+            for (unsigned t = 0; t < kNumFuTypes; ++t)
+                per += static_cast<unsigned>(
+                    __builtin_popcount(g.fuGateMask[t]));
+            gatedFuCycles += per * rest;
+        }
+        if (cfg.gateLatches) {
+            std::uint64_t per = 0;
+            for (unsigned p = 0; p < kNumLatchPhases; ++p)
+                per += g.latchSlotsGated[p];
+            gatedLatchSlots += per * rest;
+        }
+        if (cfg.gateDcacheDecoders)
+            gatedPorts += std::uint64_t{g.dcachePortsGated} * rest;
+        if (cfg.gateResultBus)
+            gatedBuses += std::uint64_t{g.resultBusesGated} * rest;
+    }
+    sink.chargeIdle(g, cycles);
+}
+
 } // namespace dcg

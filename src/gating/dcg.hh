@@ -59,6 +59,9 @@ class DcgController : public GatingPolicy
 
     GateState gates(const CycleActivity &act) override;
 
+    void skipIdle(Core &core, std::uint64_t cycles,
+                  IdleSink &sink) override;
+
     const char *name() const override { return "dcg"; }
 
     /**

@@ -52,6 +52,26 @@ DdcgController::gates(const CycleActivity &act)
     return g;
 }
 
+void
+DdcgController::skipIdle(Core &core, std::uint64_t cycles,
+                         IdleSink &sink)
+{
+    (void)core;
+    // The all-idle decision is identical every cycle (zero flux gates
+    // every guarded slot); charge the first cycle through gates() and
+    // multiply the per-cycle counters for the rest.
+    const CycleActivity idle{};
+    const GateState g = gates(idle);
+    if (cycles > 1) {
+        std::uint64_t per = 0;
+        for (unsigned p = 0; p < kNumLatchPhases; ++p)
+            per += g.latchSlotsGated[p];
+        gatedSlots += per * (cycles - 1);
+        // clockedSlots gains nothing: idle flux is zero.
+    }
+    sink.chargeIdle(g, cycles);
+}
+
 namespace gating {
 namespace {
 

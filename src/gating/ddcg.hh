@@ -75,6 +75,9 @@ class DdcgController : public GatingPolicy
 
     GateState gates(const CycleActivity &act) override;
 
+    void skipIdle(Core &core, std::uint64_t cycles,
+                  IdleSink &sink) override;
+
     const char *name() const override { return "ddcg"; }
 
   private:

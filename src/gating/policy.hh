@@ -10,6 +10,8 @@
 #ifndef DCG_GATING_POLICY_HH
 #define DCG_GATING_POLICY_HH
 
+#include <cstdint>
+
 #include "pipeline/activity.hh"
 #include "pipeline/core.hh"
 #include "power/gate_state.hh"
@@ -30,6 +32,26 @@ class GatingPolicy
      */
     virtual GateState gates(const CycleActivity &act) = 0;
 
+    /**
+     * Account @p cycles consecutive provably idle cycles that the core
+     * is about to skip (Core::idleSkipAvailable). The default replays
+     * the per-cycle protocol — beginCycle + gates on an all-zero
+     * activity record — once per skipped cycle, which is always
+     * correct; stateless schemes override with an O(1) bulk charge.
+     * Every implementation must leave the controller's statistics and
+     * the energy charged to @p sink identical to simulating the idle
+     * window cycle by cycle.
+     */
+    virtual void
+    skipIdle(Core &core, std::uint64_t cycles, IdleSink &sink)
+    {
+        const CycleActivity idle{};
+        for (std::uint64_t i = 0; i < cycles; ++i) {
+            beginCycle(core);
+            sink.chargeIdle(gates(idle), 1);
+        }
+    }
+
     virtual const char *name() const = 0;
 };
 
@@ -42,6 +64,13 @@ class NoGating : public GatingPolicy
     {
         (void)act;
         return GateState{};
+    }
+
+    void
+    skipIdle(Core &core, std::uint64_t cycles, IdleSink &sink) override
+    {
+        (void)core;
+        sink.chargeIdle(GateState{}, cycles);
     }
 
     const char *name() const override { return "base"; }

@@ -19,6 +19,7 @@ void anchorNetIoCheckRegistration();
 void anchorNakedNewCheckRegistration();
 void anchorThreadOwnershipCheckRegistration();
 void anchorDeterminismCheckRegistration();
+void anchorTickPathStatsCheckRegistration();
 
 namespace {
 
@@ -47,6 +48,7 @@ ensureBuiltins()
     anchorNakedNewCheckRegistration();
     anchorThreadOwnershipCheckRegistration();
     anchorDeterminismCheckRegistration();
+    anchorTickPathStatsCheckRegistration();
 }
 
 [[noreturn]] void

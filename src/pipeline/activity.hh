@@ -87,6 +87,27 @@ struct CycleActivity
             __builtin_popcount(fuBusyMask[static_cast<unsigned>(type)]));
     }
 
+    /**
+     * True when nothing at all happened (or is scheduled) this cycle —
+     * the condition under which the power model folds the cycle into a
+     * per-gate-state idle class and skip-ahead may batch it. Field-wise
+     * rather than memcmp so struct padding can never alias activity.
+     */
+    bool
+    none() const
+    {
+        unsigned acc = 0;
+        for (unsigned p = 0; p < kNumLatchPhases; ++p)
+            acc |= latchFlux[p];
+        for (unsigned t = 0; t < kNumFuTypes; ++t)
+            acc |= fuBusyMask[t] | fuStarts[t];
+        acc |= dcachePortsUsed | resultBusUsed | fetched | renamed |
+               issued | committed | fpIssued | bpredLookups |
+               wrongPathFetched | icacheAccesses | dcacheAccesses |
+               regReads | regWrites | iqWakeups | iqOccupied | lsqOps;
+        return acc == 0;
+    }
+
     void reset() { *this = CycleActivity{}; }
 };
 
@@ -100,7 +121,7 @@ class ActivityWheel
 {
   public:
     explicit ActivityWheel(unsigned horizon = 1024)
-        : ring(horizon), now(0)
+        : ring(roundUpPow2(horizon)), mask(ring.size() - 1), now(0)
     {
         DCG_ASSERT(horizon >= 256, "activity wheel too small");
     }
@@ -109,7 +130,14 @@ class ActivityWheel
     Cycle cycle() const { return now; }
 
     /** Mutable record for the current cycle (front-end bookkeeping). */
-    CycleActivity &current() { return ring[now % ring.size()]; }
+    CycleActivity &current() { return ring[now & mask]; }
+
+    /**
+     * Latest cycle any writer has ever scheduled activity for. When
+     * this is <= the current cycle, the ledger provably holds nothing
+     * for the future — the precondition for skip().
+     */
+    Cycle lastScheduled() const { return lastSched; }
 
     /**
      * Record for a future cycle; @p min_notice asserts the component's
@@ -123,7 +151,9 @@ class ActivityWheel
                    "target=", target, " now=", now, " need=", min_notice);
         DCG_ASSERT(target - now < ring.size(),
                    "activity scheduled beyond wheel horizon");
-        return ring[target % ring.size()];
+        if (target > lastSched)
+            lastSched = target;
+        return ring[target & mask];
     }
 
     /** Mark an FU instance busy over [from, until). */
@@ -147,14 +177,43 @@ class ActivityWheel
     {
         // Recycle the slot we are leaving so future writers find it
         // clean when the wheel wraps around.
-        ring[now % ring.size()].reset();
+        ring[now & mask].reset();
         ++now;
-        return ring[now % ring.size()];
+        return ring[now & mask];
+    }
+
+    /**
+     * Jump @p cycles forward in O(1). Legal only when nothing is
+     * scheduled beyond the current cycle: every intermediate slot was
+     * already recycled by the advance() that left it, so the ledger is
+     * provably all-idle over the skipped window and the landing slot
+     * is clean.
+     */
+    void
+    skip(Cycle cycles)
+    {
+        DCG_ASSERT(cycles > 0, "skip of zero cycles");
+        DCG_ASSERT(lastSched <= now,
+                   "skip with future activity scheduled: last=", lastSched,
+                   " now=", now);
+        ring[now & mask].reset();
+        now += cycles;
     }
 
   private:
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
     std::vector<CycleActivity> ring;
+    std::size_t mask;
     Cycle now;
+    Cycle lastSched = 0;
 };
 
 } // namespace dcg

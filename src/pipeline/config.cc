@@ -4,26 +4,6 @@
 
 namespace dcg {
 
-bool
-latchPhaseGateable(LatchPhase phase)
-{
-    switch (phase) {
-      case LatchPhase::FetchOut:
-      case LatchPhase::DecodeOut:
-      case LatchPhase::IssueOut:
-        return false;
-      case LatchPhase::RenameOut:
-      case LatchPhase::ReadOut:
-      case LatchPhase::ExecOut:
-      case LatchPhase::MemOut:
-      case LatchPhase::WbOut:
-        return true;
-      default:
-        break;
-    }
-    panic("latchPhaseGateable: bad phase");
-}
-
 const char *
 latchPhaseName(LatchPhase phase)
 {

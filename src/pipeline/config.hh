@@ -37,8 +37,22 @@ enum class LatchPhase : std::uint8_t
 inline constexpr unsigned kNumLatchPhases =
     static_cast<unsigned>(LatchPhase::NumLatchPhases);
 
-/** True for phases DCG is allowed to gate (paper Sections 2.2.1/3.2). */
-bool latchPhaseGateable(LatchPhase phase);
+/**
+ * True for phases DCG is allowed to gate (paper Sections 2.2.1/3.2).
+ * Inline: the gating controllers ask this per phase per cycle.
+ */
+inline bool
+latchPhaseGateable(LatchPhase phase)
+{
+    switch (phase) {
+      case LatchPhase::FetchOut:
+      case LatchPhase::DecodeOut:
+      case LatchPhase::IssueOut:
+        return false;
+      default:
+        return true;
+    }
+}
 
 const char *latchPhaseName(LatchPhase phase);
 

@@ -10,6 +10,34 @@ namespace {
 
 /** Producer scoreboard size; must exceed window + max dep distance. */
 constexpr std::uint64_t kProdRingSize = 8192;
+constexpr std::uint64_t kProdRingMask = kProdRingSize - 1;
+
+/**
+ * Sentinel producer slot for "no in-flight producer": indexes the
+ * extra pinned-zero scoreboard entry, so srcs-ready checks need no
+ * validity branch.
+ */
+constexpr std::uint16_t kNoProducer =
+    static_cast<std::uint16_t>(kProdRingSize);
+
+/** Nil link for the per-producer waiter chains. */
+constexpr std::uint16_t kNilWaiter = 0xffff;
+
+/**
+ * Ready-ring span. Wake cycles are bounded by the same event horizon
+ * as the ActivityWheel (every producer's completion is also scheduled
+ * there), so the same size is provably sufficient.
+ */
+constexpr unsigned kReadyRing = 1024;
+
+unsigned
+roundUpPow2(unsigned n)
+{
+    unsigned p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
 
 } // namespace
 
@@ -23,11 +51,11 @@ Core::Core(const CoreConfig &config, InstSource &gen_,
       bpred(bpred_),
       wheel(1024),
       currentAct(&wheel.current()),
-      rob(config.windowSize),
+      window(config.windowSize),
       lsq(config.lsqSize),
       storeBuf(config.storeBufferSize),
       fus(config.fuCount, config.sequentialPriority),
-      prodReady(kProdRingSize, 0),
+      prodReady(kProdRingSize + 1, 0),
       frontQCap(config.fetchWidth * (pipeTiming.fetchToRename + 4)),
       issueLimit(config.issueWidth),
       portLimit(config.dcachePorts),
@@ -44,6 +72,9 @@ Core::Core(const CoreConfig &config, InstSource &gen_,
                                   "rename stalls on full LSQ")),
       mispredicts(stats.counter("core.mispredicts",
                                 "resolved branch mispredictions")),
+      skippedCycles(stats.counter(
+          "core.skipped_cycles",
+          "idle cycles advanced in bulk by skip-ahead")),
       ipcFormula(stats.formula("core.ipc", "committed IPC")),
       windowOccupancy(stats.average("core.window_occupancy",
                                     "average ROB/window occupancy")),
@@ -63,31 +94,76 @@ Core::Core(const CoreConfig &config, InstSource &gen_,
           "commit blocked: store buffer full"))
 {
     ipcFormula.define([this]() { return ipc(); });
+
+    // Resolve per-OpClass timing/routing once; the issue loop then
+    // reads a 6-byte record instead of calling through op_class.cc.
+    for (unsigned c = 0; c < kNumOpClasses; ++c) {
+        const auto cls = static_cast<OpClass>(c);
+        const OpTiming t = opTiming(cls);
+        OpClassInfo &info = clsInfo[c];
+        info.fu = static_cast<std::uint8_t>(opFuType(cls));
+        info.issueRate = static_cast<std::uint8_t>(t.issueRate);
+        info.latency = static_cast<std::uint16_t>(t.latency);
+        if (isFpOp(cls))
+            info.metaBits |= Window::kIsFp;
+        if (writesResult(cls))
+            info.metaBits |= Window::kWritesResult;
+    }
+
+    // Fetch can overshoot the rename-queue cap by one block within a
+    // cycle (the cap is checked once per cycle), so the physical ring
+    // leaves room for a full fetch group beyond it.
+    fq.resize(roundUpPow2(frontQCap + cfg.fetchWidth));
+    fqMask = static_cast<unsigned>(fq.size()) - 1;
+
+    // Event-driven wakeup state (waiter links pack a slot index and a
+    // source selector into 16 bits).
+    const unsigned phys = window.physicalCapacity();
+    DCG_ASSERT(phys < (kNilWaiter >> 1), "window too large for links");
+    issuable.assign((phys + 63) / 64, 0);
+    waitCount.assign(phys, 0);
+    waiterHead.assign(kProdRingSize + 1, kNilWaiter);
+    nextWaiter0.assign(phys, kNilWaiter);
+    nextWaiter1.assign(phys, kNilWaiter);
+    readyBuckets.resize(kReadyRing);
 }
 
 double
 Core::ipc() const
 {
-    const double c = static_cast<double>(numCycles.value());
-    return c > 0 ? static_cast<double>(numCommitted.value()) / c : 0.0;
+    const double c = static_cast<double>(stat(CoreStat::Cycles));
+    return c > 0
+        ? static_cast<double>(stat(CoreStat::Committed)) / c : 0.0;
 }
 
-Cycle
-Core::producerReadyAt(std::int64_t slot) const
+void
+Core::foldStats() const
 {
-    if (slot < 0)
-        return 0;
-    return prodReady[static_cast<std::uint64_t>(slot) % kProdRingSize];
-}
-
-bool
-Core::srcsReady(const DynInst &di, Cycle now) const
-{
-    for (unsigned i = 0; i < di.op.numSrcs; ++i) {
-        if (producerReadyAt(di.srcSlot[i]) > now)
-            return false;
-    }
-    return true;
+    numCycles.set(stat(CoreStat::Cycles));
+    numCommitted.set(stat(CoreStat::Committed));
+    numIssued.set(stat(CoreStat::Issued));
+    fetchStallCycles.set(stat(CoreStat::FetchStallCycles));
+    robFullStalls.set(stat(CoreStat::RobFullStalls));
+    lsqFullStalls.set(stat(CoreStat::LsqFullStalls));
+    mispredicts.set(stat(CoreStat::Mispredicts));
+    skippedCycles.set(stat(CoreStat::SkippedCycles));
+    commitWaitIssue.set(stat(CoreStat::CommitWaitIssue));
+    commitWaitComplete.set(stat(CoreStat::CommitWaitComplete));
+    commitWaitStoreBuf.set(stat(CoreStat::CommitWaitStoreBuf));
+    // Every sample is integer-valued, so sum-of-samples stays exact in
+    // a double and the fold reproduces sample()-accumulation byte for
+    // byte.
+    windowOccupancy.set(
+        static_cast<double>(stat(CoreStat::WindowOccSum)),
+        stat(CoreStat::WindowOccSamples));
+    issueWait.set(static_cast<double>(stat(CoreStat::IssueWaitSum)),
+                  stat(CoreStat::IssueWaitSamples));
+    fetchedPerCycle.set(
+        static_cast<double>(stat(CoreStat::FetchedSum)),
+        stat(CoreStat::FetchedSamples));
+    commitLatency.set(
+        static_cast<double>(stat(CoreStat::CommitLatSum)),
+        stat(CoreStat::CommitLatSamples));
 }
 
 void
@@ -95,15 +171,49 @@ Core::tick()
 {
     CycleActivity &act = wheel.advance();
     currentAct = &act;
-    ++numCycles;
-    windowOccupancy.sample(rob.size());
+    statRef(CoreStat::Cycles) += 1;
+    statRef(CoreStat::WindowOccSum) += window.size();
+    statRef(CoreStat::WindowOccSamples) += 1;
     act.iqOccupied = static_cast<std::uint8_t>(
         std::min<unsigned>(iqOccupied, 255));
     commit(act);
-    drainStores(act);
+    drainStores();
     issue(act);
     rename(act);
     fetch(act);
+}
+
+Cycle
+Core::idleSkipAvailable() const
+{
+    const Cycle now = wheel.cycle();
+    // Fetch must be stalled past the next cycle with no unresolved
+    // branch, nothing in flight anywhere, and no wrong-path fetch to
+    // model; the wheel then proves no unit/queue/miss event can fire
+    // before the fetch block arrives.
+    if (waitingForBranch || fetchResumeAt <= now + 1)
+        return 0;
+    if (!window.empty() || fqCount != 0 || !storeBuf.empty())
+        return 0;
+    if (cfg.modelWrongPathFetch && wrongPathActive)
+        return 0;
+    if (wheel.lastScheduled() > now)
+        return 0;
+    return fetchResumeAt - now - 1;
+}
+
+void
+Core::skipIdle(Cycle cycles)
+{
+    wheel.skip(cycles);
+    currentAct = &wheel.current();
+    // Exactly what the per-cycle path charges for an idle cycle: the
+    // cycle itself, one zero-valued occupancy sample, and a fetch
+    // stall. fetchedPerCycle is *not* sampled on the stall path.
+    statRef(CoreStat::Cycles) += cycles;
+    statRef(CoreStat::WindowOccSamples) += cycles;
+    statRef(CoreStat::FetchStallCycles) += cycles;
+    statRef(CoreStat::SkippedCycles) += cycles;
 }
 
 void
@@ -111,37 +221,40 @@ Core::commit(CycleActivity &act)
 {
     const Cycle now = wheel.cycle();
     unsigned budget = cfg.commitWidth;
-    while (budget > 0 && !rob.empty()) {
-        DynInst &head = rob.head();
-        if (!head.issued) {
-            ++commitWaitIssue;
+    while (budget > 0 && !window.empty()) {
+        const unsigned h = window.headIndex();
+        if (window.isUnissued(h)) {
+            statRef(CoreStat::CommitWaitIssue) += 1;
             break;
         }
-        if (head.commitReady > now) {
-            ++commitWaitComplete;
+        if (window.commitReady[h] > now) {
+            statRef(CoreStat::CommitWaitComplete) += 1;
             break;
         }
-        if (head.op.isStore()) {
+        const std::uint8_t m = window.meta[h];
+        if (m & Window::kIsStore) {
             if (storeBuf.full()) {
-                ++commitWaitStoreBuf;
+                statRef(CoreStat::CommitWaitStoreBuf) += 1;
                 break;
             }
-            storeBuf.push(head.op.effAddr);
+            storeBuf.push(window.effAddr[h]);
         }
-        if (head.inLsq)
+        if (m & Window::kInLsq)
             lsq.release();
-        commitLatency.sample(static_cast<double>(now - head.renameCycle));
+        statRef(CoreStat::CommitLatSum) += now - window.renameCycle[h];
+        statRef(CoreStat::CommitLatSamples) += 1;
         ++act.committed;
-        ++numCommitted;
+        statRef(CoreStat::Committed) += 1;
         --budget;
-        rob.pop();
+        window.pop();
     }
 }
 
 void
-Core::drainStores(CycleActivity &act)
+Core::drainStores()
 {
-    (void)act;
+    if (storeBuf.empty())
+        return;
     const Cycle now = wheel.cycle();
     // Case (1) of Sec 3.3: an upcoming store access is known one cycle
     // ahead, so the clock-gate control of the D-cache port decoder can
@@ -162,54 +275,63 @@ void
 Core::issue(CycleActivity &act)
 {
     const Cycle now = wheel.cycle();
+    // Entries whose wake cycle arrives now enter the issuable set;
+    // arrival order within a cycle is irrelevant because the bitmap
+    // scan below re-imposes age order.
+    std::vector<std::uint16_t> &due = readyBuckets[now % kReadyRing];
+    for (const std::uint16_t idx : due)
+        issuable[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    due.clear();
+
     unsigned budget = std::min(cfg.issueWidth, issueLimit);
-    for (unsigned i = 0; i < rob.size() && budget > 0; ++i) {
-        DynInst &di = rob.at(i);
-        if (di.issued)
-            continue;
-        if (di.eligibleCycle > now)
-            break;  // eligibility is monotonic in window order
-        if (!srcsReady(di, now))
-            continue;
-        const FuType fu = opFuType(di.op.cls);
-        const OpTiming t = opTiming(di.op.cls);
+    if (budget == 0)
+        return;
+    window.forEachSetIn(issuable, [&](unsigned idx) {
+        const OpClassInfo &info = clsInfo[window.cls[idx]];
         const Cycle exec_start = now + pipeTiming.selectToExec;
-        const int unit = fus.allocate(fu, exec_start, t.issueRate);
+        const int unit = fus.allocate(static_cast<FuType>(info.fu),
+                                      exec_start, info.issueRate);
         if (unit < 0)
-            continue;  // structural hazard; try younger instructions
-        issueOne(di, act, now);
+            return true;  // structural hazard; stays issuable
+        issuable[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        issueOne(idx, act, now);
         // FU occupancy is deterministic at selection time: the GRANT
         // signal generated now gates the unit selectToExec cycles ahead
         // (Figure 5/6 of the paper).
-        wheel.markFuBusy(fu, static_cast<unsigned>(unit), exec_start,
-                         exec_start + t.latency, pipeTiming.selectToExec);
-        --budget;
-    }
+        wheel.markFuBusy(static_cast<FuType>(info.fu),
+                         static_cast<unsigned>(unit), exec_start,
+                         exec_start + info.latency,
+                         pipeTiming.selectToExec);
+        return --budget > 0;
+    });
 }
 
 void
-Core::issueOne(DynInst &di, CycleActivity &act, Cycle now)
+Core::issueOne(unsigned idx, CycleActivity &act, Cycle now)
 {
-    const OpClass cls = di.op.cls;
-    const OpTiming t = opTiming(cls);
+    const auto cls = static_cast<OpClass>(window.cls[idx]);
+    const OpClassInfo &info = clsInfo[window.cls[idx]];
+    const std::uint8_t m = window.meta[idx];
     const Cycle exec_start = now + pipeTiming.selectToExec;
 
-    di.issued = true;
-    di.issueCycle = now;
+    window.markIssued(idx);
     DCG_ASSERT(iqOccupied > 0, "issue from empty issue queue");
     --iqOccupied;
-    issueWait.sample(static_cast<double>(now - di.eligibleCycle));
+    statRef(CoreStat::IssueWaitSum) += now - window.eligible[idx];
+    statRef(CoreStat::IssueWaitSamples) += 1;
     ++act.issued;
-    ++numIssued;
+    statRef(CoreStat::Issued) += 1;
     act.bumpLatchFlux(LatchPhase::IssueOut, cfg.issueWidth);
 
-    if (isFpOp(cls))
+    if (m & Window::kIsFp)
         ++act.fpIssued;
 
     // Register-file reads happen in the read stage, next cycle.
-    wheel.at(now + 1, 1).regReads += di.op.numSrcs;
+    wheel.at(now + 1, 1).regReads +=
+        static_cast<std::uint8_t>(m >> Window::kNumSrcsShift);
     // One-hot issue encoding gates the read-out latch slots (Sec 3.2).
-    wheel.at(exec_start, 1).bumpLatchFlux(LatchPhase::ReadOut, cfg.issueWidth);
+    wheel.at(exec_start, 1).bumpLatchFlux(LatchPhase::ReadOut,
+                                          cfg.issueWidth);
 
     Cycle complete;
     if (cls == OpClass::Load) {
@@ -224,19 +346,19 @@ Core::issueOne(DynInst &di, CycleActivity &act, Cycle now)
         ++ma.dcachePortsUsed;
         ++ma.dcacheAccesses;
         ++ma.lsqOps;
-        const Cycle lat = mem.dcache().access(di.op.effAddr, false,
-                                              mem_cycle);
+        const Cycle lat = mem.dcache().access(window.effAddr[idx],
+                                              false, mem_cycle);
         complete = mem_cycle + lat;
         // Address-generation result crosses the exec-out latch.
-        wheel.at(exec_start + 1, 1).bumpLatchFlux(LatchPhase::ExecOut, cfg.issueWidth);
+        wheel.at(exec_start + 1, 1).bumpLatchFlux(LatchPhase::ExecOut,
+                                                  cfg.issueWidth);
     } else {
-        complete = exec_start + t.latency;
-        wheel.at(complete, 1).bumpLatchFlux(LatchPhase::ExecOut, cfg.issueWidth);
+        complete = exec_start + info.latency;
+        wheel.at(complete, 1).bumpLatchFlux(LatchPhase::ExecOut,
+                                            cfg.issueWidth);
     }
-    di.completeCycle = complete;
 
-
-    if (writesResult(cls)) {
+    if (m & Window::kWritesResult) {
         // Result-bus slot: drive happens after the memory stage
         // (Sec 3.4: executed in X, writeback in X+2 for unit ops).
         Cycle wb = complete + (cls == OpClass::Load ? 1 : cfg.depth.mem);
@@ -245,33 +367,69 @@ Core::issueOne(DynInst &di, CycleActivity &act, Cycle now)
         CycleActivity &wa = wheel.at(wb, 2);
         ++wa.resultBusUsed;
         ++wa.regWrites;
-        wheel.at(wb, 1).bumpLatchFlux(LatchPhase::MemOut, cfg.issueWidth);
-        wheel.at(wb + cfg.depth.wb, 1).bumpLatchFlux(LatchPhase::WbOut, cfg.issueWidth);
-        di.wbCycle = wb;
-        di.commitReady = wb + pipeTiming.wbToCommit;
+        wheel.at(wb, 1).bumpLatchFlux(LatchPhase::MemOut,
+                                      cfg.issueWidth);
+        wheel.at(wb + cfg.depth.wb, 1).bumpLatchFlux(LatchPhase::WbOut,
+                                                     cfg.issueWidth);
+        window.commitReady[idx] = wb + pipeTiming.wbToCommit;
 
         // Consumers may issue once their read stage lines up with the
         // data (full bypass network).
-        DCG_ASSERT(di.destSlot >= 0, "result op without producer slot");
-        const Cycle ready = complete - pipeTiming.selectToExec;
-        prodReady[static_cast<std::uint64_t>(di.destSlot) %
-                  kProdRingSize] = std::max(ready, now + 1);
+        DCG_ASSERT(window.dest[idx] != kNoProducer,
+                   "result op without producer slot");
+        const Cycle ready =
+            std::max(complete - pipeTiming.selectToExec, now + 1);
+        const std::uint16_t d = window.dest[idx];
+        prodReady[d] = ready;
         // Wakeup broadcast into the window (tag match in the CAM).
-        wheel.at(std::max(ready, now + 1), 1).iqWakeups++;
+        wheel.at(ready, 1).iqWakeups++;
+        // Consumers parked on this producer now know their last
+        // unknown operand time; any whose wait count hits zero has a
+        // decidable issue cycle.
+        std::uint16_t link = waiterHead[d];
+        waiterHead[d] = kNilWaiter;
+        while (link != kNilWaiter) {
+            const unsigned w = link >> 1;
+            link = (link & 1) ? nextWaiter1[w] : nextWaiter0[w];
+            if (--waitCount[w] == 0)
+                scheduleReady(w,
+                              std::max({window.eligible[w],
+                                        prodReady[window.src0[w]],
+                                        prodReady[window.src1[w]]}));
+        }
     } else {
         // Stores and branches pass through mem/wb without a result.
-        wheel.at(complete + cfg.depth.mem, 1).bumpLatchFlux(LatchPhase::MemOut, cfg.issueWidth);
-        wheel.at(complete + cfg.depth.mem + cfg.depth.wb, 1).bumpLatchFlux(LatchPhase::WbOut, cfg.issueWidth);
-        di.commitReady = complete + cfg.depth.mem + pipeTiming.wbToCommit;
+        wheel.at(complete + cfg.depth.mem, 1)
+            .bumpLatchFlux(LatchPhase::MemOut, cfg.issueWidth);
+        wheel.at(complete + cfg.depth.mem + cfg.depth.wb, 1)
+            .bumpLatchFlux(LatchPhase::WbOut, cfg.issueWidth);
+        window.commitReady[idx] =
+            complete + cfg.depth.mem + pipeTiming.wbToCommit;
     }
 
-    if (di.mispredicted) {
+    if (m & Window::kMispredicted) {
         // The front end restarts on the correct path once the branch
         // resolves at the end of execute.
-        fetchResumeAt = di.completeCycle + 1;
+        fetchResumeAt = complete + 1;
         waitingForBranch = false;
-        ++mispredicts;
+        statRef(CoreStat::Mispredicts) += 1;
     }
+}
+
+void
+Core::scheduleReady(unsigned idx, Cycle t)
+{
+    const Cycle now = wheel.cycle();
+    if (t <= now) {
+        // Rename runs after issue within a tick, so a wake time of
+        // "now" still means the next issue scan — same as the old
+        // per-cycle poll.
+        issuable[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        return;
+    }
+    DCG_ASSERT(t - now < kReadyRing, "wake time beyond ready ring");
+    readyBuckets[t % kReadyRing].push_back(
+        static_cast<std::uint16_t>(idx));
 }
 
 void
@@ -279,53 +437,100 @@ Core::rename(CycleActivity &act)
 {
     const Cycle now = wheel.cycle();
     unsigned budget = cfg.renameWidth;
-    while (budget > 0 && !frontQ.empty()) {
-        DynInst &fi = frontQ.front();
+    while (budget > 0 && fqCount > 0) {
+        const FrontEntry &fi = fq[fqHead];
         if (fi.fetchCycle + pipeTiming.fetchToRename > now)
             break;
-        if (rob.full()) {
-            ++robFullStalls;
+        if (window.full()) {
+            statRef(CoreStat::RobFullStalls) += 1;
             break;
         }
-        if (fi.op.isMem() && lsq.full()) {
-            ++lsqFullStalls;
+        const MicroOp &op = fi.op;
+        const bool is_mem = op.isMem();
+        if (is_mem && lsq.full()) {
+            statRef(CoreStat::LsqFullStalls) += 1;
             break;
         }
 
-        DynInst &di = rob.push();
-        di = fi;
-        di.renameCycle = now;
-        di.eligibleCycle = now + pipeTiming.renameToSelect;
+        const unsigned idx = window.push();
+        const OpClassInfo &info = clsInfo[static_cast<unsigned>(op.cls)];
+        window.renameCycle[idx] = now;
+        window.eligible[idx] = now + pipeTiming.renameToSelect;
+        window.commitReady[idx] = kCycleNever;
+        window.effAddr[idx] = op.effAddr;
+        window.cls[idx] = static_cast<std::uint8_t>(op.cls);
 
         // Resolve dependence distances against the producer scoreboard.
-        for (unsigned s = 0; s < di.op.numSrcs; ++s) {
-            const std::uint32_t dist = di.op.srcDist[s];
-            if (dist == 0 || dist > prodCount) {
-                di.srcSlot[s] = kInvalidIndex;
-            } else {
-                di.srcSlot[s] =
-                    static_cast<std::int64_t>(prodCount - dist);
-            }
+        std::uint16_t s0 = kNoProducer;
+        std::uint16_t s1 = kNoProducer;
+        if (op.numSrcs > 0) {
+            const std::uint32_t d = op.srcDist[0];
+            if (d != 0 && d <= prodCount)
+                s0 = static_cast<std::uint16_t>(
+                    (prodCount - d) & kProdRingMask);
         }
-        if (writesResult(di.op.cls)) {
-            di.destSlot = static_cast<std::int64_t>(prodCount);
-            prodReady[prodCount % kProdRingSize] = kCycleNever;
+        if (op.numSrcs > 1) {
+            const std::uint32_t d = op.srcDist[1];
+            if (d != 0 && d <= prodCount)
+                s1 = static_cast<std::uint16_t>(
+                    (prodCount - d) & kProdRingMask);
+        }
+        window.src0[idx] = s0;
+        window.src1[idx] = s1;
+
+        std::uint8_t m = static_cast<std::uint8_t>(
+            info.metaBits |
+            (static_cast<unsigned>(op.numSrcs)
+             << Window::kNumSrcsShift));
+        if (info.metaBits & Window::kWritesResult) {
+            window.dest[idx] = static_cast<std::uint16_t>(
+                prodCount & kProdRingMask);
+            prodReady[prodCount & kProdRingMask] = kCycleNever;
             ++prodCount;
+        } else {
+            window.dest[idx] = kNoProducer;
         }
-        if (di.op.isMem()) {
+        if (is_mem) {
             lsq.allocate();
-            di.inLsq = true;
+            m |= Window::kInLsq;
+            if (op.isStore())
+                m |= Window::kIsStore;
         }
+        if (fi.mispredicted)
+            m |= Window::kMispredicted;
+        window.meta[idx] = m;
+
+        // Event-driven wakeup: park on the chain of every source whose
+        // producer has not issued yet; otherwise the wake cycle is
+        // already known and the entry goes straight to the ready ring.
+        unsigned wc = 0;
+        if (s0 != kNoProducer && prodReady[s0] == kCycleNever) {
+            nextWaiter0[idx] = waiterHead[s0];
+            waiterHead[s0] = static_cast<std::uint16_t>(idx << 1);
+            ++wc;
+        }
+        if (s1 != kNoProducer && prodReady[s1] == kCycleNever) {
+            nextWaiter1[idx] = waiterHead[s1];
+            waiterHead[s1] = static_cast<std::uint16_t>((idx << 1) | 1);
+            ++wc;
+        }
+        waitCount[idx] = static_cast<std::uint8_t>(wc);
+        if (wc == 0)
+            scheduleReady(idx, std::max({window.eligible[idx],
+                                         prodReady[s0],
+                                         prodReady[s1]}));
 
         ++iqOccupied;
         ++act.renamed;
         act.bumpLatchFlux(LatchPhase::DecodeOut, cfg.issueWidth);
         // The rename-out latch is gated with knowledge available one
         // stage earlier (Sec 2.2.1).
-        wheel.at(now + cfg.depth.rename, 1).bumpLatchFlux(LatchPhase::RenameOut, cfg.issueWidth);
+        wheel.at(now + cfg.depth.rename, 1)
+            .bumpLatchFlux(LatchPhase::RenameOut, cfg.issueWidth);
 
         --budget;
-        frontQ.pop_front();
+        fqHead = (fqHead + 1) & fqMask;
+        --fqCount;
     }
 }
 
@@ -336,12 +541,12 @@ Core::fetch(CycleActivity &act)
     if (waitingForBranch || fetchResumeAt > now) {
         if (cfg.modelWrongPathFetch && wrongPathActive)
             fetchWrongPath(act);
-        ++fetchStallCycles;
+        statRef(CoreStat::FetchStallCycles) += 1;
         return;
     }
     wrongPathActive = false;
-    if (frontQ.size() >= frontQCap) {
-        ++fetchStallCycles;
+    if (fqCount >= frontQCap) {
+        statRef(CoreStat::FetchStallCycles) += 1;
         return;
     }
 
@@ -379,18 +584,20 @@ Core::fetch(CycleActivity &act)
             }
         }
 
-        DynInst di;
-        di.op = op;
-        di.seq = nextSeq++;
-        di.fetchCycle = now;
+        // Build the front-queue entry in place (a MicroOp copy per
+        // fetched op is measurable at this loop's rate).
+        FrontEntry &fe = fq[(fqHead + fqCount) & fqMask];
+        fe.op = op;
+        fe.fetchCycle = now;
+        fe.mispredicted = false;
 
         bool stop_block = false;
         if (op.isBranch()) {
             ++act.bpredLookups;
-            di.pred = bpred.predict(op.pc);
-            const bool ok = bpred.resolve(op.pc, di.pred, op.taken,
+            const BranchPrediction pred = bpred.predict(op.pc);
+            const bool ok = bpred.resolve(op.pc, pred, op.taken,
                                           op.target);
-            di.mispredicted = !ok;
+            fe.mispredicted = !ok;
             if (!ok) {
                 // Correct-path fetch stalls until the branch resolves;
                 // optionally the machine runs down the wrong path for
@@ -399,23 +606,24 @@ Core::fetch(CycleActivity &act)
                 stop_block = true;
                 wrongPathActive = true;
                 // The path the (wrong) prediction would have taken.
-                wrongPathPc = di.pred.taken && di.pred.btbHit
-                    ? di.pred.target : op.pc + 4;
+                wrongPathPc = pred.taken && pred.btbHit
+                    ? pred.target : op.pc + 4;
             } else if (op.taken) {
                 stop_block = true;  // redirect ends the fetch block
             }
         }
 
-        frontQ.push_back(di);
+        ++fqCount;
         ++n;
         ++act.fetched;
         act.bumpLatchFlux(LatchPhase::FetchOut, cfg.issueWidth);
         if (stop_block)
             break;
     }
-    fetchedPerCycle.sample(n);
+    statRef(CoreStat::FetchedSum) += n;
+    statRef(CoreStat::FetchedSamples) += 1;
     if (n == 0)
-        ++fetchStallCycles;
+        statRef(CoreStat::FetchStallCycles) += 1;
 }
 
 void

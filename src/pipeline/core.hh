@@ -12,12 +12,25 @@
  * ActivityWheel with per-component advance-notice assertions; this is
  * the machine-checkable form of the paper's determinism claim and the
  * information source for the DCG controller.
+ *
+ * Hot-path structure: per-entry window state is structure-of-arrays
+ * (pipeline/window.hh), wakeup is event-driven (consumers park on
+ * per-producer waiter chains and surface in an `issuable` bitmap only
+ * once every operand's ready cycle is met, so the issue scan never
+ * revisits dependence-blocked entries), tick-path statistics
+ * accumulate in a flat uint64 block indexed by CoreStat and fold into
+ * the registry only at report time (foldStats), and provably idle
+ * stall windows can be skipped in O(1) (idleSkipAvailable /
+ * skipIdle) — the same
+ * determinism that lets DCG gate an idle unit lets the simulator not
+ * simulate it.
  */
 
 #ifndef DCG_PIPELINE_CORE_HH
 #define DCG_PIPELINE_CORE_HH
 
-#include <deque>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "branch/predictor.hh"
@@ -29,10 +42,45 @@
 #include "pipeline/config.hh"
 #include "pipeline/fu_pool.hh"
 #include "pipeline/lsq.hh"
-#include "pipeline/rob.hh"
+#include "pipeline/window.hh"
 #include "isa/inst_source.hh"
 
 namespace dcg {
+
+/**
+ * Flat tick-path statistic slots. The per-cycle loop only touches this
+ * contiguous block; Core::foldStats() writes the values back into the
+ * named registry statistics (averages keep integer sums + sample
+ * counts, so the fold is byte-exact). tests/sim/flatstats_test.cc
+ * asserts the reconciliation, and the dcglint `tick-path-stats` check
+ * keeps registry calls out of the tick path.
+ */
+enum class CoreStat : unsigned
+{
+    Cycles,
+    Committed,
+    Issued,
+    FetchStallCycles,
+    RobFullStalls,
+    LsqFullStalls,
+    Mispredicts,
+    SkippedCycles,
+    CommitWaitIssue,
+    CommitWaitComplete,
+    CommitWaitStoreBuf,
+    WindowOccSum,
+    WindowOccSamples,
+    IssueWaitSum,
+    IssueWaitSamples,
+    FetchedSum,
+    FetchedSamples,
+    CommitLatSum,
+    CommitLatSamples,
+    NumStats
+};
+
+inline constexpr unsigned kNumCoreStats =
+    static_cast<unsigned>(CoreStat::NumStats);
 
 class Core
 {
@@ -44,12 +92,47 @@ class Core
     /** Advance one cycle. */
     void tick();
 
+    /**
+     * Cycles the next tick would provably spend doing nothing: fetch
+     * is stalled past the next cycle, every queue is drained and the
+     * activity ledger holds no scheduled event. 0 when the machine
+     * cannot skip.
+     */
+    Cycle idleSkipAvailable() const;
+
+    /**
+     * Jump over @p cycles provably idle cycles (as reported by
+     * idleSkipAvailable) in O(1), charging exactly the statistics the
+     * per-cycle path would have: cycle count, occupancy samples and
+     * fetch-stall cycles. The caller accounts gating/power via
+     * GatingPolicy::skipIdle.
+     */
+    void skipIdle(Cycle cycles);
+
     /** Activity of the cycle just simulated. */
     const CycleActivity &activity() const { return *currentAct; }
 
     Cycle cycle() const { return wheel.cycle(); }
-    InstSeq committedInsts() const { return numCommitted.value(); }
+    InstSeq committedInsts() const
+    { return stat(CoreStat::Committed); }
     double ipc() const;
+
+    /** Read one flat tick-path statistic slot. */
+    std::uint64_t
+    stat(CoreStat s) const
+    {
+        return flat[static_cast<unsigned>(s)];
+    }
+
+    /**
+     * Fold the flat counter block into the named registry statistics.
+     * Cheap and idempotent; called at report time (and by tests that
+     * read the registry mid-run).
+     */
+    void foldStats() const;
+
+    /** Zero the flat counter block (measurement-window reset). */
+    void resetStats() { flat.fill(0); }
 
     const CoreConfig &config() const { return cfg; }
     const PipeTiming &timing() const { return pipeTiming; }
@@ -68,16 +151,37 @@ class Core
     /// @}
 
   private:
+    /** Fetched instruction awaiting rename. */
+    struct FrontEntry
+    {
+        MicroOp op;
+        Cycle fetchCycle = 0;
+        bool mispredicted = false;
+    };
+
+    /** Per-OpClass constants, resolved once at construction. */
+    struct OpClassInfo
+    {
+        std::uint8_t fu = 0;         ///< FuType
+        std::uint8_t issueRate = 1;
+        std::uint16_t latency = 1;
+        std::uint8_t metaBits = 0;   ///< Window::kIsFp / kWritesResult
+    };
+
     void commit(CycleActivity &act);
-    void drainStores(CycleActivity &act);
+    void drainStores();
     void issue(CycleActivity &act);
     void rename(CycleActivity &act);
     void fetch(CycleActivity &act);
     void fetchWrongPath(CycleActivity &act);
+    void issueOne(unsigned idx, CycleActivity &act, Cycle now);
+    void scheduleReady(unsigned idx, Cycle t);
 
-    bool srcsReady(const DynInst &di, Cycle now) const;
-    Cycle producerReadyAt(std::int64_t slot) const;
-    void issueOne(DynInst &di, CycleActivity &act, Cycle now);
+    std::uint64_t &
+    statRef(CoreStat s)
+    {
+        return flat[static_cast<unsigned>(s)];
+    }
 
     CoreConfig cfg;
     PipeTiming pipeTiming;
@@ -89,18 +193,27 @@ class Core
     ActivityWheel wheel;
     CycleActivity *currentAct;
 
-    Rob rob;
+    Window window;
     Lsq lsq;
     StoreBuffer storeBuf;
     FuPool fus;
 
-    /** Producer scoreboard ring: consumer-visible ready cycles. */
+    std::array<OpClassInfo, kNumOpClasses> clsInfo{};
+
+    /**
+     * Producer scoreboard ring: consumer-visible ready cycles. One
+     * extra pinned-zero slot backs the "no in-flight producer"
+     * sentinel, so readiness checks are branch-free.
+     */
     std::vector<Cycle> prodReady;
     std::uint64_t prodCount = 0;
 
-    /** Fetched instructions awaiting rename. */
-    std::deque<DynInst> frontQ;
-    std::size_t frontQCap;
+    /** Fetched instructions awaiting rename (fixed ring). */
+    std::vector<FrontEntry> fq;
+    unsigned fqHead = 0;
+    unsigned fqCount = 0;
+    unsigned fqMask;
+    unsigned frontQCap;
 
     /** Fetch redirect/stall state. */
     Cycle fetchResumeAt = 0;
@@ -112,16 +225,37 @@ class Core
     MicroOp pendingOp;
     Addr lastFetchLine = ~Addr{0};
 
-    InstSeq nextSeq = 0;
-
     /** Window entries renamed but not yet issued. */
     unsigned iqOccupied = 0;
+
+    /**
+     * Event-driven wakeup state. An entry appears in `issuable` (a
+     * bitmap parallel to the window's physical slots) only once its
+     * select-eligibility cycle has arrived and every source operand
+     * has a met ready time, so the issue scan never revisits
+     * dependence-blocked entries. Entries whose producers have not
+     * issued yet park on intrusive per-producer chains (links encode
+     * (slot << 1) | sourceIndex); waitCount holds the number of
+     * still-unknown producers, and readyBuckets is a cycle-indexed
+     * ring of entries whose wake cycle is known but in the future.
+     */
+    std::vector<std::uint64_t> issuable;
+    std::vector<std::uint8_t> waitCount;
+    std::vector<std::uint16_t> waiterHead;   ///< per producer slot
+    std::vector<std::uint16_t> nextWaiter0;  ///< chain link via src0
+    std::vector<std::uint16_t> nextWaiter1;  ///< chain link via src1
+    std::vector<std::vector<std::uint16_t>> readyBuckets;
 
     /** Dynamic constraints (PLB). */
     unsigned issueLimit;
     unsigned portLimit;
     unsigned busLimit;
 
+    /** Flat tick-path statistic block (see CoreStat). */
+    std::array<std::uint64_t, kNumCoreStats> flat{};
+
+    /// @name Registry statistics, written only by foldStats()
+    /// @{
     Counter &numCycles;
     Counter &numCommitted;
     Counter &numIssued;
@@ -129,6 +263,7 @@ class Core
     Counter &robFullStalls;
     Counter &lsqFullStalls;
     Counter &mispredicts;
+    Counter &skippedCycles;
     Formula &ipcFormula;
     Average &windowOccupancy;
     Average &issueWait;
@@ -137,6 +272,7 @@ class Core
     Counter &commitWaitIssue;
     Counter &commitWaitComplete;
     Counter &commitWaitStoreBuf;
+    /// @}
 };
 
 } // namespace dcg

@@ -13,7 +13,7 @@
 #ifndef DCG_PIPELINE_LSQ_HH
 #define DCG_PIPELINE_LSQ_HH
 
-#include <deque>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
@@ -52,39 +52,51 @@ class Lsq
     unsigned occupancy;
 };
 
-/** Committed stores awaiting their D-cache write slot. */
+/**
+ * Committed stores awaiting their D-cache write slot. Fixed-capacity
+ * ring: the drain loop runs every cycle with stores in flight, so the
+ * buffer avoids deque's segment bookkeeping on the hot path.
+ */
 class StoreBuffer
 {
   public:
     explicit StoreBuffer(unsigned capacity)
-        : cap(capacity)
+        : slots(capacity), cap(capacity)
     {
         DCG_ASSERT(capacity >= 1, "store buffer too small");
     }
 
-    bool full() const { return queue.size() >= cap; }
-    bool empty() const { return queue.empty(); }
-    unsigned size() const { return static_cast<unsigned>(queue.size()); }
+    bool full() const { return occupancy >= cap; }
+    bool empty() const { return occupancy == 0; }
+    unsigned size() const { return occupancy; }
 
     void
     push(Addr addr)
     {
         DCG_ASSERT(!full(), "push into full store buffer");
-        queue.push_back(addr);
+        unsigned tail = head + occupancy;
+        if (tail >= cap)
+            tail -= cap;
+        slots[tail] = addr;
+        ++occupancy;
     }
 
     Addr
     pop()
     {
         DCG_ASSERT(!empty(), "pop from empty store buffer");
-        const Addr a = queue.front();
-        queue.pop_front();
+        const Addr a = slots[head];
+        if (++head == cap)
+            head = 0;
+        --occupancy;
         return a;
     }
 
   private:
-    std::deque<Addr> queue;
+    std::vector<Addr> slots;
     unsigned cap;
+    unsigned head = 0;
+    unsigned occupancy = 0;
 };
 
 } // namespace dcg

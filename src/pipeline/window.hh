@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Structure-of-arrays instruction window (ROB + issue-queue state).
+ *
+ * The per-cycle issue scan is the hottest loop in the simulator; the
+ * former array-of-DynInst ROB made it walk ~170-byte records with a
+ * runtime modulo per element. Here every field the tick path touches
+ * lives in its own dense array indexed by *physical slot*, entries are
+ * allocated FIFO over a power-of-two ring, and the set of
+ * not-yet-issued entries is mirrored in a bitmap so the issue stage
+ * visits exactly the waiting instructions, oldest first, via
+ * count-trailing-zeros instead of probing every occupied slot.
+ */
+
+#ifndef DCG_PIPELINE_WINDOW_HH
+#define DCG_PIPELINE_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dcg {
+
+class Window
+{
+  public:
+    /// @name Per-entry meta flag bits (metaOf / meta array)
+    /// @{
+    static constexpr std::uint8_t kInLsq = 1u << 0;
+    static constexpr std::uint8_t kIsStore = 1u << 1;
+    static constexpr std::uint8_t kMispredicted = 1u << 2;
+    static constexpr std::uint8_t kIsFp = 1u << 3;
+    static constexpr std::uint8_t kWritesResult = 1u << 4;
+    /** Source-operand count lives in the top bits (0..kMaxSrcs). */
+    static constexpr unsigned kNumSrcsShift = 5;
+    /// @}
+
+    explicit Window(unsigned capacity)
+        : cap(capacity), physCap(roundUpPow2(capacity)),
+          mask(physCap - 1),
+          eligible(physCap, 0), commitReady(physCap, 0),
+          renameCycle(physCap, 0), effAddr(physCap, 0),
+          src0(physCap, 0), src1(physCap, 0), dest(physCap, 0),
+          cls(physCap, 0), meta(physCap, 0),
+          unissued((physCap + 63) / 64, 0)
+    {
+        DCG_ASSERT(capacity >= 4, "window too small");
+    }
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == cap; }
+    unsigned size() const { return count; }
+    unsigned capacity() const { return cap; }
+    unsigned physicalCapacity() const { return physCap; }
+
+    /** Physical slot of the oldest entry. */
+    unsigned
+    headIndex() const
+    {
+        DCG_ASSERT(count > 0, "head of empty window");
+        return head;
+    }
+
+    /**
+     * Allocate the next-youngest entry; returns its physical slot.
+     * The caller fills the parallel arrays; the entry starts in the
+     * not-yet-issued set.
+     */
+    unsigned
+    push()
+    {
+        DCG_ASSERT(!full(), "push into full window");
+        const unsigned idx = (head + count) & mask;
+        ++count;
+        unissued[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        return idx;
+    }
+
+    /** Retire the oldest entry (must have issued). */
+    void
+    pop()
+    {
+        DCG_ASSERT(count > 0, "pop from empty window");
+        DCG_ASSERT(!isUnissued(head), "pop of unissued window entry");
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    bool
+    isUnissued(unsigned idx) const
+    {
+        return (unissued[idx >> 6] >> (idx & 63)) & 1u;
+    }
+
+    /** Move an entry from the waiting set to issued. */
+    void
+    markIssued(unsigned idx)
+    {
+        DCG_ASSERT(isUnissued(idx), "double issue of window entry");
+        unissued[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /**
+     * Oldest-first walk of the not-yet-issued entries. Visits set bits
+     * of the occupancy bitmap in physical order starting at the head
+     * slot, wrapping once; age order equals physical order within each
+     * of the two contiguous ranges. @p fn returns false to stop the
+     * whole scan (used for the monotonic-eligibility early exit).
+     */
+    template <typename Fn>
+    void
+    forEachUnissued(Fn &&fn) const
+    {
+        forEachSetIn(unissued, fn);
+    }
+
+    /**
+     * Same oldest-first walk over an external bitmap with the same
+     * one-bit-per-physical-slot shape (e.g. the core's issuable set).
+     * Only slots inside the occupied range are visited.
+     */
+    template <typename Fn>
+    void
+    forEachSetIn(const std::vector<std::uint64_t> &bm, Fn &&fn) const
+    {
+        if (count == 0)
+            return;
+        const std::uint64_t *words = bm.data();
+        const unsigned end1 = head + count;
+        if (end1 <= physCap) {
+            scanRange(words, head, end1, fn);
+        } else {
+            if (scanRange(words, head, physCap, fn))
+                scanRange(words, 0, end1 - physCap, fn);
+        }
+    }
+
+  private:
+    // Declared before the arrays below: the constructor sizes them
+    // from physCap, so initialization order matters.
+    unsigned cap;
+    unsigned physCap;
+    unsigned mask;
+    unsigned head = 0;
+    unsigned count = 0;
+
+  public:
+    /// @name Hot per-entry state, indexed by physical slot
+    /// @{
+    std::vector<Cycle> eligible;      ///< earliest select cycle
+    std::vector<Cycle> commitReady;   ///< earliest commit cycle
+    std::vector<Cycle> renameCycle;   ///< cycle renamed (latency stat)
+    std::vector<Addr> effAddr;        ///< memory ops only
+    std::vector<std::uint16_t> src0;  ///< producer-ring slot or sentinel
+    std::vector<std::uint16_t> src1;  ///< producer-ring slot or sentinel
+    std::vector<std::uint16_t> dest;  ///< producer-ring slot (if result)
+    std::vector<std::uint8_t> cls;    ///< OpClass
+    std::vector<std::uint8_t> meta;   ///< flag bits + source count
+    /// @}
+
+  private:
+    static unsigned
+    roundUpPow2(unsigned n)
+    {
+        unsigned p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    /** Visit set bits in [from, to); false once fn stops the scan. */
+    template <typename Fn>
+    static bool
+    scanRange(const std::uint64_t *words, unsigned from, unsigned to,
+              Fn &&fn)
+    {
+        unsigned w = from >> 6;
+        const unsigned wlast = (to - 1) >> 6;
+        std::uint64_t bits = words[w] >> (from & 63) << (from & 63);
+        for (;; bits = words[++w]) {
+            if (w == wlast && (to & 63))
+                bits &= (std::uint64_t{1} << (to & 63)) - 1;
+            while (bits) {
+                const unsigned idx =
+                    (w << 6) + static_cast<unsigned>(
+                                   __builtin_ctzll(bits));
+                if (!fn(idx))
+                    return false;
+                bits &= bits - 1;
+            }
+            if (w == wlast)
+                return true;
+        }
+    }
+
+    /** One bit per physical slot: occupied and awaiting issue. */
+    std::vector<std::uint64_t> unissued;
+};
+
+} // namespace dcg
+
+#endif // DCG_PIPELINE_WINDOW_HH

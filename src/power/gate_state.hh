@@ -15,6 +15,22 @@
 
 namespace dcg {
 
+/**
+ * Consumer of idle-cycle accounting (implemented by the power model):
+ * charge @p cycles all-idle cycles under gate decision @p g. Counting
+ * cycles per gate state — instead of re-summing per-cycle floating
+ * point — is what makes a skipped idle window charge bit-identical
+ * energy to the same window simulated cycle by cycle.
+ */
+struct GateState;
+class IdleSink
+{
+  public:
+    virtual ~IdleSink() = default;
+    virtual void chargeIdle(const GateState &g,
+                            std::uint64_t cycles) = 0;
+};
+
 struct GateState
 {
     /** Bitmask of gated execution-unit instances per FU type. */
@@ -74,6 +90,26 @@ struct GateState
     double iqSchedOverhead = 0.0;
 
     void reset() { *this = GateState{}; }
+
+    /**
+     * Field-wise equality (not memcmp: struct padding must not make
+     * identical decisions compare unequal). The power model buckets
+     * all-idle cycles into per-GateState classes keyed by this.
+     */
+    bool
+    operator==(const GateState &o) const
+    {
+        return fuGateMask == o.fuGateMask &&
+               latchSlotsGated == o.latchSlotsGated &&
+               dcachePortsGated == o.dcachePortsGated &&
+               resultBusesGated == o.resultBusesGated &&
+               iqGatedFraction == o.iqGatedFraction &&
+               dcgControlActive == o.dcgControlActive &&
+               latchBitGatedFraction == o.latchBitGatedFraction &&
+               latchCompareOverhead == o.latchCompareOverhead &&
+               iqWakeupScale == o.iqWakeupScale &&
+               iqSchedOverhead == o.iqSchedOverhead;
+    }
 };
 
 } // namespace dcg

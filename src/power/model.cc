@@ -14,7 +14,7 @@ powerComponentName(PowerComponent c)
       case PowerComponent::DdcgCompare:   return "ddcg_compare";
       case PowerComponent::ClockWiring:   return "clock_wiring";
       case PowerComponent::IntAlu:        return "int_alu";
-      case PowerComponent::IntMulDiv:     return "int_muldiv";
+      case PowerComponent::IntMulDiv:    return "int_muldiv";
       case PowerComponent::FpAlu:         return "fp_alu";
       case PowerComponent::FpMulDiv:      return "fp_muldiv";
       case PowerComponent::DcacheDecoder: return "dcache_decoder";
@@ -59,6 +59,51 @@ PowerModel::PowerModel(const CoreConfig &core_cfg, const Technology &tech_,
                   cfg.dcachePorts * (cfg.depth.read + 2) +
                   cfg.numResultBuses * 2;
 
+    // Everything that does not depend on per-cycle state is computed
+    // once here, off the tick path.
+    v2 = tech.vdd * tech.vdd;
+    guardedBits = 0.0;
+    for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+        phaseGroups[p] = cfg.depth.groupsFor(static_cast<LatchPhase>(p));
+        guardedBits += static_cast<double>(phaseGroups[p]) *
+                       cfg.issueWidth * slotBits;
+    }
+    latchSlotPJ = static_cast<double>(slotBits) * tech.latchBitCap * v2;
+    comparePJ = guardedBits * tech.latchBitCap * v2;
+    controlPJ = static_cast<double>(controlBits) * tech.latchBitCap * v2;
+    wiringPJ = tech.clockWiringCap * v2;
+
+    const double fu_clock_cap[kNumFuTypes] = {
+        tech.intAluClockCap, tech.intMulDivClockCap,
+        tech.fpAluClockCap, tech.fpMulDivClockCap};
+    const double fu_op_cap[kNumFuTypes] = {
+        tech.intAluOpCap, tech.intMulDivOpCap,
+        tech.fpAluOpCap, tech.fpMulDivOpCap};
+    const PowerComponent fu_comp[kNumFuTypes] = {
+        PowerComponent::IntAlu, PowerComponent::IntMulDiv,
+        PowerComponent::FpAlu, PowerComponent::FpMulDiv};
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        fuClockPJ[t] = fu_clock_cap[t] * v2;
+        fuOpPJ[t] = fu_op_cap[t] * v2;
+        fuComp[t] = fu_comp[t];
+    }
+
+    decoderPJ = tech.dcacheDecoderCap * v2;
+    arrayPJ = tech.dcacheArrayAccessCap * v2;
+    icachePJ = tech.icacheAccessCap * v2;
+    fetchPJ = tech.fetchPerInstCap * v2;
+    bpredPJ = tech.bpredAccessCap * v2;
+    renamePJ = tech.renameOpCap * v2;
+    iqClockPJ = tech.iqClockCap * v2;
+    iqWakeupPJ = tech.iqWakeupCap * v2;
+    iqSelectPJ = tech.iqSelectCap * v2;
+    regReadPJ = tech.regReadCap * v2;
+    regWritePJ = tech.regWriteCap * v2;
+    lsqPJ = tech.lsqOpCap * v2;
+    robPJ = tech.robOpCap * v2;
+    busClockPJ = tech.resultBusClockCap * v2;
+    busDrivePJ = tech.resultBusDriveCap * v2;
+
     avgPowerStat.define([this]() { return averagePowerW(); });
 }
 
@@ -66,21 +111,96 @@ void
 PowerModel::reset()
 {
     energy.fill(0.0);
+    idleClasses.clear();
     numCycles = 0;
 }
 
-void
-PowerModel::addEnergy(PowerComponent c, double pj)
+std::array<double, kNumPowerComponents>
+PowerModel::idleClassEnergy(const GateState &g) const
 {
-    energy[static_cast<unsigned>(c)] += pj;
-    totalStat += pj;
+    DCG_ASSERT(g.latchBitGatedFraction >= 0.0 &&
+               g.latchBitGatedFraction <= 1.0,
+               "bad latch bit-gated fraction");
+    DCG_ASSERT(g.latchCompareOverhead >= 0.0,
+               "negative latch compare overhead");
+    DCG_ASSERT(g.iqGatedFraction >= 0.0 && g.iqGatedFraction <= 1.0,
+               "bad IQ gated fraction");
+    DCG_ASSERT(g.iqSchedOverhead >= 0.0,
+               "negative IQ scheduler overhead");
+
+    std::array<double, kNumPowerComponents> e{};
+    auto at = [&e](PowerComponent c) -> double & {
+        return e[static_cast<unsigned>(c)];
+    };
+
+    double latch_pj = 0.0;
+    for (unsigned p = 0; p < kNumLatchPhases; ++p) {
+        DCG_ASSERT(g.latchSlotsGated[p] <= cfg.issueWidth,
+                   "gated latch slots exceed width (phase ", p, ")");
+        const unsigned clocked = cfg.issueWidth - g.latchSlotsGated[p];
+        latch_pj += static_cast<double>(phaseGroups[p]) * clocked *
+                    latchSlotPJ * (1.0 - g.latchBitGatedFraction);
+    }
+    at(PowerComponent::Latches) = latch_pj;
+
+    if (g.latchCompareOverhead > 0.0)
+        at(PowerComponent::DdcgCompare) = g.latchCompareOverhead * comparePJ;
+    if (g.dcgControlActive)
+        at(PowerComponent::DcgControl) = controlPJ;
+    at(PowerComponent::ClockWiring) = wiringPJ;
+
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+        const unsigned total = cfg.fuCount[t];
+        const unsigned gated = static_cast<unsigned>(
+            __builtin_popcount(g.fuGateMask[t]));
+        DCG_ASSERT(gated <= total, "gate mask exceeds FU count");
+        at(fuComp[t]) += (total - gated) * fuClockPJ[t];
+    }
+
+    DCG_ASSERT(g.dcachePortsGated <= cfg.dcachePorts,
+               "gated D-cache ports exceed port count");
+    at(PowerComponent::DcacheDecoder) =
+        (cfg.dcachePorts - g.dcachePortsGated) * decoderPJ;
+
+    at(PowerComponent::IssueQueue) =
+        iqClockPJ * (1.0 - g.iqGatedFraction);
+    if (g.iqSchedOverhead > 0.0)
+        at(PowerComponent::CgoooSched) = g.iqSchedOverhead * iqClockPJ;
+
+    DCG_ASSERT(g.resultBusesGated <= cfg.numResultBuses,
+               "gated result buses exceed bus count");
+    at(PowerComponent::ResultBus) =
+        (cfg.numResultBuses - g.resultBusesGated) * busClockPJ;
+
+    return e;
+}
+
+void
+PowerModel::chargeIdle(const GateState &g, std::uint64_t cycles)
+{
+    numCycles += cycles;
+    for (auto &c : idleClasses) {
+        if (c.g == g) {
+            c.count += cycles;
+            return;
+        }
+    }
+    // A handful of distinct idle decisions per run (one per scheme
+    // mode), so a linear scan beats any map.
+    idleClasses.push_back({g, cycles, idleClassEnergy(g)});
 }
 
 void
 PowerModel::tick(const CycleActivity &act, const GateState &g)
 {
+    if (act.none()) {
+        // All-idle cycles are counted, not accumulated, so that a
+        // skipped idle window charges bit-identical energy.
+        chargeIdle(g, 1);
+        return;
+    }
+
     ++numCycles;
-    const double v2 = tech.vdd * tech.vdd;
 
     // --- Consistency: deterministic gating never gates a used block.
     for (unsigned t = 0; t < kNumFuTypes; ++t) {
@@ -112,74 +232,49 @@ PowerModel::tick(const CycleActivity &act, const GateState &g)
     // within clocked slots (latchBitGatedFraction) and charge the
     // comparator network for every guarded bit, clocked or not.
     double latch_pj = 0.0;
-    double guarded_bits = 0.0;
     for (unsigned p = 0; p < kNumLatchPhases; ++p) {
-        const unsigned groups =
-            cfg.depth.groupsFor(static_cast<LatchPhase>(p));
         const unsigned clocked = cfg.issueWidth - g.latchSlotsGated[p];
-        latch_pj += static_cast<double>(groups) * clocked * slotBits *
-                    tech.latchBitCap * v2 *
-                    (1.0 - g.latchBitGatedFraction);
-        guarded_bits += static_cast<double>(groups) * cfg.issueWidth *
-                        slotBits;
+        latch_pj += static_cast<double>(phaseGroups[p]) * clocked *
+                    latchSlotPJ * (1.0 - g.latchBitGatedFraction);
     }
     addEnergy(PowerComponent::Latches, latch_pj);
 
     if (g.latchCompareOverhead > 0.0) {
         addEnergy(PowerComponent::DdcgCompare,
-                  g.latchCompareOverhead * guarded_bits *
-                  tech.latchBitCap * v2);
+                  g.latchCompareOverhead * comparePJ);
     }
 
-    if (g.dcgControlActive) {
-        addEnergy(PowerComponent::DcgControl,
-                  controlBits * tech.latchBitCap * v2);
-    }
+    if (g.dcgControlActive)
+        addEnergy(PowerComponent::DcgControl, controlPJ);
 
     // --- Global clock spine: charged every cycle regardless.
-    addEnergy(PowerComponent::ClockWiring,
-              tech.clockWiringCap * v2);
+    addEnergy(PowerComponent::ClockWiring, wiringPJ);
 
     // --- Execution units: clock/precharge for un-gated instances plus
     // switching for started operations.
-    struct FuPower { PowerComponent comp; double clockCap; double opCap; };
-    const FuPower fu_power[kNumFuTypes] = {
-        {PowerComponent::IntAlu, tech.intAluClockCap, tech.intAluOpCap},
-        {PowerComponent::IntMulDiv, tech.intMulDivClockCap,
-         tech.intMulDivOpCap},
-        {PowerComponent::FpAlu, tech.fpAluClockCap, tech.fpAluOpCap},
-        {PowerComponent::FpMulDiv, tech.fpMulDivClockCap,
-         tech.fpMulDivOpCap},
-    };
     for (unsigned t = 0; t < kNumFuTypes; ++t) {
         const unsigned total = cfg.fuCount[t];
         const unsigned gated = static_cast<unsigned>(
             __builtin_popcount(g.fuGateMask[t]));
         DCG_ASSERT(gated <= total, "gate mask exceeds FU count");
-        const double clock_pj = (total - gated) * fu_power[t].clockCap
-                                * v2;
-        const double op_pj = act.fuStarts[t] * fu_power[t].opCap * v2;
-        addEnergy(fu_power[t].comp, clock_pj + op_pj);
+        addEnergy(fuComp[t], (total - gated) * fuClockPJ[t] +
+                             act.fuStarts[t] * fuOpPJ[t]);
     }
 
     // --- D-cache: per-port dynamic decoders (gateable) + array energy
     // per access (charged only when accessed).
     addEnergy(PowerComponent::DcacheDecoder,
-              (cfg.dcachePorts - g.dcachePortsGated) *
-              tech.dcacheDecoderCap * v2);
+              (cfg.dcachePorts - g.dcachePortsGated) * decoderPJ);
     addEnergy(PowerComponent::DcacheArray,
-              act.dcacheAccesses * tech.dcacheArrayAccessCap * v2);
+              act.dcacheAccesses * arrayPJ);
 
     // --- Front end.
     addEnergy(PowerComponent::Icache,
-              act.icacheAccesses * tech.icacheAccessCap * v2 +
-              (act.fetched + act.wrongPathFetched) *
-              tech.fetchPerInstCap * v2);
-    addEnergy(PowerComponent::Bpred,
-              act.bpredLookups * tech.bpredAccessCap * v2);
+              act.icacheAccesses * icachePJ +
+              (act.fetched + act.wrongPathFetched) * fetchPJ);
+    addEnergy(PowerComponent::Bpred, act.bpredLookups * bpredPJ);
 
-    addEnergy(PowerComponent::Rename,
-              act.renamed * tech.renameOpCap * v2);
+    addEnergy(PowerComponent::Rename, act.renamed * renamePJ);
 
     // --- Issue queue: CAM precharge every cycle (PLB and CG-OoO gate
     // slices/blocks; DCG leaves it to the scheme of [6], Sec 2.2.2).
@@ -189,28 +284,45 @@ PowerModel::tick(const CycleActivity &act, const GateState &g)
     DCG_ASSERT(g.iqGatedFraction >= 0.0 && g.iqGatedFraction <= 1.0,
                "bad IQ gated fraction");
     addEnergy(PowerComponent::IssueQueue,
-              tech.iqClockCap * v2 * (1.0 - g.iqGatedFraction) +
-              act.iqWakeups * tech.iqWakeupCap * v2 * g.iqWakeupScale +
-              act.issued * tech.iqSelectCap * v2);
-    if (g.iqSchedOverhead > 0.0) {
-        addEnergy(PowerComponent::CgoooSched,
-                  g.iqSchedOverhead * tech.iqClockCap * v2);
-    }
+              iqClockPJ * (1.0 - g.iqGatedFraction) +
+              act.iqWakeups * iqWakeupPJ * g.iqWakeupScale +
+              act.issued * iqSelectPJ);
+    if (g.iqSchedOverhead > 0.0)
+        addEnergy(PowerComponent::CgoooSched, g.iqSchedOverhead * iqClockPJ);
 
     addEnergy(PowerComponent::Regfile,
-              act.regReads * tech.regReadCap * v2 +
-              act.regWrites * tech.regWriteCap * v2);
+              act.regReads * regReadPJ + act.regWrites * regWritePJ);
 
-    addEnergy(PowerComponent::Lsq, act.lsqOps * tech.lsqOpCap * v2);
-    addEnergy(PowerComponent::Rob,
-              (act.renamed + act.committed) * tech.robOpCap * v2);
+    addEnergy(PowerComponent::Lsq, act.lsqOps * lsqPJ);
+    addEnergy(PowerComponent::Rob, (act.renamed + act.committed) * robPJ);
 
     // --- Result bus drivers: precharge for un-gated buses + switching
     // per drive.
     addEnergy(PowerComponent::ResultBus,
-              (cfg.numResultBuses - g.resultBusesGated) *
-              tech.resultBusClockCap * v2 +
-              act.resultBusUsed * tech.resultBusDriveCap * v2);
+              (cfg.numResultBuses - g.resultBusesGated) * busClockPJ +
+              act.resultBusUsed * busDrivePJ);
+}
+
+double
+PowerModel::accumEnergyPJ(unsigned c) const
+{
+    double pj = energy[c];
+    for (const auto &cls : idleClasses)
+        pj += static_cast<double>(cls.count) * cls.perCycle[c];
+    return pj;
+}
+
+void
+PowerModel::foldStats() const
+{
+    // L2 is excluded: the registry scalar mirrors what addEnergy used
+    // to accumulate, and L2 energy has always been report-time only.
+    double total = 0.0;
+    for (unsigned c = 0; c < kNumPowerComponents; ++c) {
+        if (static_cast<PowerComponent>(c) != PowerComponent::L2)
+            total += accumEnergyPJ(c);
+    }
+    totalStat.set(total);
 }
 
 double
@@ -220,7 +332,7 @@ PowerModel::energyPJ(PowerComponent c) const
         return static_cast<double>(l2->numAccesses()) *
                tech.l2AccessCap * tech.vdd * tech.vdd;
     }
-    return energy[static_cast<unsigned>(c)];
+    return accumEnergyPJ(static_cast<unsigned>(c));
 }
 
 double

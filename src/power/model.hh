@@ -7,6 +7,13 @@
  * contributes its full clock/precharge power plus per-event switching
  * energy; leakage is not modelled. DCG's control overhead (extended
  * latches) is charged whenever the DCG controller is active.
+ *
+ * All-idle cycles (CycleActivity::none()) are not accumulated in
+ * floating point: they are *counted* per distinct GateState (an "idle
+ * class") and multiplied out at report time. That makes charging k
+ * skipped idle cycles in one call (chargeIdle, the IdleSink hook used
+ * by skip-ahead) bit-identical to ticking the same k cycles one by
+ * one — the property tests/sim/skipahead_test.cc locks down.
  */
 
 #ifndef DCG_POWER_MODEL_HH
@@ -15,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
@@ -56,7 +64,7 @@ inline constexpr unsigned kNumPowerComponents =
 
 const char *powerComponentName(PowerComponent c);
 
-class PowerModel
+class PowerModel : public IdleSink
 {
   public:
     /**
@@ -71,9 +79,17 @@ class PowerModel
     /**
      * Account one cycle. Asserts that @p gates never gate a resource
      * that @p act shows in use — the defining property of
-     * *deterministic* gating.
+     * *deterministic* gating. All-idle cycles route through
+     * chargeIdle(gates, 1).
      */
     void tick(const CycleActivity &act, const GateState &gates);
+
+    /**
+     * Count @p cycles all-idle cycles under @p g (IdleSink). Used both
+     * by tick() for a single idle cycle and by the gating schemes'
+     * skipIdle hooks for a whole skipped window.
+     */
+    void chargeIdle(const GateState &g, std::uint64_t cycles) override;
 
     /** Total energy so far in pJ (including L2 at current counts). */
     double totalEnergyPJ() const;
@@ -87,9 +103,16 @@ class PowerModel
     std::uint64_t cycles() const { return numCycles; }
 
     /**
-     * Zero the accumulated energies (measurement-window reset after
-     * warm-up). Registry scalars are reset separately via
-     * StatRegistry::resetAll().
+     * Write the accumulated total into the power.total_energy_pj
+     * registry scalar (kept out of the tick path). Idempotent; called
+     * at report time.
+     */
+    void foldStats() const;
+
+    /**
+     * Zero the accumulated energies and idle classes
+     * (measurement-window reset after warm-up). Registry scalars are
+     * reset separately via StatRegistry::resetAll().
      */
     void reset();
 
@@ -112,7 +135,29 @@ class PowerModel
     unsigned dcgControlBits() const { return controlBits; }
 
   private:
-    void addEnergy(PowerComponent c, double pj);
+    /**
+     * One distinct all-idle gate decision: how many cycles it covered
+     * and the per-cycle energy it implies per component.
+     */
+    struct IdleClass
+    {
+        GateState g;
+        std::uint64_t count = 0;
+        std::array<double, kNumPowerComponents> perCycle{};
+    };
+
+    void
+    addEnergy(PowerComponent c, double pj)
+    {
+        energy[static_cast<unsigned>(c)] += pj;
+    }
+
+    /** Per-cycle energy of an all-idle cycle under @p g. */
+    std::array<double, kNumPowerComponents>
+    idleClassEnergy(const GateState &g) const;
+
+    /** Accumulated energy incl. idle classes (no L2 special case). */
+    double accumEnergyPJ(unsigned c) const;
 
     CoreConfig cfg;
     Technology tech;
@@ -121,7 +166,37 @@ class PowerModel
     unsigned slotBits;
     unsigned controlBits;
 
+    /// @name Constants precomputed off the tick path
+    /// @{
+    double v2;                    ///< vdd^2
+    std::array<unsigned, kNumLatchPhases> phaseGroups{};
+    double latchSlotPJ;           ///< slotBits x latchBitCap x v2
+    double guardedBits;           ///< total latch bits, all phases
+    double comparePJ;             ///< guardedBits x latchBitCap x v2
+    double controlPJ;             ///< controlBits x latchBitCap x v2
+    double wiringPJ;
+    std::array<double, kNumFuTypes> fuClockPJ{};
+    std::array<double, kNumFuTypes> fuOpPJ{};
+    std::array<PowerComponent, kNumFuTypes> fuComp{};
+    double decoderPJ;
+    double arrayPJ;
+    double icachePJ;
+    double fetchPJ;
+    double bpredPJ;
+    double renamePJ;
+    double iqClockPJ;
+    double iqWakeupPJ;
+    double iqSelectPJ;
+    double regReadPJ;
+    double regWritePJ;
+    double lsqPJ;
+    double robPJ;
+    double busClockPJ;
+    double busDrivePJ;
+    /// @}
+
     std::array<double, kNumPowerComponents> energy{};
+    std::vector<IdleClass> idleClasses;
     std::uint64_t numCycles = 0;
 
     Scalar &totalStat;

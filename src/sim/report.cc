@@ -429,6 +429,7 @@ statRegistryCatalog()
         {"core.lsq_full_stalls", "rename stalls on a full LSQ"},
         {"core.mispredicts", "branch mispredictions"},
         {"core.rob_full_stalls", "rename stalls on a full ROB"},
+        {"core.skipped_cycles", "idle cycles advanced in bulk by skip-ahead"},
         {"core.window_occupancy", "mean issue-window occupancy"},
         {"dcache.accesses", "L1D cache accesses"},
         {"dcache.misses", "L1D cache misses"},

@@ -51,6 +51,15 @@ struct SimConfig
     /// @}
 
     std::uint64_t seed = 1;
+
+    /**
+     * Skip provably idle windows in O(1) instead of ticking through
+     * them (Core::idleSkipAvailable). Results are identical by
+     * construction — tests/sim/skipahead_test.cc checks byte-identity
+     * of the full report with the knob off vs on — so this stays on
+     * except when that equivalence itself is under test.
+     */
+    bool skipAhead = true;
 };
 
 /** Everything the benchmark harness needs from one run. */
@@ -143,12 +152,17 @@ class Simulator
     std::unique_ptr<PowerModel> powerP;
     std::unique_ptr<GatingPolicy> policyP;
 
-    /** Utilisation accumulators over measured cycles. */
-    double intUnitBusySum = 0.0;
-    double fpUnitBusySum = 0.0;
-    double latchFluxSum = 0.0;
-    double portUseSum = 0.0;
-    double busUseSum = 0.0;
+    /**
+     * Utilisation accumulators over measured cycles. Integer: the
+     * per-cycle contributions are small counts, and integer sums keep
+     * the utilisation figures independent of accumulation order
+     * (skipped idle windows contribute zero).
+     */
+    std::uint64_t intUnitBusySum = 0;
+    std::uint64_t fpUnitBusySum = 0;
+    std::uint64_t latchFluxSum = 0;
+    std::uint64_t portUseSum = 0;
+    std::uint64_t busUseSum = 0;
     std::uint64_t measuredCycles = 0;
 
     /** L2 access count at measurement start (for energy reset). */

@@ -1,0 +1,54 @@
+// Dirty fixture for tick-path-stats: registry accessors inside the
+// per-cycle hot path. Exactly two findings expected here — the
+// tick() counter registration and the commit() lookup. The
+// constructor's registration, the free counter() call in tick(), and
+// the foldStats() accesses are all fine.
+
+struct Reg
+{
+    int &counter(const char *name, const char *desc);
+    double lookup(const char *name) const;
+};
+
+int &counter(int which);
+
+struct Core
+{
+    explicit Core(Reg &r);
+
+    void tick();
+    void commit();
+    void foldStats();
+
+    Reg &stats;
+    int &ticks;
+    long flatCommitted = 0;
+};
+
+Core::Core(Reg &r)
+    : stats(r), ticks(r.counter("core.ticks", "tick count"))
+{
+}
+
+void
+Core::tick()
+{
+    ++stats.counter("core.ticks", "tick count");  // flagged
+    ++counter(0);  // free function, not a registry access
+    ++flatCommitted;
+}
+
+void
+Core::commit()
+{
+    if (stats.lookup("core.ticks") > 0)  // flagged
+        ++flatCommitted;
+}
+
+void
+Core::foldStats()
+{
+    // Report path: registry access is the whole point here.
+    ticks += static_cast<int>(flatCommitted);
+    stats.lookup("core.ticks");
+}

@@ -1,0 +1,25 @@
+// Clean half of the fixture: a per-cycle power tick that accumulates
+// into plain members, and a cold report helper that may use the
+// registry freely.
+
+struct Reg
+{
+    double &scalar(const char *name, const char *desc);
+};
+
+struct PowerModel
+{
+    void
+    tick(double pj)
+    {
+        accumPJ += pj;  // flat accumulation: fine
+    }
+
+    void
+    report(Reg &stats)
+    {
+        stats.scalar("power.total_energy_pj", "total energy") = accumPJ;
+    }
+
+    double accumPJ = 0.0;
+};

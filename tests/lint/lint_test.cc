@@ -243,6 +243,32 @@ TEST(Dcglint, DeterminismHazardsAreCaughtAndAllowMarkerHonored)
         EXPECT_EQ(d.file, "src/sim/tick.cc");
 }
 
+TEST(Dcglint, TickPathRegistryCallsAreCaught)
+{
+    LintOptions opts;
+    opts.root = fixture("tick_path_stats");
+    const std::vector<Diagnostic> diags =
+        runCheck("tick-path-stats", opts);
+
+    // tick()'s counter() and commit()'s lookup() — but not the
+    // constructor registration, the free counter() call, the
+    // foldStats() report access, or the flat-accumulating power tick.
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_TRUE(hasDiag(diags, "tick-path-stats",
+                        "'Core::tick' calls stat registry accessor "
+                        "'counter()'"));
+    EXPECT_TRUE(hasDiag(diags, "tick-path-stats",
+                        "'Core::commit' calls stat registry accessor "
+                        "'lookup()'"));
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.file, "src/pipeline/core.cc");
+        EXPECT_GT(d.line, 0);
+    }
+
+    std::ostringstream out;
+    EXPECT_EQ(runDcglint(opts, out), 1);
+}
+
 TEST(Dcglint, CheckSelectionFilters)
 {
     // The orphan_counter tree is dirty for activity-counter but clean
@@ -382,7 +408,7 @@ TEST(Dcglint, OnlyFilesFiltersTheReportNotTheAnalysis)
 TEST(DcglintRegistry, CatalogIsCompleteAndAnchorsResolve)
 {
     const std::vector<CheckInfo> catalog = checkCatalog();
-    EXPECT_GE(catalog.size(), 8u);
+    EXPECT_GE(catalog.size(), 9u);
 
     for (const CheckInfo &info : catalog) {
         EXPECT_FALSE(info.name.empty());

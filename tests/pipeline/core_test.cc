@@ -263,6 +263,8 @@ TEST(Core, MispredictionsReduceThroughput)
     const double ipc_bad = bad.steadyIpc(60000);
     EXPECT_LT(ipc_bad, ipc_good * 0.75);
 
+    good.core.foldStats();
+    bad.core.foldStats();
     const double misp_rate_good =
         good.stats.lookup("core.mispredicts") /
         static_cast<double>(good.core.committedInsts());
@@ -289,6 +291,7 @@ TEST(Core, FetchedIssuedCommittedConsistent)
     Harness h(g);
     for (int i = 0; i < 20000; ++i)
         h.core.tick();
+    h.core.foldStats();
     const double fetched = h.stats.lookup("core.fetched_per_cycle") *
                            h.stats.lookup("core.cycles");
     const double issued = h.stats.lookup("core.issued");
@@ -308,6 +311,8 @@ TEST(Core, DeterministicAcrossRuns)
         a.core.tick();
         b.core.tick();
     }
+    a.core.foldStats();
+    b.core.foldStats();
     EXPECT_EQ(a.core.committedInsts(), b.core.committedInsts());
     EXPECT_EQ(a.stats.lookup("core.issued"), b.stats.lookup("core.issued"));
 }
@@ -318,6 +323,7 @@ TEST(Core, WindowOccupancyBoundedByCapacity)
     Harness h(g);
     for (int i = 0; i < 20000; ++i)
         h.core.tick();
+    h.core.foldStats();
     EXPECT_LE(h.stats.lookup("core.window_occupancy"), 128.0);
     EXPECT_GT(h.stats.lookup("core.window_occupancy"), 1.0);
 }

@@ -1,0 +1,190 @@
+/** Tests for the SoA instruction window (ROB + issue-queue state). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipeline/window.hh"
+
+using namespace dcg;
+
+namespace {
+
+/** Collect the physical slots forEachUnissued visits, in order. */
+std::vector<unsigned>
+scanOrder(const Window &w)
+{
+    std::vector<unsigned> order;
+    w.forEachUnissued([&](unsigned idx) {
+        order.push_back(idx);
+        return true;
+    });
+    return order;
+}
+
+} // namespace
+
+TEST(Window, StartsEmpty)
+{
+    Window w(8);
+    EXPECT_TRUE(w.empty());
+    EXPECT_FALSE(w.full());
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_EQ(w.capacity(), 8u);
+    EXPECT_TRUE(scanOrder(w).empty());
+}
+
+TEST(Window, PushPopFifoOrder)
+{
+    Window w(8);
+    for (Cycle s = 1; s <= 5; ++s) {
+        const unsigned idx = w.push();
+        w.renameCycle[idx] = s;
+    }
+    EXPECT_EQ(w.size(), 5u);
+    for (Cycle s = 1; s <= 5; ++s) {
+        const unsigned h = w.headIndex();
+        EXPECT_EQ(w.renameCycle[h], s);
+        w.markIssued(h);
+        w.pop();
+    }
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(Window, FillsToLogicalCapacity)
+{
+    Window w(4);
+    for (int i = 0; i < 4; ++i)
+        w.push();
+    EXPECT_TRUE(w.full());
+    EXPECT_DEATH(w.push(), "full");
+}
+
+TEST(Window, NonPow2CapacityRoundsUpPhysically)
+{
+    Window w(6);
+    EXPECT_EQ(w.capacity(), 6u);
+    EXPECT_EQ(w.physicalCapacity(), 8u);
+    for (int i = 0; i < 6; ++i)
+        w.push();
+    EXPECT_TRUE(w.full());
+}
+
+TEST(Window, WrapAroundKeepsAgeOrder)
+{
+    Window w(4);
+    Cycle next = 1;
+    // Push/pop cycles force head wrap-around.
+    for (int round = 0; round < 10; ++round) {
+        while (!w.full())
+            w.renameCycle[w.push()] = next++;
+        for (int k = 0; k < 2; ++k) {
+            const unsigned h = w.headIndex();
+            w.markIssued(h);
+            w.pop();
+        }
+    }
+    Cycle prev = 0;
+    while (!w.empty()) {
+        const unsigned h = w.headIndex();
+        EXPECT_GT(w.renameCycle[h], prev);
+        prev = w.renameCycle[h];
+        w.markIssued(h);
+        w.pop();
+    }
+}
+
+TEST(Window, ScanVisitsOldestFirstAcrossWrap)
+{
+    Window w(4);
+    Cycle seq = 1;
+    for (int i = 0; i < 4; ++i)
+        w.renameCycle[w.push()] = seq++;
+    // Retire two, push two: occupied range now wraps the ring edge.
+    for (int k = 0; k < 2; ++k) {
+        const unsigned h = w.headIndex();
+        w.markIssued(h);
+        w.pop();
+    }
+    for (int i = 0; i < 2; ++i)
+        w.renameCycle[w.push()] = seq++;
+
+    const auto order = scanOrder(w);
+    ASSERT_EQ(order.size(), 4u);
+    for (unsigned i = 1; i < order.size(); ++i)
+        EXPECT_GT(w.renameCycle[order[i]], w.renameCycle[order[i - 1]]);
+    EXPECT_EQ(order.front(), w.headIndex());
+}
+
+TEST(Window, MarkIssuedRemovesFromScan)
+{
+    Window w(8);
+    std::vector<unsigned> slots;
+    for (int i = 0; i < 6; ++i)
+        slots.push_back(w.push());
+    w.markIssued(slots[1]);
+    w.markIssued(slots[4]);
+    const auto order = scanOrder(w);
+    EXPECT_EQ(order, (std::vector<unsigned>{slots[0], slots[2],
+                                            slots[3], slots[5]}));
+    EXPECT_FALSE(w.isUnissued(slots[1]));
+    EXPECT_TRUE(w.isUnissued(slots[0]));
+}
+
+TEST(Window, EarlyStopEndsWholeScan)
+{
+    Window w(4);
+    for (int i = 0; i < 4; ++i)
+        w.push();
+    // Wrap the occupied range so the scan would need both sub-ranges.
+    w.markIssued(w.headIndex());
+    w.pop();
+    w.markIssued(w.headIndex());
+    w.pop();
+    w.push();
+    w.push();
+
+    unsigned visits = 0;
+    w.forEachUnissued([&](unsigned) {
+        ++visits;
+        return false;
+    });
+    EXPECT_EQ(visits, 1u);
+}
+
+TEST(Window, MultiWordBitmapScan)
+{
+    Window w(128);
+    std::vector<unsigned> slots;
+    Cycle seq = 1;
+    for (int i = 0; i < 100; ++i) {
+        const unsigned idx = w.push();
+        w.renameCycle[idx] = seq++;
+        slots.push_back(idx);
+    }
+    // Issue a scattered subset spanning both bitmap words.
+    for (unsigned i = 0; i < slots.size(); i += 7)
+        w.markIssued(slots[i]);
+
+    const auto order = scanOrder(w);
+    unsigned expected = 0;
+    for (unsigned i = 0; i < slots.size(); ++i) {
+        if (i % 7 != 0)
+            ++expected;
+    }
+    EXPECT_EQ(order.size(), expected);
+    for (unsigned i = 1; i < order.size(); ++i)
+        EXPECT_GT(w.renameCycle[order[i]], w.renameCycle[order[i - 1]]);
+}
+
+TEST(Window, MisuseDies)
+{
+    Window w(4);
+    EXPECT_DEATH(w.headIndex(), "empty");
+    EXPECT_DEATH(w.pop(), "empty");
+    const unsigned idx = w.push();
+    EXPECT_DEATH(w.pop(), "unissued");
+    w.markIssued(idx);
+    EXPECT_DEATH(w.markIssued(idx), "double issue");
+    EXPECT_DEATH(Window(2), "too small");
+}
